@@ -1,0 +1,199 @@
+//! The analysis context: measured data joined with entity metadata.
+
+use std::collections::HashMap;
+use webdep_core::CountDist;
+use webdep_pipeline::{MeasuredDataset, SiteObservation};
+use webdep_webgen::{Layer, World, COUNTRIES};
+
+/// Joins a [`MeasuredDataset`] with the [`World`]'s entity metadata.
+///
+/// Every per-layer tally keys owners by a dense `u32`: provider org id for
+/// hosting/DNS, CA owner id for the CA layer, and TLD id for the TLD layer
+/// (observation TLD labels are interned through the universe).
+pub struct AnalysisCtx<'a> {
+    /// The generating world (entity names, HQ countries, TLD kinds).
+    pub world: &'a World,
+    /// The measured dataset under analysis.
+    pub ds: &'a MeasuredDataset,
+    tld_ids: HashMap<String, u32>,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Builds a context.
+    pub fn new(world: &'a World, ds: &'a MeasuredDataset) -> Self {
+        let tld_ids = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        AnalysisCtx { world, ds, tld_ids }
+    }
+
+    /// The measured owner of an observation at a layer, if that layer
+    /// measured successfully.
+    pub fn owner_of(&self, obs: &SiteObservation, layer: Layer) -> Option<u32> {
+        match layer {
+            Layer::Hosting => obs.hosting_org,
+            Layer::Dns => obs.dns_org,
+            Layer::Ca => obs.ca_owner,
+            Layer::Tld => self.tld_ids.get(&obs.tld).copied(),
+        }
+    }
+
+    /// The owner's display name.
+    pub fn owner_name(&self, layer: Layer, owner: u32) -> &str {
+        match layer {
+            Layer::Hosting | Layer::Dns => &self.world.universe.provider(owner).name,
+            Layer::Ca => &self.world.universe.ca(owner).name,
+            Layer::Tld => &self.world.universe.tld(owner).label,
+        }
+    }
+
+    /// The owner's home country, if it has one (`None` for global TLDs).
+    pub fn owner_country(&self, layer: Layer, owner: u32) -> Option<&str> {
+        match layer {
+            Layer::Hosting | Layer::Dns => {
+                Some(self.world.universe.provider(owner).country.as_str())
+            }
+            Layer::Ca => Some(self.world.universe.ca(owner).country.as_str()),
+            Layer::Tld => self.world.universe.tld(owner).home_country(),
+        }
+    }
+
+    /// Per-owner website counts for a country's layer, largest first.
+    pub fn country_counts(&self, country_idx: usize, layer: Layer) -> Vec<(u32, u64)> {
+        let mut tally: HashMap<u32, u64> = HashMap::new();
+        for obs in self.ds.country_observations(country_idx) {
+            if let Some(owner) = self.owner_of(obs, layer) {
+                *tally.entry(owner).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(u32, u64)> = tally.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The country's measured distribution as a [`CountDist`].
+    pub fn country_dist(&self, country_idx: usize, layer: Layer) -> Option<CountDist> {
+        let counts: Vec<u64> = self
+            .country_counts(country_idx, layer)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        CountDist::from_counts(counts).ok()
+    }
+
+    /// Share of a country's measured sites belonging to `owner` at `layer`.
+    pub fn owner_share(&self, country_idx: usize, layer: Layer, owner: u32) -> f64 {
+        let counts = self.country_counts(country_idx, layer);
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        counts
+            .iter()
+            .find(|&&(o, _)| o == owner)
+            .map(|&(_, c)| c as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Per-owner usage matrix for a layer: owner → usage percentage in each
+    /// of the 150 countries (the raw material of usage curves, Figure 4).
+    pub fn usage_matrix(&self, layer: Layer) -> HashMap<u32, Vec<f64>> {
+        let mut m: HashMap<u32, Vec<f64>> = HashMap::new();
+        for ci in 0..COUNTRIES.len() {
+            let counts = self.country_counts(ci, layer);
+            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            if total == 0 {
+                continue;
+            }
+            for (owner, c) in counts {
+                m.entry(owner)
+                    .or_insert_with(|| vec![0.0; COUNTRIES.len()])[ci] =
+                    100.0 * c as f64 / total as f64;
+            }
+        }
+        m
+    }
+
+    /// Observation count per country toplist (should equal the configured
+    /// toplist length).
+    pub fn toplist_len(&self, country_idx: usize) -> usize {
+        self.ds.toplists[country_idx].len()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::sync::OnceLock;
+    use webdep_pipeline::{measure, PipelineConfig};
+    use webdep_webgen::{DeployConfig, DeployedWorld, WorldConfig};
+
+    /// One shared tiny world + measurement for all analysis tests (the
+    /// deployment is expensive enough to amortize).
+    pub fn fixture() -> &'static (World, MeasuredDataset) {
+        static FIXTURE: OnceLock<(World, MeasuredDataset)> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let world = World::generate(WorldConfig::tiny());
+            let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+            let ds = measure(&world, &dep, &PipelineConfig::default());
+            (world, ds)
+        })
+    }
+
+    pub fn ctx() -> AnalysisCtx<'static> {
+        let (world, ds) = fixture();
+        AnalysisCtx::new(world, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::ctx;
+    use webdep_webgen::World;
+
+    #[test]
+    fn counts_match_ground_truth_distribution() {
+        let c = ctx();
+        let th = World::country_index("TH").unwrap();
+        let measured = c.country_counts(th, Layer::Hosting);
+        let truth = c.world.layer_counts(th, Layer::Hosting);
+        assert_eq!(measured, truth, "pipeline must recover the ground truth");
+    }
+
+    #[test]
+    fn owner_metadata_resolves() {
+        let c = ctx();
+        let us = World::country_index("US").unwrap();
+        let counts = c.country_counts(us, Layer::Hosting);
+        let (head, _) = counts[0];
+        assert_eq!(c.owner_name(Layer::Hosting, head), "Cloudflare");
+        assert_eq!(c.owner_country(Layer::Hosting, head), Some("US"));
+    }
+
+    #[test]
+    fn tld_owner_interning() {
+        let c = ctx();
+        let us = World::country_index("US").unwrap();
+        let counts = c.country_counts(us, Layer::Tld);
+        let (head, _) = counts[0];
+        assert_eq!(c.owner_name(Layer::Tld, head), "com");
+        assert_eq!(c.owner_country(Layer::Tld, head), Some("US"));
+    }
+
+    #[test]
+    fn usage_matrix_rows_have_country_width() {
+        let c = ctx();
+        let m = c.usage_matrix(Layer::Hosting);
+        let cf = c.world.universe.provider_by_name("Cloudflare").unwrap();
+        let row = &m[&cf];
+        assert_eq!(row.len(), 150);
+        // Cloudflare is used everywhere except possibly a couple of edge
+        // countries at tiny scale.
+        let used = row.iter().filter(|&&v| v > 0.0).count();
+        assert!(used > 140, "{used}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Insularity analyses (§5.3.1, §7.2, Appendix B/D; Figures 10, 11, 13,
+//! 20–22).
+
+use crate::ctx::AnalysisCtx;
+use serde::Serialize;
+use webdep_stats::hist::ecdf;
+use webdep_webgen::{Layer, COUNTRIES};
+
+/// One row of an insularity table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CountryInsularity {
+    /// Rank, 1 = most insular.
+    pub rank: usize,
+    /// Country code.
+    pub code: &'static str,
+    /// Continent code.
+    pub continent: &'static str,
+    /// Fraction of websites served by in-country providers.
+    pub insularity: f64,
+    /// The country's largest single-country dependence: `(country, share)`
+    /// — itself for insular countries, foreign otherwise.
+    pub top_dependence: (String, f64),
+}
+
+/// A layer's insularity table, most insular first.
+#[derive(Debug, Clone, Serialize)]
+pub struct InsularityTable {
+    /// The layer.
+    pub layer_name: &'static str,
+    /// Rows, most insular first.
+    pub rows: Vec<CountryInsularity>,
+}
+
+/// Computes a country's insularity at a layer.
+///
+/// Ownership country comes from the measured org/CA/TLD metadata; for the
+/// TLD layer, `.com` counts as insular to the US (Appendix B convention).
+pub fn country_insularity(ctx: &AnalysisCtx<'_>, country_idx: usize, layer: Layer) -> Option<f64> {
+    let code = COUNTRIES[country_idx].code;
+    let counts = ctx.country_counts(country_idx, layer);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let own: u64 = counts
+        .iter()
+        .filter(|&&(owner, _)| ctx.owner_country(layer, owner) == Some(code))
+        .map(|&(_, c)| c)
+        .sum();
+    Some(own as f64 / total as f64)
+}
+
+/// Full per-country dependence shares at a layer: provider-country →
+/// share, sorted descending. Owners without a home country (global TLDs)
+/// are excluded from attribution but stay in the denominator.
+pub fn dependence_shares(
+    ctx: &AnalysisCtx<'_>,
+    country_idx: usize,
+    layer: Layer,
+) -> Vec<(String, f64)> {
+    let counts = ctx.country_counts(country_idx, layer);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut tally: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for (owner, c) in counts {
+        if let Some(cc) = ctx.owner_country(layer, owner) {
+            *tally.entry(cc.to_string()).or_insert(0) += c;
+        }
+    }
+    let mut v: Vec<(String, f64)> = tally
+        .into_iter()
+        .map(|(cc, c)| (cc, c as f64 / total as f64))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    v
+}
+
+/// Builds the layer's insularity table (Figures 13 and 20–22).
+pub fn insularity_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> InsularityTable {
+    let mut rows: Vec<CountryInsularity> = COUNTRIES
+        .iter()
+        .enumerate()
+        .filter_map(|(ci, country)| {
+            let ins = country_insularity(ctx, ci, layer)?;
+            let deps = dependence_shares(ctx, ci, layer);
+            let top = deps
+                .first()
+                .cloned()
+                .unwrap_or_else(|| (country.code.to_string(), 0.0));
+            Some(CountryInsularity {
+                rank: 0,
+                code: country.code,
+                continent: country.continent.code(),
+                insularity: ins,
+                top_dependence: top,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.insularity.partial_cmp(&a.insularity).expect("finite"));
+    for (i, r) in rows.iter_mut().enumerate() {
+        r.rank = i + 1;
+    }
+    InsularityTable {
+        layer_name: layer.name(),
+        rows,
+    }
+}
+
+impl InsularityTable {
+    /// Row by country code.
+    pub fn row(&self, code: &str) -> Option<&CountryInsularity> {
+        self.rows.iter().find(|r| r.code == code)
+    }
+
+    /// Number of countries with any in-country usage at all (the paper:
+    /// only 24 countries use a CA in their own country).
+    pub fn countries_with_nonzero(&self) -> usize {
+        self.rows.iter().filter(|r| r.insularity > 0.0).count()
+    }
+
+    /// Mean insularity over a continent code.
+    pub fn continent_mean(&self, continent: &str) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.continent == continent)
+            .map(|r| r.insularity)
+            .collect();
+        webdep_stats::describe::mean(&vals)
+    }
+
+    /// The empirical CDF of insularity values (Figure 11).
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let vals: Vec<f64> = self.rows.iter().map(|r| r.insularity).collect();
+        ecdf(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::ctx;
+
+    #[test]
+    fn us_tops_hosting_insularity() {
+        let c = ctx();
+        let t = insularity_table(&c, Layer::Hosting);
+        assert_eq!(t.rows[0].code, "US", "US is the most insular country");
+        assert!(t.rows[0].insularity > 0.75);
+        for code in ["IR", "CZ", "RU"] {
+            let r = t.row(code).unwrap();
+            assert!(r.rank <= 15, "{code} rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn africa_has_low_hosting_insularity() {
+        let c = ctx();
+        let t = insularity_table(&c, Layer::Hosting);
+        let af = t.continent_mean("AF").unwrap();
+        let eu = t.continent_mean("EU").unwrap();
+        assert!(af < 0.12, "Africa mean {af}");
+        assert!(eu > af, "Europe {eu} vs Africa {af}");
+    }
+
+    #[test]
+    fn turkmenistan_depends_on_russia() {
+        let c = ctx();
+        let tm = webdep_webgen::World::country_index("TM").unwrap();
+        let deps = dependence_shares(&c, tm, Layer::Hosting);
+        let ru = deps
+            .iter()
+            .find(|(cc, _)| cc == "RU")
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0);
+        assert!(ru > 0.15, "RU share {ru}");
+        let own = country_insularity(&c, tm, Layer::Hosting).unwrap();
+        assert!(own < 0.10, "TM insularity {own}");
+    }
+
+    #[test]
+    fn ca_insularity_is_sparse_and_low() {
+        let c = ctx();
+        let t = insularity_table(&c, Layer::Ca);
+        let nonzero = t.countries_with_nonzero();
+        assert!(
+            (5..=45).contains(&nonzero),
+            "countries with domestic CA usage: {nonzero}"
+        );
+        assert_eq!(t.rows[0].code, "US");
+    }
+
+    #[test]
+    fn tld_insularity_highest_of_all_layers() {
+        let c = ctx();
+        let tld = insularity_table(&c, Layer::Tld);
+        let hosting = insularity_table(&c, Layer::Hosting);
+        let mean = |t: &InsularityTable| {
+            t.rows.iter().map(|r| r.insularity).sum::<f64>() / t.rows.len() as f64
+        };
+        assert!(
+            mean(&tld) > mean(&hosting),
+            "tld {} vs hosting {}",
+            mean(&tld),
+            mean(&hosting)
+        );
+        assert!(tld.row("US").unwrap().insularity > 0.6);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let c = ctx();
+        let t = insularity_table(&c, Layer::Dns);
+        let cdf = t.cdf();
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}

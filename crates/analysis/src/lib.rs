@@ -1,0 +1,53 @@
+//! # webdep-analysis
+//!
+//! Every analysis in *Formalizing Dependence of Web Infrastructure*,
+//! computed from a measured dataset:
+//!
+//! * [`ctx`] — the analysis context joining the measured dataset with the
+//!   world's entity metadata (names, HQ countries, TLD kinds).
+//! * [`centralization`] — per-country per-layer score tables (Tables 5–8,
+//!   Figures 5, 17–19), coverage (§5.1), and the global-top marker
+//!   (Figure 12).
+//! * [`classes`] — provider classification by usage and endemicity with
+//!   affinity propagation (Tables 1–3, Figure 6).
+//! * [`breakdown`] — per-country class share stacks (Figures 7, 14–16).
+//! * [`insularity`] — country self-sufficiency per layer (Figures 10, 11,
+//!   13, 20–22).
+//! * [`regional`] — continent dependence matrices and subregion summaries
+//!   (Figures 8, 9).
+//! * [`correlations`] — the paper's headline correlations (§5.2, §5.3.1,
+//!   Appendix B).
+//! * [`cases`] — the §5.3.3 case studies (CIS→Russia, France, Czechia,
+//!   Germany, Iran/Persian).
+//! * [`latency`] — the latency cost of dependence (an §8-inspired
+//!   extension over the netsim latency model).
+//! * [`longitudinal`] — the 2023→2025 comparison (§5.4).
+//! * [`vantage`] — the §3.4 vantage-point validation.
+//! * [`figures`] — data series for the remaining figures (1–4, 11, 12).
+//! * [`tld_appendix`] — the Appendix B TLD deep-dive (external ccTLD
+//!   adoption, insularity regimes).
+//! * [`report`] — markdown/JSON rendering.
+//! * [`experiments`] — the paper-vs-measured experiment suite backing
+//!   `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod cases;
+pub mod centralization;
+pub mod classes;
+pub mod correlations;
+pub mod ctx;
+pub mod experiments;
+pub mod figures;
+pub mod insularity;
+pub mod latency;
+pub mod longitudinal;
+pub mod regional;
+pub mod report;
+pub mod tld_appendix;
+pub mod vantage;
+
+pub use ctx::AnalysisCtx;
+pub use experiments::{ExperimentResult, ExperimentSuite};

@@ -1,0 +1,210 @@
+//! The 2023 → 2025 longitudinal comparison (§5.4).
+
+use crate::ctx::AnalysisCtx;
+use serde::Serialize;
+use std::collections::HashSet;
+use webdep_core::centralization::centralization_score;
+use webdep_stats::{jaccard_index, pearson, Correlation};
+use webdep_webgen::{Layer, COUNTRIES};
+
+/// Per-country longitudinal deltas.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CountryDelta {
+    /// Country code.
+    pub code: &'static str,
+    /// Hosting centralization in the old snapshot.
+    pub s_old: f64,
+    /// Hosting centralization in the new snapshot.
+    pub s_new: f64,
+    /// Cloudflare share delta in percentage points.
+    pub cloudflare_delta_pts: f64,
+    /// Jaccard index between the two toplists' domain sets.
+    pub jaccard: f64,
+    /// US-provider share delta in percentage points.
+    pub us_share_delta_pts: f64,
+}
+
+/// The full §5.4 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct LongitudinalReport {
+    /// Per-country rows.
+    pub deltas: Vec<CountryDelta>,
+    /// ρ between old and new scores (paper: 0.98).
+    pub score_correlation: Option<Correlation>,
+    /// Mean Cloudflare delta in points (paper: +3.8).
+    pub mean_cloudflare_delta_pts: f64,
+    /// Mean Jaccard (paper: ~0.37).
+    pub mean_jaccard: f64,
+    /// Countries whose US reliance decreased (paper: 56 of 150).
+    pub us_reliance_decreased: usize,
+}
+
+fn cloudflare_share(ctx: &AnalysisCtx<'_>, ci: usize) -> f64 {
+    ctx.world
+        .universe
+        .provider_by_name("Cloudflare")
+        .map(|cf| ctx.owner_share(ci, Layer::Hosting, cf))
+        .unwrap_or(0.0)
+}
+
+fn us_share(ctx: &AnalysisCtx<'_>, ci: usize) -> f64 {
+    let counts = ctx.country_counts(ci, Layer::Hosting);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&(o, _)| ctx.owner_country(Layer::Hosting, o) == Some("US"))
+        .map(|&(_, c)| c as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// Compares two measured snapshots (same country set).
+pub fn compare(old: &AnalysisCtx<'_>, new: &AnalysisCtx<'_>) -> LongitudinalReport {
+    let mut deltas = Vec::with_capacity(COUNTRIES.len());
+    for (ci, country) in COUNTRIES.iter().enumerate() {
+        let (Some(d_old), Some(d_new)) = (
+            old.country_dist(ci, Layer::Hosting),
+            new.country_dist(ci, Layer::Hosting),
+        ) else {
+            continue;
+        };
+        let domains_old: HashSet<&str> = old
+            .ds
+            .country_observations(ci)
+            .map(|o| o.domain.as_str())
+            .collect();
+        let domains_new: HashSet<&str> = new
+            .ds
+            .country_observations(ci)
+            .map(|o| o.domain.as_str())
+            .collect();
+        deltas.push(CountryDelta {
+            code: country.code,
+            s_old: centralization_score(&d_old),
+            s_new: centralization_score(&d_new),
+            cloudflare_delta_pts: 100.0
+                * (cloudflare_share(new, ci) - cloudflare_share(old, ci)),
+            jaccard: jaccard_index(&domains_old, &domains_new),
+            us_share_delta_pts: 100.0 * (us_share(new, ci) - us_share(old, ci)),
+        });
+    }
+    let olds: Vec<f64> = deltas.iter().map(|d| d.s_old).collect();
+    let news: Vec<f64> = deltas.iter().map(|d| d.s_new).collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    LongitudinalReport {
+        score_correlation: pearson(&olds, &news),
+        mean_cloudflare_delta_pts: mean(
+            &deltas
+                .iter()
+                .map(|d| d.cloudflare_delta_pts)
+                .collect::<Vec<_>>(),
+        ),
+        mean_jaccard: mean(&deltas.iter().map(|d| d.jaccard).collect::<Vec<_>>()),
+        us_reliance_decreased: deltas
+            .iter()
+            .filter(|d| d.us_share_delta_pts < 0.0)
+            .count(),
+        deltas,
+    }
+}
+
+impl LongitudinalReport {
+    /// Row by country code.
+    pub fn delta(&self, code: &str) -> Option<&CountryDelta> {
+        self.deltas.iter().find(|d| d.code == code)
+    }
+
+    /// The country with the largest centralization increase.
+    pub fn largest_increase(&self) -> Option<&CountryDelta> {
+        self.deltas.iter().max_by(|a, b| {
+            (a.s_new - a.s_old)
+                .partial_cmp(&(b.s_new - b.s_old))
+                .expect("finite")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::fixture;
+    use crate::AnalysisCtx;
+    use std::sync::OnceLock;
+    use webdep_pipeline::{measure, MeasuredDataset, PipelineConfig};
+    use webdep_webgen::evolve::evolve;
+    use webdep_webgen::{DeployConfig, DeployedWorld, World};
+
+    fn evolved() -> &'static (World, MeasuredDataset) {
+        static EVOLVED: OnceLock<(World, MeasuredDataset)> = OnceLock::new();
+        EVOLVED.get_or_init(|| {
+            let (world, _) = fixture();
+            let new_world = evolve(world);
+            let dep = DeployedWorld::deploy(&new_world, DeployConfig::default());
+            let ds = measure(&new_world, &dep, &PipelineConfig::default());
+            (new_world, ds)
+        })
+    }
+
+    fn report() -> LongitudinalReport {
+        let (old_world, old_ds) = fixture();
+        let (new_world, new_ds) = evolved();
+        compare(
+            &AnalysisCtx::new(old_world, old_ds),
+            &AnalysisCtx::new(new_world, new_ds),
+        )
+    }
+
+    #[test]
+    fn scores_stable_and_cloudflare_up() {
+        let r = report();
+        assert_eq!(r.deltas.len(), 150);
+        let rho = r.score_correlation.unwrap().rho;
+        assert!(rho > 0.9, "rho {rho}");
+        assert!(
+            (1.0..8.0).contains(&r.mean_cloudflare_delta_pts),
+            "mean CF delta {}",
+            r.mean_cloudflare_delta_pts
+        );
+    }
+
+    #[test]
+    fn brazil_and_turkmenistan_rise_russia_falls() {
+        let r = report();
+        assert!(r.delta("BR").unwrap().cloudflare_delta_pts > 5.0);
+        assert!(r.delta("TM").unwrap().cloudflare_delta_pts > 6.0);
+        assert!(r.delta("RU").unwrap().cloudflare_delta_pts <= 0.5);
+        assert!(r.delta("RU").unwrap().us_share_delta_pts < 0.0);
+    }
+
+    #[test]
+    fn jaccard_churn_in_range() {
+        let r = report();
+        assert!(
+            (0.25..0.55).contains(&r.mean_jaccard),
+            "mean jaccard {}",
+            r.mean_jaccard
+        );
+        for d in &r.deltas {
+            assert!(
+                d.jaccard > 0.05 && d.jaccard < 0.95,
+                "{}: {}",
+                d.code,
+                d.jaccard
+            );
+        }
+    }
+
+    #[test]
+    fn some_countries_reduce_us_reliance() {
+        let r = report();
+        assert!(
+            r.us_reliance_decreased > 10,
+            "US-reliance decreases: {}",
+            r.us_reliance_decreased
+        );
+        assert!(r.largest_increase().is_some());
+    }
+}

@@ -1,0 +1,156 @@
+//! Rendering: markdown tables for the terminal/README and JSON export for
+//! the data release (the paper publishes its dataset; `webdep` exports the
+//! regenerated equivalent).
+
+use crate::centralization::LayerTable;
+use crate::insularity::InsularityTable;
+use crate::regional::SubregionSummary;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders a layer table as markdown (top `head` + bottom `tail` rows).
+pub fn layer_table_markdown(t: &LayerTable, head: usize, tail: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {} centralization (mean {:.4}, var {:.5}, median country {})\n",
+        t.layer_name, t.summary.mean, t.summary.var, t.median_country
+    );
+    let _ = writeln!(out, "| rank | country | S | paper S | top share | providers |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    let render = |out: &mut String, r: &crate::centralization::CountryScore| {
+        let _ = writeln!(
+            out,
+            "| {} | {} ({}) | {:.4} | {:.4} | {:.1}% | {} |",
+            r.rank,
+            r.code,
+            r.continent,
+            r.s,
+            r.paper_s,
+            100.0 * r.top_share,
+            r.num_providers
+        );
+    };
+    for r in t.rows.iter().take(head) {
+        render(&mut out, r);
+    }
+    if t.rows.len() > head + tail {
+        let _ = writeln!(out, "| ... | | | | | |");
+    }
+    for r in t.rows.iter().skip(t.rows.len().saturating_sub(tail)) {
+        render(&mut out, r);
+    }
+    out
+}
+
+/// Renders an insularity table as markdown (top rows only).
+pub fn insularity_markdown(t: &InsularityTable, head: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} insularity\n", t.layer_name);
+    let _ = writeln!(out, "| rank | country | insularity | top dependence |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for r in t.rows.iter().take(head) {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1}% | {} ({:.1}%) |",
+            r.rank,
+            r.code,
+            100.0 * r.insularity,
+            r.top_dependence.0,
+            100.0 * r.top_dependence.1
+        );
+    }
+    out
+}
+
+/// Renders the subregion summary (Figures 9/10 as a table).
+pub fn subregion_markdown(rows: &[SubregionSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| subregion | n | S host | S dns | S ca | S tld | ins host | ins tld |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    let mut sorted: Vec<&SubregionSummary> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.mean_s[0].partial_cmp(&a.mean_s[0]).expect("finite"));
+    for s in sorted {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.4} | {:.4} | {:.4} | {:.4} | {:.1}% | {:.1}% |",
+            s.subregion,
+            s.countries,
+            s.mean_s[0],
+            s.mean_s[1],
+            s.mean_s[2],
+            s.mean_s[3],
+            100.0 * s.mean_insularity[0],
+            100.0 * s.mean_insularity[3]
+        );
+    }
+    out
+}
+
+/// Serializes any result to pretty JSON (the data-release format).
+pub fn to_json<T: Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+/// Writes a JSON export to `path`.
+pub fn write_json<T: Serialize>(value: &T, path: &std::path::Path) -> std::io::Result<()> {
+    let json = to_json(value).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralization::layer_table;
+    use crate::ctx::testutil::ctx;
+    use crate::insularity::insularity_table;
+    use crate::regional::subregion_summary;
+    use webdep_webgen::Layer;
+
+    #[test]
+    fn markdown_renders_head_and_tail() {
+        let c = ctx();
+        let t = layer_table(&c, Layer::Hosting);
+        let md = layer_table_markdown(&t, 3, 2);
+        assert!(md.contains("| 1 |"));
+        assert!(md.contains("| 150 |"));
+        assert!(md.contains("..."));
+        assert!(md.lines().count() < 12);
+    }
+
+    #[test]
+    fn insularity_markdown_renders() {
+        let c = ctx();
+        let t = insularity_table(&c, Layer::Hosting);
+        let md = insularity_markdown(&t, 5);
+        assert!(md.contains("US"));
+        assert!(md.contains("%"));
+    }
+
+    #[test]
+    fn subregion_markdown_renders_sorted() {
+        let c = ctx();
+        let rows = subregion_summary(&c);
+        let md = subregion_markdown(&rows);
+        assert!(md.contains("South-eastern Asia"));
+        // The first data row is the most centralized subregion.
+        let first_data = md.lines().nth(2).unwrap();
+        assert!(
+            first_data.contains("Asia") || first_data.contains("Africa"),
+            "{first_data}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let c = ctx();
+        let t = layer_table(&c, Layer::Ca);
+        let json = to_json(&t).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 150);
+        assert_eq!(parsed["layer_name"], "ca");
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the head-share formula (how sensitive is calibration accuracy to the
+//!   anchor?);
+//! * the two-regime tail (Zipf body + 1-site thin tail) vs what a pure
+//!   Zipf would do to the §5.1 coverage bound;
+//! * affinity propagation vs k-means for provider classes (timing lives in
+//!   `metrics.rs`; here the *outcome* difference is printed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webdep_core::centralization::centralization_score_counts;
+use webdep_core::dist::CountDist;
+use webdep_webgen::calibrate::solve_counts;
+use webdep_webgen::depmap::head_share_for_score;
+
+fn head_share_sensitivity(c: &mut Criterion) {
+    // Perturb the head anchor by ±30% and report the calibration error:
+    // the solver's tail bisecition absorbs most of the perturbation, which
+    // is why approximate head anchors suffice.
+    let target = 0.1358; // the US hosting score
+    for scale in [0.7, 0.85, 1.0, 1.15, 1.3] {
+        let head = (head_share_for_score(target) * scale).min(0.9);
+        let counts = solve_counts(target, 10_000, 420, head);
+        let achieved = centralization_score_counts(&counts).unwrap();
+        eprintln!(
+            "ablation head_share x{scale}: head {head:.3} -> achieved {achieved:.4} (target {target})"
+        );
+    }
+    let mut g = c.benchmark_group("ablation_head_share");
+    for scale in [0.7f64, 1.0, 1.3] {
+        let head = (head_share_for_score(target) * scale).min(0.9);
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &head, |b, &h| {
+            b.iter(|| black_box(solve_counts(target, 10_000, 420, h)))
+        });
+    }
+    g.finish();
+}
+
+fn tail_regime_coverage(c: &mut Criterion) {
+    // The §5.1 bound (90% of sites on <206 providers) is what the
+    // two-regime tail buys. Compare coverage across pool sizes.
+    for pool in [200usize, 420, 800] {
+        let counts = solve_counts(0.0411, 10_000, pool, 0.14); // Iran-like
+        let dist = CountDist::from_counts(counts).unwrap();
+        eprintln!(
+            "ablation tail pool={pool}: providers {} coverage90 {}",
+            dist.num_providers(),
+            dist.providers_to_cover(0.90)
+        );
+    }
+    let mut g = c.benchmark_group("ablation_tail_regime");
+    g.bench_function("solve_iran_like_pool_800", |b| {
+        b.iter(|| black_box(solve_counts(0.0411, 10_000, 800, 0.14)))
+    });
+    g.finish();
+}
+
+fn clustering_outcomes(c: &mut Criterion) {
+    use webdep_stats::affinity::{affinity_propagation, AffinityConfig};
+    use webdep_stats::kmeans::kmeans;
+    // A provider-like feature cloud: a few big globals, a band of mediums,
+    // a regional wall at high endemicity.
+    let mut pts: Vec<Vec<f64>> = Vec::new();
+    for i in 0..3 {
+        pts.push(vec![1.0 - 0.05 * i as f64, 0.1 + 0.02 * i as f64]);
+    }
+    for i in 0..25 {
+        pts.push(vec![0.25 + 0.004 * i as f64, 0.2 + 0.01 * (i % 5) as f64]);
+    }
+    for i in 0..120 {
+        pts.push(vec![0.01 + 0.0005 * i as f64, 0.9 + 0.0008 * i as f64]);
+    }
+    let ap = affinity_propagation(&pts, &AffinityConfig::default()).unwrap();
+    let km = kmeans(&pts, ap.num_clusters(), 42, 100).unwrap();
+    eprintln!(
+        "ablation clustering: AP found {} clusters (converged {}), k-means inertia at same k: {:.4}",
+        ap.num_clusters(),
+        ap.converged,
+        km.inertia
+    );
+    let mut g = c.benchmark_group("ablation_clustering_outcome");
+    g.sample_size(10);
+    g.bench_function("ap_provider_cloud", |b| {
+        b.iter(|| black_box(affinity_propagation(&pts, &AffinityConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    head_share_sensitivity,
+    tail_regime_coverage,
+    clustering_outcomes
+);
+criterion_main!(benches);

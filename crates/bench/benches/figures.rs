@@ -1,0 +1,237 @@
+//! One bench per paper figure: each group regenerates the figure's data
+//! series from the measured fixture and prints the headline rows once, so
+//! a bench run doubles as a figure-regeneration harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webdep_analysis::breakdown::{ca_breakdown, provider_breakdown, tld_breakdown};
+use webdep_analysis::centralization::layer_table;
+use webdep_analysis::classes::classify;
+use webdep_analysis::figures::{
+    fig1_topn_shortcoming, fig12_histograms, fig2_emd_example, fig3_example_curves,
+    fig4_usage_endemicity,
+};
+use webdep_analysis::insularity::insularity_table;
+use webdep_analysis::regional::{continent_matrix, subregion_summary, Attribution};
+use webdep_bench::ctx;
+use webdep_webgen::Layer;
+
+fn fig01(c: &mut Criterion) {
+    let ctx = ctx();
+    let f = fig1_topn_shortcoming(&ctx);
+    for (code, _, top5, s) in &f.curves {
+        eprintln!("fig01 {code}: top5 {:.2}, S {:.4}", top5, s);
+    }
+    c.bench_function("fig01_topn_shortcoming", |b| {
+        b.iter(|| black_box(fig1_topn_shortcoming(&ctx)))
+    });
+}
+
+fn fig02(c: &mut Criterion) {
+    let f = fig2_emd_example();
+    eprintln!(
+        "fig02 A: S={:.4} (paper 0.28); B: S={:.4} (paper 0.32)",
+        f.country_a.1, f.country_b.1
+    );
+    c.bench_function("fig02_emd_example", |b| b.iter(|| black_box(fig2_emd_example())));
+}
+
+fn fig03(c: &mut Criterion) {
+    let f = fig3_example_curves(10_000);
+    for (target, achieved, cum) in &f.curves {
+        eprintln!(
+            "fig03 target {target}: achieved {achieved:.4} over {} providers",
+            cum.len()
+        );
+    }
+    let mut g = c.benchmark_group("fig03_example_s_values");
+    g.sample_size(10);
+    g.bench_function("generate", |b| b.iter(|| black_box(fig3_example_curves(10_000))));
+    g.finish();
+}
+
+fn fig04(c: &mut Criterion) {
+    let ctx = ctx();
+    let f = fig4_usage_endemicity(&ctx, "Cloudflare", "Beget");
+    for row in &f {
+        eprintln!(
+            "fig04 {}: U={:.1} E={:.1} E_R={:.3}",
+            row.name, row.usage, row.endemicity, row.endemicity_ratio
+        );
+    }
+    c.bench_function("fig04_usage_endemicity", |b| {
+        b.iter(|| black_box(fig4_usage_endemicity(&ctx, "Cloudflare", "Beget")))
+    });
+}
+
+fn fig05(c: &mut Criterion) {
+    let ctx = ctx();
+    let t = layer_table(&ctx, Layer::Hosting);
+    eprintln!(
+        "fig05 hosting: most {} {:.4} | median {} | least {} {:.4}",
+        t.rows[0].code,
+        t.rows[0].s,
+        t.median_country,
+        t.rows.last().unwrap().code,
+        t.rows.last().unwrap().s
+    );
+    let mut g = c.benchmark_group("fig05_hosting_scores");
+    g.sample_size(10);
+    g.bench_function("layer_table", |b| {
+        b.iter(|| black_box(layer_table(&ctx, Layer::Hosting)))
+    });
+    g.finish();
+}
+
+fn fig06(c: &mut Criterion) {
+    let ctx = ctx();
+    let cls = classify(&ctx, Layer::Hosting);
+    eprintln!(
+        "fig06 hosting classes: {} clusters, counts {:?}",
+        cls.num_clusters, cls.class_counts
+    );
+    let mut g = c.benchmark_group("fig06_provider_classes");
+    g.sample_size(10);
+    g.bench_function("classify_hosting", |b| {
+        b.iter(|| black_box(classify(&ctx, Layer::Hosting)))
+    });
+    g.finish();
+}
+
+fn fig07_14_15_16(c: &mut Criterion) {
+    let ctx = ctx();
+    let host_classes = classify(&ctx, Layer::Hosting);
+    let dns_classes = classify(&ctx, Layer::Dns);
+    let ca_classes = classify(&ctx, Layer::Ca);
+    let b7 = provider_breakdown(&ctx, Layer::Hosting, &host_classes);
+    eprintln!(
+        "fig07 head country {} Cloudflare {:.0}%",
+        b7.stacks[0].code,
+        100.0 * b7.stacks[0].shares[0]
+    );
+    let mut g = c.benchmark_group("fig07_14_15_16_breakdowns");
+    g.sample_size(10);
+    g.bench_function("fig07_hosting", |b| {
+        b.iter(|| black_box(provider_breakdown(&ctx, Layer::Hosting, &host_classes)))
+    });
+    g.bench_function("fig14_dns", |b| {
+        b.iter(|| black_box(provider_breakdown(&ctx, Layer::Dns, &dns_classes)))
+    });
+    g.bench_function("fig15_ca", |b| {
+        b.iter(|| black_box(ca_breakdown(&ctx, &ca_classes)))
+    });
+    g.bench_function("fig16_tld", |b| b.iter(|| black_box(tld_breakdown(&ctx))));
+    g.finish();
+}
+
+fn fig08(c: &mut Criterion) {
+    let ctx = ctx();
+    for attr in [Attribution::HostingHq, Attribution::IpGeo, Attribution::NsGeo] {
+        let m = continent_matrix(&ctx, attr);
+        eprintln!("fig08 {attr:?} row AF: {:?}", m.share[3].iter().map(|v| (v * 100.0).round()).collect::<Vec<_>>());
+    }
+    let mut g = c.benchmark_group("fig08_continent_matrices");
+    g.sample_size(10);
+    g.bench_function("all_three", |b| {
+        b.iter(|| {
+            black_box((
+                continent_matrix(&ctx, Attribution::HostingHq),
+                continent_matrix(&ctx, Attribution::IpGeo),
+                continent_matrix(&ctx, Attribution::NsGeo),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig09_10(c: &mut Criterion) {
+    let ctx = ctx();
+    let rows = subregion_summary(&ctx);
+    let top = rows
+        .iter()
+        .max_by(|a, b| a.mean_s[0].partial_cmp(&b.mean_s[0]).unwrap())
+        .unwrap();
+    eprintln!(
+        "fig09 most centralized subregion (hosting): {} {:.4}",
+        top.subregion, top.mean_s[0]
+    );
+    let mut g = c.benchmark_group("fig09_10_layer_subregion");
+    g.sample_size(10);
+    g.bench_function("subregion_summary", |b| {
+        b.iter(|| black_box(subregion_summary(&ctx)))
+    });
+    g.finish();
+}
+
+fn fig11_13_20_22(c: &mut Criterion) {
+    let ctx = ctx();
+    for layer in Layer::ALL {
+        let t = insularity_table(&ctx, layer);
+        eprintln!(
+            "fig20-22 {}: most insular {} {:.1}%",
+            layer.name(),
+            t.rows[0].code,
+            100.0 * t.rows[0].insularity
+        );
+    }
+    let mut g = c.benchmark_group("fig11_13_20_22_insularity");
+    g.sample_size(10);
+    g.bench_function("all_layers_with_cdf", |b| {
+        b.iter(|| {
+            for layer in Layer::ALL {
+                let t = insularity_table(&ctx, layer);
+                black_box(t.cdf());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn fig12(c: &mut Criterion) {
+    let ctx = ctx();
+    let f = fig12_histograms(&ctx);
+    for (name, hist, marker) in &f.layers {
+        eprintln!(
+            "fig12 {name}: {} countries binned, global marker {:?}",
+            hist.total(),
+            marker.map(|m| (m * 1000.0).round() / 1000.0)
+        );
+    }
+    let mut g = c.benchmark_group("fig12_s_histograms");
+    g.sample_size(10);
+    g.bench_function("histograms", |b| b.iter(|| black_box(fig12_histograms(&ctx))));
+    g.finish();
+}
+
+fn fig17_19(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig17_19_sorted_curves");
+    g.sample_size(10);
+    g.bench_function("dns_ca_tld_tables", |b| {
+        b.iter(|| {
+            black_box((
+                layer_table(&ctx, Layer::Dns),
+                layer_table(&ctx, Layer::Ca),
+                layer_table(&ctx, Layer::Tld),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07_14_15_16,
+    fig08,
+    fig09_10,
+    fig11_13_20_22,
+    fig12,
+    fig17_19
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Micro-benchmarks for the metric suite (`appA_emd_equivalence` plus the
+//! scoring/statistics primitives every experiment depends on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webdep_core::centralization::centralization_score;
+use webdep_core::dist::CountDist;
+use webdep_core::emd::emd_to_decentralized_via_transport;
+use webdep_core::regionalization::UsageCurve;
+use webdep_core::topn::top_n_share;
+use webdep_stats::affinity::{affinity_propagation, AffinityConfig};
+use webdep_stats::kmeans::kmeans;
+use webdep_stats::{pearson, spearman};
+use webdep_webgen::calibrate::solve_counts;
+
+fn zipf_counts(n: usize, exponent: f64, scale: f64) -> Vec<u64> {
+    (1..=n)
+        .map(|i| ((scale / (i as f64).powf(exponent)).ceil()) as u64)
+        .collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("centralization_score");
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        let dist = CountDist::from_counts(zipf_counts(n, 1.1, 50_000.0)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &dist, |b, d| {
+            b.iter(|| black_box(centralization_score(d)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("topn_baseline");
+    let dist = CountDist::from_counts(zipf_counts(1_000, 1.1, 50_000.0)).unwrap();
+    g.bench_function("top_10_share", |b| {
+        b.iter(|| black_box(top_n_share(&dist, 10)))
+    });
+    g.finish();
+}
+
+fn bench_emd_solver(c: &mut Criterion) {
+    // Appendix A: closed form vs the exact transportation solver.
+    let mut g = c.benchmark_group("appA_emd_equivalence");
+    g.sample_size(10);
+    for &n in &[20u64, 60, 120] {
+        let dist = CountDist::from_counts(zipf_counts(6, 1.0, n as f64 / 2.0)).unwrap();
+        eprintln!(
+            "appA check C={} closed={:.6} transport={:.6}",
+            dist.total(),
+            centralization_score(&dist),
+            emd_to_decentralized_via_transport(&dist).unwrap()
+        );
+        g.bench_with_input(BenchmarkId::new("transport", n), &dist, |b, d| {
+            b.iter(|| black_box(emd_to_decentralized_via_transport(d).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    for &pool in &[100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("solve_counts", pool), &pool, |b, &p| {
+            b.iter(|| black_box(solve_counts(0.15, 10_000, p, 0.3)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..150).map(|i| (i as f64 * 0.7).sin()).collect();
+    let ys: Vec<f64> = (0..150)
+        .map(|i| (i as f64 * 0.7).sin() + 0.1 * (i as f64).cos())
+        .collect();
+    let mut g = c.benchmark_group("correlation");
+    g.bench_function("pearson_150", |b| b.iter(|| black_box(pearson(&xs, &ys))));
+    g.bench_function("spearman_150", |b| b.iter(|| black_box(spearman(&xs, &ys))));
+    g.finish();
+
+    let curve_data: Vec<f64> = (0..150).map(|i| 60.0 / (1.0 + i as f64)).collect();
+    let mut g = c.benchmark_group("regionalization");
+    g.bench_function("usage_curve_150", |b| {
+        b.iter(|| {
+            let c = UsageCurve::new(curve_data.clone());
+            black_box((c.usage(), c.endemicity_ratio()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // Provider-classification workloads (Figure 6 ablation: affinity
+    // propagation vs the k-means baseline).
+    let points: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            let cluster = i % 4;
+            vec![
+                cluster as f64 * 0.25 + 0.01 * ((i * 37 % 11) as f64),
+                (3 - cluster) as f64 * 0.25 + 0.01 * ((i * 53 % 7) as f64),
+            ]
+        })
+        .collect();
+    let mut g = c.benchmark_group("fig06_clustering_ablation");
+    g.sample_size(10);
+    g.bench_function("affinity_propagation_200", |b| {
+        b.iter(|| black_box(affinity_propagation(&points, &AffinityConfig::default())))
+    });
+    g.bench_function("kmeans_200_k8", |b| {
+        b.iter(|| black_box(kmeans(&points, 8, 42, 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scoring,
+    bench_emd_solver,
+    bench_calibration,
+    bench_statistics,
+    bench_clustering
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! End-to-end benches: world generation, deployment, measurement, the
+//! §5.4 longitudinal run, and the §3.4 vantage validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webdep_analysis::longitudinal::compare;
+use webdep_analysis::vantage::validate_vantage;
+use webdep_analysis::AnalysisCtx;
+use webdep_bench::{ctx, fixture};
+use webdep_pipeline::{measure, PipelineConfig};
+use webdep_webgen::evolve::evolve;
+use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
+
+fn world_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_generation");
+    g.sample_size(10);
+    g.bench_function("tiny_150_countries", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::tiny())))
+    });
+    g.finish();
+}
+
+fn deployment(c: &mut Criterion) {
+    let (world, _) = fixture();
+    let mut g = c.benchmark_group("deployment");
+    g.sample_size(10);
+    g.bench_function("deploy_tiny", |b| {
+        b.iter(|| black_box(DeployedWorld::deploy(world, DeployConfig::default())))
+    });
+    g.finish();
+}
+
+fn measurement(c: &mut Criterion) {
+    let (world, _) = fixture();
+    let dep = DeployedWorld::deploy(world, DeployConfig::default());
+    let mut g = c.benchmark_group("measurement");
+    g.sample_size(10);
+    g.bench_function("measure_tiny_8_workers", |b| {
+        b.iter(|| {
+            black_box(measure(
+                world,
+                &dep,
+                &PipelineConfig {
+                    workers: 8,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn sec54_longitudinal(c: &mut Criterion) {
+    let (world, ds) = fixture();
+    let world25 = evolve(world);
+    let dep25 = DeployedWorld::deploy(&world25, DeployConfig::default());
+    let ds25 = measure(&world25, &dep25, &PipelineConfig::default());
+    let old_ctx = AnalysisCtx::new(world, ds);
+    let new_ctx = AnalysisCtx::new(&world25, &ds25);
+    let rep = compare(&old_ctx, &new_ctx);
+    eprintln!(
+        "sec54: rho {:.3} (paper 0.98) | CF {:+.1} pts (+3.8) | Jaccard {:.2} (~0.37)",
+        rep.score_correlation.map(|c| c.rho).unwrap_or(f64::NAN),
+        rep.mean_cloudflare_delta_pts,
+        rep.mean_jaccard
+    );
+    let mut g = c.benchmark_group("sec54_longitudinal");
+    g.sample_size(10);
+    g.bench_function("evolve", |b| b.iter(|| black_box(evolve(world))));
+    g.bench_function("compare", |b| {
+        b.iter(|| black_box(compare(&old_ctx, &new_ctx)))
+    });
+    g.finish();
+}
+
+fn sec34_vantage(c: &mut Criterion) {
+    let (world, _) = fixture();
+    let ctx = ctx();
+    let dep = DeployedWorld::deploy(world, DeployConfig::default());
+    let v = validate_vantage(&ctx, &dep, 40, 15);
+    eprintln!(
+        "sec34: rho {:.3} over {} countries (paper 0.96)",
+        v.correlation.map(|c| c.rho).unwrap_or(f64::NAN),
+        v.scores.len()
+    );
+    let mut g = c.benchmark_group("sec34_vantage_validation");
+    g.sample_size(10);
+    g.bench_function("validate_10_countries", |b| {
+        b.iter(|| black_box(validate_vantage(&ctx, &dep, 40, 15)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    world_generation,
+    deployment,
+    measurement,
+    sec54_longitudinal,
+    sec34_vantage
+);
+criterion_main!(benches);

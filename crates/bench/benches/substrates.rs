@@ -1,0 +1,158 @@
+//! Substrate benches: DNS wire codec, iterative resolution, TLS
+//! handshakes, and the enrichment-database lookups that run once per
+//! measured site.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use webdep_dns::resolver::{IterativeResolver, ResolverConfig};
+use webdep_dns::server::AuthServer;
+use webdep_dns::wire::{decode, encode, Message, Record, RecordData, RecordType};
+use webdep_dns::zone::Zone;
+use webdep_dns::DomainName;
+use webdep_geodb::PrefixTable;
+use webdep_netsim::{NetConfig, Network, Prefix, Region};
+use webdep_tls::cert::{CertStore, Certificate, CertificateChain};
+use webdep_tls::scanner::{Scanner, ScannerConfig};
+use webdep_tls::server::TlsServer;
+
+fn n(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+fn dns_wire(c: &mut Criterion) {
+    let mut msg = Message::query(7, n("www.example.com"), RecordType::A);
+    let mut resp = Message::response_to(&msg);
+    for i in 0..8u8 {
+        resp.answers.push(Record {
+            name: n("www.example.com"),
+            ttl: 300,
+            data: RecordData::A(Ipv4Addr::new(192, 0, 2, i)),
+        });
+    }
+    msg.recursion_desired = true;
+    let encoded = encode(&resp);
+    let mut g = c.benchmark_group("dns_wire");
+    g.bench_function("encode_8_answers", |b| b.iter(|| black_box(encode(&resp))));
+    g.bench_function("decode_8_answers", |b| {
+        b.iter(|| black_box(decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn dns_resolution(c: &mut Criterion) {
+    // A one-level world: root delegating example.com with glue.
+    let net = Network::new(NetConfig::default());
+    let root_ip = ip("198.41.0.4");
+    let auth_ip = ip("203.0.113.53");
+    let mut root = Zone::new(DomainName::root());
+    root.delegate(n("com"), &[n("a.gtld.net")], &[(n("a.gtld.net"), auth_ip)]);
+    let mut com = Zone::new(n("com"));
+    com.delegate(
+        n("example.com"),
+        &[n("ns1.example.com")],
+        &[(n("ns1.example.com"), auth_ip)],
+    );
+    let mut example = Zone::new(n("example.com"));
+    for i in 0..200u32 {
+        example.add_a(
+            n(&format!("host{i}.example.com")),
+            Ipv4Addr::new(203, 0, 114, (i % 250) as u8),
+        );
+    }
+    let _root_server = AuthServer::spawn(
+        net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+        vec![Arc::new(root)],
+    );
+    let _auth_server = AuthServer::spawn(
+        net.bind(auth_ip, 53, Region::NORTH_AMERICA).unwrap(),
+        vec![Arc::new(com), Arc::new(example)],
+    );
+
+    let mut g = c.benchmark_group("dns_resolution");
+    g.sample_size(20);
+    let ep = net.bind(ip("10.0.0.9"), 5353, Region::NORTH_AMERICA).unwrap();
+    let mut resolver = IterativeResolver::new(ep, vec![root_ip], ResolverConfig::default());
+    // Warm the delegation cache once, then measure cached resolution.
+    resolver.resolve_a(&n("host0.example.com")).unwrap();
+    let mut i = 0u32;
+    g.bench_function("cached_delegation_resolve", |b| {
+        b.iter(|| {
+            i = (i + 1) % 200;
+            black_box(resolver.resolve_a(&n(&format!("host{i}.example.com"))).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn tls_scan(c: &mut Criterion) {
+    let net = Network::new(NetConfig::default());
+    let server_ip = ip("203.0.113.1");
+    let root = Certificate {
+        serial: 1,
+        subject: "Bench Root".into(),
+        san: vec![],
+        issuer_id: 1,
+        issuer_name: "Bench Root".into(),
+        not_before: 0,
+        not_after: u64::MAX,
+        is_ca: true,
+    };
+    let mut store = CertStore::new();
+    for i in 0..64 {
+        store.install(CertificateChain {
+            certs: vec![
+                Certificate {
+                    serial: 100 + i,
+                    subject: format!("site{i}.example"),
+                    san: vec![],
+                    issuer_id: 1,
+                    issuer_name: "Bench Root".into(),
+                    not_before: 0,
+                    not_after: u64::MAX,
+                    is_ca: false,
+                },
+                root.clone(),
+            ],
+        });
+    }
+    let _server = TlsServer::spawn(
+        net.bind(server_ip, 443, Region::EUROPE).unwrap(),
+        Arc::new(store),
+    );
+    let ep = net.bind(ip("10.0.0.9"), 5001, Region::EUROPE).unwrap();
+    let mut scanner = Scanner::new(ep, ScannerConfig::default());
+    let mut g = c.benchmark_group("tls_scan");
+    g.sample_size(20);
+    let mut i = 0u32;
+    g.bench_function("handshake_roundtrip", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(scanner.scan(server_ip, &format!("site{i}.example")).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn enrichment_lookups(c: &mut Criterion) {
+    // pfx2as at a realistic scale: ~30k prefixes.
+    let mut table = PrefixTable::new();
+    for i in 0..30_000u32 {
+        let base = Ipv4Addr::from(0x3C00_0000u32 + (i << 12));
+        table.insert(Prefix::new(base, 20).unwrap(), 1000 + i);
+    }
+    let probe = Ipv4Addr::from(0x3C00_0000u32 + (17_123 << 12) + 99);
+    let mut g = c.benchmark_group("enrichment");
+    g.bench_function("pfx2as_lookup_30k", |b| {
+        b.iter(|| black_box(table.lookup(probe)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dns_wire, dns_resolution, tls_scan, enrichment_lookups);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! One bench per paper table: Tables 1–3 (provider/CA classes) and
+//! Tables 5–8 (per-country scores per layer), each printing its headline
+//! rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webdep_analysis::centralization::layer_table;
+use webdep_analysis::classes::classify;
+use webdep_analysis::correlations::class_correlations;
+use webdep_bench::ctx;
+use webdep_webgen::Layer;
+
+fn tab01_02_03_classes(c: &mut Criterion) {
+    let ctx = ctx();
+    for (tab, layer) in [(1, Layer::Hosting), (2, Layer::Dns), (3, Layer::Ca)] {
+        let cls = classify(&ctx, layer);
+        eprintln!("tab{tab:02} {} classes: {:?}", layer.name(), cls.class_counts);
+    }
+    let mut g = c.benchmark_group("tab01_02_03_classes");
+    g.sample_size(10);
+    for (name, layer) in [("hosting", Layer::Hosting), ("dns", Layer::Dns), ("ca", Layer::Ca)] {
+        g.bench_function(name, |b| b.iter(|| black_box(classify(&ctx, layer))));
+    }
+    g.finish();
+}
+
+fn tab05_08_scores(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("tab05_08_scores");
+    g.sample_size(10);
+    for layer in Layer::ALL {
+        let t = layer_table(&ctx, layer);
+        let rho = t.paper_correlation().map(|c| c.rho).unwrap_or(f64::NAN);
+        eprintln!(
+            "tab{:02} {}: #1 {} {:.4} ... #150 {} {:.4} | mean {:.4} | rho vs paper {:.3}",
+            5 + layer.index(),
+            layer.name(),
+            t.rows[0].code,
+            t.rows[0].s,
+            t.rows.last().unwrap().code,
+            t.rows.last().unwrap().s,
+            t.summary.mean,
+            rho
+        );
+        g.bench_function(layer.name(), |b| {
+            b.iter(|| black_box(layer_table(&ctx, layer)))
+        });
+    }
+    g.finish();
+}
+
+fn sec52_correlations(c: &mut Criterion) {
+    let ctx = ctx();
+    let cls = classify(&ctx, Layer::Hosting);
+    let corr = class_correlations(&ctx, Layer::Hosting, &cls);
+    eprintln!(
+        "sec52: S~XL {:.2} (paper 0.90) | S~L-GP {:.2} (0.19) | S~L-RP {:.2} (-0.72) | S~ins {:.2} (-0.61)",
+        corr.s_vs_xlgp.map(|c| c.rho).unwrap_or(f64::NAN),
+        corr.s_vs_lgp.map(|c| c.rho).unwrap_or(f64::NAN),
+        corr.s_vs_lrp.map(|c| c.rho).unwrap_or(f64::NAN),
+        corr.s_vs_insularity.map(|c| c.rho).unwrap_or(f64::NAN),
+    );
+    let mut g = c.benchmark_group("sec52_class_correlations");
+    g.sample_size(10);
+    g.bench_function("all_four", |b| {
+        b.iter(|| black_box(class_correlations(&ctx, Layer::Hosting, &cls)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tab01_02_03_classes, tab05_08_scores, sec52_correlations);
+criterion_main!(benches);

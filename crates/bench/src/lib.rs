@@ -1,0 +1,27 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! The figure/table benches all need a measured world; building one per
+//! bench would dominate the run, so a tiny world is generated, deployed,
+//! and measured once per process.
+
+use std::sync::OnceLock;
+use webdep_analysis::AnalysisCtx;
+use webdep_pipeline::{measure, MeasuredDataset, PipelineConfig};
+use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
+
+/// The shared (world, dataset) fixture at tiny scale.
+pub fn fixture() -> &'static (World, MeasuredDataset) {
+    static FIXTURE: OnceLock<(World, MeasuredDataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+        let ds = measure(&world, &dep, &PipelineConfig::default());
+        (world, ds)
+    })
+}
+
+/// Analysis context over the shared fixture.
+pub fn ctx() -> AnalysisCtx<'static> {
+    let (world, ds) = fixture();
+    AnalysisCtx::new(world, ds)
+}

@@ -1,0 +1,195 @@
+//! Observed dependency distributions.
+//!
+//! A [`CountDist`] holds the number of websites assigned to each provider
+//! (or CA, TLD, ...). All metric functions in this crate consume it. Counts
+//! are kept sorted in nonincreasing order, matching the paper's convention
+//! of writing a distribution as a nonincreasing sequence `(a_1, ..., a_n)`.
+
+use crate::error::MetricError;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of websites over providers, stored as per-provider counts
+/// sorted in nonincreasing order.
+///
+/// The zero-count tail is dropped at construction: a provider with no
+/// websites contributes nothing to any metric in this crate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountDist {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountDist {
+    /// Builds a distribution from raw counts (any order; zeros are dropped).
+    ///
+    /// Returns [`MetricError::EmptyDistribution`] if no count is positive.
+    pub fn from_counts(mut counts: Vec<u64>) -> Result<Self, MetricError> {
+        counts.retain(|&c| c > 0);
+        if counts.is_empty() {
+            return Err(MetricError::EmptyDistribution);
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total = counts.iter().sum();
+        Ok(CountDist { counts, total })
+    }
+
+    /// Builds a distribution by tallying one provider label per website.
+    ///
+    /// This is the common entry point when walking a measurement dataset:
+    /// pass the provider id observed for each website.
+    pub fn from_labels<I, T>(labels: I) -> Result<Self, MetricError>
+    where
+        I: IntoIterator<Item = T>,
+        T: std::hash::Hash + Eq,
+    {
+        let mut tally: std::collections::HashMap<T, u64> = std::collections::HashMap::new();
+        for l in labels {
+            *tally.entry(l).or_insert(0) += 1;
+        }
+        Self::from_counts(tally.into_values().collect())
+    }
+
+    /// Counts per provider, nonincreasing.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of websites `C`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct providers with at least one website.
+    pub fn num_providers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Market share of each provider (`a_i / C`), nonincreasing.
+    pub fn shares(&self) -> Vec<f64> {
+        let c = self.total as f64;
+        self.counts.iter().map(|&a| a as f64 / c).collect()
+    }
+
+    /// Share of the single largest provider.
+    pub fn top_share(&self) -> f64 {
+        self.counts[0] as f64 / self.total as f64
+    }
+
+    /// Smallest number of providers whose combined share reaches `fraction`
+    /// of all websites (e.g. `0.90` for the paper's "90% of websites are
+    /// hosted by fewer than 206 providers" observation).
+    ///
+    /// `fraction` is clamped to `[0, 1]`.
+    pub fn providers_to_cover(&self, fraction: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let want = (fraction * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &a) in self.counts.iter().enumerate() {
+            acc += a;
+            if acc >= want {
+                return i + 1;
+            }
+        }
+        self.counts.len()
+    }
+
+    /// Cumulative share curve: element `k` is the combined share of the top
+    /// `k + 1` providers. Monotonically nondecreasing, last element `1.0`.
+    pub fn cumulative_shares(&self) -> Vec<f64> {
+        let c = self.total as f64;
+        let mut acc = 0.0;
+        self.counts
+            .iter()
+            .map(|&a| {
+                acc += a as f64;
+                acc / c
+            })
+            .collect()
+    }
+
+    /// Merges another distribution into this one provider-by-provider is
+    /// meaningless without identities, so merging concatenates the count
+    /// multisets. Useful to pool several countries into a region.
+    pub fn pooled(&self, other: &CountDist) -> CountDist {
+        let mut counts = self.counts.clone();
+        counts.extend_from_slice(&other.counts);
+        // Both inputs were valid, so the pool is non-empty.
+        CountDist::from_counts(counts).expect("pooled distribution is non-empty")
+    }
+}
+
+impl TryFrom<Vec<u64>> for CountDist {
+    type Error = MetricError;
+
+    fn try_from(v: Vec<u64>) -> Result<Self, Self::Error> {
+        CountDist::from_counts(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_drops_zeros() {
+        let d = CountDist::from_counts(vec![0, 3, 7, 0, 1]).unwrap();
+        assert_eq!(d.counts(), &[7, 3, 1]);
+        assert_eq!(d.total(), 11);
+        assert_eq!(d.num_providers(), 3);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert_eq!(
+            CountDist::from_counts(vec![]),
+            Err(MetricError::EmptyDistribution)
+        );
+        assert_eq!(
+            CountDist::from_counts(vec![0, 0]),
+            Err(MetricError::EmptyDistribution)
+        );
+    }
+
+    #[test]
+    fn from_labels_tallies() {
+        let d = CountDist::from_labels(["cf", "cf", "aws", "cf", "ovh"]).unwrap();
+        assert_eq!(d.counts(), &[3, 1, 1]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let d = CountDist::from_counts(vec![5, 3, 2]).unwrap();
+        let s: f64 = d.shares().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((d.top_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn providers_to_cover_boundaries() {
+        let d = CountDist::from_counts(vec![60, 20, 10, 5, 5]).unwrap();
+        assert_eq!(d.providers_to_cover(0.0), 1);
+        assert_eq!(d.providers_to_cover(0.6), 1);
+        assert_eq!(d.providers_to_cover(0.61), 2);
+        assert_eq!(d.providers_to_cover(1.0), 5);
+        // Out-of-range fractions clamp.
+        assert_eq!(d.providers_to_cover(2.0), 5);
+        assert_eq!(d.providers_to_cover(-1.0), 1);
+    }
+
+    #[test]
+    fn cumulative_monotone() {
+        let d = CountDist::from_counts(vec![4, 3, 2, 1]).unwrap();
+        let cum = d.cumulative_shares();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_combines_mass() {
+        let a = CountDist::from_counts(vec![5, 1]).unwrap();
+        let b = CountDist::from_counts(vec![3]).unwrap();
+        let p = a.pooled(&b);
+        assert_eq!(p.total(), 9);
+        assert_eq!(p.counts(), &[5, 3, 1]);
+    }
+}

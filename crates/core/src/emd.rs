@@ -1,0 +1,185 @@
+//! The paper's EMD instantiation (§3.2, Appendix A).
+//!
+//! Centralization is the Earth Mover's Distance between the observed
+//! provider distribution `A = (a_1, ..., a_n)` and a fully decentralized
+//! reference `R` with `C = sum a_i` buckets of size 1 (every website has its
+//! own provider), under the ground distance
+//!
+//! ```text
+//! d_ij = (a_i - r_j) / C = (a_i - 1) / C
+//! ```
+//!
+//! Because `d_ij` does not depend on `j`, *any* feasible flow is optimal and
+//! the work reduces to the closed form `S = sum (a_i/C)^2 - 1/C`. This
+//! module exposes the instantiation explicitly — reference construction,
+//! ground distance, and an evaluation path through the generic
+//! [`crate::transport`] solver — so the closed form is independently
+//! checkable and the framework remains customizable as §3.2 suggests
+//! (alternative references, pairwise country comparisons, weighted sites).
+
+use crate::dist::CountDist;
+use crate::error::MetricError;
+use crate::transport::min_cost_transport;
+
+/// The fully decentralized reference distribution for a dataset of `C`
+/// websites: `C` providers with one website each.
+///
+/// This is a *reference*, not an attainable or ideal state (§3.1): it anchors
+/// zero centralization so all observed distributions can be compared against
+/// the same origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecentralizedReference {
+    total: u64,
+}
+
+impl DecentralizedReference {
+    /// Reference for `total` websites. Panics if `total == 0`.
+    pub fn new(total: u64) -> Self {
+        assert!(total > 0, "reference requires at least one website");
+        DecentralizedReference { total }
+    }
+
+    /// Reference matched to an observed distribution (same total mass).
+    pub fn matching(dist: &CountDist) -> Self {
+        DecentralizedReference {
+            total: dist.total(),
+        }
+    }
+
+    /// Number of reference buckets (`m = C`).
+    pub fn num_buckets(&self) -> u64 {
+        self.total
+    }
+
+    /// The reference mass vector `(1, 1, ..., 1)`; only sensible for small
+    /// `C` (validation use).
+    pub fn mass_vector(&self) -> Vec<f64> {
+        vec![1.0; self.total as usize]
+    }
+}
+
+/// The paper's ground distance `d_ij = (a_i - 1) / C` between observed
+/// bucket `i` and any reference bucket.
+pub fn ground_distance(a_i: u64, total: u64) -> f64 {
+    debug_assert!(total > 0);
+    (a_i as f64 - 1.0) / total as f64
+}
+
+/// EMD from `dist` to the matched fully decentralized reference, evaluated
+/// with the closed form. Identical to
+/// [`crate::centralization::centralization_score`]; exposed here under the
+/// EMD vocabulary.
+pub fn emd_to_decentralized(dist: &CountDist) -> f64 {
+    crate::centralization::centralization_score(dist)
+}
+
+/// EMD from `dist` to the matched reference, evaluated through the generic
+/// transportation solver instead of the closed form.
+///
+/// This materializes the full `C`-bucket reference, so it is only suitable
+/// for small `C` (validation and property tests). The closed form and this
+/// function agree to within float tolerance — asserted by tests and the
+/// `appA_emd_equivalence` bench.
+pub fn emd_to_decentralized_via_transport(dist: &CountDist) -> Result<f64, MetricError> {
+    let total = dist.total();
+    let supply: Vec<f64> = dist.counts().iter().map(|&a| a as f64).collect();
+    let reference = DecentralizedReference::matching(dist).mass_vector();
+    let counts = dist.counts().to_vec();
+    let work = min_cost_transport(&supply, &reference, |i, _j| {
+        ground_distance(counts[i], total)
+    })?;
+    // Normalize by total flow (== C), per Appendix A.
+    Ok(work / total as f64)
+}
+
+/// EMD between two observed distributions under a caller-supplied ground
+/// distance over *shares*. This supports the §3.2 extension of comparing
+/// countries pairwise rather than against the reference.
+///
+/// Both distributions are converted to market shares (mass 1 each) so that
+/// datasets of different sizes are comparable; `ground(i, j)` receives
+/// bucket indices into the two share vectors.
+pub fn emd_between<F>(a: &CountDist, b: &CountDist, ground: F) -> Result<f64, MetricError>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let sa = a.shares();
+    let sb = b.shares();
+    min_cost_transport(&sa, &sb, ground)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(counts: &[u64]) -> CountDist {
+        CountDist::from_counts(counts.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_transport_solver() {
+        for counts in [
+            vec![5u64],
+            vec![1, 1, 1, 1],
+            vec![10, 5, 3, 1, 1],
+            vec![7, 7, 7],
+            vec![20, 1, 1, 1, 1, 1],
+        ] {
+            let dist = d(&counts);
+            let closed = emd_to_decentralized(&dist);
+            let solved = emd_to_decentralized_via_transport(&dist).unwrap();
+            assert!(
+                (closed - solved).abs() < 1e-9,
+                "counts {counts:?}: closed {closed} vs solved {solved}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_shape() {
+        let r = DecentralizedReference::new(5);
+        assert_eq!(r.num_buckets(), 5);
+        assert_eq!(r.mass_vector(), vec![1.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one website")]
+    fn reference_rejects_zero() {
+        let _ = DecentralizedReference::new(0);
+    }
+
+    #[test]
+    fn ground_distance_is_zero_for_singleton_bucket() {
+        // A provider with exactly one website is already "decentralized";
+        // moving its site costs nothing.
+        assert_eq!(ground_distance(1, 100), 0.0);
+        assert!(ground_distance(50, 100) > 0.0);
+    }
+
+    #[test]
+    fn pairwise_emd_is_symmetric_under_symmetric_ground() {
+        let a = d(&[6, 3, 1]);
+        let b = d(&[4, 4, 2]);
+        // Symmetric ground distance over share-vector vertical difference.
+        let sa = a.shares();
+        let sb = b.shares();
+        let g_ab = {
+            let (sa, sb) = (sa.clone(), sb.clone());
+            move |i: usize, j: usize| (sa[i] - sb[j]).abs()
+        };
+        let g_ba = move |i: usize, j: usize| (sb[i] - sa[j]).abs();
+        let ab = emd_between(&a, &b, g_ab).unwrap();
+        let ba = emd_between(&b, &a, g_ba).unwrap();
+        assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn figure2_worked_example_ordering() {
+        // Figure 2: Country B is more centralized than Country A
+        // (EMD 0.32 vs 0.28). Reconstruct comparable head-heavy
+        // distributions: B has a steeper head than A over the same total.
+        let a = d(&[10, 6, 4, 3, 2]); // flatter
+        let b = d(&[14, 5, 3, 2, 1]); // steeper
+        assert!(emd_to_decentralized(&b) > emd_to_decentralized(&a));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the metric functions.
+
+use std::fmt;
+
+/// Errors produced when constructing distributions or evaluating metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// The input distribution has no mass (all counts zero, or empty).
+    EmptyDistribution,
+    /// A count or weight was invalid (negative, NaN, or infinite).
+    InvalidValue(String),
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The transportation problem was infeasible (total supply != demand).
+    UnbalancedTransport {
+        /// Total supply mass.
+        supply: f64,
+        /// Total demand mass.
+        demand: f64,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::EmptyDistribution => write!(f, "distribution has no mass"),
+            MetricError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            MetricError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            MetricError::UnbalancedTransport { supply, demand } => {
+                write!(f, "unbalanced transport: supply {supply} != demand {demand}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}

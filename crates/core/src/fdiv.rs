@@ -1,0 +1,204 @@
+//! f-divergence baselines (§3.1).
+//!
+//! The paper considers the f-divergence family (KL, Jensen–Shannon,
+//! Hellinger, total variation) for quantifying distance to the decentralized
+//! reference and rejects it: f-divergences between two fully disjoint
+//! distributions are constant, and the observed distribution (a few huge
+//! providers) and the reference (every site its own provider) barely
+//! overlap. This module implements the family so the argument is
+//! reproducible: see the `saturates_on_disjoint_support` tests and the
+//! comparison in `examples/metric_comparison.rs`.
+//!
+//! All functions take probability vectors (nonnegative, summing to 1 within
+//! tolerance) over a **common support**: index `i` means the same outcome in
+//! `p` and `q`.
+
+use crate::error::MetricError;
+
+fn validate_prob(p: &[f64]) -> Result<(), MetricError> {
+    if p.is_empty() {
+        return Err(MetricError::EmptyDistribution);
+    }
+    let mut sum = 0.0;
+    for (i, &x) in p.iter().enumerate() {
+        if !x.is_finite() || x < 0.0 {
+            return Err(MetricError::InvalidValue(format!("p[{i}] = {x}")));
+        }
+        sum += x;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(MetricError::InvalidValue(format!(
+            "probabilities sum to {sum}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_pair(p: &[f64], q: &[f64]) -> Result<(), MetricError> {
+    if p.len() != q.len() {
+        return Err(MetricError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    validate_prob(p)?;
+    validate_prob(q)
+}
+
+/// Kullback–Leibler divergence `KL(p || q)` in nats.
+///
+/// Returns `f64::INFINITY` when `p` puts mass where `q` has none — exactly
+/// the saturation behaviour that makes KL unsuitable for the paper's task.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, MetricError> {
+    validate_pair(p, q)?;
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    Ok(acc)
+}
+
+/// Jensen–Shannon divergence (base-e); bounded by `ln 2`.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64, MetricError> {
+    validate_pair(p, q)?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    // Both halves are finite because m covers the union support.
+    let half = |x: &[f64]| -> f64 {
+        x.iter()
+            .zip(&m)
+            .filter(|(&xi, _)| xi > 0.0)
+            .map(|(&xi, &mi)| xi * (xi / mi).ln())
+            .sum()
+    };
+    Ok(0.5 * half(p) + 0.5 * half(q))
+}
+
+/// Hellinger distance, in `[0, 1]`.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> Result<f64, MetricError> {
+    validate_pair(p, q)?;
+    let sq_sum: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            let d = a.sqrt() - b.sqrt();
+            d * d
+        })
+        .sum();
+    Ok((0.5 * sq_sum).sqrt().min(1.0))
+}
+
+/// Total variation distance, in `[0, 1]`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64, MetricError> {
+    validate_pair(p, q)?;
+    Ok(0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>())
+}
+
+/// Embeds an observed distribution and the decentralized reference on a
+/// common support so f-divergences can be evaluated between them: the first
+/// `n` indices are the observed providers, the next `C` are the reference's
+/// singleton providers (disjoint by construction, which is the point).
+///
+/// Returns `(p_observed, q_reference)`.
+pub fn disjoint_embedding(counts: &[u64]) -> Result<(Vec<f64>, Vec<f64>), MetricError> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(MetricError::EmptyDistribution);
+    }
+    let n = counts.len();
+    let c = total as usize;
+    let mut p = vec![0.0; n + c];
+    let mut q = vec![0.0; n + c];
+    for (i, &a) in counts.iter().enumerate() {
+        p[i] = a as f64 / total as f64;
+    }
+    for j in 0..c {
+        q[n + j] = 1.0 / total as f64;
+    }
+    Ok((p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U4: [f64; 4] = [0.25; 4];
+
+    #[test]
+    fn kl_zero_on_identical() {
+        assert!(kl_divergence(&U4, &U4).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!(kl_divergence(&p, &q).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn js_bounded_by_ln2() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let js = js_divergence(&p, &q).unwrap();
+        assert!((js - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_and_tv_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((hellinger_distance(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+        assert!((total_variation(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_on_disjoint_support() {
+        // The paper's core argument (§3.1): every observed distribution is
+        // (essentially) disjoint from the reference, so all f-divergences
+        // hit their maxima and cannot rank centralization. Two very
+        // different observed distributions get identical divergences.
+        let concentrated = disjoint_embedding(&[90, 5, 5]).unwrap();
+        let diffuse = disjoint_embedding(&[10, 10, 10, 10, 10, 10, 10, 10, 10, 10]).unwrap();
+
+        let tv_c = total_variation(&concentrated.0, &concentrated.1).unwrap();
+        let tv_d = total_variation(&diffuse.0, &diffuse.1).unwrap();
+        assert!((tv_c - 1.0).abs() < 1e-9);
+        assert!((tv_d - 1.0).abs() < 1e-9);
+
+        let h_c = hellinger_distance(&concentrated.0, &concentrated.1).unwrap();
+        let h_d = hellinger_distance(&diffuse.0, &diffuse.1).unwrap();
+        assert!((h_c - 1.0).abs() < 1e-9);
+        assert!((h_d - 1.0).abs() < 1e-9);
+
+        let js_c = js_divergence(&concentrated.0, &concentrated.1).unwrap();
+        let js_d = js_divergence(&diffuse.0, &diffuse.1).unwrap();
+        assert!((js_c - std::f64::consts::LN_2).abs() < 1e-9);
+        assert!((js_d - std::f64::consts::LN_2).abs() < 1e-9);
+
+        assert!(kl_divergence(&concentrated.0, &concentrated.1)
+            .unwrap()
+            .is_infinite());
+
+        // EMD, by contrast, separates them (this is the paper's pitch).
+        use crate::centralization::centralization_score_counts;
+        let s_c = centralization_score_counts(&[90, 5, 5]).unwrap();
+        let s_d = centralization_score_counts(&[10; 10]).unwrap();
+        assert!(s_c > 4.0 * s_d);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(kl_divergence(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(kl_divergence(&[0.7, 0.7], &[0.5, 0.5]).is_err());
+        assert!(kl_divergence(&[-0.1, 1.1], &[0.5, 0.5]).is_err());
+        assert!(js_divergence(&[], &[]).is_err());
+        assert!(disjoint_embedding(&[]).is_err());
+        assert!(disjoint_embedding(&[0, 0]).is_err());
+    }
+}

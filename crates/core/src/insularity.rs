@@ -1,0 +1,116 @@
+//! Country-side regionalization metric (§3.3): insularity.
+//!
+//! The insularity of a layer for a country is the fraction of that country's
+//! popular websites for which the layer is served by a provider based in the
+//! same country (e.g. US hosting insularity is 92.1% in the paper). It
+//! captures infrastructure self-sufficiency and anchors the cross-border
+//! dependence analyses of §5.3.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Input row for an insularity computation: how many of a country's websites
+/// are served by providers based in `provider_country`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsularityInput<C> {
+    /// Country (or other home label) of the serving provider.
+    pub provider_country: C,
+    /// Number of the measured country's websites served from there.
+    pub websites: u64,
+}
+
+/// Fraction of websites served by providers based in `home`, in `[0, 1]`.
+///
+/// Returns `None` when the rows carry no websites at all.
+pub fn insularity<C: PartialEq>(home: &C, rows: &[InsularityInput<C>]) -> Option<f64> {
+    let total: u64 = rows.iter().map(|r| r.websites).sum();
+    if total == 0 {
+        return None;
+    }
+    let own: u64 = rows
+        .iter()
+        .filter(|r| &r.provider_country == home)
+        .map(|r| r.websites)
+        .sum();
+    Some(own as f64 / total as f64)
+}
+
+/// Full dependence vector: the share of websites served from each provider
+/// country, sorted by descending share. The first entry is the country's
+/// biggest (possibly foreign) dependence — the basis of the §5.3.3 case
+/// studies.
+pub fn dependence_shares<C: std::hash::Hash + Eq + Clone>(
+    rows: &[InsularityInput<C>],
+) -> Vec<(C, f64)> {
+    let total: u64 = rows.iter().map(|r| r.websites).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut tally: HashMap<C, u64> = HashMap::new();
+    for r in rows {
+        *tally.entry(r.provider_country.clone()).or_insert(0) += r.websites;
+    }
+    let mut out: Vec<(C, f64)> = tally
+        .into_iter()
+        .map(|(c, w)| (c, w as f64 / total as f64))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(c: &str, w: u64) -> InsularityInput<String> {
+        InsularityInput {
+            provider_country: c.to_string(),
+            websites: w,
+        }
+    }
+
+    #[test]
+    fn basic_fraction() {
+        let rows = vec![row("US", 92), row("DE", 5), row("FR", 3)];
+        let i = insularity(&"US".to_string(), &rows).unwrap();
+        assert!((i - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_when_all_foreign() {
+        let rows = vec![row("RU", 33), row("US", 60)];
+        let i = insularity(&"TM".to_string(), &rows).unwrap();
+        assert_eq!(i, 0.0);
+    }
+
+    #[test]
+    fn none_on_empty() {
+        let rows: Vec<InsularityInput<String>> = vec![];
+        assert_eq!(insularity(&"US".to_string(), &rows), None);
+        let rows = vec![row("US", 0)];
+        assert_eq!(insularity(&"US".to_string(), &rows), None);
+    }
+
+    #[test]
+    fn duplicate_rows_accumulate() {
+        let rows = vec![row("US", 10), row("US", 20), row("DE", 70)];
+        let i = insularity(&"US".to_string(), &rows).unwrap();
+        assert!((i - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_shares_sorted_and_normalized() {
+        let rows = vec![row("RU", 33), row("TM", 4), row("US", 50), row("RU", 0)];
+        let shares = dependence_shares(&rows);
+        assert_eq!(shares[0].0, "US");
+        assert!(shares.windows(2).all(|w| w[0].1 >= w[1].1));
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_shares_empty() {
+        let rows: Vec<InsularityInput<String>> = vec![];
+        assert!(dependence_shares(&rows).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Provider-side regionalization metrics (§3.3): usage, endemicity, and the
+//! endemicity ratio.
+//!
+//! A provider's *usage curve* lists, for every country, the percentage of
+//! that country's popular websites using the provider, sorted nonincreasing.
+//! From the curve:
+//!
+//! * **usage** `U = sum_i u_i` — the area under the curve; sheer scale;
+//! * **endemicity** `E = sum_i (u_1 - u_i)` — the area between the curve and
+//!   the horizontal line at its maximum; deviation from globally consistent
+//!   use, prioritizing unusual popularity over unusual unpopularity;
+//! * **endemicity ratio** `E_R = E / (U + E)` in `[0, 1]` — endemicity
+//!   normalized by provider size; small = global reach, large = regional
+//!   concentration.
+
+use serde::{Deserialize, Serialize};
+
+/// A provider's usage curve: per-country usage percentages sorted in
+/// nonincreasing order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageCurve {
+    values: Vec<f64>,
+}
+
+impl UsageCurve {
+    /// Builds a usage curve from per-country usage percentages (any order,
+    /// values in `[0, 100]`; out-of-range values are clamped, NaNs dropped).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        for v in &mut values {
+            *v = v.clamp(0.0, 100.0);
+        }
+        values.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaNs removed"));
+        UsageCurve { values }
+    }
+
+    /// The sorted usage values (nonincreasing), as percentages.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of countries on the curve.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the curve has no countries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Peak usage `u_1` (0 for an empty curve).
+    pub fn peak(&self) -> f64 {
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Usage `U`: area under the curve.
+    pub fn usage(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Endemicity `E`: area between the curve and the flat line at its peak.
+    pub fn endemicity(&self) -> f64 {
+        let peak = self.peak();
+        self.values.iter().map(|&u| peak - u).sum()
+    }
+
+    /// Endemicity ratio `E_R = E / (U + E)`, in `[0, 1]`.
+    ///
+    /// A provider used identically everywhere scores 0 (fully global); a
+    /// provider used in exactly one country approaches 1 as the number of
+    /// countries grows. An all-zero or empty curve scores 0 by convention.
+    pub fn endemicity_ratio(&self) -> f64 {
+        let u = self.usage();
+        let e = self.endemicity();
+        if u + e == 0.0 {
+            0.0
+        } else {
+            e / (u + e)
+        }
+    }
+}
+
+/// Usage `U` of per-country usage percentages; see [`UsageCurve::usage`].
+pub fn usage(per_country_usage: &[f64]) -> f64 {
+    UsageCurve::new(per_country_usage.to_vec()).usage()
+}
+
+/// Endemicity `E`; see [`UsageCurve::endemicity`].
+pub fn endemicity(per_country_usage: &[f64]) -> f64 {
+    UsageCurve::new(per_country_usage.to_vec()).endemicity()
+}
+
+/// Endemicity ratio `E_R`; see [`UsageCurve::endemicity_ratio`].
+pub fn endemicity_ratio(per_country_usage: &[f64]) -> f64 {
+    UsageCurve::new(per_country_usage.to_vec()).endemicity_ratio()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globally_uniform_provider_has_zero_endemicity() {
+        let curve = UsageCurve::new(vec![20.0; 150]);
+        assert!((curve.usage() - 3000.0).abs() < 1e-9);
+        assert!(curve.endemicity().abs() < 1e-9);
+        assert!(curve.endemicity_ratio().abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_country_provider_is_highly_endemic() {
+        let mut usage = vec![0.0; 150];
+        usage[0] = 18.0;
+        let curve = UsageCurve::new(usage);
+        assert!((curve.usage() - 18.0).abs() < 1e-9);
+        // E = 149 * 18
+        assert!((curve.endemicity() - 149.0 * 18.0).abs() < 1e-9);
+        let er = curve.endemicity_ratio();
+        assert!((er - 149.0 / 150.0).abs() < 1e-9);
+        assert!(er > 0.9);
+    }
+
+    #[test]
+    fn global_provider_less_endemic_than_regional() {
+        // Figure 4's two shapes: Cloudflare-like (high everywhere) vs
+        // Beget-like (high in a handful of countries, ~0 elsewhere).
+        let global: Vec<f64> = (0..150).map(|i| 60.0 - 0.2 * i as f64).collect();
+        let mut regional = vec![0.2; 150];
+        for v in regional.iter_mut().take(6) {
+            *v = 18.0;
+        }
+        let g = UsageCurve::new(global);
+        let r = UsageCurve::new(regional);
+        assert!(g.usage() > r.usage(), "global provider is larger");
+        assert!(
+            g.endemicity_ratio() < r.endemicity_ratio(),
+            "regional provider is more endemic: {} vs {}",
+            g.endemicity_ratio(),
+            r.endemicity_ratio()
+        );
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        for values in [
+            vec![0.0; 10],
+            vec![100.0; 10],
+            vec![50.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+        ] {
+            let er = UsageCurve::new(values).endemicity_ratio();
+            assert!((0.0..=1.0).contains(&er), "{er}");
+        }
+        assert_eq!(UsageCurve::new(vec![]).endemicity_ratio(), 0.0);
+    }
+
+    #[test]
+    fn curve_sorts_and_sanitizes() {
+        let curve = UsageCurve::new(vec![5.0, f64::NAN, 150.0, -3.0, 10.0]);
+        assert_eq!(curve.values(), &[100.0, 10.0, 5.0, 0.0]);
+        assert_eq!(curve.len(), 4);
+        assert!(!curve.is_empty());
+        assert_eq!(curve.peak(), 100.0);
+    }
+
+    #[test]
+    fn helper_functions_match_curve_methods() {
+        let v = vec![30.0, 10.0, 5.0, 0.0];
+        let c = UsageCurve::new(v.clone());
+        assert_eq!(usage(&v), c.usage());
+        assert_eq!(endemicity(&v), c.endemicity());
+        assert_eq!(endemicity_ratio(&v), c.endemicity_ratio());
+    }
+}

@@ -1,0 +1,107 @@
+//! Top-N market-share baseline (§3.1).
+//!
+//! Prior work most often quantified centralization as "the share of websites
+//! served by the top N providers". The paper's Figure 1 shows why this is
+//! lossy: Azerbaijan and Hong Kong both have 59% of sites in their top five
+//! hosting providers but very different head shapes. These helpers implement
+//! the baseline so it can be compared against the centralization score.
+
+use crate::dist::CountDist;
+
+/// Combined market share of the `n` largest providers, in `[0, 1]`.
+///
+/// `n` larger than the number of providers saturates at 1.
+pub fn top_n_share(dist: &CountDist, n: usize) -> f64 {
+    let c = dist.total() as f64;
+    dist.counts().iter().take(n).map(|&a| a as f64).sum::<f64>() / c
+}
+
+/// The provider rank curve used by Figure 1: percentage of websites hosted
+/// by the provider at each rank (rank 1 first), as percentages in `[0, 100]`.
+pub fn provider_rank_curve(dist: &CountDist) -> Vec<f64> {
+    let c = dist.total() as f64;
+    dist.counts()
+        .iter()
+        .map(|&a| 100.0 * a as f64 / c)
+        .collect()
+}
+
+/// A demonstration pair for the top-N shortcoming: two distributions with
+/// identical top-`n` share but different centralization scores.
+///
+/// Returns `(steep, flat)` where both have the same `top_n_share` for the
+/// given `n` but `steep` has the higher centralization score.
+pub fn topn_blindspot_pair(n: usize) -> (CountDist, CountDist) {
+    assert!(n >= 2, "need at least two head providers");
+    // Steep head: one dominant provider plus n-1 tiny head providers.
+    // Flat head: n equal head providers.  Both heads cover 60 of 100 sites.
+    let head_total = 60u64;
+    assert!(n <= 15, "head providers must stay above the tail size");
+    let tail = vec![2u64; 20]; // identical 40-site tails
+    // Head providers must stay strictly above the tail's 2-count entries so
+    // they remain the top n after sorting; use 3 as the minimum head count.
+    let mut steep = vec![head_total - 3 * (n as u64 - 1)];
+    steep.extend(std::iter::repeat_n(3, n - 1));
+    steep.extend_from_slice(&tail);
+    let per = head_total / n as u64;
+    let mut flat = vec![per; n];
+    let rem = head_total - per * n as u64;
+    flat[0] += rem;
+    flat.extend_from_slice(&tail);
+    (
+        CountDist::from_counts(steep).expect("non-empty"),
+        CountDist::from_counts(flat).expect("non-empty"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralization::centralization_score;
+
+    fn d(counts: &[u64]) -> CountDist {
+        CountDist::from_counts(counts.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn top_n_share_basics() {
+        let dist = d(&[50, 30, 20]);
+        assert!((top_n_share(&dist, 1) - 0.5).abs() < 1e-12);
+        assert!((top_n_share(&dist, 2) - 0.8).abs() < 1e-12);
+        assert!((top_n_share(&dist, 3) - 1.0).abs() < 1e-12);
+        assert!((top_n_share(&dist, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_curve_is_nonincreasing_percentages() {
+        let dist = d(&[40, 25, 20, 10, 5]);
+        let curve = provider_rank_curve(&dist);
+        assert_eq!(curve.len(), 5);
+        assert!(curve.windows(2).all(|w| w[0] >= w[1]));
+        assert!((curve.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((curve[0] - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blindspot_pair_same_topn_different_s() {
+        for n in [2, 3, 5] {
+            let (steep, flat) = topn_blindspot_pair(n);
+            let ts = top_n_share(&steep, n);
+            let tf = top_n_share(&flat, n);
+            assert!(
+                (ts - tf).abs() < 1e-12,
+                "n={n}: top-{n} shares differ: {ts} vs {tf}"
+            );
+            assert!(
+                centralization_score(&steep) > centralization_score(&flat),
+                "n={n}: steep should be more centralized"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn blindspot_pair_needs_n_ge_2() {
+        let _ = topn_blindspot_pair(1);
+    }
+}

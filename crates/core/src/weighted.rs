@@ -1,0 +1,173 @@
+//! Weighted-mass centralization — the §3.2 extension the paper proposes
+//! as future work: "assign a weighted 'mass' to each website (e.g., based
+//! on traffic), rather than weighting all sites equally."
+//!
+//! The EMD formulation generalizes cleanly. Let site `s` carry mass
+//! `w_s`, provider `i` carry `W_i = Σ_{s∈i} w_s`, and `W = Σ w_s`. The
+//! reference distribution gives every site its own provider with its own
+//! mass, and the ground distance stays the normalized vertical difference
+//! `d_is = (W_i − w_s)/W`. The optimal flow moves each site's mass home:
+//!
+//! ```text
+//! S_w = Σ_i (W_i / W)²  −  Σ_s (w_s / W)²
+//! ```
+//!
+//! With unit masses this is exactly `Σ (aᵢ/C)² − 1/C`, the paper's score.
+
+use crate::error::MetricError;
+
+/// A provider with the masses of the individual sites it serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedProvider {
+    /// Mass (e.g. traffic share) per site on this provider.
+    pub site_masses: Vec<f64>,
+}
+
+impl WeightedProvider {
+    /// Builds from site masses.
+    pub fn new(site_masses: Vec<f64>) -> Self {
+        WeightedProvider { site_masses }
+    }
+
+    /// Total provider mass.
+    pub fn total(&self) -> f64 {
+        self.site_masses.iter().sum()
+    }
+}
+
+/// Computes the weighted centralization score.
+///
+/// Errors on empty input, non-finite/negative masses, or zero total mass.
+/// Bounds: `0 ≤ S_w < 1`; `0` exactly when every site has its own
+/// provider.
+pub fn weighted_centralization(providers: &[WeightedProvider]) -> Result<f64, MetricError> {
+    let mut total = 0.0;
+    for (i, p) in providers.iter().enumerate() {
+        for (j, &m) in p.site_masses.iter().enumerate() {
+            if !m.is_finite() || m < 0.0 {
+                return Err(MetricError::InvalidValue(format!(
+                    "mass of provider {i} site {j} = {m}"
+                )));
+            }
+            total += m;
+        }
+    }
+    if total <= 0.0 {
+        return Err(MetricError::EmptyDistribution);
+    }
+    let mut provider_sq = 0.0;
+    let mut site_sq = 0.0;
+    for p in providers {
+        let w_i = p.total() / total;
+        provider_sq += w_i * w_i;
+        for &m in &p.site_masses {
+            let w_s = m / total;
+            site_sq += w_s * w_s;
+        }
+    }
+    Ok(provider_sq - site_sq)
+}
+
+/// Unit-mass convenience: equivalent to the paper's unweighted score.
+pub fn unit_mass_centralization(counts: &[u64]) -> Result<f64, MetricError> {
+    let providers: Vec<WeightedProvider> = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| WeightedProvider::new(vec![1.0; c as usize]))
+        .collect();
+    weighted_centralization(&providers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralization::centralization_score_counts;
+
+    #[test]
+    fn reduces_to_unweighted_with_unit_masses() {
+        for counts in [vec![5u64], vec![1, 1, 1], vec![10, 5, 3, 1]] {
+            let weighted = unit_mass_centralization(&counts).unwrap();
+            let classic = centralization_score_counts(&counts).unwrap();
+            assert!(
+                (weighted - classic).abs() < 1e-12,
+                "{counts:?}: {weighted} vs {classic}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_invariant_in_mass_units() {
+        let base = vec![
+            WeightedProvider::new(vec![3.0, 1.0]),
+            WeightedProvider::new(vec![2.0]),
+        ];
+        let scaled: Vec<WeightedProvider> = base
+            .iter()
+            .map(|p| WeightedProvider::new(p.site_masses.iter().map(|m| m * 7.5).collect()))
+            .collect();
+        let a = weighted_centralization(&base).unwrap();
+        let b = weighted_centralization(&scaled).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_decentralized_is_zero() {
+        // Every site its own provider, arbitrary masses.
+        let providers: Vec<WeightedProvider> = [0.5, 2.0, 1.25, 9.0]
+            .iter()
+            .map(|&m| WeightedProvider::new(vec![m]))
+            .collect();
+        let s = weighted_centralization(&providers).unwrap();
+        assert!(s.abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn heavy_sites_amplify_their_provider() {
+        // Same site counts; provider 0 hosts the heavy sites.
+        let equal = vec![
+            WeightedProvider::new(vec![1.0, 1.0]),
+            WeightedProvider::new(vec![1.0, 1.0]),
+        ];
+        let skewed = vec![
+            WeightedProvider::new(vec![10.0, 10.0]),
+            WeightedProvider::new(vec![1.0, 1.0]),
+        ];
+        let s_eq = weighted_centralization(&equal).unwrap();
+        let s_skew = weighted_centralization(&skewed).unwrap();
+        assert!(
+            s_skew > s_eq,
+            "traffic concentration must raise the score: {s_skew} vs {s_eq}"
+        );
+    }
+
+    #[test]
+    fn merging_providers_increases_score() {
+        let separate = vec![
+            WeightedProvider::new(vec![2.0, 1.0]),
+            WeightedProvider::new(vec![3.0]),
+        ];
+        let merged = vec![WeightedProvider::new(vec![2.0, 1.0, 3.0])];
+        assert!(
+            weighted_centralization(&merged).unwrap()
+                > weighted_centralization(&separate).unwrap()
+        );
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let providers = vec![WeightedProvider::new(vec![5.0; 40])];
+        let s = weighted_centralization(&providers).unwrap();
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(weighted_centralization(&[]).is_err());
+        assert!(
+            weighted_centralization(&[WeightedProvider::new(vec![0.0])]).is_err(),
+            "zero total mass"
+        );
+        assert!(weighted_centralization(&[WeightedProvider::new(vec![-1.0, 2.0])]).is_err());
+        assert!(weighted_centralization(&[WeightedProvider::new(vec![f64::NAN])]).is_err());
+    }
+}

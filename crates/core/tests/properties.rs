@@ -1,0 +1,131 @@
+//! Property-based tests for the metric invariants (Appendix A equivalence,
+//! bounds, monotonicity).
+
+use proptest::prelude::*;
+use webdep_core::centralization::{centralization_score, hhi, max_score};
+use webdep_core::dist::CountDist;
+use webdep_core::emd::{emd_to_decentralized, emd_to_decentralized_via_transport};
+use webdep_core::fdiv::{hellinger_distance, js_divergence, total_variation};
+use webdep_core::regionalization::UsageCurve;
+use webdep_core::topn::top_n_share;
+use webdep_core::transport::{min_cost_transport, wasserstein1_binned};
+
+fn small_counts() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..12, 1..8)
+}
+
+fn any_counts() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..10_000, 1..64)
+}
+
+proptest! {
+    /// Appendix A: the closed form equals the generic transportation solver.
+    #[test]
+    fn closed_form_equals_transport(counts in small_counts()) {
+        let dist = CountDist::from_counts(counts).unwrap();
+        let closed = emd_to_decentralized(&dist);
+        let solved = emd_to_decentralized_via_transport(&dist).unwrap();
+        prop_assert!((closed - solved).abs() < 1e-7, "{closed} vs {solved}");
+    }
+
+    /// S is bounded by [0, 1 - 1/C].
+    #[test]
+    fn score_bounds(counts in any_counts()) {
+        let dist = CountDist::from_counts(counts).unwrap();
+        let s = centralization_score(&dist);
+        prop_assert!(s >= -1e-12, "{s}");
+        prop_assert!(s <= max_score(dist.total()) + 1e-12, "{s}");
+    }
+
+    /// S = HHI - 1/C exactly.
+    #[test]
+    fn hhi_identity(counts in any_counts()) {
+        let dist = CountDist::from_counts(counts).unwrap();
+        let c = dist.total() as f64;
+        prop_assert!((centralization_score(&dist) - (hhi(&dist) - 1.0 / c)).abs() < 1e-12);
+    }
+
+    /// Merging two providers (same C) never decreases S: consolidation is
+    /// monotone under the metric.
+    #[test]
+    fn merging_providers_increases_score(counts in prop::collection::vec(1u64..100, 2..16)) {
+        let before = CountDist::from_counts(counts.clone()).unwrap();
+        let mut merged = counts.clone();
+        let b = merged.pop().unwrap();
+        merged[0] += b;
+        let after = CountDist::from_counts(merged).unwrap();
+        prop_assert!(centralization_score(&after) >= centralization_score(&before) - 1e-12);
+    }
+
+    /// Scaling every count by k leaves S unchanged (shape invariance,
+    /// requirement 3 in §3.1).
+    #[test]
+    fn scale_invariance(counts in prop::collection::vec(1u64..100, 1..16), k in 1u64..20) {
+        let base = CountDist::from_counts(counts.clone()).unwrap();
+        let scaled = CountDist::from_counts(counts.iter().map(|&c| c * k).collect()).unwrap();
+        let s0 = centralization_score(&base);
+        let s1 = centralization_score(&scaled);
+        // S changes only through the 1/C term; compare HHI which is exactly
+        // shape-invariant.
+        prop_assert!((hhi(&base) - hhi(&scaled)).abs() < 1e-12);
+        // And the scores converge as C grows.
+        prop_assert!((s0 - s1).abs() <= 1.0 / base.total() as f64 + 1e-12);
+    }
+
+    /// top_n_share is monotone in n and reaches 1.
+    #[test]
+    fn topn_monotone(counts in any_counts()) {
+        let dist = CountDist::from_counts(counts).unwrap();
+        let mut prev = 0.0;
+        for n in 1..=dist.num_providers() {
+            let t = top_n_share(&dist, n);
+            prop_assert!(t >= prev - 1e-12);
+            prev = t;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    /// Endemicity ratio is always within [0, 1] and zero for flat curves.
+    #[test]
+    fn endemicity_ratio_bounds(values in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let er = UsageCurve::new(values).endemicity_ratio();
+        prop_assert!((0.0..=1.0).contains(&er));
+    }
+
+    /// The binned Wasserstein closed form agrees with the generic solver on
+    /// a line metric.
+    #[test]
+    fn wasserstein_agrees_with_transport(
+        a in prop::collection::vec(0u8..6, 2..6),
+    ) {
+        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let total: f64 = af.iter().sum();
+        prop_assume!(total > 0.0);
+        // Uniform demand with the same mass.
+        let b = vec![total / af.len() as f64; af.len()];
+        let w1 = wasserstein1_binned(&af, &b).unwrap();
+        let w2 = min_cost_transport(&af, &b, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        prop_assert!((w1 - w2).abs() < 1e-7, "{w1} vs {w2}");
+    }
+
+    /// f-divergences respect their bounds on arbitrary distribution pairs.
+    #[test]
+    fn fdiv_bounds(
+        raw_p in prop::collection::vec(0.01f64..10.0, 2..12),
+        raw_q in prop::collection::vec(0.01f64..10.0, 2..12),
+    ) {
+        let n = raw_p.len().min(raw_q.len());
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v[..n].iter().sum();
+            v[..n].iter().map(|x| x / s).collect()
+        };
+        let p = norm(&raw_p);
+        let q = norm(&raw_q);
+        let tv = total_variation(&p, &q).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+        let h = hellinger_distance(&p, &q).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        let js = js_divergence(&p, &q).unwrap();
+        prop_assert!((-1e-12..=std::f64::consts::LN_2 + 1e-9).contains(&js));
+    }
+}

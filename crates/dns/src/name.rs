@@ -1,0 +1,209 @@
+//! Domain names: validated label sequences.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label, per RFC 1035.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum total name length (presentation form), per RFC 1035.
+pub const MAX_NAME_LEN: usize = 253;
+
+/// A fully qualified domain name, stored as lowercase labels without the
+/// trailing root dot. The root itself is the empty label sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    labels: Vec<String>,
+}
+
+/// Errors from parsing a domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty or longer than [`MAX_LABEL_LEN`].
+    BadLabel(String),
+    /// The full name exceeds [`MAX_NAME_LEN`] characters.
+    TooLong(usize),
+    /// A label contains a character outside `[a-z0-9_-]`.
+    BadCharacter(char),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::BadLabel(l) => write!(f, "bad label {l:?}"),
+            NameError::TooLong(n) => write!(f, "name too long ({n} chars)"),
+            NameError::BadCharacter(c) => write!(f, "bad character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl DomainName {
+    /// The DNS root (empty name).
+    pub fn root() -> Self {
+        DomainName { labels: Vec::new() }
+    }
+
+    /// Parses a name; accepts an optional trailing dot; lowercases.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Self::root());
+        }
+        if s.len() > MAX_NAME_LEN {
+            return Err(NameError::TooLong(s.len()));
+        }
+        let mut labels = Vec::new();
+        for raw in s.split('.') {
+            if raw.is_empty() || raw.len() > MAX_LABEL_LEN {
+                return Err(NameError::BadLabel(raw.to_string()));
+            }
+            let label = raw.to_ascii_lowercase();
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_') {
+                    return Err(NameError::BadCharacter(c));
+                }
+            }
+            labels.push(label);
+        }
+        Ok(DomainName { labels })
+    }
+
+    /// Builds a name from pre-validated labels (panics on invalid input;
+    /// used by generators that construct names programmatically).
+    pub fn from_labels<I: IntoIterator<Item = S>, S: Into<String>>(labels: I) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        let joined = labels.join(".");
+        Self::parse(&joined).unwrap_or_else(|e| panic!("invalid labels {joined:?}: {e}"))
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels; 0 for the root.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the DNS root.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The name's parent (one label removed from the left); `None` at root.
+    pub fn parent(&self) -> Option<DomainName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DomainName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Whether `self` equals `other` or is underneath it
+    /// (`www.example.com` is within `example.com` and within the root).
+    pub fn is_within(&self, other: &DomainName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Prepends a label, producing a child name.
+    pub fn child(&self, label: &str) -> Result<DomainName, NameError> {
+        let mut s = label.to_string();
+        if !self.is_root() {
+            s.push('.');
+            s.push_str(&self.to_string());
+        }
+        Self::parse(&s)
+    }
+
+    /// The top-level domain label, if any (`com` for `www.example.com`).
+    pub fn tld(&self) -> Option<&str> {
+        self.labels.last().map(|s| s.as_str())
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            write!(f, ".")
+        } else {
+            write!(f, "{}", self.labels.join("."))
+        }
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = NameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DomainName::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.num_labels(), 3);
+        assert_eq!(n.tld(), Some("com"));
+    }
+
+    #[test]
+    fn root_name() {
+        let r = DomainName::parse(".").unwrap();
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), ".");
+        assert_eq!(r, DomainName::root());
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.tld(), None);
+    }
+
+    #[test]
+    fn hierarchy() {
+        let site = DomainName::parse("www.example.com").unwrap();
+        let zone = DomainName::parse("example.com").unwrap();
+        let tld = DomainName::parse("com").unwrap();
+        assert!(site.is_within(&zone));
+        assert!(site.is_within(&tld));
+        assert!(site.is_within(&DomainName::root()));
+        assert!(site.is_within(&site));
+        assert!(!zone.is_within(&site));
+        assert!(!DomainName::parse("example.org").unwrap().is_within(&tld));
+        assert_eq!(site.parent(), Some(zone.clone()));
+        assert_eq!(zone.child("www").unwrap(), site);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(DomainName::parse("exa mple.com").is_err());
+        assert!(DomainName::parse("a..b").is_err());
+        assert!(DomainName::parse(&"x".repeat(64)).is_err());
+        let long = format!("{}.com", "a.".repeat(130));
+        assert!(DomainName::parse(&long).is_err());
+    }
+
+    #[test]
+    fn suffix_alignment_not_fooled() {
+        // "ample.com" is not a parent of "example.com".
+        let a = DomainName::parse("example.com").unwrap();
+        let b = DomainName::parse("ample.com").unwrap();
+        assert!(!a.is_within(&b));
+    }
+
+    #[test]
+    fn from_labels_builder() {
+        let n = DomainName::from_labels(["ns1", "provider", "net"]);
+        assert_eq!(n.to_string(), "ns1.provider.net");
+    }
+}

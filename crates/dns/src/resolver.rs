@@ -1,0 +1,506 @@
+//! Stub and iterative resolvers over the simulated network.
+//!
+//! The measurement pipeline resolves every website's A records and its
+//! nameservers' A records, as the paper does with ZDNS. The
+//! [`IterativeResolver`] starts at root hints, chases referrals (using glue
+//! when present, resolving nameserver names otherwise), follows CNAMEs, and
+//! caches delegations so bulk resolution does not hammer the root.
+
+use crate::name::DomainName;
+use crate::wire::{decode, encode, Message, Rcode, RecordData, RecordType};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+use webdep_netsim::{Endpoint, NetError, SockAddr};
+
+/// Resolver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Per-query receive timeout.
+    pub timeout: Duration,
+    /// Retries per server before giving up on it.
+    pub retries: u32,
+    /// Maximum referral depth per resolution.
+    pub max_depth: u32,
+    /// Maximum CNAME chain length per resolution.
+    pub max_cnames: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            timeout: Duration::from_millis(250),
+            retries: 2,
+            max_depth: 16,
+            max_cnames: 8,
+        }
+    }
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// All servers timed out.
+    Timeout,
+    /// The network rejected a send (destination unbound).
+    Network(NetError),
+    /// The authoritative server says the name does not exist.
+    NxDomain(DomainName),
+    /// The name exists but carries no records of the queried type.
+    NoData(DomainName),
+    /// Referral depth or CNAME chain limit exceeded.
+    DepthExceeded,
+    /// The server answered with a failure rcode.
+    ServFail,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::Timeout => write!(f, "query timed out"),
+            ResolveError::Network(e) => write!(f, "network error: {e}"),
+            ResolveError::NxDomain(n) => write!(f, "no such domain: {n}"),
+            ResolveError::NoData(n) => write!(f, "no data for {n}"),
+            ResolveError::DepthExceeded => write!(f, "referral/CNAME depth exceeded"),
+            ResolveError::ServFail => write!(f, "server failure"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// A stub resolver: sends single queries to a given server and matches
+/// responses by transaction id, with retries.
+pub struct StubResolver {
+    endpoint: Endpoint,
+    config: ResolverConfig,
+    next_id: u16,
+    /// Queries sent (including retries); exposed for measurement accounting.
+    pub queries_sent: u64,
+}
+
+impl StubResolver {
+    /// Wraps a bound endpoint.
+    pub fn new(endpoint: Endpoint, config: ResolverConfig) -> Self {
+        StubResolver {
+            endpoint,
+            config,
+            next_id: 1,
+            queries_sent: 0,
+        }
+    }
+
+    /// Sends `name`/`qtype` to `server` and waits for the matching response.
+    pub fn query(
+        &mut self,
+        server: SockAddr,
+        name: &DomainName,
+        qtype: RecordType,
+    ) -> Result<Message, ResolveError> {
+        for _attempt in 0..=self.config.retries {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1).max(1);
+            let msg = Message::query(id, name.clone(), qtype);
+            self.queries_sent += 1;
+            match self.endpoint.send(server, encode(&msg)) {
+                Ok(()) => {}
+                Err(NetError::Unreachable(a)) => {
+                    return Err(ResolveError::Network(NetError::Unreachable(a)))
+                }
+                Err(e) => return Err(ResolveError::Network(e)),
+            }
+            let deadline = std::time::Instant::now() + self.config.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break; // retry
+                }
+                match self.endpoint.recv_timeout(remaining) {
+                    Ok(dgram) => match decode(&dgram.payload) {
+                        Ok(resp)
+                            if resp.is_response
+                                && resp.id == id
+                                && resp.questions == msg.questions =>
+                        {
+                            return Ok(resp);
+                        }
+                        _ => continue, // stale or foreign datagram; keep waiting
+                    },
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(ResolveError::Network(e)),
+                }
+            }
+        }
+        Err(ResolveError::Timeout)
+    }
+}
+
+/// Cached knowledge: nameserver addresses for a zone.
+#[derive(Debug, Clone, Default)]
+struct ZoneServers {
+    addrs: Vec<Ipv4Addr>,
+}
+
+/// An iterative resolver with a per-instance delegation cache.
+pub struct IterativeResolver {
+    stub: StubResolver,
+    roots: Vec<Ipv4Addr>,
+    /// zone apex -> authoritative server addresses.
+    zone_cache: HashMap<DomainName, ZoneServers>,
+    /// Completed (name, type) answers.
+    answer_cache: HashMap<(DomainName, RecordType), Vec<RecordData>>,
+}
+
+impl IterativeResolver {
+    /// Creates a resolver bound to `endpoint` with the given root hints.
+    pub fn new(endpoint: Endpoint, roots: Vec<Ipv4Addr>, config: ResolverConfig) -> Self {
+        assert!(!roots.is_empty(), "need at least one root hint");
+        IterativeResolver {
+            stub: StubResolver::new(endpoint, config),
+            roots,
+            zone_cache: HashMap::new(),
+            answer_cache: HashMap::new(),
+        }
+    }
+
+    /// Total queries sent on the wire (cache hits cost nothing).
+    pub fn queries_sent(&self) -> u64 {
+        self.stub.queries_sent
+    }
+
+    /// Resolves A records for `name`.
+    pub fn resolve_a(&mut self, name: &DomainName) -> Result<Vec<Ipv4Addr>, ResolveError> {
+        let data = self.resolve(name, RecordType::A, 0)?;
+        Ok(data
+            .into_iter()
+            .filter_map(|d| match d {
+                RecordData::A(ip) => Some(ip),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Resolves the NS set of `name` (the nameserver *names*).
+    pub fn resolve_ns(&mut self, name: &DomainName) -> Result<Vec<DomainName>, ResolveError> {
+        let data = self.resolve(name, RecordType::Ns, 0)?;
+        Ok(data
+            .into_iter()
+            .filter_map(|d| match d {
+                RecordData::Ns(n) => Some(n),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Full resolution with caching; returns the terminal record set.
+    pub fn resolve(
+        &mut self,
+        name: &DomainName,
+        qtype: RecordType,
+        cname_depth: u32,
+    ) -> Result<Vec<RecordData>, ResolveError> {
+        if cname_depth > self.stub.config.max_cnames {
+            return Err(ResolveError::DepthExceeded);
+        }
+        let cache_key = (name.clone(), qtype);
+        if let Some(hit) = self.answer_cache.get(&cache_key) {
+            return Ok(hit.clone());
+        }
+
+        // Start from the deepest cached zone enclosing `name`.
+        let mut servers = self.starting_servers(name);
+        let mut depth = 0;
+        loop {
+            depth += 1;
+            if depth > self.stub.config.max_depth {
+                return Err(ResolveError::DepthExceeded);
+            }
+            let resp = self.query_any(&servers, name, qtype)?;
+            match resp.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => return Err(ResolveError::NxDomain(name.clone())),
+                _ => return Err(ResolveError::ServFail),
+            }
+            if !resp.answers.is_empty() {
+                // Split CNAMEs from terminal data.
+                let mut terminal: Vec<RecordData> = Vec::new();
+                let mut last_cname: Option<DomainName> = None;
+                for r in &resp.answers {
+                    match &r.data {
+                        RecordData::Cname(t) => last_cname = Some(t.clone()),
+                        d if d.record_type() == qtype => terminal.push(d.clone()),
+                        _ => {}
+                    }
+                }
+                if terminal.is_empty() {
+                    if let Some(target) = last_cname {
+                        let resolved = self.resolve(&target, qtype, cname_depth + 1)?;
+                        self.answer_cache.insert(cache_key, resolved.clone());
+                        return Ok(resolved);
+                    }
+                    return Err(ResolveError::NoData(name.clone()));
+                }
+                self.answer_cache.insert(cache_key, terminal.clone());
+                return Ok(terminal);
+            }
+            // Referral?
+            let ns_names: Vec<DomainName> = resp
+                .authorities
+                .iter()
+                .filter_map(|r| match &r.data {
+                    RecordData::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            if ns_names.is_empty() {
+                if resp.authoritative {
+                    // Authoritative empty answer: NoData.
+                    return Err(ResolveError::NoData(name.clone()));
+                }
+                return Err(ResolveError::ServFail);
+            }
+            let zone = resp
+                .authorities
+                .first()
+                .map(|r| r.name.clone())
+                .expect("authorities non-empty");
+            let mut glue: Vec<Ipv4Addr> = resp
+                .additionals
+                .iter()
+                .filter_map(|r| match r.data {
+                    RecordData::A(ip) if ns_names.contains(&r.name) => Some(ip),
+                    _ => None,
+                })
+                .collect();
+            if glue.is_empty() {
+                // Glueless delegation: resolve the first resolvable NS name.
+                for ns in &ns_names {
+                    if let Ok(addrs) = self.resolve_a_guarded(ns, depth) {
+                        glue.extend(addrs);
+                        break;
+                    }
+                }
+            }
+            if glue.is_empty() {
+                return Err(ResolveError::ServFail);
+            }
+            self.zone_cache
+                .insert(zone, ZoneServers { addrs: glue.clone() });
+            servers = glue;
+        }
+    }
+
+    /// Resolving a glueless NS name must not recurse unboundedly.
+    fn resolve_a_guarded(
+        &mut self,
+        name: &DomainName,
+        depth: u32,
+    ) -> Result<Vec<Ipv4Addr>, ResolveError> {
+        if depth >= self.stub.config.max_depth {
+            return Err(ResolveError::DepthExceeded);
+        }
+        self.resolve_a(name)
+    }
+
+    fn starting_servers(&self, name: &DomainName) -> Vec<Ipv4Addr> {
+        let mut current = Some(name.clone());
+        while let Some(n) = current {
+            if let Some(zs) = self.zone_cache.get(&n) {
+                return zs.addrs.clone();
+            }
+            current = n.parent();
+        }
+        self.roots.clone()
+    }
+
+    fn query_any(
+        &mut self,
+        servers: &[Ipv4Addr],
+        name: &DomainName,
+        qtype: RecordType,
+    ) -> Result<Message, ResolveError> {
+        let mut last_err = ResolveError::Timeout;
+        for &ip in servers {
+            match self
+                .stub
+                .query(SockAddr::new(ip, crate::DNS_PORT), name, qtype)
+            {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::AuthServer;
+    use crate::zone::Zone;
+    use std::sync::Arc;
+    use webdep_netsim::{NetConfig, Network, Region};
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Builds a tiny internet: root -> com -> example.com, plus an out-of-
+    /// zone CNAME target under net.
+    fn build_world(net: &Network) -> (Vec<AuthServer>, Vec<Ipv4Addr>) {
+        let root_ip = ip("198.41.0.4");
+        let com_ip = ip("192.5.6.30");
+        let net_ip = ip("192.5.6.31");
+        let example_ns_ip = ip("203.0.113.53");
+        let provider_ns_ip = ip("203.0.113.54");
+
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        root.delegate(n("net"), &[n("b.gtld-servers.net")], &[(n("b.gtld-servers.net"), net_ip)]);
+
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("example.com"),
+            &[n("ns1.example.com")],
+            &[(n("ns1.example.com"), example_ns_ip)],
+        );
+
+        let mut netz = Zone::new(n("net"));
+        netz.delegate(
+            n("provider.net"),
+            &[n("ns1.provider.net")],
+            &[(n("ns1.provider.net"), provider_ns_ip)],
+        );
+
+        let mut example = Zone::new(n("example.com"));
+        example.add_a(n("example.com"), ip("203.0.113.10"));
+        example.add_a(n("www.example.com"), ip("203.0.113.11"));
+        example.add_cname(n("cdn.example.com"), n("edge.provider.net"));
+        example.add_ns(n("example.com"), n("ns1.example.com"));
+        example.add_a(n("ns1.example.com"), example_ns_ip);
+
+        let mut provider = Zone::new(n("provider.net"));
+        provider.add_a(n("edge.provider.net"), ip("203.0.113.99"));
+
+        let servers = vec![
+            AuthServer::spawn(
+                net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(root)],
+            ),
+            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            AuthServer::spawn(net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(netz)]),
+            AuthServer::spawn(
+                net.bind(example_ns_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::new(example)],
+            ),
+            AuthServer::spawn(
+                net.bind(provider_ns_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::new(provider)],
+            ),
+        ];
+        (servers, vec![root_ip])
+    }
+
+    fn resolver(net: &Network, roots: Vec<Ipv4Addr>) -> IterativeResolver {
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        IterativeResolver::new(ep, roots, ResolverConfig::default())
+    }
+
+    #[test]
+    fn full_iterative_resolution() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let mut r = resolver(&net, roots);
+        let addrs = r.resolve_a(&n("www.example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.11")]);
+    }
+
+    #[test]
+    fn caching_cuts_queries() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let mut r = resolver(&net, roots);
+        r.resolve_a(&n("www.example.com")).unwrap();
+        let first = r.queries_sent();
+        // Second name in the same zone: should skip root and com.
+        r.resolve_a(&n("example.com")).unwrap();
+        let second = r.queries_sent() - first;
+        assert!(second <= 1, "expected <=1 query after cache, got {second}");
+        // Exact repeat: zero queries.
+        r.resolve_a(&n("example.com")).unwrap();
+        assert_eq!(r.queries_sent() - first, second);
+    }
+
+    #[test]
+    fn cross_zone_cname_followed() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let mut r = resolver(&net, roots);
+        let addrs = r.resolve_a(&n("cdn.example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.99")]);
+    }
+
+    #[test]
+    fn nxdomain_reported() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let mut r = resolver(&net, roots);
+        let err = r.resolve_a(&n("nope.example.com")).unwrap_err();
+        assert_eq!(err, ResolveError::NxDomain(n("nope.example.com")));
+    }
+
+    #[test]
+    fn ns_resolution() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let mut r = resolver(&net, roots);
+        let ns = r.resolve_ns(&n("example.com")).unwrap();
+        assert_eq!(ns, vec![n("ns1.example.com")]);
+        // And the nameserver's address resolves too.
+        let addrs = r.resolve_a(&n("ns1.example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.53")]);
+    }
+
+    #[test]
+    fn retries_survive_packet_loss() {
+        // 30% loss: retries should still pull the answer through.
+        let net = Network::new(NetConfig {
+            loss_rate: 0.3,
+            seed: 7,
+            ..Default::default()
+        });
+        let (_servers, roots) = build_world(&net);
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(
+            ep,
+            roots,
+            ResolverConfig {
+                timeout: Duration::from_millis(60),
+                retries: 8,
+                ..Default::default()
+            },
+        );
+        let addrs = r.resolve_a(&n("www.example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.11")]);
+    }
+
+    #[test]
+    fn unreachable_root_is_an_error() {
+        let net = Network::new(NetConfig::default());
+        let mut r = resolver(&net, vec![ip("9.9.9.9")]);
+        let err = r.resolve_a(&n("example.com")).unwrap_err();
+        assert!(matches!(err, ResolveError::Network(_)), "{err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "root hint")]
+    fn requires_roots() {
+        let net = Network::new(NetConfig::default());
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let _ = IterativeResolver::new(ep, vec![], ResolverConfig::default());
+    }
+}

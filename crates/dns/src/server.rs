@@ -1,0 +1,228 @@
+//! Threaded authoritative DNS server over the simulated network.
+
+use crate::wire::{decode, encode, Message, Rcode};
+use crate::zone::{Zone, ZoneLookup};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use webdep_netsim::Endpoint;
+
+/// An authoritative server: serves one or more zones from a thread bound to
+/// a netsim endpoint. Stops when dropped.
+pub struct AuthServer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl AuthServer {
+    /// Spawns a server thread answering queries on `endpoint` from `zones`.
+    ///
+    /// Zones are matched most-specific-first when several could hold the
+    /// queried name (e.g. a host serving both a TLD zone and a child zone).
+    pub fn spawn(endpoint: Endpoint, zones: Vec<Arc<Zone>>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || serve_loop(endpoint, zones, stop2));
+        AuthServer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and waits for it; returns the number of
+    /// queries served. Called automatically on drop (discarding the count).
+    pub fn shutdown(mut self) -> u64 {
+        self.begin_stop();
+        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+    }
+
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for AuthServer {
+    fn drop(&mut self) {
+        self.begin_stop();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(endpoint: Endpoint, mut zones: Vec<Arc<Zone>>, stop: Arc<AtomicBool>) -> u64 {
+    // Most-specific zone first.
+    zones.sort_by_key(|z| std::cmp::Reverse(z.origin().num_labels()));
+    let mut served = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
+            Ok(d) => d,
+            Err(webdep_netsim::NetError::Timeout) => continue,
+            Err(_) => break, // network gone
+        };
+        let response = match decode(&dgram.payload) {
+            Ok(query) if !query.is_response && query.questions.len() == 1 => {
+                answer(&zones, &query)
+            }
+            Ok(query) => {
+                let mut r = Message::response_to(&query);
+                r.rcode = Rcode::FormErr;
+                r
+            }
+            Err(_) => continue, // undecodable datagram: drop, like real servers
+        };
+        // Best effort: the client may already be gone.
+        let _ = endpoint.send(dgram.src, encode(&response));
+        served += 1;
+    }
+    served
+}
+
+/// Builds the response for a single-question query from the zone list.
+pub fn answer(zones: &[Arc<Zone>], query: &Message) -> Message {
+    let mut resp = Message::response_to(query);
+    let q = &query.questions[0];
+    for zone in zones {
+        match zone.lookup(&q.name, q.qtype) {
+            ZoneLookup::NotInZone => continue,
+            ZoneLookup::Answer(records) => {
+                resp.authoritative = true;
+                resp.answers = records;
+                return resp;
+            }
+            ZoneLookup::Referral {
+                ns_records, glue, ..
+            } => {
+                resp.authoritative = false;
+                resp.authorities = ns_records;
+                resp.additionals = glue;
+                return resp;
+            }
+            ZoneLookup::NoData => {
+                resp.authoritative = true;
+                return resp;
+            }
+            ZoneLookup::NxDomain => {
+                resp.authoritative = true;
+                resp.rcode = Rcode::NxDomain;
+                return resp;
+            }
+        }
+    }
+    resp.rcode = Rcode::ServFail; // not authoritative for anything queried
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DomainName;
+    use crate::wire::{Message, RecordData, RecordType};
+    use bytes::Bytes;
+    use std::net::Ipv4Addr;
+    use webdep_netsim::{NetConfig, Network, Region, SockAddr};
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn zone() -> Arc<Zone> {
+        let mut z = Zone::new(n("example.com"));
+        z.add_a(n("www.example.com"), Ipv4Addr::new(192, 0, 2, 2));
+        Arc::new(z)
+    }
+
+    #[test]
+    fn serves_queries_over_network() {
+        let net = Network::new(NetConfig::default());
+        let server_ep = net
+            .bind("192.0.2.53".parse().unwrap(), 53, Region::EUROPE)
+            .unwrap();
+        let server_addr = server_ep.addr();
+        let server = AuthServer::spawn(server_ep, vec![zone()]);
+
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        let query = Message::query(99, n("www.example.com"), RecordType::A);
+        client.send(server_addr, encode(&query)).unwrap();
+        let d = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        let resp = decode(&d.payload).unwrap();
+        assert_eq!(resp.id, 99);
+        assert!(resp.is_response && resp.authoritative);
+        assert_eq!(
+            resp.answers[0].data,
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 2))
+        );
+        assert!(server.shutdown() >= 1);
+    }
+
+    #[test]
+    fn garbage_is_ignored_and_server_survives() {
+        let net = Network::new(NetConfig::default());
+        let server_ep = net
+            .bind("192.0.2.53".parse().unwrap(), 53, Region::EUROPE)
+            .unwrap();
+        let server_addr = server_ep.addr();
+        let _server = AuthServer::spawn(server_ep, vec![zone()]);
+
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        client
+            .send(server_addr, Bytes::from_static(b"\x01\x02garbage"))
+            .unwrap();
+        // A valid query still gets answered afterwards.
+        let query = Message::query(7, n("www.example.com"), RecordType::A);
+        client.send(server_addr, encode(&query)).unwrap();
+        let d = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(decode(&d.payload).unwrap().id, 7);
+    }
+
+    #[test]
+    fn servfail_outside_all_zones() {
+        let q = Message::query(1, n("other.org"), RecordType::A);
+        let resp = answer(&[zone()], &q);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn most_specific_zone_wins() {
+        // Host serves both `com` (delegating example.com away) and
+        // `example.com` itself; the child zone must answer.
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("example.com"),
+            &[n("ns1.example.com")],
+            &[(n("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 53))],
+        );
+        let q = Message::query(1, n("www.example.com"), RecordType::A);
+        let mut zones = vec![Arc::new(com), zone()];
+        zones.sort_by_key(|z| std::cmp::Reverse(z.origin().num_labels()));
+        let resp = answer(&zones, &q);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.answers.is_empty(), "child zone should answer");
+    }
+
+    #[test]
+    fn response_messages_get_formerr() {
+        let fake_resp = {
+            let mut m = Message::query(1, n("www.example.com"), RecordType::A);
+            m.is_response = true;
+            m
+        };
+        let net = Network::new(NetConfig::default());
+        let server_ep = net
+            .bind("192.0.2.53".parse().unwrap(), 53, Region::EUROPE)
+            .unwrap();
+        let server_addr: SockAddr = server_ep.addr();
+        let _server = AuthServer::spawn(server_ep, vec![zone()]);
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        client.send(server_addr, encode(&fake_resp)).unwrap();
+        let d = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(decode(&d.payload).unwrap().rcode, Rcode::FormErr);
+    }
+}

@@ -1,0 +1,595 @@
+//! DNS wire format: an RFC 1035 subset with name compression.
+//!
+//! Messages are the standard header / question / answer / authority /
+//! additional layout. Encoding compresses repeated names with pointers;
+//! decoding follows pointers with a hop limit to reject loops.
+
+use crate::name::DomainName;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Record types supported by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative nameserver.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+}
+
+impl RecordType {
+    /// RFC 1035 TYPE value.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+        }
+    }
+
+    /// Parses a TYPE value.
+    pub fn from_code(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(RecordType::A),
+            2 => Some(RecordType::Ns),
+            5 => Some(RecordType::Cname),
+            _ => None,
+        }
+    }
+}
+
+/// Response codes used by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+}
+
+impl Rcode {
+    /// Wire value (low 4 bits of the flags word).
+    pub fn code(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+        }
+    }
+
+    /// Parses a wire value (unknown codes map to `ServFail`).
+    pub fn from_code(code: u16) -> Self {
+        match code & 0xF {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            3 => Rcode::NxDomain,
+            _ => Rcode::ServFail,
+        }
+    }
+}
+
+/// Record data for the supported types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A nameserver host name.
+    Ns(DomainName),
+    /// A canonical name.
+    Cname(DomainName),
+}
+
+impl RecordData {
+    /// The record type of this data.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Cname(_) => RecordType::Cname,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed record data.
+    pub data: RecordData,
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// A DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id, echoed by responders.
+    pub id: u16,
+    /// True for responses (QR bit).
+    pub is_response: bool,
+    /// True when the responder is authoritative for the name (AA bit).
+    pub authoritative: bool,
+    /// Recursion desired (RD bit) — carried but the simulation's
+    /// authoritative servers never recurse.
+    pub recursion_desired: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section (the simulation always uses exactly one).
+    pub questions: Vec<Question>,
+    /// Answer records.
+    pub answers: Vec<Record>,
+    /// Authority (referral) records.
+    pub authorities: Vec<Record>,
+    /// Additional (glue) records.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Builds a query for `name`/`qtype` with the given transaction id.
+    pub fn query(id: u16, name: DomainName, qtype: RecordType) -> Self {
+        Message {
+            id,
+            is_response: false,
+            authoritative: false,
+            recursion_desired: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name, qtype }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Builds an empty response skeleton echoing `query`'s id and question.
+    pub fn response_to(query: &Message) -> Self {
+        Message {
+            id: query.id,
+            is_response: true,
+            authoritative: false,
+            recursion_desired: query.recursion_desired,
+            rcode: Rcode::NoError,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+}
+
+/// Errors from decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A compression pointer loop or excessive indirection.
+    PointerLoop,
+    /// An unsupported record type appeared where one must be understood.
+    UnsupportedType(u16),
+    /// A label failed validation.
+    BadName,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported record type {t}"),
+            WireError::BadName => write!(f, "malformed name"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Flag word bits.
+const FLAG_QR: u16 = 0x8000;
+const FLAG_AA: u16 = 0x0400;
+const FLAG_RD: u16 = 0x0100;
+const CLASS_IN: u16 = 1;
+
+/// Encodes a message to wire bytes (with name compression).
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(512);
+    let mut offsets: HashMap<DomainName, u16> = HashMap::new();
+
+    buf.put_u16(msg.id);
+    let mut flags = 0u16;
+    if msg.is_response {
+        flags |= FLAG_QR;
+    }
+    if msg.authoritative {
+        flags |= FLAG_AA;
+    }
+    if msg.recursion_desired {
+        flags |= FLAG_RD;
+    }
+    flags |= msg.rcode.code();
+    buf.put_u16(flags);
+    buf.put_u16(msg.questions.len() as u16);
+    buf.put_u16(msg.answers.len() as u16);
+    buf.put_u16(msg.authorities.len() as u16);
+    buf.put_u16(msg.additionals.len() as u16);
+
+    for q in &msg.questions {
+        encode_name(&mut buf, &q.name, &mut offsets);
+        buf.put_u16(q.qtype.code());
+        buf.put_u16(CLASS_IN);
+    }
+    for section in [&msg.answers, &msg.authorities, &msg.additionals] {
+        for r in section {
+            encode_record(&mut buf, r, &mut offsets);
+        }
+    }
+    buf.freeze()
+}
+
+fn encode_record(buf: &mut BytesMut, r: &Record, offsets: &mut HashMap<DomainName, u16>) {
+    encode_name(buf, &r.name, offsets);
+    buf.put_u16(r.data.record_type().code());
+    buf.put_u16(CLASS_IN);
+    buf.put_u32(r.ttl);
+    match &r.data {
+        RecordData::A(ip) => {
+            buf.put_u16(4);
+            buf.put_slice(&ip.octets());
+        }
+        RecordData::Ns(n) | RecordData::Cname(n) => {
+            // Two-pass: rdata length depends on compression, so reserve the
+            // length slot, write the name, then patch.
+            let len_pos = buf.len();
+            buf.put_u16(0);
+            let start = buf.len();
+            encode_name(buf, n, offsets);
+            let rdlen = (buf.len() - start) as u16;
+            buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        }
+    }
+}
+
+/// Encodes `name`, emitting a compression pointer at the first suffix that
+/// was already written.
+fn encode_name(buf: &mut BytesMut, name: &DomainName, offsets: &mut HashMap<DomainName, u16>) {
+    let mut current = name.clone();
+    loop {
+        if current.is_root() {
+            buf.put_u8(0);
+            return;
+        }
+        if let Some(&off) = offsets.get(&current) {
+            buf.put_u16(0xC000 | off);
+            return;
+        }
+        // Record this suffix's offset if it is still pointer-addressable.
+        if buf.len() < 0x3FFF {
+            offsets.insert(current.clone(), buf.len() as u16);
+        }
+        let label = current.labels()[0].clone();
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+        current = current.parent().expect("non-root name has a parent");
+    }
+}
+
+/// Decodes a wire message.
+pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+    };
+    let id = cur.u16()?;
+    let flags = cur.u16()?;
+    let qd = cur.u16()? as usize;
+    let an = cur.u16()? as usize;
+    let ns = cur.u16()? as usize;
+    let ar = cur.u16()? as usize;
+
+    let mut questions = Vec::with_capacity(qd);
+    for _ in 0..qd {
+        let name = decode_name(&mut cur)?;
+        let qtype_raw = cur.u16()?;
+        let qtype = RecordType::from_code(qtype_raw)
+            .ok_or(WireError::UnsupportedType(qtype_raw))?;
+        let _class = cur.u16()?;
+        questions.push(Question { name, qtype });
+    }
+    let mut sections = [Vec::with_capacity(an), Vec::new(), Vec::new()];
+    for (idx, count) in [(0, an), (1, ns), (2, ar)] {
+        for _ in 0..count {
+            if let Some(r) = decode_record(&mut cur)? {
+                sections[idx].push(r);
+            }
+        }
+    }
+    let [answers, authorities, additionals] = sections;
+    Ok(Message {
+        id,
+        is_response: flags & FLAG_QR != 0,
+        authoritative: flags & FLAG_AA != 0,
+        recursion_desired: flags & FLAG_RD != 0,
+        rcode: Rcode::from_code(flags),
+        questions,
+        answers,
+        authorities,
+        additionals,
+    })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let hi = self.u8()? as u16;
+        let lo = self.u8()? as u16;
+        Ok(hi << 8 | lo)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let hi = self.u16()? as u32;
+        let lo = self.u16()? as u32;
+        Ok(hi << 16 | lo)
+    }
+
+    fn slice(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Decodes a possibly compressed name starting at the cursor.
+fn decode_name(cur: &mut Cursor<'_>) -> Result<DomainName, WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut pos = cur.pos;
+    let mut jumped = false;
+    let mut hops = 0;
+    loop {
+        let len = *cur.bytes.get(pos).ok_or(WireError::Truncated)? as usize;
+        if len & 0xC0 == 0xC0 {
+            // Compression pointer.
+            let lo = *cur.bytes.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+            let target = ((len & 0x3F) << 8) | lo;
+            if !jumped {
+                cur.pos = pos + 2;
+                jumped = true;
+            }
+            hops += 1;
+            if hops > 32 {
+                return Err(WireError::PointerLoop);
+            }
+            if target >= pos {
+                // Forward pointers are invalid and could loop.
+                return Err(WireError::PointerLoop);
+            }
+            pos = target;
+            continue;
+        }
+        if len == 0 {
+            if !jumped {
+                cur.pos = pos + 1;
+            }
+            break;
+        }
+        let start = pos + 1;
+        let end = start + len;
+        let raw = cur.bytes.get(start..end).ok_or(WireError::Truncated)?;
+        let label = std::str::from_utf8(raw).map_err(|_| WireError::BadName)?;
+        labels.push(label.to_string());
+        pos = end;
+    }
+    if labels.is_empty() {
+        return Ok(DomainName::root());
+    }
+    DomainName::parse(&labels.join(".")).map_err(|_| WireError::BadName)
+}
+
+/// Decodes one record; returns `None` for unknown types (skipped), matching
+/// how a measurement client tolerates records it does not understand.
+fn decode_record(cur: &mut Cursor<'_>) -> Result<Option<Record>, WireError> {
+    let name = decode_name(cur)?;
+    let rtype = cur.u16()?;
+    let _class = cur.u16()?;
+    let ttl = cur.u32()?;
+    let rdlen = cur.u16()? as usize;
+    match RecordType::from_code(rtype) {
+        Some(RecordType::A) => {
+            let raw = cur.slice(rdlen)?;
+            if raw.len() != 4 {
+                return Err(WireError::Truncated);
+            }
+            let ip = Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3]);
+            Ok(Some(Record {
+                name,
+                ttl,
+                data: RecordData::A(ip),
+            }))
+        }
+        Some(RecordType::Ns) | Some(RecordType::Cname) => {
+            let end = cur.pos + rdlen;
+            let target = decode_name(cur)?;
+            if cur.pos > end {
+                return Err(WireError::Truncated);
+            }
+            cur.pos = end;
+            let data = if rtype == RecordType::Ns.code() {
+                RecordData::Ns(target)
+            } else {
+                RecordData::Cname(target)
+            };
+            Ok(Some(Record { name, ttl, data }))
+        }
+        None => {
+            cur.slice(rdlen)?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        decode(&encode(msg)).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, name("www.example.com"), RecordType::A);
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn response_with_all_sections() {
+        let q = Message::query(7, name("example.com"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        r.authoritative = true;
+        r.answers.push(Record {
+            name: name("example.com"),
+            ttl: 300,
+            data: RecordData::A("192.0.2.1".parse().unwrap()),
+        });
+        r.authorities.push(Record {
+            name: name("example.com"),
+            ttl: 3600,
+            data: RecordData::Ns(name("ns1.example.com")),
+        });
+        r.additionals.push(Record {
+            name: name("ns1.example.com"),
+            ttl: 3600,
+            data: RecordData::A("192.0.2.53".parse().unwrap()),
+        });
+        let decoded = roundtrip(&r);
+        assert_eq!(decoded, r);
+        assert!(decoded.authoritative);
+        assert!(decoded.is_response);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(1, name("a.example.com"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        for i in 0..5 {
+            r.answers.push(Record {
+                name: name("a.example.com"),
+                ttl: 60,
+                data: RecordData::A(Ipv4Addr::new(10, 0, 0, i)),
+            });
+        }
+        let encoded = encode(&r);
+        // Without compression each repeat costs 15 name bytes; with pointers
+        // each subsequent record's name costs 2.
+        assert!(encoded.len() < 120, "len = {}", encoded.len());
+        assert_eq!(decode(&encoded).unwrap(), r);
+    }
+
+    #[test]
+    fn cname_rdata_roundtrip() {
+        let q = Message::query(2, name("alias.example.com"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        r.answers.push(Record {
+            name: name("alias.example.com"),
+            ttl: 60,
+            data: RecordData::Cname(name("canonical.example.com")),
+        });
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn root_name_roundtrip() {
+        let q = Message::query(3, DomainName::root(), RecordType::Ns);
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        let q = Message::query(4, name("missing.example"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        r.rcode = Rcode::NxDomain;
+        assert_eq!(roundtrip(&r).rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let q = Message::query(5, name("example.com"), RecordType::A);
+        let enc = encode(&q);
+        for cut in [0, 5, 11, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Hand-crafted message whose question name points at itself.
+        let mut raw = vec![
+            0x00, 0x01, // id
+            0x00, 0x00, // flags
+            0x00, 0x01, // qdcount
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // other counts
+        ];
+        raw.extend_from_slice(&[0xC0, 0x0C]); // pointer to offset 12 (itself)
+        raw.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // qtype/qclass
+        assert!(matches!(decode(&raw), Err(WireError::PointerLoop)));
+    }
+
+    #[test]
+    fn unknown_record_types_are_skipped() {
+        // Build a response with a TXT-ish record (type 16) by hand after a
+        // valid A record; the TXT must be skipped, the A kept.
+        let q = Message::query(9, name("x.y"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        r.answers.push(Record {
+            name: name("x.y"),
+            ttl: 1,
+            data: RecordData::A("1.2.3.4".parse().unwrap()),
+        });
+        let mut enc = BytesMut::from(&encode(&r)[..]);
+        // Patch ancount to 2 and append a type-16 record.
+        enc[6..8].copy_from_slice(&2u16.to_be_bytes());
+        enc.put_u8(0); // root owner name
+        enc.put_u16(16); // TXT
+        enc.put_u16(1); // IN
+        enc.put_u32(0); // ttl
+        enc.put_u16(3); // rdlength
+        enc.put_slice(b"abc");
+        let decoded = decode(&enc).unwrap();
+        assert_eq!(decoded.answers.len(), 1);
+        assert_eq!(decoded.answers[0].data, RecordData::A("1.2.3.4".parse().unwrap()));
+    }
+}

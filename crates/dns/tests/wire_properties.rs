@@ -1,0 +1,107 @@
+//! Property tests for the DNS wire codec: roundtrip over arbitrary valid
+//! messages and no-panic over arbitrary bytes (a network-facing decoder
+//! must never trust its input).
+
+use proptest::prelude::*;
+use webdep_dns::name::DomainName;
+use webdep_dns::wire::{decode, encode, Message, Rcode, Record, RecordData, RecordType};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_-]{1,12}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DomainName::parse(&labels.join(".")).expect("labels are valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RecordData::A(o.into())),
+        arb_name().prop_map(RecordData::Ns),
+        arb_name().prop_map(RecordData::Cname),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, data)| Record {
+        name,
+        ttl,
+        data,
+    })
+}
+
+fn arb_qtype() -> impl Strategy<Value = RecordType> {
+    prop_oneof![
+        Just(RecordType::A),
+        Just(RecordType::Ns),
+        Just(RecordType::Cname),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        arb_name(),
+        arb_qtype(),
+        prop::collection::vec(arb_record(), 0..6),
+        prop::collection::vec(arb_record(), 0..4),
+        prop::collection::vec(arb_record(), 0..4),
+        0u16..4,
+    )
+        .prop_map(
+            |(id, is_response, authoritative, rd, qname, qtype, answers, auth, add, rcode)| {
+                let mut m = Message::query(id, qname, qtype);
+                m.is_response = is_response;
+                m.authoritative = authoritative;
+                m.recursion_desired = rd;
+                m.rcode = Rcode::from_code(rcode);
+                m.answers = answers;
+                m.authorities = auth;
+                m.additionals = add;
+                m
+            },
+        )
+}
+
+proptest! {
+    /// encode → decode is the identity on arbitrary valid messages,
+    /// including heavy name repetition (compression pointers).
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let bytes = encode(&msg);
+        let back = decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Arbitrary bytes never panic the decoder (Err or Ok, never abort).
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Truncating a valid message at any point yields an error or a valid
+    /// (shorter) parse — never a panic.
+    #[test]
+    fn truncation_is_safe(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&msg);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode(&bytes[..cut]);
+    }
+
+    /// Bit flips never panic and, if they decode, yield a well-formed
+    /// message (exercises the pointer-loop and bounds guards).
+    #[test]
+    fn bitflips_are_safe(msg in arb_message(), pos_seed in any::<u64>(), bit in 0u8..8) {
+        let bytes = encode(&msg).to_vec();
+        let mut mutated = bytes.clone();
+        if !mutated.is_empty() {
+            let pos = (pos_seed as usize) % mutated.len();
+            mutated[pos] ^= 1 << bit;
+            let _ = decode(&mutated);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Anycast prefix membership (the bgp.tools anycast-prefixes stand-in).
+
+use crate::trie::PrefixTable;
+use std::net::Ipv4Addr;
+use webdep_netsim::Prefix;
+
+/// A set of prefixes announced via anycast.
+#[derive(Debug, Clone, Default)]
+pub struct AnycastSet {
+    table: PrefixTable<()>,
+}
+
+impl AnycastSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a prefix as anycast.
+    pub fn add(&mut self, prefix: Prefix) {
+        self.table.insert(prefix, ());
+    }
+
+    /// Whether `ip` falls in any anycast prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.table.lookup(ip).is_some()
+    }
+
+    /// Number of anycast prefixes.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let mut s = AnycastSet::new();
+        s.add("1.1.1.0/24".parse().unwrap());
+        assert!(s.contains("1.1.1.1".parse().unwrap()));
+        assert!(!s.contains("1.1.2.1".parse().unwrap()));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = AnycastSet::new();
+        assert!(!s.contains("8.8.8.8".parse().unwrap()));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! IP geolocation (the NetAcuity stand-in).
+//!
+//! Range-based lookup from IP to country, with an optional error process:
+//! the paper notes NetAcuity is about 89.4% accurate at country level, so
+//! the builder can be configured to deterministically mislabel a fraction
+//! of ranges — letting experiments quantify how much geolocation noise
+//! moves the aggregate results.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::net::Ipv4Addr;
+use webdep_netsim::Prefix;
+
+/// Builder for [`GeoDb`].
+#[derive(Debug)]
+pub struct GeoDbBuilder {
+    ranges: Vec<(u32, u32, String)>,
+    error_rate: f64,
+    seed: u64,
+    all_countries: Vec<String>,
+}
+
+impl Default for GeoDbBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeoDbBuilder {
+    /// Creates an empty builder with no error process.
+    pub fn new() -> Self {
+        GeoDbBuilder {
+            ranges: Vec::new(),
+            error_rate: 0.0,
+            seed: 0,
+            all_countries: Vec::new(),
+        }
+    }
+
+    /// Adds a prefix located in `country`.
+    pub fn add_prefix(&mut self, prefix: Prefix, country: &str) -> &mut Self {
+        let start = u32::from(prefix.base());
+        let end = start + (prefix.num_addresses() - 1) as u32;
+        self.ranges.push((start, end, country.to_string()));
+        if !self.all_countries.iter().any(|c| c == country) {
+            self.all_countries.push(country.to_string());
+        }
+        self
+    }
+
+    /// Configures the mislabeling process: each range independently gets a
+    /// wrong country with probability `1 - accuracy`.
+    pub fn with_accuracy(&mut self, accuracy: f64, seed: u64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy in [0,1]");
+        self.error_rate = 1.0 - accuracy;
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the database. Overlapping ranges are allowed; the narrower
+    /// (later-starting) range wins, matching how commercial feeds refine
+    /// allocations.
+    pub fn build(&self) -> GeoDb {
+        let mut ranges = self.ranges.clone();
+        if self.error_rate > 0.0 && self.all_countries.len() > 1 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for r in &mut ranges {
+                if rng.random_range(0.0..1.0) < self.error_rate {
+                    // Pick a different country deterministically.
+                    loop {
+                        let alt =
+                            &self.all_countries[rng.random_range(0..self.all_countries.len())];
+                        if alt != &r.2 {
+                            r.2 = alt.clone();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ranges.sort_by_key(|r| (r.0, r.1));
+        GeoDb { ranges }
+    }
+}
+
+/// The built IP → country database.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    /// Sorted, possibly overlapping `(start, end, country)` ranges.
+    ranges: Vec<(u32, u32, String)>,
+}
+
+impl GeoDb {
+    /// Country of `ip`, if covered by any range. With overlaps, the
+    /// latest-starting (most specific) covering range wins.
+    pub fn country_of(&self, ip: Ipv4Addr) -> Option<&str> {
+        let raw = u32::from(ip);
+        // Binary search for the last range starting at or before `raw`,
+        // then walk left while ranges could still cover it.
+        let idx = self.ranges.partition_point(|r| r.0 <= raw);
+        self.ranges[..idx]
+            .iter()
+            .rev()
+            .take(64) // bounded back-scan; ranges are prefix-shaped in practice
+            .find(|r| r.1 >= raw)
+            .map(|r| r.2.as_str())
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let mut b = GeoDbBuilder::new();
+        b.add_prefix(p("81.0.0.0/8"), "DE");
+        b.add_prefix(p("41.0.0.0/8"), "ZA");
+        let db = b.build();
+        assert_eq!(db.country_of(ip("81.1.2.3")), Some("DE"));
+        assert_eq!(db.country_of(ip("41.255.0.1")), Some("ZA"));
+        assert_eq!(db.country_of(ip("8.8.8.8")), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn specific_overrides_broad() {
+        let mut b = GeoDbBuilder::new();
+        b.add_prefix(p("81.0.0.0/8"), "DE");
+        b.add_prefix(p("81.2.0.0/16"), "AT");
+        let db = b.build();
+        assert_eq!(db.country_of(ip("81.2.3.4")), Some("AT"));
+        assert_eq!(db.country_of(ip("81.3.0.0")), Some("DE"));
+    }
+
+    #[test]
+    fn perfect_accuracy_never_mislabels() {
+        let mut b = GeoDbBuilder::new();
+        for i in 0..50u8 {
+            b.add_prefix(Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16).unwrap(), "US");
+            b.add_prefix(Prefix::new(Ipv4Addr::new(11, i, 0, 0), 16).unwrap(), "FR");
+        }
+        b.with_accuracy(1.0, 42);
+        let db = b.build();
+        for i in 0..50u8 {
+            assert_eq!(db.country_of(Ipv4Addr::new(10, i, 1, 1)), Some("US"));
+        }
+    }
+
+    #[test]
+    fn error_rate_mislabels_roughly_right_fraction() {
+        let mut b = GeoDbBuilder::new();
+        for i in 0..=255u8 {
+            let cc = if i % 2 == 0 { "US" } else { "FR" };
+            b.add_prefix(Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16).unwrap(), cc);
+        }
+        b.with_accuracy(0.894, 7);
+        let db = b.build();
+        let mut wrong = 0;
+        for i in 0..=255u8 {
+            let expect = if i % 2 == 0 { "US" } else { "FR" };
+            if db.country_of(Ipv4Addr::new(10, i, 1, 1)) != Some(expect) {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / 256.0;
+        assert!((0.02..0.25).contains(&rate), "mislabel rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let build = || {
+            let mut b = GeoDbBuilder::new();
+            for i in 0..100u8 {
+                let cc = ["US", "DE", "JP"][i as usize % 3];
+                b.add_prefix(Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16).unwrap(), cc);
+            }
+            b.with_accuracy(0.9, 99);
+            b.build()
+        };
+        let (a, b) = (build(), build());
+        for i in 0..100u8 {
+            let addr = Ipv4Addr::new(10, i, 1, 1);
+            assert_eq!(a.country_of(addr), b.country_of(addr));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # webdep-geodb
+//!
+//! Enrichment databases for the measurement pipeline — the stand-ins for
+//! the third-party datasets the paper joins against (§3.4):
+//!
+//! * [`trie`] / [`PrefixTable`] — longest-prefix-match IP→ASN mapping
+//!   (CAIDA Routeviews pfx2as).
+//! * [`AsOrgDb`] — ASN → organization and home country (CAIDA AS-to-Org).
+//! * [`GeoDb`] — IP → country geolocation with a configurable error rate
+//!   modelling NetAcuity's ~89.4% country-level accuracy.
+//! * [`AnycastSet`] — anycast prefix membership (bgp.tools).
+//! * [`CaOwnerDb`] — certificate issuer → CA owner (CCADB per Ma et al.).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anycast;
+pub mod asorg;
+pub mod caown;
+pub mod geo;
+pub mod trie;
+
+pub use anycast::AnycastSet;
+pub use asorg::{AsOrgDb, OrgRecord};
+pub use caown::{CaOwner, CaOwnerDb};
+pub use geo::{GeoDb, GeoDbBuilder};
+pub use trie::PrefixTable;

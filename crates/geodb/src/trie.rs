@@ -1,0 +1,169 @@
+//! Binary trie with longest-prefix matching — the pfx2as data structure.
+
+use std::net::Ipv4Addr;
+use webdep_netsim::Prefix;
+
+/// A generic longest-prefix-match table over IPv4 prefixes.
+///
+/// Inserting a more specific prefix shadows the covering one, exactly like
+/// routing-table semantics: `lookup` returns the value of the longest
+/// matching prefix.
+#[derive(Debug, Clone)]
+pub struct PrefixTable<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Default for PrefixTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PrefixTable {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts (or replaces) the value for `prefix`. Returns the previous
+    /// value when replacing.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for bit in prefix.bits() {
+            let idx = bit as usize;
+            node = node.children[idx].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for `ip`; returns the value and the matched
+    /// prefix length.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(&V, u8)> {
+        let raw = u32::from(ip);
+        let mut node = &self.root;
+        let mut best: Option<(&V, u8)> = node.value.as_ref().map(|v| (v, 0));
+        for depth in 0..32u8 {
+            let bit = (raw >> (31 - depth)) & 1;
+            match &node.children[bit as usize] {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        best = Some((v, depth + 1));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match retrieval of the value stored for `prefix`.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for bit in prefix.bits() {
+            node = node.children[bit as usize].as_ref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), 100u32);
+        t.insert(p("10.1.0.0/16"), 200);
+        assert_eq!(t.lookup(ip("10.2.3.4")), Some((&100, 8)));
+        assert_eq!(t.lookup(ip("10.1.3.4")), Some((&200, 16)));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn most_specific_wins_regardless_of_insert_order() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.1.0.0/16"), "specific");
+        t.insert(p("10.0.0.0/8"), "broad");
+        assert_eq!(t.lookup(ip("10.1.0.1")).unwrap().0, &"specific");
+        assert_eq!(t.lookup(ip("10.200.0.1")).unwrap().0, &"broad");
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = PrefixTable::new();
+        assert_eq!(t.insert(p("192.0.2.0/24"), 1), None);
+        assert_eq!(t.insert(p("192.0.2.0/24"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("192.0.2.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTable::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("198.51.100.0/24"), "doc");
+        assert_eq!(t.lookup(ip("8.8.8.8")).unwrap(), (&"default", 0));
+        assert_eq!(t.lookup(ip("198.51.100.9")).unwrap(), (&"doc", 24));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTable::new();
+        t.insert(p("203.0.113.7/32"), 7);
+        assert_eq!(t.lookup(ip("203.0.113.7")), Some((&7, 32)));
+        assert_eq!(t.lookup(ip("203.0.113.8")), None);
+    }
+
+    #[test]
+    fn get_requires_exact() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&1));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.get(&p("10.0.0.0/7")), None);
+    }
+}

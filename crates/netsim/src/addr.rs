@@ -1,0 +1,195 @@
+//! IPv4 addressing: socket addresses and CIDR prefixes.
+
+use crate::error::NetError;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An (IPv4 address, port) pair — the network's endpoint identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockAddr {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Port number.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Constructs a socket address.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        SockAddr { ip, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// An IPv4 CIDR prefix, e.g. `203.0.113.0/24`.
+///
+/// The base address is canonicalized (host bits zeroed) at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    base: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix from a base address and length (0..=32).
+    pub fn new(base: Ipv4Addr, len: u8) -> Result<Self, NetError> {
+        if len > 32 {
+            return Err(NetError::InvalidPrefix(format!("length {len} > 32")));
+        }
+        let raw = u32::from(base);
+        Ok(Prefix {
+            base: raw & Self::mask(len),
+            len,
+        })
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// The canonical base address.
+    pub fn base(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// Number of addresses covered (as u64 to hold /0's 2^32).
+    pub fn num_addresses(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `ip` falls inside the prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == self.base
+    }
+
+    /// The `n`-th address in the prefix (0 = base). `None` when out of range.
+    pub fn nth(&self, n: u64) -> Option<Ipv4Addr> {
+        if n >= self.num_addresses() {
+            return None;
+        }
+        Some(Ipv4Addr::from(self.base + n as u32))
+    }
+
+    /// The most significant `bits` of the prefix as a bit iterator,
+    /// MSB-first — the key for longest-prefix-match tries.
+    pub fn bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| (self.base >> (31 - i)) & 1 == 1)
+    }
+
+    /// Splits into the two child prefixes one bit longer; `None` at /32.
+    pub fn split(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let child_len = self.len + 1;
+        let left = Prefix {
+            base: self.base,
+            len: child_len,
+        };
+        let right = Prefix {
+            base: self.base | (1u32 << (31 - self.len)),
+            len: child_len,
+        };
+        Some((left, right))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::InvalidPrefix(format!("missing '/' in {s:?}")))?;
+        let base: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::InvalidPrefix(format!("bad address in {s:?}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| NetError::InvalidPrefix(format!("bad length in {s:?}")))?;
+        Prefix::new(base, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_base() {
+        let p = Prefix::new("203.0.113.77".parse().unwrap(), 24).unwrap();
+        assert_eq!(p.base(), "203.0.113.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(p.to_string(), "203.0.113.0/24");
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains("10.1.255.255".parse().unwrap()));
+        assert!(!p.contains("10.2.0.0".parse().unwrap()));
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains("255.255.255.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn nth_addresses() {
+        let p: Prefix = "192.0.2.0/30".parse().unwrap();
+        assert_eq!(p.num_addresses(), 4);
+        assert_eq!(p.nth(0).unwrap().to_string(), "192.0.2.0");
+        assert_eq!(p.nth(3).unwrap().to_string(), "192.0.2.3");
+        assert!(p.nth(4).is_none());
+    }
+
+    #[test]
+    fn split_children() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let (l, r) = p.split().unwrap();
+        assert_eq!(l.to_string(), "10.0.0.0/9");
+        assert_eq!(r.to_string(), "10.128.0.0/9");
+        let host: Prefix = "10.0.0.1/32".parse().unwrap();
+        assert!(host.split().is_none());
+    }
+
+    #[test]
+    fn bit_iterator() {
+        let p: Prefix = "128.0.0.0/2".parse().unwrap();
+        let bits: Vec<bool> = p.bits().collect();
+        assert_eq!(bits, vec![true, false]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("300.0.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn sockaddr_display() {
+        let a = SockAddr::new("1.2.3.4".parse().unwrap(), 53);
+        assert_eq!(a.to_string(), "1.2.3.4:53");
+    }
+}

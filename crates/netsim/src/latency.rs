@@ -1,0 +1,114 @@
+//! Continent-pair latency model.
+//!
+//! The simulation is synchronous (no sleeping), but every delivery is
+//! charged a simulated one-way latency so experiments can reason about
+//! where traffic would physically travel — e.g. the paper's observation
+//! that African websites are largely served from North America and Europe
+//! has a latency cost this model makes visible.
+
+use crate::network::Region;
+use std::time::Duration;
+
+/// One-way latency model between regions, in milliseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// `ms[from][to]` one-way latency.
+    ms: [[u32; Region::COUNT]; Region::COUNT],
+}
+
+impl Default for LatencyModel {
+    /// Rough public-internet one-way latencies between continents, derived
+    /// from typical RTT/2 figures (intra-continent ~15 ms, transatlantic
+    /// ~40 ms, transpacific ~60 ms, to/from Africa and Oceania higher).
+    fn default() -> Self {
+        use crate::network::Region as R;
+        let mut ms = [[60u32; R::COUNT]; R::COUNT];
+        let regions = [
+            R::NORTH_AMERICA,
+            R::SOUTH_AMERICA,
+            R::EUROPE,
+            R::AFRICA,
+            R::ASIA,
+            R::OCEANIA,
+        ];
+        for r in regions {
+            ms[r.index()][r.index()] = 15;
+        }
+        let mut set = |a: R, b: R, v: u32| {
+            ms[a.index()][b.index()] = v;
+            ms[b.index()][a.index()] = v;
+        };
+        set(R::NORTH_AMERICA, R::EUROPE, 40);
+        set(R::NORTH_AMERICA, R::SOUTH_AMERICA, 55);
+        set(R::NORTH_AMERICA, R::ASIA, 60);
+        set(R::NORTH_AMERICA, R::OCEANIA, 70);
+        set(R::NORTH_AMERICA, R::AFRICA, 75);
+        set(R::EUROPE, R::AFRICA, 45);
+        set(R::EUROPE, R::ASIA, 55);
+        set(R::EUROPE, R::SOUTH_AMERICA, 90);
+        set(R::EUROPE, R::OCEANIA, 120);
+        set(R::ASIA, R::OCEANIA, 55);
+        set(R::ASIA, R::AFRICA, 90);
+        set(R::SOUTH_AMERICA, R::AFRICA, 110);
+        set(R::SOUTH_AMERICA, R::ASIA, 120);
+        set(R::SOUTH_AMERICA, R::OCEANIA, 100);
+        set(R::AFRICA, R::OCEANIA, 140);
+        LatencyModel { ms }
+    }
+}
+
+impl LatencyModel {
+    /// A uniform model (useful for tests).
+    pub fn uniform(ms: u32) -> Self {
+        LatencyModel {
+            ms: [[ms; Region::COUNT]; Region::COUNT],
+        }
+    }
+
+    /// One-way latency between two regions.
+    pub fn one_way(&self, from: Region, to: Region) -> Duration {
+        Duration::from_millis(self.ms[from.index()][to.index()] as u64)
+    }
+
+    /// Round-trip latency between two regions.
+    pub fn rtt(&self, from: Region, to: Region) -> Duration {
+        2 * self.one_way(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Region;
+
+    #[test]
+    fn default_is_symmetric() {
+        let m = LatencyModel::default();
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(m.one_way(a, b), m.one_way(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_is_cheapest_from_each_region() {
+        let m = LatencyModel::default();
+        for a in Region::ALL {
+            for b in Region::ALL {
+                if a != b {
+                    assert!(m.one_way(a, a) <= m.one_way(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_doubles() {
+        let m = LatencyModel::uniform(25);
+        assert_eq!(
+            m.rtt(Region::EUROPE, Region::ASIA),
+            Duration::from_millis(50)
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! The datagram network: binding, unicast and anycast delivery, loss.
+
+use crate::addr::SockAddr;
+use crate::error::NetError;
+use crate::latency::LatencyModel;
+use crate::packet::Datagram;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A coarse geographic region (continent) used for anycast routing and the
+/// latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region(u8);
+
+impl Region {
+    /// North America.
+    pub const NORTH_AMERICA: Region = Region(0);
+    /// South America.
+    pub const SOUTH_AMERICA: Region = Region(1);
+    /// Europe.
+    pub const EUROPE: Region = Region(2);
+    /// Africa.
+    pub const AFRICA: Region = Region(3);
+    /// Asia.
+    pub const ASIA: Region = Region(4);
+    /// Oceania.
+    pub const OCEANIA: Region = Region(5);
+    /// Number of regions.
+    pub const COUNT: usize = 6;
+    /// All regions, in index order.
+    pub const ALL: [Region; Region::COUNT] = [
+        Region::NORTH_AMERICA,
+        Region::SOUTH_AMERICA,
+        Region::EUROPE,
+        Region::AFRICA,
+        Region::ASIA,
+        Region::OCEANIA,
+    ];
+
+    /// Index into region-sized arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Probability in `[0, 1)` that a datagram is silently dropped.
+    pub loss_rate: f64,
+    /// Seed for the loss process (deterministic runs).
+    pub seed: u64,
+    /// Latency model used for anycast site selection and latency accounting.
+    pub latency: LatencyModel,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            loss_rate: 0.0,
+            seed: 0,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+/// Delivery counters, readable at any time via [`Network::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams handed to the network.
+    pub sent: u64,
+    /// Datagrams delivered to an endpoint.
+    pub delivered: u64,
+    /// Datagrams dropped by the loss process.
+    pub dropped: u64,
+    /// Sends that failed because nothing was bound at the destination.
+    pub unreachable: u64,
+    /// Sum of simulated one-way latency over delivered datagrams (ms).
+    pub total_latency_ms: u64,
+}
+
+struct Bound {
+    tx: Sender<Datagram>,
+    region: Region,
+}
+
+struct NetworkInner {
+    unicast: RwLock<HashMap<SockAddr, Bound>>,
+    anycast: RwLock<HashMap<SockAddr, Vec<Bound>>>,
+    loss: Mutex<StdRng>,
+    config: NetConfig,
+    stats: Mutex<NetStats>,
+}
+
+/// Handle to a simulated network. Cloning shares the same fabric.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl Network {
+    /// Creates a fresh, empty network.
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            inner: Arc::new(NetworkInner {
+                unicast: RwLock::new(HashMap::new()),
+                anycast: RwLock::new(HashMap::new()),
+                loss: Mutex::new(StdRng::seed_from_u64(config.seed)),
+                config,
+                stats: Mutex::new(NetStats::default()),
+            }),
+        }
+    }
+
+    /// Binds a unicast endpoint at `ip:port` located in `region`.
+    pub fn bind(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<Endpoint, NetError> {
+        let addr = SockAddr::new(ip, port);
+        let mut map = self.inner.unicast.write();
+        if map.contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr));
+        }
+        let (tx, rx) = unbounded();
+        map.insert(addr, Bound { tx, region });
+        Ok(Endpoint {
+            addr,
+            region,
+            rx,
+            net: self.clone(),
+            anycast: false,
+        })
+    }
+
+    /// Binds one *site* of an anycast address. Multiple sites may share the
+    /// same `ip:port`; delivery picks the site with the lowest modelled
+    /// latency from the sender's region (ties by bind order).
+    pub fn bind_anycast(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<Endpoint, NetError> {
+        let addr = SockAddr::new(ip, port);
+        if self.inner.unicast.read().contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr));
+        }
+        let (tx, rx) = unbounded();
+        self.inner
+            .anycast
+            .write()
+            .entry(addr)
+            .or_default()
+            .push(Bound { tx, region });
+        Ok(Endpoint {
+            addr,
+            region,
+            rx,
+            net: self.clone(),
+            anycast: true,
+        })
+    }
+
+    /// Binds an address onto an existing channel (shared-endpoint support).
+    ///
+    /// Unicast bindings conflict with any existing binding at the address;
+    /// anycast bindings stack per region like [`Network::bind_anycast`].
+    pub(crate) fn bind_tx(
+        &self,
+        addr: SockAddr,
+        region: Region,
+        tx: Sender<Datagram>,
+        anycast: bool,
+    ) -> Result<(), NetError> {
+        if anycast {
+            if self.inner.unicast.read().contains_key(&addr) {
+                return Err(NetError::AddrInUse(addr));
+            }
+            self.inner
+                .anycast
+                .write()
+                .entry(addr)
+                .or_default()
+                .push(Bound { tx, region });
+            Ok(())
+        } else {
+            let mut map = self.inner.unicast.write();
+            if map.contains_key(&addr) || self.inner.anycast.read().contains_key(&addr) {
+                return Err(NetError::AddrInUse(addr));
+            }
+            map.insert(addr, Bound { tx, region });
+            Ok(())
+        }
+    }
+
+    /// Raw send for shared endpoints.
+    pub(crate) fn send_from_raw(
+        &self,
+        src: SockAddr,
+        src_region: Region,
+        dst: SockAddr,
+        payload: Bytes,
+    ) -> Result<(), NetError> {
+        self.send_from(src, src_region, dst, payload)
+    }
+
+    /// Raw unbind for shared endpoints.
+    pub(crate) fn unbind_raw(&self, addr: SockAddr, anycast: bool, region: Region) {
+        self.unbind(addr, anycast, region);
+    }
+
+    /// Whether an address is announced via anycast.
+    pub fn is_anycast(&self, ip: Ipv4Addr, port: u16) -> bool {
+        self.inner
+            .anycast
+            .read()
+            .contains_key(&SockAddr::new(ip, port))
+    }
+
+    /// Snapshot of delivery counters.
+    pub fn stats(&self) -> NetStats {
+        *self.inner.stats.lock()
+    }
+
+    fn send_from(
+        &self,
+        src: SockAddr,
+        src_region: Region,
+        dst: SockAddr,
+        payload: Bytes,
+    ) -> Result<(), NetError> {
+        let inner = &self.inner;
+        inner.stats.lock().sent += 1;
+
+        if inner.config.loss_rate > 0.0 {
+            let roll: f64 = inner.loss.lock().random_range(0.0..1.0);
+            if roll < inner.config.loss_rate {
+                inner.stats.lock().dropped += 1;
+                return Ok(()); // silent loss, like the real thing
+            }
+        }
+
+        // Prefer a unicast binding; otherwise route to the best anycast site.
+        let (tx, dst_region) = {
+            let unicast = inner.unicast.read();
+            if let Some(b) = unicast.get(&dst) {
+                (b.tx.clone(), b.region)
+            } else {
+                let anycast = inner.anycast.read();
+                let Some(sites) = anycast.get(&dst) else {
+                    inner.stats.lock().unreachable += 1;
+                    return Err(NetError::Unreachable(dst));
+                };
+                let best = sites
+                    .iter()
+                    .min_by_key(|b| inner.config.latency.one_way(src_region, b.region))
+                    .expect("anycast entries are never empty");
+                (best.tx.clone(), best.region)
+            }
+        };
+
+        let latency = inner.config.latency.one_way(src_region, dst_region);
+        let delivered = tx
+            .send(Datagram { src, dst, payload })
+            .is_ok();
+        let mut stats = inner.stats.lock();
+        if delivered {
+            stats.delivered += 1;
+            stats.total_latency_ms += latency.as_millis() as u64;
+        } else {
+            stats.unreachable += 1;
+        }
+        Ok(())
+    }
+
+    fn unbind(&self, addr: SockAddr, anycast: bool, region: Region) {
+        if anycast {
+            let mut map = self.inner.anycast.write();
+            if let Some(sites) = map.get_mut(&addr) {
+                // Remove one site in this region (the endpoint's own).
+                if let Some(pos) = sites.iter().position(|b| b.region == region) {
+                    sites.remove(pos);
+                }
+                if sites.is_empty() {
+                    map.remove(&addr);
+                }
+            }
+        } else {
+            self.inner.unicast.write().remove(&addr);
+        }
+    }
+}
+
+/// A bound endpoint: receives datagrams addressed to it and can send.
+///
+/// Dropping the endpoint unbinds the address.
+pub struct Endpoint {
+    addr: SockAddr,
+    region: Region,
+    rx: Receiver<Datagram>,
+    net: Network,
+    anycast: bool,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("addr", &self.addr)
+            .field("region", &self.region)
+            .field("anycast", &self.anycast)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Endpoint {
+    /// The bound socket address.
+    pub fn addr(&self) -> SockAddr {
+        self.addr
+    }
+
+    /// The endpoint's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Sends a datagram to `dst`.
+    ///
+    /// Returns [`NetError::Unreachable`] when nothing is bound there.
+    /// A datagram consumed by the loss process still returns `Ok` — the
+    /// sender cannot tell, exactly like UDP.
+    pub fn send(&self, dst: SockAddr, payload: Bytes) -> Result<(), NetError> {
+        self.net.send_from(self.addr, self.region, dst, payload)
+    }
+
+    /// Blocks until a datagram arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive; `None` when the queue is empty.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.unbind(self.addr, self.anycast, self.region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn unicast_roundtrip() {
+        let net = Network::new(NetConfig::default());
+        let a = net.bind(ip("10.0.0.1"), 53, Region::EUROPE).unwrap();
+        let b = net.bind(ip("10.0.0.2"), 4000, Region::EUROPE).unwrap();
+        b.send(a.addr(), Bytes::from_static(b"hello")).unwrap();
+        let d = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&d.payload[..], b"hello");
+        assert_eq!(d.src, b.addr());
+        // Reply path.
+        a.send(d.src, Bytes::from_static(b"world")).unwrap();
+        let r = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&r.payload[..], b"world");
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let net = Network::new(NetConfig::default());
+        let _a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let err = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap_err();
+        assert!(matches!(err, NetError::AddrInUse(_)));
+        // Different port is fine.
+        assert!(net.bind(ip("10.0.0.1"), 54, Region::ASIA).is_ok());
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let net = Network::new(NetConfig::default());
+        let a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let err = a
+            .send(SockAddr::new(ip("10.9.9.9"), 1), Bytes::new())
+            .unwrap_err();
+        assert!(matches!(err, NetError::Unreachable(_)));
+        assert_eq!(net.stats().unreachable, 1);
+    }
+
+    #[test]
+    fn drop_unbinds() {
+        let net = Network::new(NetConfig::default());
+        let a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let addr = a.addr();
+        drop(a);
+        let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+        assert!(matches!(
+            b.send(addr, Bytes::new()),
+            Err(NetError::Unreachable(_))
+        ));
+        // Rebinding works.
+        assert!(net.bind(ip("10.0.0.1"), 53, Region::EUROPE).is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = Network::new(NetConfig::default());
+        let a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn anycast_routes_to_nearest_site() {
+        let net = Network::new(NetConfig::default());
+        let eu_site = net.bind_anycast(ip("1.1.1.1"), 53, Region::EUROPE).unwrap();
+        let as_site = net.bind_anycast(ip("1.1.1.1"), 53, Region::ASIA).unwrap();
+        assert!(net.is_anycast(ip("1.1.1.1"), 53));
+
+        let eu_client = net.bind(ip("10.0.0.1"), 1, Region::EUROPE).unwrap();
+        let as_client = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+        eu_client
+            .send(SockAddr::new(ip("1.1.1.1"), 53), Bytes::from_static(b"eu"))
+            .unwrap();
+        as_client
+            .send(SockAddr::new(ip("1.1.1.1"), 53), Bytes::from_static(b"as"))
+            .unwrap();
+
+        let d_eu = eu_site.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&d_eu.payload[..], b"eu");
+        let d_as = as_site.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&d_as.payload[..], b"as");
+    }
+
+    #[test]
+    fn anycast_and_unicast_do_not_mix() {
+        let net = Network::new(NetConfig::default());
+        let _u = net.bind(ip("2.2.2.2"), 53, Region::EUROPE).unwrap();
+        assert!(net.bind_anycast(ip("2.2.2.2"), 53, Region::ASIA).is_err());
+    }
+
+    #[test]
+    fn loss_drops_packets_deterministically() {
+        let net = Network::new(NetConfig {
+            loss_rate: 1.0,
+            ..Default::default()
+        });
+        let a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+        // Loss is silent: send succeeds, nothing arrives.
+        b.send(a.addr(), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout));
+        let stats = net.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_latency() {
+        let net = Network::new(NetConfig::default());
+        let a = net.bind(ip("10.0.0.1"), 53, Region::EUROPE).unwrap();
+        let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+        b.send(a.addr(), Bytes::from_static(b"x")).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.delivered, 1);
+        assert!(stats.total_latency_ms >= 15);
+    }
+
+    #[test]
+    fn threaded_echo_server() {
+        let net = Network::new(NetConfig::default());
+        let server = net.bind(ip("10.0.0.1"), 7, Region::NORTH_AMERICA).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Echo until the first message saying "quit".
+            loop {
+                let Ok(d) = server.recv_timeout(Duration::from_secs(5)) else {
+                    break;
+                };
+                if &d.payload[..] == b"quit" {
+                    break;
+                }
+                server.send(d.src, d.payload).unwrap();
+            }
+        });
+        let client = net.bind(ip("10.0.0.9"), 9, Region::EUROPE).unwrap();
+        let dst = SockAddr::new(ip("10.0.0.1"), 7);
+        for i in 0..10u8 {
+            client.send(dst, Bytes::copy_from_slice(&[i])).unwrap();
+            let d = client.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(&d.payload[..], &[i]);
+        }
+        client.send(dst, Bytes::from_static(b"quit")).unwrap();
+        handle.join().unwrap();
+    }
+}

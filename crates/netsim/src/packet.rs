@@ -1,0 +1,46 @@
+//! Datagrams: the unit of delivery on the simulated network.
+
+use crate::addr::SockAddr;
+use bytes::Bytes;
+
+/// A delivered datagram: source, destination, and opaque payload.
+///
+/// `Bytes` keeps payloads reference-counted so fan-out delivery (anycast
+/// diagnostics, stats capture) never copies packet bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender's socket address (for replies).
+    pub src: SockAddr,
+    /// Destination socket address as addressed by the sender.
+    pub dst: SockAddr,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl Datagram {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let d = Datagram {
+            src: SockAddr::new("1.1.1.1".parse().unwrap(), 1),
+            dst: SockAddr::new("2.2.2.2".parse().unwrap(), 2),
+            payload: Bytes::from_static(b"abc"),
+        };
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

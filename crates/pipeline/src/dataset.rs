@@ -1,0 +1,157 @@
+//! The measured dataset: one enriched observation per site.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Everything the pipeline learned about one website.
+///
+/// Organization / owner ids refer to the world's universe (the analysis
+/// resolves names through it); `None` fields record measurement failures,
+/// which the analysis reports rather than hiding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteObservation {
+    /// The measured domain.
+    pub domain: String,
+    /// TLD label extracted from the domain.
+    pub tld: String,
+    /// Content language (LangDetect stand-in).
+    pub language: String,
+
+    /// Serving IP from the A lookup.
+    pub hosting_ip: Option<Ipv4Addr>,
+    /// Origin ASN of the serving IP (pfx2as).
+    pub hosting_asn: Option<u32>,
+    /// Owning organization id (AS-to-Org).
+    pub hosting_org: Option<u32>,
+    /// Organization HQ country.
+    pub hosting_org_country: Option<String>,
+    /// Country the serving IP geolocates to.
+    pub hosting_ip_country: Option<String>,
+    /// Whether the serving IP is in an anycast prefix.
+    pub hosting_anycast: bool,
+
+    /// Nameserver host names from the NS lookup.
+    pub ns_names: Vec<String>,
+    /// Address of the first resolvable nameserver.
+    pub dns_ip: Option<Ipv4Addr>,
+    /// Origin ASN of the nameserver IP.
+    pub dns_asn: Option<u32>,
+    /// DNS provider organization id.
+    pub dns_org: Option<u32>,
+    /// DNS organization HQ country.
+    pub dns_org_country: Option<String>,
+    /// Country the nameserver IP geolocates to.
+    pub dns_ip_country: Option<String>,
+    /// Whether the nameserver IP is anycast.
+    pub dns_anycast: bool,
+
+    /// CA owner id from the TLS leaf certificate (CCADB join).
+    pub ca_owner: Option<u32>,
+    /// CA owner HQ country.
+    pub ca_owner_country: Option<String>,
+
+    /// First error encountered, if any step failed.
+    pub error: Option<String>,
+}
+
+impl SiteObservation {
+    /// A blank observation for a domain (pre-measurement).
+    pub fn blank(domain: &str, language: &str) -> Self {
+        let tld = domain.rsplit('.').next().unwrap_or("").to_string();
+        SiteObservation {
+            domain: domain.to_string(),
+            tld,
+            language: language.to_string(),
+            hosting_ip: None,
+            hosting_asn: None,
+            hosting_org: None,
+            hosting_org_country: None,
+            hosting_ip_country: None,
+            hosting_anycast: false,
+            ns_names: Vec::new(),
+            dns_ip: None,
+            dns_asn: None,
+            dns_org: None,
+            dns_org_country: None,
+            dns_ip_country: None,
+            dns_anycast: false,
+            ca_owner: None,
+            ca_owner_country: None,
+            error: None,
+        }
+    }
+
+    /// True when every layer was measured successfully.
+    pub fn complete(&self) -> bool {
+        self.hosting_org.is_some() && self.dns_org.is_some() && self.ca_owner.is_some()
+    }
+}
+
+/// The full measured dataset, aligned with the generating world.
+#[derive(Debug, Clone)]
+pub struct MeasuredDataset {
+    /// One observation per world site (same indexing as `World::sites`).
+    pub observations: Vec<SiteObservation>,
+    /// Country toplists in `COUNTRIES` order: indices into `observations`.
+    pub toplists: Vec<Vec<u32>>,
+    /// The global top list (indices into `observations`).
+    pub global_top: Vec<u32>,
+    /// Snapshot label copied from the world.
+    pub label: String,
+}
+
+impl MeasuredDataset {
+    /// Fraction of toplist-referenced observations that measured cleanly.
+    pub fn success_rate(&self) -> f64 {
+        let mut referenced = std::collections::HashSet::new();
+        for t in &self.toplists {
+            referenced.extend(t.iter().copied());
+        }
+        if referenced.is_empty() {
+            return 0.0;
+        }
+        let ok = referenced
+            .iter()
+            .filter(|&&i| self.observations[i as usize].complete())
+            .count();
+        ok as f64 / referenced.len() as f64
+    }
+
+    /// Iterates a country's observations.
+    pub fn country_observations(&self, country_idx: usize) -> impl Iterator<Item = &SiteObservation> {
+        self.toplists[country_idx]
+            .iter()
+            .map(move |&i| &self.observations[i as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_extracts_tld() {
+        let o = SiteObservation::blank("kalomi7.co", "en");
+        assert_eq!(o.tld, "co");
+        assert!(!o.complete());
+        assert!(o.error.is_none());
+    }
+
+    #[test]
+    fn success_rate_counts_referenced_only() {
+        let mut ok = SiteObservation::blank("a.com", "en");
+        ok.hosting_org = Some(1);
+        ok.dns_org = Some(1);
+        ok.ca_owner = Some(1);
+        let bad = SiteObservation::blank("b.com", "en");
+        let unreferenced = SiteObservation::blank("c.com", "en");
+        let ds = MeasuredDataset {
+            observations: vec![ok, bad, unreferenced],
+            toplists: vec![vec![0, 1]],
+            global_top: vec![],
+            label: "t".into(),
+        };
+        assert!((ds.success_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ds.country_observations(0).count(), 2);
+    }
+}

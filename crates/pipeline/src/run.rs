@@ -1,0 +1,238 @@
+//! The measurement run: parallel resolve + scan + enrich.
+
+use crate::dataset::{MeasuredDataset, SiteObservation};
+use webdep_dns::resolver::{IterativeResolver, ResolveError, ResolverConfig};
+use webdep_dns::DomainName;
+use webdep_geodb::{AnycastSet, AsOrgDb, CaOwnerDb, GeoDb, PrefixTable};
+use webdep_tls::scanner::{Scanner, ScannerConfig};
+use webdep_webgen::{Continent, DeployedWorld, World};
+
+/// Pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Worker threads (each gets its own resolver cache and scanner).
+    pub workers: usize,
+    /// Vantage continent for the primary measurement (the paper measures
+    /// from Stanford: North America).
+    pub vantage: Continent,
+    /// Resolver tuning.
+    pub resolver: ResolverConfig,
+    /// Scanner tuning.
+    pub scanner: ScannerConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 8,
+            vantage: Continent::NorthAmerica,
+            resolver: ResolverConfig::default(),
+            scanner: ScannerConfig::default(),
+        }
+    }
+}
+
+/// Measures every site of `world` against its deployment, returning the
+/// enriched dataset.
+///
+/// Only the active-measurement outputs come from the network; `language`
+/// is copied from the site record (the LangDetect substitute) and toplist
+/// membership from the CrUX stand-in.
+pub fn measure(world: &World, dep: &DeployedWorld, config: &PipelineConfig) -> MeasuredDataset {
+    let n = world.sites.len();
+    let workers = config.workers.max(1);
+    let mut observations: Vec<SiteObservation> = world
+        .sites
+        .iter()
+        .map(|s| SiteObservation::blank(&s.domain, &s.language))
+        .collect();
+
+    // Shard sites across workers; each worker owns a disjoint slice.
+    let chunk = n.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (wi, slice) in observations.chunks_mut(chunk).enumerate() {
+            let offset = wi * chunk;
+            let cfg = config.clone();
+            scope.spawn(move |_| {
+                let resolver_ep = dep.vantage(cfg.vantage);
+                let scanner_ep = dep.vantage(cfg.vantage);
+                let mut resolver =
+                    IterativeResolver::new(resolver_ep, dep.roots.clone(), cfg.resolver.clone());
+                let mut scanner = Scanner::new(scanner_ep, cfg.scanner.clone());
+                for (i, obs) in slice.iter_mut().enumerate() {
+                    let _site_idx = offset + i;
+                    measure_one(
+                        obs,
+                        &mut resolver,
+                        &mut scanner,
+                        &dep.pfx2as,
+                        &dep.asorg,
+                        &dep.geodb,
+                        &dep.anycast,
+                        &dep.caodb,
+                    );
+                }
+            });
+        }
+    })
+    .expect("pipeline workers do not panic");
+
+    MeasuredDataset {
+        observations,
+        toplists: world.toplists.clone(),
+        global_top: world.global_top.clone(),
+        label: world.label.clone(),
+    }
+}
+
+/// Runs the whole pipeline for a single observation.
+#[allow(clippy::too_many_arguments)]
+fn measure_one(
+    obs: &mut SiteObservation,
+    resolver: &mut IterativeResolver,
+    scanner: &mut Scanner,
+    pfx2as: &PrefixTable<u32>,
+    asorg: &AsOrgDb,
+    geodb: &GeoDb,
+    anycast: &AnycastSet,
+    caodb: &CaOwnerDb,
+) {
+    let Ok(name) = DomainName::parse(&obs.domain) else {
+        obs.error = Some("unparseable domain".to_string());
+        return;
+    };
+
+    // Hosting: A record -> serving IP -> AS -> org; geo + anycast.
+    match resolver.resolve_a(&name) {
+        Ok(addrs) if !addrs.is_empty() => {
+            let ip = addrs[0];
+            obs.hosting_ip = Some(ip);
+            if let Some((&asn, _)) = pfx2as.lookup(ip) {
+                obs.hosting_asn = Some(asn);
+                if let Some(org) = asorg.org_of_asn(asn) {
+                    obs.hosting_org = Some(org.org_id);
+                    obs.hosting_org_country = Some(org.country.clone());
+                }
+            }
+            obs.hosting_ip_country = geodb.country_of(ip).map(str::to_string);
+            obs.hosting_anycast = anycast.contains(ip);
+        }
+        Ok(_) => obs.error = Some("empty A answer".to_string()),
+        Err(e) => obs.error = Some(format!("A: {e}")),
+    }
+
+    // DNS: NS names -> first NS address -> AS -> org.
+    match resolver.resolve_ns(&name) {
+        Ok(ns_names) if !ns_names.is_empty() => {
+            obs.ns_names = ns_names.iter().map(|n| n.to_string()).collect();
+            let mut resolved = None;
+            for ns in &ns_names {
+                match resolver.resolve_a(ns) {
+                    Ok(addrs) if !addrs.is_empty() => {
+                        resolved = Some(addrs[0]);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+            if let Some(ip) = resolved {
+                obs.dns_ip = Some(ip);
+                if let Some((&asn, _)) = pfx2as.lookup(ip) {
+                    obs.dns_asn = Some(asn);
+                    if let Some(org) = asorg.org_of_asn(asn) {
+                        obs.dns_org = Some(org.org_id);
+                        obs.dns_org_country = Some(org.country.clone());
+                    }
+                }
+                obs.dns_ip_country = geodb.country_of(ip).map(str::to_string);
+                obs.dns_anycast = anycast.contains(ip);
+            } else if obs.error.is_none() {
+                obs.error = Some("no nameserver address".to_string());
+            }
+        }
+        Ok(_) => {
+            if obs.error.is_none() {
+                obs.error = Some("empty NS answer".to_string());
+            }
+        }
+        Err(ResolveError::NoData(_)) => {}
+        Err(e) => {
+            if obs.error.is_none() {
+                obs.error = Some(format!("NS: {e}"));
+            }
+        }
+    }
+
+    // TLS: leaf certificate -> issuer -> CA owner.
+    if let Some(ip) = obs.hosting_ip {
+        match scanner.scan(ip, &obs.domain) {
+            Ok(chain) => {
+                if let Some(leaf) = chain.leaf() {
+                    if let Some(owner) = caodb.owner_of_issuer(leaf.issuer_id) {
+                        obs.ca_owner = Some(owner.owner_id);
+                        obs.ca_owner_country = Some(owner.country.clone());
+                    } else if obs.error.is_none() {
+                        obs.error = Some("unknown issuer".to_string());
+                    }
+                }
+            }
+            Err(e) => {
+                if obs.error.is_none() {
+                    obs.error = Some(format!("TLS: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdep_webgen::{DeployConfig, WorldConfig};
+
+    #[test]
+    fn measures_tiny_world_accurately() {
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+        let ds = measure(
+            &world,
+            &dep,
+            &PipelineConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ds.observations.len(), world.sites.len());
+        let rate = ds.success_rate();
+        assert!(rate > 0.99, "success rate {rate}");
+
+        // Measurement must agree with ground truth on org / CA / DNS ids.
+        let mut checked = 0;
+        for (i, site) in world.sites.iter().enumerate().step_by(53) {
+            let obs = &ds.observations[i];
+            assert_eq!(obs.hosting_org, Some(site.hosting), "{}", site.domain);
+            assert_eq!(obs.dns_org, Some(site.dns), "{}", site.domain);
+            assert_eq!(obs.ca_owner, Some(site.ca), "{}", site.domain);
+            assert_eq!(obs.tld, world.universe.tld(site.tld).label, "{}", site.domain);
+            checked += 1;
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn anycast_flag_set_for_cloudflare_sites() {
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+        let ds = measure(&world, &dep, &PipelineConfig::default());
+        let cf = world.universe.provider_by_name("Cloudflare").unwrap();
+        let cf_obs: Vec<&SiteObservation> = ds
+            .observations
+            .iter()
+            .zip(&world.sites)
+            .filter(|(_, s)| s.hosting == cf)
+            .map(|(o, _)| o)
+            .collect();
+        assert!(!cf_obs.is_empty());
+        assert!(cf_obs.iter().all(|o| o.hosting_anycast));
+    }
+}

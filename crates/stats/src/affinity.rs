@@ -1,0 +1,357 @@
+//! Affinity propagation clustering (Frey & Dueck, *Science* 2007).
+//!
+//! The paper clusters providers by (min-max scaled) usage and endemicity
+//! ratio using affinity propagation (§5.2), which selects exemplars by
+//! passing "responsibility" and "availability" messages between points. It
+//! does not require choosing the number of clusters up front — the
+//! *preference* (self-similarity) controls cluster granularity.
+//!
+//! This implementation uses the standard negative squared Euclidean
+//! similarity, median preference by default, damped message updates, and
+//! stops when the exemplar set is stable for `convergence_iter` sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`affinity_propagation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinityConfig {
+    /// Damping factor in `[0.5, 1.0)`; larger is more stable but slower.
+    pub damping: f64,
+    /// Maximum message-passing sweeps.
+    pub max_iter: usize,
+    /// Stop after the exemplar set is unchanged for this many sweeps.
+    pub convergence_iter: usize,
+    /// Self-similarity (preference). `None` uses the median pairwise
+    /// similarity, the classic default that yields a moderate number of
+    /// clusters.
+    pub preference: Option<f64>,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        AffinityConfig {
+            damping: 0.7,
+            max_iter: 400,
+            convergence_iter: 20,
+            preference: None,
+        }
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// For each input point, the index of its exemplar point.
+    pub exemplar_of: Vec<usize>,
+    /// The distinct exemplar indices (cluster centers), ascending.
+    pub exemplars: Vec<usize>,
+    /// Sweeps executed before convergence (or `max_iter`).
+    pub iterations: usize,
+    /// Whether the exemplar set converged before `max_iter`.
+    pub converged: bool,
+}
+
+impl Clustering {
+    /// Number of clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// Cluster label (0-based, dense) per point.
+    pub fn labels(&self) -> Vec<usize> {
+        self.exemplar_of
+            .iter()
+            .map(|e| {
+                self.exemplars
+                    .binary_search(e)
+                    .expect("exemplar_of entries are exemplars")
+            })
+            .collect()
+    }
+
+    /// Members of each cluster, indexed like [`Clustering::exemplars`].
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.exemplars.len()];
+        for (i, label) in self.labels().into_iter().enumerate() {
+            out[label].push(i);
+        }
+        out
+    }
+}
+
+/// Negative squared Euclidean distance, the standard AP similarity.
+fn similarity(a: &[f64], b: &[f64]) -> f64 {
+    -a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+}
+
+/// Clusters `points` (row-major feature vectors) with affinity propagation.
+///
+/// Returns `None` for empty input. A single point trivially clusters with
+/// itself. Memory is `O(n^2)`; intended for up to a few thousand points
+/// (cluster the provider universe, not the website universe).
+pub fn affinity_propagation(points: &[Vec<f64>], config: &AffinityConfig) -> Option<Clustering> {
+    let n = points.len();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(Clustering {
+            exemplar_of: vec![0],
+            exemplars: vec![0],
+            iterations: 0,
+            converged: true,
+        });
+    }
+    assert!(
+        (0.5..1.0).contains(&config.damping),
+        "damping must be in [0.5, 1.0)"
+    );
+    // All-identical input is degenerate for message passing (every pairwise
+    // similarity ties); it is trivially one cluster.
+    if points.iter().all(|p| p == &points[0]) {
+        return Some(Clustering {
+            exemplar_of: vec![0; n],
+            exemplars: vec![0],
+            iterations: 0,
+            converged: true,
+        });
+    }
+
+    // Similarity matrix.
+    let mut s = vec![0.0f64; n * n];
+    let mut off_diag: Vec<f64> = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for k in 0..n {
+            if i != k {
+                let v = similarity(&points[i], &points[k]);
+                s[i * n + k] = v;
+                off_diag.push(v);
+            }
+        }
+    }
+    let preference = config.preference.unwrap_or_else(|| {
+        off_diag.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
+        let m = off_diag.len();
+        if m == 0 {
+            0.0
+        } else {
+            (off_diag[(m - 1) / 2] + off_diag[m / 2]) / 2.0
+        }
+    });
+    for k in 0..n {
+        s[k * n + k] = preference;
+    }
+    // Tiny deterministic jitter to break symmetric ties (standard trick;
+    // keeps e.g. two identical points from oscillating).
+    for (idx, v) in s.iter_mut().enumerate() {
+        let noise = ((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64;
+        *v += noise * 1e-12;
+    }
+
+    let mut r = vec![0.0f64; n * n];
+    let mut a = vec![0.0f64; n * n];
+    let lam = config.damping;
+    let mut stable_sweeps = 0;
+    let mut last_exemplars: Vec<usize> = Vec::new();
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for it in 0..config.max_iter {
+        iterations = it + 1;
+        // Responsibilities: r(i,k) = s(i,k) - max_{k' != k} (a(i,k') + s(i,k')).
+        for i in 0..n {
+            // Find top-2 of a(i,k') + s(i,k').
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            let mut best_k = usize::MAX;
+            for k in 0..n {
+                let v = a[i * n + k] + s[i * n + k];
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_k = k;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            for k in 0..n {
+                let max_other = if k == best_k { second } else { best };
+                let new_r = s[i * n + k] - max_other;
+                r[i * n + k] = lam * r[i * n + k] + (1.0 - lam) * new_r;
+            }
+        }
+        // Availabilities.
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for i in 0..n {
+                if i != k {
+                    pos_sum += r[i * n + k].max(0.0);
+                }
+            }
+            let rkk = r[k * n + k];
+            for i in 0..n {
+                let new_a = if i == k {
+                    pos_sum
+                } else {
+                    let without_i = pos_sum - r[i * n + k].max(0.0);
+                    (rkk + without_i).min(0.0)
+                };
+                a[i * n + k] = lam * a[i * n + k] + (1.0 - lam) * new_a;
+            }
+        }
+        // Current exemplars.
+        let exemplars: Vec<usize> = (0..n)
+            .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+            .collect();
+        if !exemplars.is_empty() && exemplars == last_exemplars {
+            stable_sweeps += 1;
+            if stable_sweeps >= config.convergence_iter {
+                converged = true;
+                break;
+            }
+        } else {
+            stable_sweeps = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    let mut exemplars: Vec<usize> = (0..n)
+        .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+        .collect();
+    if exemplars.is_empty() {
+        // Degenerate run (e.g. max_iter too small): fall back to the point
+        // with the best self-evidence so every caller gets a valid result.
+        let best = (0..n)
+            .max_by(|&x, &y| {
+                (r[x * n + x] + a[x * n + x])
+                    .partial_cmp(&(r[y * n + y] + a[y * n + y]))
+                    .expect("messages are finite")
+            })
+            .expect("n > 0");
+        exemplars.push(best);
+    }
+    // Assign each point to the most similar exemplar; exemplars to themselves.
+    let exemplar_of: Vec<usize> = (0..n)
+        .map(|i| {
+            if exemplars.binary_search(&i).is_ok() {
+                return i;
+            }
+            *exemplars
+                .iter()
+                .max_by(|&&x, &&y| {
+                    s[i * n + x]
+                        .partial_cmp(&s[i * n + y])
+                        .expect("similarities are finite")
+                })
+                .expect("at least one exemplar")
+        })
+        .collect();
+
+    Some(Clustering {
+        exemplar_of,
+        exemplars,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0 + 0.013 * i as f64]);
+        }
+        for i in 0..8 {
+            pts.push(vec![1.0 + 0.01 * i as f64, 1.0 - 0.008 * i as f64]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blob_points();
+        let c = affinity_propagation(&pts, &AffinityConfig::default()).unwrap();
+        assert!(c.converged, "should converge on well-separated blobs");
+        assert_eq!(c.num_clusters(), 2, "exemplars: {:?}", c.exemplars);
+        let labels = c.labels();
+        // All of the first blob shares a label; all of the second shares the
+        // other.
+        assert!(labels[..8].iter().all(|&l| l == labels[0]));
+        assert!(labels[8..].iter().all(|&l| l == labels[8]));
+        assert_ne!(labels[0], labels[8]);
+    }
+
+    #[test]
+    fn single_point() {
+        let c = affinity_propagation(&[vec![1.0, 2.0]], &AffinityConfig::default()).unwrap();
+        assert_eq!(c.exemplars, vec![0]);
+        assert_eq!(c.exemplar_of, vec![0]);
+        assert!(c.converged);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(affinity_propagation(&[], &AffinityConfig::default()).is_none());
+    }
+
+    #[test]
+    fn identical_points_form_one_cluster() {
+        let pts = vec![vec![0.5, 0.5]; 6];
+        let c = affinity_propagation(&pts, &AffinityConfig::default()).unwrap();
+        assert_eq!(c.num_clusters(), 1, "{:?}", c.exemplars);
+    }
+
+    #[test]
+    fn low_preference_fewer_clusters() {
+        let pts = two_blob_points();
+        let tight = affinity_propagation(
+            &pts,
+            &AffinityConfig {
+                preference: Some(-100.0),
+                ..AffinityConfig::default()
+            },
+        )
+        .unwrap();
+        let loose = affinity_propagation(
+            &pts,
+            &AffinityConfig {
+                preference: Some(-0.0001),
+                ..AffinityConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(tight.num_clusters() <= loose.num_clusters());
+        assert!(loose.num_clusters() >= 2);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let pts = two_blob_points();
+        let c = affinity_propagation(&pts, &AffinityConfig::default()).unwrap();
+        let members = c.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, pts.len());
+        // Each exemplar belongs to its own cluster.
+        for (label, &ex) in c.exemplars.iter().enumerate() {
+            assert!(members[label].contains(&ex));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damping_validated() {
+        let _ = affinity_propagation(
+            &[vec![0.0], vec![1.0]],
+            &AffinityConfig {
+                damping: 1.5,
+                ..AffinityConfig::default()
+            },
+        );
+    }
+}

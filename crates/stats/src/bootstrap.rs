@@ -1,0 +1,131 @@
+//! Seeded bootstrap confidence intervals.
+//!
+//! The paper reports point estimates; a toolkit release should also say
+//! how stable they are under toplist resampling. [`bootstrap_ci`]
+//! resamples observations with replacement and returns a percentile
+//! interval for any statistic — used by `examples/uncertainty.rs` to
+//! attach intervals to per-country centralization scores.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Bootstrap replicates used.
+    pub replicates: usize,
+}
+
+impl BootstrapCi {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a value falls inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Percentile bootstrap for `statistic` over `items`.
+///
+/// * `level` — confidence level in `(0, 1)`, e.g. `0.95`.
+/// * `replicates` — number of resamples (hundreds suffice for reporting).
+///
+/// Deterministic for a given `seed`. Returns `None` for an empty sample,
+/// a degenerate level, or zero replicates.
+pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
+    items: &[T],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if items.is_empty() || replicates == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return None;
+    }
+    let point = statistic(items);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(replicates);
+    let mut resample = Vec::with_capacity(items.len());
+    for _ in 0..replicates {
+        resample.clear();
+        for _ in 0..items.len() {
+            resample.push(items[rng.random_range(0..items.len())].clone());
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1)
+    };
+    Some(BootstrapCi {
+        point,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        replicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(&data, mean, 500, 0.95, 42).unwrap();
+        assert!(ci.contains(ci.point));
+        assert!(ci.contains(4.5), "{ci:?}");
+        assert!(ci.width() < 1.0, "{ci:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&data, mean, 200, 0.9, 7).unwrap();
+        let b = bootstrap_ci(&data, mean, 200, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&data, mean, 200, 0.9, 8).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let data = vec![3.0; 30];
+        let ci = bootstrap_ci(&data, mean, 100, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let narrow = bootstrap_ci(&data, mean, 400, 0.80, 5).unwrap();
+        let wide = bootstrap_ci(&data, mean, 400, 0.99, 5).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let data = vec![1.0];
+        assert!(bootstrap_ci::<f64, _>(&[], mean, 100, 0.95, 0).is_none());
+        assert!(bootstrap_ci(&data, mean, 0, 0.95, 0).is_none());
+        assert!(bootstrap_ci(&data, mean, 100, 1.0, 0).is_none());
+        assert!(bootstrap_ci(&data, mean, 100, 0.0, 0).is_none());
+    }
+}

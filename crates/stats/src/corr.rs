@@ -1,0 +1,221 @@
+//! Pearson and Spearman correlation with two-sided p-values.
+//!
+//! The paper reports Pearson's `rho` throughout (e.g. `rho = 0.90` between
+//! centralization and XL-GP share) with significance statements like
+//! `p << 0.05`, and interprets magnitudes with Akoglu's bands: `< 0.30`
+//! poor, `0.30-0.60` fair, `0.60-0.80` moderate, `> 0.80` strong.
+
+use crate::special::t_test_two_sided;
+use serde::{Deserialize, Serialize};
+
+/// A correlation estimate with its two-sided p-value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Correlation {
+    /// The correlation coefficient in `[-1, 1]`.
+    pub rho: f64,
+    /// Two-sided p-value under the t-distribution null.
+    pub p_value: f64,
+    /// Number of paired observations.
+    pub n: usize,
+}
+
+impl Correlation {
+    /// Akoglu interpretation band of `|rho|`.
+    pub fn strength(&self) -> CorrelationStrength {
+        CorrelationStrength::classify(self.rho)
+    }
+
+    /// Whether the correlation is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Interpretation bands for correlation coefficients (Akoglu 2018), the
+/// guideline the paper follows (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelationStrength {
+    /// `|rho| < 0.30`.
+    Poor,
+    /// `0.30 <= |rho| < 0.60`.
+    Fair,
+    /// `0.60 <= |rho| < 0.80`.
+    Moderate,
+    /// `|rho| >= 0.80`.
+    Strong,
+}
+
+impl CorrelationStrength {
+    /// Classifies a coefficient by magnitude.
+    pub fn classify(rho: f64) -> Self {
+        let a = rho.abs();
+        if a < 0.30 {
+            CorrelationStrength::Poor
+        } else if a < 0.60 {
+            CorrelationStrength::Fair
+        } else if a < 0.80 {
+            CorrelationStrength::Moderate
+        } else {
+            CorrelationStrength::Strong
+        }
+    }
+}
+
+/// Pearson product-moment correlation between two equal-length samples.
+///
+/// Returns `None` when fewer than 3 pairs are given or either sample has
+/// zero variance (the coefficient is undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<Correlation> {
+    if x.len() != y.len() || x.len() < 3 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    let rho = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let df = n - 2.0;
+    let p_value = if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = rho * (df / (1.0 - rho * rho)).sqrt();
+        t_test_two_sided(t, df)
+    };
+    Some(Correlation {
+        rho,
+        p_value,
+        n: x.len(),
+    })
+}
+
+/// Spearman rank correlation: Pearson over average ranks (ties averaged).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<Correlation> {
+    if x.len() != y.len() || x.len() < 3 {
+        return None;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average ranks (1-based); ties get the mean of the ranks they span.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaNs in rank input"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 averaged.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.rho - 1.0).abs() < 1e-12);
+        assert!(c.p_value < 1e-12);
+        assert_eq!(c.strength(), CorrelationStrength::Strong);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_has_large_p() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [2.0, 1.0, 3.0, 2.5, 1.5, 2.2];
+        let c = pearson(&x, &y).unwrap();
+        assert!(c.rho.abs() < 0.5);
+        assert!(c.p_value > 0.05);
+        assert!(!c.significant_at(0.05));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0]).is_none()); // too short
+        assert!(pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none()); // mismatch
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none()); // zero var
+    }
+
+    #[test]
+    fn known_p_value_magnitude() {
+        // n = 150, rho = 0.9 -> t ~ 25, p astronomically small.
+        let n = 150;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
+        let c = pearson(&x, &y).unwrap();
+        assert!(c.rho > 0.8);
+        assert!(c.p_value < 1e-10, "p = {}", c.p_value);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // cubic, monotone
+        let s = spearman(&x, &y).unwrap();
+        assert!((s.rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn strength_bands() {
+        assert_eq!(
+            CorrelationStrength::classify(0.19),
+            CorrelationStrength::Poor
+        );
+        assert_eq!(
+            CorrelationStrength::classify(-0.45),
+            CorrelationStrength::Fair
+        );
+        assert_eq!(
+            CorrelationStrength::classify(-0.72),
+            CorrelationStrength::Moderate
+        );
+        assert_eq!(
+            CorrelationStrength::classify(0.90),
+            CorrelationStrength::Strong
+        );
+    }
+}

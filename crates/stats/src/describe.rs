@@ -1,0 +1,169 @@
+//! Descriptive statistics: mean, variance, median, quantiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance (divide by `n`); `None` for an empty slice.
+///
+/// The paper reports population-style variances (e.g. "var = 0.003" for
+/// hosting scores), so this is the default.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divide by `n - 1`); `None` if fewer than two values.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two central values for even lengths).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`; `None` for empty input or
+/// out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Index of the median element (lower median) of a value slice — used by
+/// the paper to identify e.g. "the median country". Ties broken by index.
+pub fn median_index(xs: &[f64]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaNs"));
+    Some(idx[(xs.len() - 1) / 2])
+}
+
+/// A compact five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub var: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample; `None` if empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs)?,
+            var: variance(xs)?,
+            min,
+            median: median(xs)?,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(variance(&xs), Some(1.25));
+        assert!((sample_variance(&xs).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_index(&[]), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.25), Some(1.0));
+        assert_eq!(quantile(&xs, 0.1), Some(0.4));
+        assert_eq!(quantile(&xs, 1.5), None);
+        assert_eq!(quantile(&xs, -0.1), None);
+    }
+
+    #[test]
+    fn median_index_points_at_lower_median() {
+        let xs = [10.0, 5.0, 7.0];
+        assert_eq!(median_index(&xs), Some(2)); // 7.0
+        let even = [10.0, 5.0, 7.0, 1.0];
+        assert_eq!(median_index(&even), Some(1)); // lower median 5.0
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.median, 4.0);
+    }
+}

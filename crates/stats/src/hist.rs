@@ -1,0 +1,138 @@
+//! Fixed-width histograms and empirical CDFs (Figures 11 and 12).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin-width histogram over `[lo, hi)` (the final bin is closed on
+/// the right so `hi` itself is counted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub lo: f64,
+    /// Upper bound of the last bin.
+    pub hi: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Count per bin.
+    pub counts: Vec<u64>,
+    /// Values outside `[lo, hi]` (recorded, not binned).
+    pub out_of_range: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// Panics if `bins == 0` or `hi <= lo` (caller bug).
+    pub fn new(lo: f64, hi: f64, bins: usize, values: &[f64]) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        let bin_width = (hi - lo) / bins as f64;
+        let mut counts = vec![0u64; bins];
+        let mut out_of_range = 0;
+        for &v in values {
+            if v.is_nan() || v < lo || v > hi {
+                out_of_range += 1;
+                continue;
+            }
+            let idx = (((v - lo) / bin_width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            bin_width,
+            counts,
+            out_of_range,
+        }
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(bin_start, count)` pairs, for rendering.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * self.bin_width, c))
+            .collect()
+    }
+}
+
+/// Empirical CDF: returns sorted `(value, cumulative_fraction)` points.
+///
+/// NaNs are dropped. Empty input yields an empty curve.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Evaluates the empirical CDF at `x`: fraction of values `<= x`.
+pub fn ecdf_at(values: &[f64], x: f64) -> f64 {
+    let n = values.iter().filter(|v| !v.is_nan()).count();
+    if n == 0 {
+        return 0.0;
+    }
+    let le = values.iter().filter(|&&v| !v.is_nan() && v <= x).count();
+    le as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let h = Histogram::new(0.0, 1.0, 4, &[0.1, 0.3, 0.3, 0.9, 1.0]);
+        assert_eq!(h.counts, vec![1, 2, 0, 2]); // 1.0 lands in the last bin
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.out_of_range, 0);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let h = Histogram::new(0.0, 1.0, 2, &[-0.5, 0.5, 2.0, f64::NAN]);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.out_of_range, 3);
+    }
+
+    #[test]
+    fn bins_start_points() {
+        let h = Histogram::new(0.0, 0.6, 3, &[]);
+        let starts: Vec<f64> = h.bins().iter().map(|b| b.0).collect();
+        assert!((starts[0] - 0.0).abs() < 1e-12);
+        assert!((starts[1] - 0.2).abs() < 1e-12);
+        assert!((starts[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_properties() {
+        let points = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0], (1.0, 1.0 / 3.0));
+        assert_eq!(points[2], (3.0, 1.0));
+        // Monotone in both coordinates.
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn ecdf_at_values() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ecdf_at(&v, 0.5), 0.0);
+        assert_eq!(ecdf_at(&v, 2.0), 0.5);
+        assert_eq!(ecdf_at(&v, 10.0), 1.0);
+        assert_eq!(ecdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0, &[]);
+    }
+}

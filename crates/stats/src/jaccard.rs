@@ -1,0 +1,63 @@
+//! Jaccard set similarity, used in §5.4 to quantify top-list churn between
+//! the May-2023 and May-2025 measurements (Russia ~0.4, global mean ~0.37).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Jaccard index `|A ∩ B| / |A ∪ B|` in `[0, 1]`.
+///
+/// Two empty sets are identical by convention (returns 1.0).
+pub fn jaccard_index<T: Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard index over iterators of items (collects into sets first).
+pub fn jaccard_of<I, J, T>(a: I, b: J) -> f64
+where
+    I: IntoIterator<Item = T>,
+    J: IntoIterator<Item = T>,
+    T: Hash + Eq,
+{
+    let sa: HashSet<T> = a.into_iter().collect();
+    let sb: HashSet<T> = b.into_iter().collect();
+    jaccard_index(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard_of(["a", "b"], ["b", "a"]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard_of(["a"], ["b"]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {a,b,c} vs {b,c,d}: 2 / 4.
+        assert_eq!(jaccard_of(["a", "b", "c"], ["b", "c", "d"]), 0.5);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e: HashSet<&str> = HashSet::new();
+        let s: HashSet<&str> = ["x"].into_iter().collect();
+        assert_eq!(jaccard_index(&e, &e), 1.0);
+        assert_eq!(jaccard_index(&e, &s), 0.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        assert_eq!(jaccard_of(["a", "a", "b"], ["a", "b", "b"]), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Min-max feature scaling (§5.2: "we calculate the usage and endemicity
+//! ratio for each provider, then apply min-max scaling and cluster").
+
+/// Scales each column of a row-major feature matrix to `[0, 1]`.
+///
+/// A constant column maps to all zeros (no information). Rows must all have
+/// the same width; panics otherwise (caller bug).
+pub fn min_max_scale_columns(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let width = first.len();
+    assert!(
+        rows.iter().all(|r| r.len() == width),
+        "all feature rows must have the same width"
+    );
+    let mut mins = vec![f64::INFINITY; width];
+    let mut maxs = vec![f64::NEG_INFINITY; width];
+    for row in rows {
+        for (j, &v) in row.iter().enumerate() {
+            mins[j] = mins[j].min(v);
+            maxs[j] = maxs[j].max(v);
+        }
+    }
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    let span = maxs[j] - mins[j];
+                    if span == 0.0 {
+                        0.0
+                    } else {
+                        (v - mins[j]) / span
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Scales a single vector to `[0, 1]`; constant input maps to zeros.
+pub fn min_max_scale(xs: &[f64]) -> Vec<f64> {
+    min_max_scale_columns(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>())
+        .into_iter()
+        .map(|r| r[0])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_unit_interval() {
+        let rows = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]];
+        let scaled = min_max_scale_columns(&rows);
+        assert_eq!(scaled[0], vec![0.0, 0.0]);
+        assert_eq!(scaled[1], vec![0.5, 0.5]);
+        assert_eq!(scaled[2], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_column_is_zeroed() {
+        let rows = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let scaled = min_max_scale_columns(&rows);
+        assert_eq!(scaled[0][0], 0.0);
+        assert_eq!(scaled[1][0], 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(min_max_scale_columns(&[]).is_empty());
+        assert!(min_max_scale(&[]).is_empty());
+    }
+
+    #[test]
+    fn vector_helper() {
+        assert_eq!(min_max_scale(&[2.0, 4.0, 6.0]), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn ragged_rows_panic() {
+        let _ = min_max_scale_columns(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Special functions backing the correlation p-values: natural log of the
+//! gamma function and the regularized incomplete beta function.
+//!
+//! Implementations follow the classic Lanczos approximation and the
+//! continued-fraction expansion of the incomplete beta (Numerical Recipes
+//! style), accurate to well beyond what two-sided p-value reporting needs.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Valid for `x > 0`; panics otherwise.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `x` in `[0, 1]`,
+/// `a, b > 0`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-14;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value for a Student-t statistic `t` with `df` degrees of
+/// freedom, via `I_x(df/2, 1/2)` with `x = df / (df + t^2)`.
+pub fn t_test_two_sided(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        let x = 0.3;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1, 1) = x (uniform CDF).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_reference_value() {
+        // I_0.5(2, 2) = 0.5 by symmetry.
+        assert!((incomplete_beta(2.0, 2.0, 0.5) - 0.5).abs() < 1e-12);
+        // I_0.25(2, 2) = 3x^2 - 2x^3 at x = 0.25 -> 0.15625.
+        assert!((incomplete_beta(2.0, 2.0, 0.25) - 0.15625).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_test_matches_known_quantiles() {
+        // t = 0 -> p = 1.
+        assert!((t_test_two_sided(0.0, 10.0) - 1.0).abs() < 1e-12);
+        // Large |t| -> p near 0.
+        assert!(t_test_two_sided(50.0, 10.0) < 1e-10);
+        // t = 2.228, df = 10 is the classic 5% two-sided critical value.
+        let p = t_test_two_sided(2.228, 10.0);
+        assert!((p - 0.05).abs() < 1e-3, "{p}");
+        // Infinite t: p = 0.
+        assert_eq!(t_test_two_sided(f64::INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be in [0, 1]")]
+    fn incomplete_beta_rejects_bad_x() {
+        let _ = incomplete_beta(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,242 @@
+//! Handshake messages and framing.
+//!
+//! Each datagram carries one or more frames: `[type: u8][len: u32][body]`.
+//! The client's flight is a single `ClientHello`; the server's flight is
+//! `ServerHello` followed by `Certificate` (or a single `Alert`).
+
+use crate::cert::CertificateChain;
+use bytes::{BufMut, Bytes, BytesMut};
+
+const TYPE_CLIENT_HELLO: u8 = 1;
+const TYPE_SERVER_HELLO: u8 = 2;
+const TYPE_CERTIFICATE: u8 = 11;
+const TYPE_ALERT: u8 = 21;
+
+/// Maximum frame body we accept (defensive bound).
+const MAX_FRAME: usize = 1 << 20;
+
+/// Handshake protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// Client's opening flight, carrying the server name indication.
+    ClientHello {
+        /// Client nonce.
+        random: u64,
+        /// Requested server name.
+        sni: String,
+    },
+    /// Server acceptance.
+    ServerHello {
+        /// Server nonce.
+        random: u64,
+        /// Negotiated cipher suite id (cosmetic in the simulation).
+        cipher: u16,
+    },
+    /// The server's certificate chain.
+    Certificate(CertificateChain),
+    /// Fatal alert with a code (e.g. unrecognized name).
+    Alert(u8),
+}
+
+/// Alert code for "unrecognized_name" (mirrors TLS's 112).
+pub const ALERT_UNRECOGNIZED_NAME: u8 = 112;
+
+/// Errors from parsing handshake bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// Frame header or body incomplete.
+    Truncated,
+    /// Unknown frame type.
+    UnknownType(u8),
+    /// Frame body failed to parse.
+    Malformed,
+    /// Frame length exceeds the defensive bound.
+    Oversized(usize),
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::Truncated => write!(f, "truncated handshake data"),
+            TlsError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            TlsError::Malformed => write!(f, "malformed frame body"),
+            TlsError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl HandshakeMessage {
+    fn frame_type(&self) -> u8 {
+        match self {
+            HandshakeMessage::ClientHello { .. } => TYPE_CLIENT_HELLO,
+            HandshakeMessage::ServerHello { .. } => TYPE_SERVER_HELLO,
+            HandshakeMessage::Certificate(_) => TYPE_CERTIFICATE,
+            HandshakeMessage::Alert(_) => TYPE_ALERT,
+        }
+    }
+}
+
+/// Encodes a sequence of messages into one datagram payload.
+pub fn encode_flight(messages: &[HandshakeMessage]) -> Bytes {
+    let mut buf = BytesMut::new();
+    for m in messages {
+        let mut body = BytesMut::new();
+        match m {
+            HandshakeMessage::ClientHello { random, sni } => {
+                body.put_u64(*random);
+                body.put_u16(sni.len() as u16);
+                body.put_slice(sni.as_bytes());
+            }
+            HandshakeMessage::ServerHello { random, cipher } => {
+                body.put_u64(*random);
+                body.put_u16(*cipher);
+            }
+            HandshakeMessage::Certificate(chain) => {
+                body.put_slice(&chain.encode());
+            }
+            HandshakeMessage::Alert(code) => {
+                body.put_u8(*code);
+            }
+        }
+        buf.put_u8(m.frame_type());
+        buf.put_u32(body.len() as u32);
+        buf.put_slice(&body);
+    }
+    buf.freeze()
+}
+
+/// Decodes all frames in a datagram payload.
+pub fn decode_flight(bytes: &[u8]) -> Result<Vec<HandshakeMessage>, TlsError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let ftype = bytes[pos];
+        let len_bytes = bytes.get(pos + 1..pos + 5).ok_or(TlsError::Truncated)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(TlsError::Oversized(len));
+        }
+        let body = bytes
+            .get(pos + 5..pos + 5 + len)
+            .ok_or(TlsError::Truncated)?;
+        pos += 5 + len;
+        out.push(decode_body(ftype, body)?);
+    }
+    Ok(out)
+}
+
+fn decode_body(ftype: u8, body: &[u8]) -> Result<HandshakeMessage, TlsError> {
+    match ftype {
+        TYPE_CLIENT_HELLO => {
+            if body.len() < 10 {
+                return Err(TlsError::Malformed);
+            }
+            let random = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+            let sni_len = u16::from_be_bytes([body[8], body[9]]) as usize;
+            let sni = body.get(10..10 + sni_len).ok_or(TlsError::Malformed)?;
+            let sni = std::str::from_utf8(sni).map_err(|_| TlsError::Malformed)?;
+            Ok(HandshakeMessage::ClientHello {
+                random,
+                sni: sni.to_string(),
+            })
+        }
+        TYPE_SERVER_HELLO => {
+            if body.len() != 10 {
+                return Err(TlsError::Malformed);
+            }
+            let random = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+            let cipher = u16::from_be_bytes([body[8], body[9]]);
+            Ok(HandshakeMessage::ServerHello { random, cipher })
+        }
+        TYPE_CERTIFICATE => {
+            let mut pos = 0;
+            let chain =
+                CertificateChain::decode_from(body, &mut pos).ok_or(TlsError::Malformed)?;
+            if pos != body.len() {
+                return Err(TlsError::Malformed);
+            }
+            Ok(HandshakeMessage::Certificate(chain))
+        }
+        TYPE_ALERT => {
+            if body.len() != 1 {
+                return Err(TlsError::Malformed);
+            }
+            Ok(HandshakeMessage::Alert(body[0]))
+        }
+        other => Err(TlsError::UnknownType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::Certificate;
+
+    fn chain() -> CertificateChain {
+        CertificateChain {
+            certs: vec![Certificate {
+                serial: 5,
+                subject: "example.com".into(),
+                san: vec!["*.example.com".into()],
+                issuer_id: 1,
+                issuer_name: "R11".into(),
+                not_before: 0,
+                not_after: 100,
+                is_ca: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let m = HandshakeMessage::ClientHello {
+            random: 0xDEAD_BEEF,
+            sni: "www.example.com".into(),
+        };
+        let enc = encode_flight(std::slice::from_ref(&m));
+        assert_eq!(decode_flight(&enc).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn server_flight_roundtrip() {
+        let flight = vec![
+            HandshakeMessage::ServerHello {
+                random: 42,
+                cipher: 0x1301,
+            },
+            HandshakeMessage::Certificate(chain()),
+        ];
+        let enc = encode_flight(&flight);
+        assert_eq!(decode_flight(&enc).unwrap(), flight);
+    }
+
+    #[test]
+    fn alert_roundtrip() {
+        let m = HandshakeMessage::Alert(ALERT_UNRECOGNIZED_NAME);
+        let enc = encode_flight(std::slice::from_ref(&m));
+        assert_eq!(decode_flight(&enc).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = encode_flight(&[HandshakeMessage::Alert(1)]);
+        for cut in [1, 3, enc.len() - 1] {
+            assert!(decode_flight(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let raw = [99u8, 0, 0, 0, 0];
+        assert_eq!(decode_flight(&raw), Err(TlsError::UnknownType(99)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut raw = vec![TYPE_ALERT];
+        raw.extend_from_slice(&(2_000_000u32).to_be_bytes());
+        assert!(matches!(decode_flight(&raw), Err(TlsError::Oversized(_))));
+    }
+}

@@ -1,0 +1,32 @@
+//! # webdep-tls
+//!
+//! TLS-like scan substrate: the stand-in for ZGrab2 in the paper's
+//! methodology (§3.4). The pipeline needs exactly one thing from TLS — the
+//! leaf certificate served for a hostname, whose issuer maps to a CA owner —
+//! so this crate implements a minimal handshake protocol over the simulated
+//! network:
+//!
+//! 1. client sends `ClientHello { sni }`;
+//! 2. server answers `ServerHello` + `Certificate { chain }` (or an
+//!    `Alert` when it has no certificate for the name);
+//! 3. the scanner parses and validates the chain.
+//!
+//! Certificates are a compact binary encoding (not DER) carrying the fields
+//! the analysis consumes: subject, SANs (with wildcard support), issuer
+//! identity, and validity window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod handshake;
+pub mod scanner;
+pub mod server;
+
+pub use cert::{CertStore, Certificate, CertificateChain};
+pub use handshake::{HandshakeMessage, TlsError};
+pub use scanner::{ScanError, Scanner, ScannerConfig};
+pub use server::TlsServer;
+
+/// The well-known HTTPS port used throughout the simulation.
+pub const TLS_PORT: u16 = 443;

@@ -1,0 +1,222 @@
+//! The scanning client: performs one handshake per (IP, SNI) target and
+//! returns the served chain, with retries — the ZGrab2 role.
+
+use crate::cert::CertificateChain;
+use crate::handshake::{decode_flight, encode_flight, HandshakeMessage};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+use webdep_netsim::{Endpoint, NetError, SockAddr};
+
+/// Scanner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ScannerConfig {
+    /// Per-handshake receive timeout.
+    pub timeout: Duration,
+    /// Retries before reporting a timeout.
+    pub retries: u32,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            timeout: Duration::from_millis(250),
+            retries: 2,
+        }
+    }
+}
+
+/// Scan failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// Nothing answered within the retry budget.
+    Timeout,
+    /// The network rejected the send (no listener at the address).
+    Network(NetError),
+    /// The server sent a fatal alert (e.g. unrecognized name).
+    Alert(u8),
+    /// The server's flight was malformed or missing the certificate.
+    BadResponse,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Timeout => write!(f, "handshake timed out"),
+            ScanError::Network(e) => write!(f, "network error: {e}"),
+            ScanError::Alert(c) => write!(f, "fatal alert {c}"),
+            ScanError::BadResponse => write!(f, "malformed server flight"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// A TLS scanner bound to one client endpoint.
+pub struct Scanner {
+    endpoint: Endpoint,
+    config: ScannerConfig,
+    next_random: u64,
+    /// Handshakes attempted (including retries).
+    pub handshakes_sent: u64,
+}
+
+impl Scanner {
+    /// Wraps a bound endpoint.
+    pub fn new(endpoint: Endpoint, config: ScannerConfig) -> Self {
+        Scanner {
+            endpoint,
+            config,
+            next_random: 0x5EED,
+            handshakes_sent: 0,
+        }
+    }
+
+    /// Handshakes with `ip:443` asking for `sni`; returns the served chain.
+    pub fn scan(&mut self, ip: Ipv4Addr, sni: &str) -> Result<CertificateChain, ScanError> {
+        self.scan_port(ip, crate::TLS_PORT, sni)
+    }
+
+    /// Handshakes with an explicit port.
+    pub fn scan_port(
+        &mut self,
+        ip: Ipv4Addr,
+        port: u16,
+        sni: &str,
+    ) -> Result<CertificateChain, ScanError> {
+        let dst = SockAddr::new(ip, port);
+        for _ in 0..=self.config.retries {
+            self.next_random = self.next_random.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let random = self.next_random;
+            let hello = encode_flight(&[HandshakeMessage::ClientHello {
+                random,
+                sni: sni.to_string(),
+            }]);
+            self.handshakes_sent += 1;
+            match self.endpoint.send(dst, hello) {
+                Ok(()) => {}
+                Err(e) => return Err(ScanError::Network(e)),
+            }
+            let deadline = std::time::Instant::now() + self.config.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let dgram = match self.endpoint.recv_timeout(remaining) {
+                    Ok(d) => d,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(ScanError::Network(e)),
+                };
+                if dgram.src != dst {
+                    continue; // stale reply from an earlier target
+                }
+                let Ok(frames) = decode_flight(&dgram.payload) else {
+                    return Err(ScanError::BadResponse);
+                };
+                match frames.as_slice() {
+                    [HandshakeMessage::Alert(code)] => return Err(ScanError::Alert(*code)),
+                    [HandshakeMessage::ServerHello { .. }, HandshakeMessage::Certificate(chain)] => {
+                        return Ok(chain.clone())
+                    }
+                    _ => return Err(ScanError::BadResponse),
+                }
+            }
+        }
+        Err(ScanError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertStore, Certificate, CertificateChain};
+    use crate::server::TlsServer;
+    use std::sync::Arc;
+    use webdep_netsim::{NetConfig, Network, Region};
+
+    fn world(net: &Network) -> (TlsServer, Ipv4Addr) {
+        let server_ip: Ipv4Addr = "203.0.113.1".parse().unwrap();
+        let root = Certificate {
+            serial: 1,
+            subject: "Root".into(),
+            san: vec![],
+            issuer_id: 1,
+            issuer_name: "Root".into(),
+            not_before: 0,
+            not_after: u64::MAX,
+            is_ca: true,
+        };
+        let leaf = Certificate {
+            serial: 2,
+            subject: "site.example".into(),
+            san: vec![],
+            issuer_id: 1,
+            issuer_name: "Root".into(),
+            not_before: 0,
+            not_after: u64::MAX,
+            is_ca: false,
+        };
+        let mut s = CertStore::new();
+        s.install(CertificateChain {
+            certs: vec![leaf, root],
+        });
+        let ep = net.bind(server_ip, 443, Region::EUROPE).unwrap();
+        (TlsServer::spawn(ep, Arc::new(s)), server_ip)
+    }
+
+    fn scanner(net: &Network, config: ScannerConfig) -> Scanner {
+        let ep = net.bind("10.0.0.5".parse().unwrap(), 5001, Region::EUROPE).unwrap();
+        Scanner::new(ep, config)
+    }
+
+    #[test]
+    fn successful_scan() {
+        let net = Network::new(NetConfig::default());
+        let (_server, ip) = world(&net);
+        let mut sc = scanner(&net, ScannerConfig::default());
+        let chain = sc.scan(ip, "site.example").unwrap();
+        assert_eq!(chain.leaf().unwrap().subject, "site.example");
+        assert_eq!(chain.validate("site.example", 100), Ok(()));
+    }
+
+    #[test]
+    fn alert_surfaces() {
+        let net = Network::new(NetConfig::default());
+        let (_server, ip) = world(&net);
+        let mut sc = scanner(&net, ScannerConfig::default());
+        assert!(matches!(
+            sc.scan(ip, "missing.example"),
+            Err(ScanError::Alert(_))
+        ));
+    }
+
+    #[test]
+    fn no_listener_is_network_error() {
+        let net = Network::new(NetConfig::default());
+        let mut sc = scanner(&net, ScannerConfig::default());
+        assert!(matches!(
+            sc.scan("198.51.100.1".parse().unwrap(), "x"),
+            Err(ScanError::Network(_))
+        ));
+    }
+
+    #[test]
+    fn retries_through_loss() {
+        let net = Network::new(NetConfig {
+            loss_rate: 0.4,
+            seed: 3,
+            ..Default::default()
+        });
+        let (_server, ip) = world(&net);
+        let mut sc = scanner(
+            &net,
+            ScannerConfig {
+                timeout: Duration::from_millis(60),
+                retries: 10,
+            },
+        );
+        let chain = sc.scan(ip, "site.example").unwrap();
+        assert_eq!(chain.leaf().unwrap().subject, "site.example");
+        assert!(sc.handshakes_sent >= 1);
+    }
+}

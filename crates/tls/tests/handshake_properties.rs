@@ -1,0 +1,95 @@
+//! Property tests for the TLS handshake framing and certificate codec.
+
+use proptest::prelude::*;
+use webdep_tls::cert::{Certificate, CertificateChain};
+use webdep_tls::handshake::{decode_flight, encode_flight, HandshakeMessage};
+
+fn arb_cert() -> impl Strategy<Value = Certificate> {
+    (
+        any::<u64>(),
+        "[a-z0-9.-]{1,40}",
+        prop::collection::vec("[a-z0-9.*-]{1,30}", 0..4),
+        any::<u32>(),
+        "[ -~]{0,40}",
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(serial, subject, san, issuer_id, issuer_name, nb, na, is_ca)| Certificate {
+                serial,
+                subject,
+                san,
+                issuer_id,
+                issuer_name,
+                not_before: nb.min(na),
+                not_after: nb.max(na),
+                is_ca,
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = HandshakeMessage> {
+    prop_oneof![
+        (any::<u64>(), "[a-z0-9.-]{1,50}").prop_map(|(random, sni)| {
+            HandshakeMessage::ClientHello { random, sni }
+        }),
+        (any::<u64>(), any::<u16>()).prop_map(|(random, cipher)| {
+            HandshakeMessage::ServerHello { random, cipher }
+        }),
+        prop::collection::vec(arb_cert(), 0..4)
+            .prop_map(|certs| HandshakeMessage::Certificate(CertificateChain { certs })),
+        any::<u8>().prop_map(HandshakeMessage::Alert),
+    ]
+}
+
+proptest! {
+    /// Flights of arbitrary messages roundtrip exactly.
+    #[test]
+    fn flight_roundtrip(msgs in prop::collection::vec(arb_message(), 0..5)) {
+        let bytes = encode_flight(&msgs);
+        let back = decode_flight(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(back, msgs);
+    }
+
+    /// Arbitrary bytes never panic the flight decoder.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_flight(&bytes);
+    }
+
+    /// Certificate decode over arbitrary bytes never panics and never
+    /// reads out of bounds.
+    #[test]
+    fn cert_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut pos = 0;
+        let _ = Certificate::decode_from(&bytes, &mut pos);
+        prop_assert!(pos <= bytes.len());
+        let mut pos = 0;
+        let _ = CertificateChain::decode_from(&bytes, &mut pos);
+        prop_assert!(pos <= bytes.len());
+    }
+
+    /// Wildcard matching never matches across label boundaries.
+    #[test]
+    fn wildcard_single_label(host_label in "[a-z]{1,8}", suffix in "[a-z]{1,8}\\.[a-z]{2,3}") {
+        let cert = Certificate {
+            serial: 1,
+            subject: format!("*.{}", suffix),
+            san: vec![],
+            issuer_id: 0,
+            issuer_name: String::new(),
+            not_before: 0,
+            not_after: u64::MAX,
+            is_ca: false,
+        };
+        let direct = format!("{}.{}", host_label, suffix);
+        let nested = format!("a.{}.{}", host_label, suffix);
+        let matches_direct = cert.matches_hostname(&direct);
+        let matches_nested = cert.matches_hostname(&nested);
+        let matches_bare = cert.matches_hostname(&suffix);
+        prop_assert!(matches_direct);
+        prop_assert!(!matches_nested);
+        prop_assert!(!matches_bare);
+    }
+}

@@ -1,0 +1,436 @@
+//! Distribution calibration: solve for per-provider site counts whose
+//! centralization score hits a target.
+//!
+//! The family is a fixed head share (the top provider, anchored by the
+//! paper's quoted market shares) plus a Zipf tail whose exponent is found
+//! by bisection. A second entry point adjusts an existing count vector
+//! toward a target while respecting per-bucket floors — used after mixing
+//! in the shared global-site pool, whose contribution is fixed.
+
+use webdep_core::centralization::centralization_score_counts;
+
+/// Solves for a count vector of `total` sites over at most `pool_size`
+/// providers with the given top-provider share, whose centralization score
+/// approximates `target_s`.
+///
+/// Returns counts sorted nonincreasing (head first). The achieved score is
+/// typically within ±0.005 of the target for `total >= 1000`.
+///
+/// Panics if inputs are degenerate (`total == 0`, `pool_size < 2`,
+/// `head_share` outside `(0, 1)`).
+pub fn solve_counts(target_s: f64, total: u64, pool_size: usize, head_share: f64) -> Vec<u64> {
+    assert!(total > 0, "need sites");
+    assert!(pool_size >= 2, "need at least two providers");
+    assert!(
+        head_share > 0.0 && head_share < 1.0,
+        "head share must be in (0, 1)"
+    );
+    assert!(
+        (0.0..1.0).contains(&target_s),
+        "target score must be in [0, 1)"
+    );
+
+    let c = total as f64;
+    let mut a1 = ((head_share * c).round() as u64).clamp(1, total - 1);
+
+    // The head alone must not overshoot the target; back it off if the
+    // caller's anchor is inconsistent with the score.
+    while a1 > 1 && (a1 as f64 / c).powi(2) > target_s {
+        a1 = (a1 as f64 * 0.95) as u64;
+    }
+
+    let tail_total = total - a1;
+    let k_all = (pool_size - 1).min(tail_total as usize).max(1);
+    // Two-regime tail: a Zipf "body" plus a thin tail of single-site
+    // providers. Real toplists look like this (§5.1: countries have long
+    // tails of providers hosting a handful of sites, yet 90% of sites sit
+    // on fewer than 206 providers) — a single Zipf over a large pool would
+    // flatten too far and blow that coverage bound.
+    const BODY_MAX: usize = 185;
+    let k = k_all.min(BODY_MAX);
+    let thin = (k_all - k) as u64; // providers with exactly one site
+    let thin = thin.min(tail_total.saturating_sub(k as u64));
+    let body_total = tail_total - thin;
+
+    // Continuous score for tail exponent `s`.
+    let score_at = |s: f64| -> f64 {
+        let mut w = Vec::with_capacity(k);
+        let mut wsum = 0.0;
+        for i in 1..=k {
+            let wi = (i as f64).powf(-s);
+            w.push(wi);
+            wsum += wi;
+        }
+        let mut sq = (a1 as f64 / c).powi(2);
+        for wi in &w {
+            let share = (body_total as f64 * wi / wsum) / c;
+            sq += share * share;
+        }
+        sq += thin as f64 / (c * c);
+        sq - 1.0 / c
+    };
+
+    // The score is monotone nondecreasing in the exponent. Handle the
+    // unreachable ends by growing the head / flattening fully.
+    let (lo, hi) = (0.0f64, 8.0f64);
+    let exponent = if score_at(lo) >= target_s {
+        lo
+    } else if score_at(hi) <= target_s {
+        hi
+    } else {
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if score_at(mid) < target_s {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    // Round the body with largest-remainder so the total is exact.
+    let mut weights: Vec<f64> = (1..=k).map(|i| (i as f64).powf(-exponent)).collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = body_total as f64 * *w / wsum;
+    }
+    let mut tail: Vec<u64> = weights.iter().map(|w| w.floor() as u64).collect();
+    let assigned: u64 = tail.iter().sum();
+    let mut remainder = (body_total - assigned) as usize;
+    // Distribute leftovers by largest fractional part.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        let fa = weights[a] - weights[a].floor();
+        let fb = weights[b] - weights[b].floor();
+        fb.partial_cmp(&fa).expect("finite weights")
+    });
+    let mut oi = 0;
+    while remainder > 0 {
+        tail[order[oi % k]] += 1;
+        oi += 1;
+        remainder -= 1;
+    }
+
+    let mut counts = Vec::with_capacity(k + 1 + thin as usize);
+    counts.push(a1);
+    counts.extend(tail.into_iter().filter(|&t| t > 0));
+    counts.extend(std::iter::repeat_n(1, thin as usize));
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts
+}
+
+/// Like [`solve_counts`] but with several fixed head shares — used when
+/// the paper quotes both the top provider and a dominant runner-up (e.g.
+/// Bulgaria: Cloudflare ~25% with SuperHosting.BG at 22%, §5.2).
+///
+/// `heads` are the fixed market shares of ranks 1..=k; the Zipf tail is
+/// solved for the remaining score mass. Panics on degenerate input or if
+/// the heads alone overshoot the target.
+pub fn solve_counts_multi(
+    target_s: f64,
+    total: u64,
+    pool_size: usize,
+    heads: &[f64],
+) -> Vec<u64> {
+    assert!(total > 0, "need sites");
+    assert!(!heads.is_empty(), "need at least one head share");
+    assert!(pool_size > heads.len(), "pool must exceed the head count");
+    let c = total as f64;
+    let head_counts: Vec<u64> = heads
+        .iter()
+        .map(|&h| {
+            assert!(h > 0.0 && h < 1.0, "head shares must be in (0, 1)");
+            ((h * c).round() as u64).max(1)
+        })
+        .collect();
+    let head_total: u64 = head_counts.iter().sum();
+    assert!(head_total < total, "heads consume every site");
+    let head_sq: f64 = head_counts.iter().map(|&a| (a as f64 / c).powi(2)).sum();
+    assert!(
+        head_sq <= target_s + 1.0 / c,
+        "head shares alone overshoot the target score"
+    );
+
+    let tail_total = total - head_total;
+    let k = (pool_size - heads.len()).min(tail_total as usize).max(1);
+    let score_at = |s: f64| -> f64 {
+        let mut wsum = 0.0;
+        let mut w = Vec::with_capacity(k);
+        for i in 1..=k {
+            let wi = (i as f64).powf(-s);
+            w.push(wi);
+            wsum += wi;
+        }
+        let mut sq = head_sq;
+        for wi in &w {
+            let share = (tail_total as f64 * wi / wsum) / c;
+            sq += share * share;
+        }
+        sq - 1.0 / c
+    };
+    let exponent = if score_at(0.0) >= target_s {
+        0.0
+    } else if score_at(8.0) <= target_s {
+        8.0
+    } else {
+        let (mut lo, mut hi) = (0.0f64, 8.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if score_at(mid) < target_s {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let mut weights: Vec<f64> = (1..=k).map(|i| (i as f64).powf(-exponent)).collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = tail_total as f64 * *w / wsum;
+    }
+    let mut tail: Vec<u64> = weights.iter().map(|w| w.floor() as u64).collect();
+    let mut remainder = (tail_total - tail.iter().sum::<u64>()) as usize;
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        let fa = weights[a] - weights[a].floor();
+        let fb = weights[b] - weights[b].floor();
+        fb.partial_cmp(&fa).expect("finite weights")
+    });
+    let mut oi = 0;
+    while remainder > 0 {
+        tail[order[oi % k]] += 1;
+        oi += 1;
+        remainder -= 1;
+    }
+    let mut counts = head_counts;
+    counts.extend(tail.into_iter().filter(|&t| t > 0));
+    counts
+}
+
+/// Adjusts `counts` in place toward `target_s` by moving sites between the
+/// head bucket (index 0) and tail buckets, never taking a bucket below its
+/// floor. Buckets beyond `floors.len()` have floor 0.
+///
+/// Returns the achieved score. Used to restore calibration after the
+/// country's share of the global site pool has pinned part of every
+/// bucket.
+pub fn adjust_to_target(counts: &mut [u64], floors: &[u64], target_s: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.len() < 2 {
+        return 0.0;
+    }
+    let c = total as f64;
+    let c2 = c * c;
+    let floor_of = |i: usize| floors.get(i).copied().unwrap_or(0);
+    let score_of = |sq: f64| sq / c2 - 1.0 / c;
+    let mut sq: f64 = counts.iter().map(|&a| (a * a) as f64).sum();
+
+    // Moving m sites from bucket with count b into bucket with count a
+    // changes the square sum by 2m(a - b) + 2m^2.
+    let delta_sq = |a: u64, b: u64, m: u64| -> f64 {
+        let (a, b, m) = (a as f64, b as f64, m as f64);
+        2.0 * m * (a - b) + 2.0 * m * m
+    };
+
+    let current = score_of(sq);
+    if current < target_s - 0.002 {
+        // Raise concentration: pour tail slack into the largest bucket,
+        // smallest donors first (they cost the least score error), one
+        // sweep over a presorted donor list.
+        let max_i = (0..counts.len())
+            .max_by_key(|&i| counts[i])
+            .expect("len >= 2");
+        let mut donors: Vec<usize> = (0..counts.len())
+            .filter(|&i| i != max_i && counts[i] > floor_of(i))
+            .collect();
+        donors.sort_by_key(|&i| counts[i]);
+        for d in donors {
+            let gap = target_s - score_of(sq);
+            if gap <= 0.002 {
+                break;
+            }
+            let avail = counts[d] - floor_of(d);
+            // Find the largest m <= avail with delta_sq <= needed, by
+            // binary search on m (delta is monotone in m).
+            let needed = gap * c2;
+            let mut lo = 0u64;
+            let mut hi = avail;
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if delta_sq(counts[max_i], counts[d], mid) <= needed {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            // Take at least one site if any move is still helpful.
+            let m = lo.max(1).min(avail);
+            if delta_sq(counts[max_i], counts[d], m) > needed && lo == 0 {
+                // Even one site overshoots; take it only if it brings us
+                // closer to the target than staying put.
+                let over = delta_sq(counts[max_i], counts[d], 1) - needed;
+                if over > needed {
+                    continue;
+                }
+            }
+            sq += delta_sq(counts[max_i], counts[d], m);
+            counts[max_i] += m;
+            counts[d] -= m;
+        }
+    } else if current > target_s + 0.002 {
+        // Lower concentration: shed from the largest bucket into the
+        // smallest ones. Bounded rounds; each round can move a large chunk.
+        for _ in 0..512 {
+            let gap = score_of(sq) - target_s;
+            if gap <= 0.002 {
+                break;
+            }
+            let src = (0..counts.len())
+                .filter(|&i| counts[i] > floor_of(i))
+                .max_by_key(|&i| counts[i]);
+            let Some(src) = src else { break };
+            let dst = (0..counts.len())
+                .filter(|&i| i != src)
+                .min_by_key(|&i| counts[i])
+                .expect("len >= 2");
+            if counts[src] <= counts[dst] + 1 {
+                break; // flat under the floors; target unreachable
+            }
+            // Largest m that does not overshoot and does not swap order.
+            let needed = gap * c2;
+            let max_m = ((counts[src] - counts[dst]) / 2).max(1);
+            let mut lo = 1u64;
+            let mut hi = max_m.min(counts[src] - floor_of(src));
+            if hi == 0 {
+                break;
+            }
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if -delta_sq(counts[dst], counts[src], mid) <= needed {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let m = lo;
+            sq += delta_sq(counts[dst], counts[src], m);
+            counts[dst] += m;
+            counts[src] -= m;
+        }
+    }
+    centralization_score_counts(counts).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::Layer;
+    use crate::depmap::head_share;
+    use crate::paper_data::COUNTRIES;
+
+    fn achieved(counts: &[u64]) -> f64 {
+        centralization_score_counts(counts).unwrap()
+    }
+
+    #[test]
+    fn hits_simple_targets() {
+        for &target in &[0.05, 0.10, 0.20, 0.35, 0.58] {
+            let head = crate::depmap::head_share_for_score(target);
+            let counts = solve_counts(target, 10_000, 400, head);
+            let s = achieved(&counts);
+            assert!(
+                (s - target).abs() < 0.01,
+                "target {target}: achieved {s} with head {head}"
+            );
+            assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        }
+    }
+
+    #[test]
+    fn all_150_hosting_targets_within_tolerance() {
+        for c in &COUNTRIES {
+            let target = c.paper_score(Layer::Hosting);
+            let head = head_share(c, Layer::Hosting);
+            let counts = solve_counts(target, 10_000, 450, head);
+            let s = achieved(&counts);
+            assert!(
+                (s - target).abs() < 0.012,
+                "{}: target {target}, achieved {s}",
+                c.code
+            );
+        }
+    }
+
+    #[test]
+    fn ca_layer_small_pool() {
+        // 45 CAs only; high targets are still reachable.
+        for c in COUNTRIES.iter().take(40) {
+            let target = c.paper_score(Layer::Ca);
+            let head = head_share(c, Layer::Ca);
+            let counts = solve_counts(target, 10_000, 45, head);
+            let s = achieved(&counts);
+            assert!(
+                (s - target).abs() < 0.015,
+                "{}: target {target}, achieved {s}",
+                c.code
+            );
+            assert!(counts.len() <= 45);
+        }
+    }
+
+    #[test]
+    fn counts_are_sorted_and_positive() {
+        let counts = solve_counts(0.15, 5000, 300, 0.3);
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn small_totals_still_work() {
+        let counts = solve_counts(0.2, 200, 100, 0.4);
+        assert_eq!(counts.iter().sum::<u64>(), 200);
+        let s = achieved(&counts);
+        assert!((s - 0.2).abs() < 0.05, "{s}");
+    }
+
+    #[test]
+    fn inconsistent_head_is_backed_off() {
+        // head 0.9 would give S >= 0.81 alone; target 0.3 forces back-off.
+        let counts = solve_counts(0.3, 10_000, 100, 0.9);
+        let s = achieved(&counts);
+        assert!((s - 0.3).abs() < 0.02, "{s}");
+    }
+
+    #[test]
+    fn adjust_raises_score() {
+        let mut counts = vec![100u64, 100, 100, 100, 100];
+        let s = adjust_to_target(&mut counts, &[], 0.3);
+        assert!((s - 0.3).abs() < 0.01, "{s}");
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn adjust_lowers_score() {
+        let mut counts = vec![450u64, 20, 10, 10, 5, 5];
+        let s = adjust_to_target(&mut counts, &[], 0.2);
+        assert!((s - 0.2).abs() < 0.01, "{s}");
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn adjust_respects_floors() {
+        let mut counts = vec![300u64, 100, 100];
+        let floors = vec![0u64, 100, 100];
+        let _ = adjust_to_target(&mut counts, &floors, 0.9);
+        assert!(counts[1] >= 100 && counts[2] >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "head share")]
+    fn validates_head_share() {
+        let _ = solve_counts(0.1, 100, 10, 1.5);
+    }
+}

@@ -1,0 +1,939 @@
+//! Deployment: put a generated [`World`] on the simulated internet.
+//!
+//! Deployment builds everything the measurement pipeline will probe:
+//!
+//! * **Addressing** — every provider gets a `/20` per continent of
+//!   presence; anycast providers announce theirs via anycast; eyeball
+//!   prefixes per continent host the vantage points.
+//! * **DNS** — a root zone delegating every TLD, registry servers holding
+//!   each TLD's delegations (with glue), and provider "racks" answering
+//!   authoritatively for the sites they serve. CDN providers answer
+//!   GeoDNS-style: the A record depends on the querier's continent,
+//!   which is what makes the §3.4 vantage-point experiment meaningful.
+//! * **TLS** — every site has a leaf certificate chained to its CA's
+//!   intermediate and root, served by SNI from the hosting rack.
+//! * **Enrichment databases** — pfx2as, AS→org, geolocation (with the
+//!   paper's ~89.4% accuracy knob), anycast prefixes, and the CCADB-style
+//!   issuer→owner map, all derived from the deployed addressing plan.
+//!
+//! One rack thread serves many providers (shared hosting), so even the
+//! full ~12k-provider world needs only `racks + registries + 1` threads.
+
+use crate::country::{Continent, CountryRecord};
+use crate::world::World;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use webdep_dns::bigzone::{Delegation, DelegationTable, HostTable};
+use webdep_dns::name::DomainName;
+use webdep_dns::server::AuthServer;
+use webdep_dns::wire as dnswire;
+use webdep_dns::zone::Zone;
+use webdep_dns::DNS_PORT;
+use webdep_geodb::{AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable};
+use webdep_netsim::{Endpoint, NetConfig, Network, Prefix, Region, SharedEndpoint};
+use webdep_tls::cert::{Certificate, CertificateChain};
+use webdep_tls::handshake::{self, HandshakeMessage, ALERT_UNRECOGNIZED_NAME};
+use webdep_tls::TLS_PORT;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Number of hosting rack threads.
+    pub racks: usize,
+    /// Country-level geolocation accuracy (paper: NetAcuity ~0.894).
+    pub geo_accuracy: f64,
+    /// Seed for the geolocation error process.
+    pub seed: u64,
+    /// Network packet-loss probability (failure injection for resolver /
+    /// scanner retry testing).
+    pub loss_rate: f64,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            racks: 16,
+            geo_accuracy: 1.0,
+            seed: 7,
+            loss_rate: 0.0,
+        }
+    }
+}
+
+/// Continent of a provider's HQ country (with fallbacks for HQ countries
+/// outside the 150-country dataset).
+pub fn continent_of_country(code: &str) -> Continent {
+    if let Some(c) = CountryRecord::by_code(code) {
+        return c.continent;
+    }
+    match code {
+        "CN" => Continent::Asia,
+        _ => Continent::NorthAmerica,
+    }
+}
+
+/// Per-provider serving IP pools, one pool per continent (empty where the
+/// provider has no presence).
+#[derive(Debug, Clone, Default)]
+pub struct ProviderPools {
+    /// Pools indexed by continent index (see [`cont_index`]).
+    pub pools: [Vec<Ipv4Addr>; 6],
+    /// Primary nameserver addresses.
+    pub ns_addrs: Vec<Ipv4Addr>,
+}
+
+/// Continent index used across deployment tables.
+pub fn cont_index(c: Continent) -> usize {
+    match c {
+        Continent::NorthAmerica => 0,
+        Continent::SouthAmerica => 1,
+        Continent::Europe => 2,
+        Continent::Africa => 3,
+        Continent::Asia => 4,
+        Continent::Oceania => 5,
+    }
+}
+
+/// All continents in [`cont_index`] order.
+pub const CONT_ORDER: [Continent; 6] = [
+    Continent::NorthAmerica,
+    Continent::SouthAmerica,
+    Continent::Europe,
+    Continent::Africa,
+    Continent::Asia,
+    Continent::Oceania,
+];
+
+/// The deployed world: live servers plus the enrichment databases.
+pub struct DeployedWorld {
+    /// The simulated network fabric.
+    pub network: Network,
+    /// Root nameserver addresses (resolver hints).
+    pub roots: Vec<Ipv4Addr>,
+    /// Prefix → origin ASN (pfx2as).
+    pub pfx2as: Arc<PrefixTable<u32>>,
+    /// ASN → organization.
+    pub asorg: Arc<AsOrgDb>,
+    /// IP → country.
+    pub geodb: Arc<GeoDb>,
+    /// Anycast prefixes.
+    pub anycast: Arc<AnycastSet>,
+    /// Certificate issuer → CA owner.
+    pub caodb: Arc<CaOwnerDb>,
+    /// Serving pools per provider (shared with rack threads).
+    pub pools: Arc<Vec<ProviderPools>>,
+    eyeball_prefixes: [Prefix; 6],
+    vantage_counters: [AtomicU32; 6],
+    racks: Vec<RackHandle>,
+    _root_server: AuthServer,
+}
+
+struct RackHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for RackHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-site record a DNS rack answers from.
+struct SiteDnsEntry {
+    hosting_provider: u32,
+    /// Stable per-site hash selecting an IP within the pool.
+    hash: u32,
+}
+
+/// CNAME edge host name for a CDN-served site
+/// (`e<hash>.<provider-slug>.net`, the real-world `*.cdn.example.net`
+/// pattern).
+fn edge_name(slug: &str, hash: u32) -> DomainName {
+    DomainName::parse(&format!("e{}.{slug}.net", hash % 64)).expect("edge names are valid")
+}
+
+/// A hosting/DNS rack's data.
+struct RackData {
+    /// Site domain → DNS answer recipe (sites whose *DNS provider* lives
+    /// on this rack).
+    site_a: HashMap<DomainName, SiteDnsEntry>,
+    /// Domain → NS host names.
+    site_ns: HashMap<DomainName, Vec<DomainName>>,
+    /// Nameserver / infrastructure host A records.
+    host_a: HostTable,
+    /// SNI → leaf certificate (sites *hosted* on this rack).
+    leaf_by_sni: HashMap<String, Certificate>,
+    /// Shared CA (intermediate, root) certs, indexed by CA id.
+    ca_certs: Arc<Vec<(Certificate, Certificate)>>,
+    /// Shared provider pools for GeoDNS answers.
+    pools: Arc<Vec<ProviderPools>>,
+    /// Whether each provider is a CDN (GeoDNS) provider.
+    provider_cdn: Arc<Vec<bool>>,
+    /// Provider slugs (for CDN CNAME edge names).
+    provider_slug: Arc<Vec<String>>,
+    /// Eyeball prefixes for querier-continent detection.
+    eyeballs: [Prefix; 6],
+}
+
+impl RackData {
+    fn querier_continent(&self, src: Ipv4Addr) -> usize {
+        for (i, p) in self.eyeballs.iter().enumerate() {
+            if p.contains(src) {
+                return i;
+            }
+        }
+        0 // default: North America (the paper's Stanford vantage)
+    }
+
+    fn serving_ip(&self, provider: u32, hash: u32, querier_cont: usize) -> Option<Ipv4Addr> {
+        let pools = &self.pools[provider as usize].pools;
+        let pool = if self.provider_cdn[provider as usize] && !pools[querier_cont].is_empty() {
+            &pools[querier_cont]
+        } else {
+            // Non-CDN providers serve from their (single) home pool.
+            pools.iter().find(|p| !p.is_empty())?
+        };
+        pool.get(hash as usize % pool.len()).copied()
+    }
+
+    fn respond_dns(&self, query: &dnswire::Message, src: Ipv4Addr) -> dnswire::Message {
+        let mut resp = dnswire::Message::response_to(query);
+        resp.authoritative = true;
+        let Some(q) = query.questions.first() else {
+            resp.rcode = dnswire::Rcode::FormErr;
+            return resp;
+        };
+        match q.qtype {
+            dnswire::RecordType::A => {
+                if let Some(entry) = self.site_a.get(&q.name) {
+                    let cont = self.querier_continent(src);
+                    if let Some(ip) = self.serving_ip(entry.hosting_provider, entry.hash, cont) {
+                        if self.provider_cdn[entry.hosting_provider as usize] {
+                            // CDN sites answer like the real thing: a CNAME
+                            // to the provider's edge host plus its address,
+                            // exercising the resolver's CNAME path.
+                            let edge = edge_name(
+                                &self.provider_slug[entry.hosting_provider as usize],
+                                entry.hash,
+                            );
+                            resp.answers.push(dnswire::Record {
+                                name: q.name.clone(),
+                                ttl: 300,
+                                data: dnswire::RecordData::Cname(edge.clone()),
+                            });
+                            resp.answers.push(dnswire::Record {
+                                name: edge,
+                                ttl: 300,
+                                data: dnswire::RecordData::A(ip),
+                            });
+                        } else {
+                            resp.answers.push(dnswire::Record {
+                                name: q.name.clone(),
+                                ttl: 300,
+                                data: dnswire::RecordData::A(ip),
+                            });
+                        }
+                        return resp;
+                    }
+                }
+                // Infrastructure hosts (nameservers).
+                let host_resp = self.host_a.respond(query);
+                if !host_resp.answers.is_empty() {
+                    return host_resp;
+                }
+            }
+            dnswire::RecordType::Ns => {
+                if let Some(ns) = self.site_ns.get(&q.name) {
+                    resp.answers = ns
+                        .iter()
+                        .map(|n| dnswire::Record {
+                            name: q.name.clone(),
+                            ttl: 3600,
+                            data: dnswire::RecordData::Ns(n.clone()),
+                        })
+                        .collect();
+                    return resp;
+                }
+            }
+            dnswire::RecordType::Cname => {}
+        }
+        if self.site_a.contains_key(&q.name) || self.site_ns.contains_key(&q.name) {
+            return resp; // NoData
+        }
+        resp.rcode = dnswire::Rcode::NxDomain;
+        resp
+    }
+
+    fn respond_tls(&self, payload: &[u8]) -> Option<Bytes> {
+        let frames = handshake::decode_flight(payload).ok()?;
+        let HandshakeMessage::ClientHello { random, sni } = frames.first()? else {
+            return None;
+        };
+        match self.leaf_by_sni.get(&sni.to_ascii_lowercase()) {
+            Some(leaf) => {
+                let (inter, root) = &self.ca_certs[leaf_ca_index(leaf)];
+                let chain = CertificateChain {
+                    certs: vec![leaf.clone(), inter.clone(), root.clone()],
+                };
+                Some(handshake::encode_flight(&[
+                    HandshakeMessage::ServerHello {
+                        random: random.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        cipher: 0x1301,
+                    },
+                    HandshakeMessage::Certificate(chain),
+                ]))
+            }
+            None => Some(handshake::encode_flight(&[HandshakeMessage::Alert(
+                ALERT_UNRECOGNIZED_NAME,
+            )])),
+        }
+    }
+}
+
+/// CA index is encoded in the issuing cert id (see `Universe::build`).
+fn leaf_ca_index(leaf: &Certificate) -> usize {
+    (leaf.issuer_id - 100_000) as usize
+}
+
+fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
+            Ok(d) => d,
+            Err(webdep_netsim::NetError::Timeout) => continue,
+            Err(_) => break,
+        };
+        let reply = match dgram.dst.port {
+            DNS_PORT => match dnswire::decode(&dgram.payload) {
+                Ok(query) if !query.is_response => {
+                    Some(dnswire::encode(&data.respond_dns(&query, dgram.src.ip)))
+                }
+                _ => None,
+            },
+            TLS_PORT => data.respond_tls(&dgram.payload),
+            _ => None,
+        };
+        if let Some(payload) = reply {
+            let _ = endpoint.send_from(dgram.dst, dgram.src, payload);
+        }
+    }
+}
+
+/// Registry rack: serves several TLD delegation tables keyed by server IP.
+fn registry_loop(
+    endpoint: SharedEndpoint,
+    tables: HashMap<Ipv4Addr, Arc<DelegationTable>>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
+            Ok(d) => d,
+            Err(webdep_netsim::NetError::Timeout) => continue,
+            Err(_) => break,
+        };
+        if dgram.dst.port != DNS_PORT {
+            continue;
+        }
+        let Some(table) = tables.get(&dgram.dst.ip) else {
+            continue;
+        };
+        let Ok(query) = dnswire::decode(&dgram.payload) else {
+            continue;
+        };
+        if query.is_response {
+            continue;
+        }
+        let resp = table.respond(&query);
+        let _ = endpoint.send_from(dgram.dst, dgram.src, dnswire::encode(&resp));
+    }
+}
+
+impl DeployedWorld {
+    /// Deploys `world` onto a fresh network.
+    pub fn deploy(world: &World, config: DeployConfig) -> DeployedWorld {
+        let network = Network::new(NetConfig {
+            loss_rate: config.loss_rate,
+            seed: config.seed,
+            ..NetConfig::default()
+        });
+        let universe = &world.universe;
+        let n_providers = universe.providers.len();
+
+        // ---- Addressing plan ----
+        // Eyeballs: 100.<cont>.0.0/16.
+        let eyeball_prefixes: [Prefix; 6] = std::array::from_fn(|i| {
+            Prefix::new(Ipv4Addr::new(100, i as u8, 0, 0), 16).expect("static prefix")
+        });
+
+        let mut pfx2as = PrefixTable::new();
+        let mut geo = GeoDbBuilder::new();
+        let mut anycast = AnycastSet::new();
+        let mut asorg = AsOrgDb::new();
+
+        // Provider prefixes: /20s carved sequentially from 60.0.0.0.
+        let mut next_p20: u32 = u32::from(Ipv4Addr::new(60, 0, 0, 0)) >> 12;
+
+        // Sites per provider per continent decide pool sizes.
+        let mut sites_per_provider = vec![0u64; n_providers];
+        for s in &world.sites {
+            sites_per_provider[s.hosting as usize] += 1;
+        }
+
+        let mut pools: Vec<ProviderPools> = Vec::with_capacity(n_providers);
+        for p in &universe.providers {
+            let mut pp = ProviderPools::default();
+            let home = continent_of_country(&p.country);
+            let presence: Vec<Continent> = if p.cdn {
+                CONT_ORDER.to_vec()
+            } else {
+                vec![home]
+            };
+            for cont in presence {
+                let prefix = Prefix::new(Ipv4Addr::from(next_p20 << 12), 20)
+                    .expect("aligned /20");
+                next_p20 += 1;
+                pfx2as.insert(prefix, p.asn);
+                let geo_country = if p.cdn && cont != home {
+                    cont.representative_country().to_string()
+                } else {
+                    p.country.clone()
+                };
+                geo.add_prefix(prefix, &geo_country);
+                if p.anycast {
+                    anycast.add(prefix);
+                }
+                // Serving pool: enough IPs that big providers share load,
+                // small providers use a couple.
+                let n_sites = sites_per_provider[p.id as usize];
+                let pool_size = ((n_sites / 48).clamp(2, 192) + 2) as u64;
+                let pool: Vec<Ipv4Addr> = (0..pool_size)
+                    .map(|i| prefix.nth(i + 16).expect("/20 has room"))
+                    .collect();
+                pp.pools[cont_index(cont)] = pool;
+                // Nameservers live in the home prefix.
+                if (cont == home || p.anycast)
+                    && pp.ns_addrs.len() < 2 {
+                        pp.ns_addrs.push(prefix.nth(2).expect("/20 has room"));
+                        pp.ns_addrs.push(prefix.nth(3).expect("/20 has room"));
+                    }
+            }
+            if pp.ns_addrs.is_empty() {
+                // Hosting-only presence still runs its own NS.
+                let first = pp.pools.iter().find(|v| !v.is_empty()).expect("presence");
+                pp.ns_addrs.push(first[0]);
+            }
+            asorg.add_org(OrgRecord {
+                org_id: p.id,
+                name: p.name.clone(),
+                country: p.country.clone(),
+            });
+            asorg.map_asn(p.asn, p.id);
+            pools.push(pp);
+        }
+        let pools = Arc::new(pools);
+        let provider_cdn = Arc::new(
+            universe
+                .providers
+                .iter()
+                .map(|p| p.cdn)
+                .collect::<Vec<bool>>(),
+        );
+        let provider_slug = Arc::new(
+            universe
+                .providers
+                .iter()
+                .map(|p| p.slug())
+                .collect::<Vec<String>>(),
+        );
+
+        // Eyeball prefixes geolocate to each continent's representative.
+        for (i, p) in eyeball_prefixes.iter().enumerate() {
+            geo.add_prefix(*p, CONT_ORDER[i].representative_country());
+        }
+
+        // ---- CA certificates & ownership ----
+        let mut caodb = CaOwnerDb::new();
+        let mut ca_certs: Vec<(Certificate, Certificate)> = Vec::new();
+        for ca in &universe.cas {
+            caodb.add_owner(CaOwner {
+                owner_id: ca.id,
+                name: ca.name.clone(),
+                country: ca.country.clone(),
+            });
+            caodb.map_issuer(ca.issuing_cert_id, ca.id);
+            caodb.map_issuer(ca.root_cert_id, ca.id);
+            let root = Certificate {
+                serial: ca.root_cert_id as u64,
+                subject: format!("{} Root", ca.name),
+                san: vec![],
+                issuer_id: ca.root_cert_id,
+                issuer_name: format!("{} Root", ca.name),
+                not_before: 0,
+                not_after: u64::MAX,
+                is_ca: true,
+            };
+            let inter = Certificate {
+                serial: ca.issuing_cert_id as u64,
+                subject: format!("{} Issuing CA", ca.name),
+                san: vec![],
+                issuer_id: ca.root_cert_id,
+                issuer_name: root.subject.clone(),
+                not_before: 0,
+                not_after: u64::MAX,
+                is_ca: true,
+            };
+            ca_certs.push((inter, root));
+        }
+        let ca_certs = Arc::new(ca_certs);
+
+        // ---- Rack data ----
+        let n_racks = config.racks.max(1);
+        let rack_of = |provider: u32| (provider as usize) % n_racks;
+        let mut rack_data: Vec<RackData> = (0..n_racks)
+            .map(|_| RackData {
+                site_a: HashMap::new(),
+                site_ns: HashMap::new(),
+                host_a: HostTable::new(),
+                leaf_by_sni: HashMap::new(),
+                ca_certs: Arc::clone(&ca_certs),
+                pools: Arc::clone(&pools),
+                provider_cdn: Arc::clone(&provider_cdn),
+                provider_slug: Arc::clone(&provider_slug),
+                eyeballs: eyeball_prefixes,
+            })
+            .collect();
+
+        // Nameserver host names per provider.
+        let ns_names: Vec<Vec<DomainName>> = universe
+            .providers
+            .iter()
+            .map(|p| {
+                let slug = p.slug();
+                pools[p.id as usize]
+                    .ns_addrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        DomainName::parse(&format!("ns{}.{}.net", i + 1, slug))
+                            .expect("slug names are valid")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Install nameserver A records on each DNS provider's rack.
+        for p in &universe.providers {
+            let rd = &mut rack_data[rack_of(p.id)];
+            for (name, addr) in ns_names[p.id as usize]
+                .iter()
+                .zip(&pools[p.id as usize].ns_addrs)
+            {
+                rd.host_a.add_a(name.clone(), *addr);
+            }
+        }
+
+        // Install sites: DNS data on the DNS provider's rack, TLS leaf on
+        // the hosting provider's rack.
+        let mut tld_tables: HashMap<u32, DelegationTable> = HashMap::new();
+        for (site_idx, site) in world.sites.iter().enumerate() {
+            let domain = DomainName::parse(&site.domain).expect("generated names are valid");
+            let dns_rack = rack_of(site.dns);
+            let hash = fxhash(&site.domain);
+            rack_data[dns_rack].site_a.insert(
+                domain.clone(),
+                SiteDnsEntry {
+                    hosting_provider: site.hosting,
+                    hash,
+                },
+            );
+            rack_data[dns_rack]
+                .site_ns
+                .insert(domain.clone(), ns_names[site.dns as usize].clone());
+
+            // TLS leaf on the hosting rack.
+            let ca = universe.ca(site.ca);
+            let leaf = Certificate {
+                serial: 1_000_000 + site_idx as u64,
+                subject: site.domain.clone(),
+                san: vec![site.domain.clone()],
+                issuer_id: ca.issuing_cert_id,
+                issuer_name: format!("{} Issuing CA", ca.name),
+                not_before: 0,
+                not_after: u64::MAX,
+                is_ca: false,
+            };
+            rack_data[rack_of(site.hosting)]
+                .leaf_by_sni
+                .insert(site.domain.to_ascii_lowercase(), leaf);
+
+            // Registry delegation.
+            let table = tld_tables.entry(site.tld).or_insert_with(|| {
+                let label = &universe.tld(site.tld).label;
+                DelegationTable::new(DomainName::parse(label).expect("tld label"))
+            });
+            let glue: Vec<(DomainName, Ipv4Addr)> = ns_names[site.dns as usize]
+                .iter()
+                .cloned()
+                .zip(pools[site.dns as usize].ns_addrs.iter().copied())
+                .collect();
+            table.register(
+                domain,
+                Delegation {
+                    ns: ns_names[site.dns as usize].clone(),
+                    glue,
+                },
+            );
+        }
+
+        // Register provider infrastructure domains (<slug>.net) so glueless
+        // paths still resolve.
+        if let Some(net_tld) = universe.tld_by_label("net") {
+            let table = tld_tables.entry(net_tld).or_insert_with(|| {
+                DelegationTable::new(DomainName::parse("net").expect("tld label"))
+            });
+            for p in &universe.providers {
+                let slug_domain = DomainName::parse(&format!("{}.net", p.slug()))
+                    .expect("slug names are valid");
+                let glue: Vec<(DomainName, Ipv4Addr)> = ns_names[p.id as usize]
+                    .iter()
+                    .cloned()
+                    .zip(pools[p.id as usize].ns_addrs.iter().copied())
+                    .collect();
+                table.register(
+                    slug_domain,
+                    Delegation {
+                        ns: ns_names[p.id as usize].clone(),
+                        glue,
+                    },
+                );
+            }
+        }
+
+        // ---- Spawn registry racks ----
+        // TLD server IPs: 192.5.<i/250>.<i%250+1>.
+        let mut racks: Vec<RackHandle> = Vec::new();
+        let mut root_zone = Zone::new(DomainName::root());
+        let registry_groups = 4usize;
+        let mut registry_tables: Vec<HashMap<Ipv4Addr, Arc<DelegationTable>>> =
+            vec![HashMap::new(); registry_groups];
+        for (gi, (tld_id, table)) in tld_tables.into_iter().enumerate() {
+            let i = gi as u32;
+            let ip = Ipv4Addr::new(192, 5, (i / 250) as u8, (i % 250 + 1) as u8);
+            let label = &universe.tld(tld_id).label;
+            let tld_name = DomainName::parse(label).expect("tld label");
+            let ns_host = DomainName::parse(&format!("ns.{label}-registry.net"))
+                .expect("registry host");
+            root_zone.delegate(tld_name, std::slice::from_ref(&ns_host), &[(ns_host.clone(), ip)]);
+            registry_tables[gi % registry_groups].insert(ip, Arc::new(table));
+        }
+        // Root server.
+        let root_ip = Ipv4Addr::new(198, 41, 0, 4);
+        let root_ep = network
+            .bind(root_ip, DNS_PORT, Region::NORTH_AMERICA)
+            .expect("root address free");
+        let root_server = AuthServer::spawn(root_ep, vec![Arc::new(root_zone)]);
+        geo.add_prefix(
+            Prefix::new(Ipv4Addr::new(198, 41, 0, 0), 24).expect("static"),
+            "US",
+        );
+        geo.add_prefix(
+            Prefix::new(Ipv4Addr::new(192, 5, 0, 0), 16).expect("static"),
+            "US",
+        );
+
+        for tables in registry_tables {
+            if tables.is_empty() {
+                continue;
+            }
+            let ep = SharedEndpoint::new(&network);
+            for ip in tables.keys() {
+                ep.attach(*ip, DNS_PORT, Region::NORTH_AMERICA)
+                    .expect("registry address free");
+            }
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || registry_loop(ep, tables, stop2));
+            racks.push(RackHandle {
+                stop,
+                handle: Some(handle),
+            });
+        }
+
+        // ---- Spawn hosting racks ----
+        for (ri, data) in rack_data.into_iter().enumerate() {
+            let ep = SharedEndpoint::new(&network);
+            // Attach every address of every provider on this rack.
+            for p in &universe.providers {
+                if rack_of(p.id) != ri {
+                    continue;
+                }
+                let pp = &pools[p.id as usize];
+                for (ci, pool) in pp.pools.iter().enumerate() {
+                    let region = CONT_ORDER[ci].region();
+                    for &ip in pool {
+                        if p.anycast {
+                            // Anycast pools share addresses across
+                            // continents; attach each once per region.
+                            let _ = ep.attach_anycast(ip, TLS_PORT, region);
+                            let _ = ep.attach_anycast(ip, DNS_PORT, region);
+                        } else {
+                            ep.attach(ip, TLS_PORT, region).expect("address plan is collision-free");
+                            ep.attach(ip, DNS_PORT, region).expect("address plan is collision-free");
+                        }
+                    }
+                }
+                let home_region = continent_of_country(&p.country).region();
+                for &ns in &pp.ns_addrs {
+                    if p.anycast {
+                        for cont in CONT_ORDER {
+                            let _ = ep.attach_anycast(ns, DNS_PORT, cont.region());
+                        }
+                    } else {
+                        // NS address may coincide with a pool address only
+                        // for the tiny single-IP fallback; tolerate.
+                        let _ = ep.attach(ns, DNS_PORT, home_region);
+                    }
+                }
+            }
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || rack_loop(ep, data, stop2));
+            racks.push(RackHandle {
+                stop,
+                handle: Some(handle),
+            });
+        }
+
+        let geodb = if config.geo_accuracy < 1.0 {
+            let mut g = geo;
+            g.with_accuracy(config.geo_accuracy, config.seed);
+            g.build()
+        } else {
+            geo.build()
+        };
+
+        DeployedWorld {
+            network,
+            roots: vec![root_ip],
+            pfx2as: Arc::new(pfx2as),
+            asorg: Arc::new(asorg),
+            geodb: Arc::new(geodb),
+            anycast: Arc::new(anycast),
+            caodb: Arc::new(caodb),
+            pools,
+            eyeball_prefixes,
+            vantage_counters: std::array::from_fn(|_| AtomicU32::new(10)),
+            racks,
+            _root_server: root_server,
+        }
+    }
+
+    /// Binds a fresh vantage-point endpoint in `continent`'s eyeball
+    /// prefix. Each call gets a unique address.
+    pub fn vantage(&self, continent: Continent) -> Endpoint {
+        let ci = cont_index(continent);
+        let n = self.vantage_counters[ci].fetch_add(1, Ordering::Relaxed);
+        let ip = self.eyeball_prefixes[ci]
+            .nth(n as u64)
+            .expect("eyeball prefix exhausted");
+        self.network
+            .bind(ip, 33000, continent.region())
+            .expect("vantage addresses are unique")
+    }
+
+    /// Number of rack threads running (registries + hosting).
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+}
+
+/// FxHash-style string hash for stable IP selection.
+fn fxhash(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.bytes() {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+    use webdep_dns::resolver::{IterativeResolver, ResolverConfig};
+    use webdep_tls::scanner::{Scanner, ScannerConfig};
+
+    fn deployed() -> (World, DeployedWorld) {
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+        (world, dep)
+    }
+
+    #[test]
+    fn resolves_and_scans_sites_end_to_end() {
+        let (world, dep) = deployed();
+        let vantage = dep.vantage(Continent::NorthAmerica);
+        let mut resolver =
+            IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+        let scan_ep = dep.vantage(Continent::NorthAmerica);
+        let mut scanner = Scanner::new(scan_ep, ScannerConfig::default());
+
+        // Probe a sample of sites from several countries.
+        for &ci in &[0usize, 40, 80, 120] {
+            for &site_idx in world.toplists[ci].iter().step_by(97).take(4) {
+                let site = &world.sites[site_idx as usize];
+                let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+                let addrs = resolver
+                    .resolve_a(&name)
+                    .unwrap_or_else(|e| panic!("resolve {}: {e}", site.domain));
+                assert!(!addrs.is_empty());
+                // The serving IP belongs to the hosting provider's ASN.
+                let (asn, _) = dep.pfx2as.lookup(addrs[0]).expect("IP in plan");
+                let org = dep.asorg.org_of_asn(*asn).expect("org known");
+                assert_eq!(
+                    org.org_id, site.hosting,
+                    "{}: expected {} got {}",
+                    site.domain,
+                    world.universe.provider(site.hosting).name,
+                    org.name
+                );
+                // TLS chain identifies the CA.
+                let chain = scanner
+                    .scan(addrs[0], &site.domain)
+                    .unwrap_or_else(|e| panic!("scan {}: {e}", site.domain));
+                assert_eq!(chain.validate(&site.domain, 1000), Ok(()));
+                let owner = dep
+                    .caodb
+                    .owner_of_issuer(chain.leaf().unwrap().issuer_id)
+                    .expect("issuer known");
+                assert_eq!(owner.owner_id, site.ca);
+            }
+        }
+    }
+
+    #[test]
+    fn ns_resolution_identifies_dns_provider() {
+        let (world, dep) = deployed();
+        let vantage = dep.vantage(Continent::Europe);
+        let mut resolver =
+            IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+        let site = &world.sites[world.toplists[10][3] as usize];
+        let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+        let ns = resolver.resolve_ns(&name).expect("NS resolves");
+        assert!(!ns.is_empty());
+        let ns_addr = resolver.resolve_a(&ns[0]).expect("NS A resolves");
+        let (asn, _) = dep.pfx2as.lookup(ns_addr[0]).expect("NS IP in plan");
+        let org = dep.asorg.org_of_asn(*asn).expect("org known");
+        assert_eq!(org.org_id, site.dns);
+    }
+
+    #[test]
+    fn cdn_sites_resolve_to_querier_continent() {
+        let (world, dep) = deployed();
+        // Find a Cloudflare-hosted site (CDN + anycast).
+        let cf = world.universe.provider_by_name("Cloudflare").unwrap();
+        let site = world
+            .sites
+            .iter()
+            .find(|s| s.hosting == cf)
+            .expect("Cloudflare hosts sites");
+        let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+
+        let mut answers = Vec::new();
+        for cont in [Continent::NorthAmerica, Continent::Asia] {
+            let vantage = dep.vantage(cont);
+            let mut resolver =
+                IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+            let addrs = resolver.resolve_a(&name).expect("resolves");
+            let country = dep.geodb.country_of(addrs[0]).expect("geolocates");
+            answers.push((addrs[0], country.to_string()));
+        }
+        // Same provider, different regional IPs.
+        assert_ne!(answers[0].0, answers[1].0, "GeoDNS should differ");
+        assert_eq!(answers[0].1, "US");
+        assert_eq!(answers[1].1, "SG");
+        for (ip, _) in &answers {
+            let (asn, _) = dep.pfx2as.lookup(*ip).unwrap();
+            assert_eq!(dep.asorg.org_of_asn(*asn).unwrap().org_id, cf);
+        }
+    }
+
+    #[test]
+    fn cdn_sites_answer_with_cname_chains() {
+        let (world, dep) = deployed();
+        let cf = world.universe.provider_by_name("Cloudflare").unwrap();
+        let site = world
+            .sites
+            .iter()
+            .find(|s| s.hosting == cf)
+            .expect("Cloudflare hosts sites");
+        // Raw stub query so the CNAME is visible (the iterative resolver
+        // collapses it).
+        let vantage = dep.vantage(Continent::NorthAmerica);
+        let mut resolver =
+            IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+        let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+        let data = resolver
+            .resolve(&name, webdep_dns::wire::RecordType::A, 0)
+            .expect("resolves");
+        assert!(
+            data.iter()
+                .any(|d| matches!(d, webdep_dns::wire::RecordData::A(_))),
+            "terminal A records present"
+        );
+        // A regional (non-CDN) provider's site answers a bare A record; a
+        // direct check that the CNAME is CDN-specific lives in the rack:
+        let beget = world.universe.provider_by_name("Beget").unwrap();
+        assert!(world.universe.provider(cf).cdn);
+        assert!(!world.universe.provider(beget).cdn);
+    }
+
+    #[test]
+    fn anycast_prefixes_flagged() {
+        let (world, dep) = deployed();
+        let cf = world.universe.provider_by_name("Cloudflare").unwrap();
+        let pool = &dep.pools[cf as usize].pools[0];
+        assert!(dep.anycast.contains(pool[0]));
+        let hetzner = world.universe.provider_by_name("Hetzner").unwrap();
+        let hpool = dep.pools[hetzner as usize]
+            .pools
+            .iter()
+            .find(|p| !p.is_empty())
+            .unwrap();
+        assert!(!dep.anycast.contains(hpool[0]));
+    }
+
+    #[test]
+    fn geolocation_reflects_hq_for_regional_providers() {
+        let (world, dep) = deployed();
+        let beget = world.universe.provider_by_name("Beget").unwrap();
+        let pool = dep.pools[beget as usize]
+            .pools
+            .iter()
+            .find(|p| !p.is_empty())
+            .unwrap();
+        assert_eq!(dep.geodb.country_of(pool[0]), Some("RU"));
+    }
+
+    #[test]
+    fn unknown_domain_is_nxdomain() {
+        let (_world, dep) = deployed();
+        let vantage = dep.vantage(Continent::NorthAmerica);
+        let mut resolver =
+            IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+        let name = webdep_dns::DomainName::parse("definitely-not-generated.com").unwrap();
+        let err = resolver.resolve_a(&name).unwrap_err();
+        assert!(matches!(
+            err,
+            webdep_dns::resolver::ResolveError::NxDomain(_)
+        ));
+    }
+}

@@ -1,0 +1,335 @@
+//! Longitudinal evolution: the May-2023 → May-2025 re-measurement (§5.4).
+//!
+//! The paper's second snapshot shows: strong score stability (ρ = 0.98),
+//! toplist churn (mean Jaccard ≈ 0.37, Russia 0.4), Cloudflare adoption up
+//! ~3.8 points everywhere except Russia, Belarus, Uzbekistan, and Myanmar,
+//! Turkmenistan +11.3 and Brazil +10 as the extremes, and Russia shifting
+//! from US (30% → 29%) to domestic providers (50% → 56%). [`evolve`]
+//! transforms a world accordingly: local sites churn (new domains copy the
+//! replaced site's dependency mixture) and a slice of the new sites is
+//! converted between providers to realize the adoption deltas.
+
+use crate::country::CountryRecord;
+use crate::paper_data::COUNTRIES;
+use crate::toplist::DomainForge;
+use crate::world::World;
+
+/// Target mean Jaccard index between the two snapshots' toplists.
+pub const TARGET_JACCARD: f64 = 0.37;
+/// Russia's observed Jaccard (slightly above the mean).
+pub const TARGET_JACCARD_RU: f64 = 0.40;
+
+/// Cloudflare share delta (percentage points) for a country (§5.4).
+pub fn cloudflare_delta_pts(country: &CountryRecord) -> f64 {
+    match country.code {
+        "TM" => 11.3,
+        "BR" => 10.0,
+        "RU" => -2.0,
+        "BY" | "UZ" | "MM" => -1.0,
+        _ => 3.8,
+    }
+}
+
+/// Produces the 2025 snapshot of `world`.
+///
+/// The universe is shared; sites are appended for the churned local
+/// entries, so indices of the original snapshot remain valid in the new
+/// world's site table (both worlds can be deployed independently).
+pub fn evolve(world: &World) -> World {
+    let mut new_world = world.clone();
+    new_world.label = "2025-05".to_string();
+    // Keep new domains clear of the originals.
+    let mut forge = DomainForge::new(50_000_000);
+    let cf = world
+        .universe
+        .provider_by_name("Cloudflare")
+        .expect("Cloudflare exists");
+
+    for (ci, country) in COUNTRIES.iter().enumerate() {
+        let c_total = world.toplists[ci].len() as f64;
+        let jaccard_target = if country.code == "RU" {
+            TARGET_JACCARD_RU
+        } else {
+            TARGET_JACCARD
+        };
+
+        // Count global vs local entries to size the churn for the target
+        // Jaccard: J = (g + k*l) / (g + (2 - k) * l).
+        let local_idx: Vec<usize> = (0..world.toplists[ci].len())
+            .filter(|&i| {
+                let s = world.toplists[ci][i];
+                !world.sites[s as usize].is_global
+            })
+            .collect();
+        let g = c_total - local_idx.len() as f64;
+        let l = local_idx.len() as f64;
+        let keep = if l > 0.0 {
+            ((jaccard_target * (g + 2.0 * l) - g) / (l * (1.0 + jaccard_target))).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+
+        // Churn: replace (1 - keep) of local sites with fresh domains that
+        // copy the replaced site's dependency mixture.
+        let mut replaced: Vec<u32> = Vec::new();
+        for (pos, &tpos) in local_idx.iter().enumerate() {
+            let spread = (pos as u64).wrapping_mul(2654435761) % 1000;
+            if (spread as f64) < (1.0 - keep) * 1000.0 {
+                let old_site_idx = world.toplists[ci][tpos];
+                let old = &world.sites[old_site_idx as usize];
+                let mut fresh = old.clone();
+                fresh.domain = forge.next(&world.universe.tld(old.tld).label);
+                let new_idx = new_world.sites.len() as u32;
+                new_world.sites.push(fresh);
+                new_world.toplists[ci][tpos] = new_idx;
+                replaced.push(new_idx);
+            }
+        }
+
+        // Provider-shift conversions operate on the fresh sites only.
+        let delta_sites =
+            (cloudflare_delta_pts(country) / 100.0 * c_total).round() as i64;
+        if delta_sites > 0 {
+            // Cloudflare's gains come mostly from *other US providers*
+            // (§5.4: overall US reliance does not rise with Cloudflare):
+            // convert US-hosted fresh sites first, then any others.
+            let mut left = delta_sites as u64;
+            for us_pass in [true, false] {
+                for &idx in &replaced {
+                    if left == 0 {
+                        break;
+                    }
+                    let s = &mut new_world.sites[idx as usize];
+                    if s.hosting == cf {
+                        continue;
+                    }
+                    let is_us = world.universe.provider(s.hosting).country == "US";
+                    if is_us == us_pass {
+                        s.hosting = cf;
+                        s.dns = cf; // Cloudflare bundles DNS (§6.1)
+                        left -= 1;
+                    }
+                }
+            }
+        } else if delta_sites < 0 {
+            // Shed Cloudflare toward the country's largest regional
+            // provider.
+            let fallback = world
+                .universe
+                .regional_by_country
+                .get(country.code)
+                .and_then(|l| l.first())
+                .copied();
+            if let Some(fallback) = fallback {
+                let mut left = (-delta_sites) as u64;
+                for &idx in &replaced {
+                    if left == 0 {
+                        break;
+                    }
+                    let s = &mut new_world.sites[idx as usize];
+                    if s.hosting == cf {
+                        s.hosting = fallback;
+                        s.dns = fallback;
+                        left -= 1;
+                    }
+                }
+            }
+        }
+
+        // Mild localization drift: every country moves a small,
+        // country-specific slice of its fresh sites from US providers to
+        // its largest regional provider. Combined with the US-first
+        // Cloudflare conversions above, roughly a third of countries end
+        // up with a net *decrease* in US reliance (paper: 56 of 150).
+        let h = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in country.code.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        };
+        let drift_pts = 0.5 + (h % 31) as f64 / 10.0; // 0.5 .. 3.5 points
+        if let Some(&fallback) = world
+            .universe
+            .regional_by_country
+            .get(country.code)
+            .and_then(|l| l.first())
+        {
+            let mut left = (drift_pts / 100.0 * c_total).round() as u64;
+            for &idx in &replaced {
+                if left == 0 {
+                    break;
+                }
+                let s = &mut new_world.sites[idx as usize];
+                if s.hosting != cf && world.universe.provider(s.hosting).country == "US" {
+                    s.hosting = fallback;
+                    s.dns = fallback;
+                    left -= 1;
+                }
+            }
+        }
+
+        // Russia's shift away from the US toward domestic providers
+        // (+6 points domestic, §5.4).
+        if country.code == "RU" {
+            let ru_providers = world
+                .universe
+                .regional_by_country
+                .get("RU")
+                .cloned()
+                .unwrap_or_default();
+            if !ru_providers.is_empty() {
+                let mut left = (0.06 * c_total).round() as u64;
+                let mut rr = 0usize;
+                for &idx in &replaced {
+                    if left == 0 {
+                        break;
+                    }
+                    let s = &mut new_world.sites[idx as usize];
+                    let hq = &world.universe.provider(s.hosting).country;
+                    if hq == "US" && s.hosting != cf {
+                        let target = ru_providers[rr % ru_providers.len()];
+                        rr += 1;
+                        s.hosting = target;
+                        s.dns = target;
+                        left -= 1;
+                    }
+                }
+            }
+        }
+    }
+    new_world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::Layer;
+    use crate::world::WorldConfig;
+    use std::collections::HashSet;
+
+    fn pair() -> (World, World) {
+        let w = World::generate(WorldConfig::tiny());
+        let e = evolve(&w);
+        (w, e)
+    }
+
+    fn domains(w: &World, ci: usize) -> HashSet<String> {
+        w.toplists[ci]
+            .iter()
+            .map(|&i| w.sites[i as usize].domain.clone())
+            .collect()
+    }
+
+    fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+        let inter = a.intersection(b).count() as f64;
+        inter / (a.len() as f64 + b.len() as f64 - inter)
+    }
+
+    #[test]
+    fn toplist_churn_near_target() {
+        let (w, e) = pair();
+        let mut js = Vec::new();
+        for ci in (0..150).step_by(10) {
+            let (a, b) = (domains(&w, ci), domains(&e, ci));
+            js.push(jaccard(&a, &b));
+        }
+        let mean = js.iter().sum::<f64>() / js.len() as f64;
+        assert!(
+            (0.25..0.55).contains(&mean),
+            "mean Jaccard {mean} (target ~0.37)"
+        );
+    }
+
+    #[test]
+    fn cloudflare_rises_almost_everywhere() {
+        let (w, e) = pair();
+        let cf = w.universe.provider_by_name("Cloudflare").unwrap();
+        let share = |world: &World, ci: usize| {
+            let counts = world.layer_counts(ci, Layer::Hosting);
+            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            counts
+                .iter()
+                .find(|&&(id, _)| id == cf)
+                .map(|&(_, c)| c as f64 / total as f64)
+                .unwrap_or(0.0)
+        };
+        let br = World::country_index("BR").unwrap();
+        let tm = World::country_index("TM").unwrap();
+        let ru = World::country_index("RU").unwrap();
+        assert!(
+            share(&e, br) > share(&w, br) + 0.05,
+            "BR: {} -> {}",
+            share(&w, br),
+            share(&e, br)
+        );
+        assert!(share(&e, tm) > share(&w, tm) + 0.05);
+        assert!(share(&e, ru) <= share(&w, ru) + 0.005, "RU must not rise");
+    }
+
+    #[test]
+    fn russia_shifts_to_domestic_providers() {
+        let (w, e) = pair();
+        let ru = World::country_index("RU").unwrap();
+        let domestic = |world: &World| {
+            let counts = world.layer_counts(ru, Layer::Hosting);
+            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            counts
+                .iter()
+                .filter(|&&(id, _)| world.universe.provider(id).country == "RU")
+                .map(|&(_, c)| c as f64)
+                .sum::<f64>()
+                / total as f64
+        };
+        assert!(
+            domestic(&e) > domestic(&w) + 0.02,
+            "{} -> {}",
+            domestic(&w),
+            domestic(&e)
+        );
+    }
+
+    #[test]
+    fn scores_strongly_correlated_across_snapshots() {
+        let (w, e) = pair();
+        let old: Vec<f64> = (0..150).map(|ci| w.achieved_score(ci, Layer::Hosting)).collect();
+        let new: Vec<f64> = (0..150).map(|ci| e.achieved_score(ci, Layer::Hosting)).collect();
+        let c = webdep_stats_free_pearson(&old, &new);
+        assert!(c > 0.9, "rho {c}");
+    }
+
+    /// Minimal Pearson to avoid a dev-dependency cycle with webdep-stats.
+    fn webdep_stats_free_pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+            syy += (b - my) * (b - my);
+        }
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+
+    #[test]
+    fn original_world_untouched() {
+        let w = World::generate(WorldConfig::tiny());
+        let before = w.sites.len();
+        let snapshot: Vec<String> = w.sites.iter().take(20).map(|s| s.domain.clone()).collect();
+        let _ = evolve(&w);
+        assert_eq!(w.sites.len(), before);
+        let after: Vec<String> = w.sites.iter().take(20).map(|s| s.domain.clone()).collect();
+        assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn evolved_label_and_site_growth() {
+        let (w, e) = pair();
+        assert_eq!(w.label, "2023-05");
+        assert_eq!(e.label, "2025-05");
+        assert!(e.sites.len() > w.sites.len());
+    }
+}

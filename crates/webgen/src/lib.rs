@@ -1,0 +1,38 @@
+//! # webdep-webgen
+//!
+//! Synthetic web-infrastructure world generator, calibrated to the paper.
+//!
+//! The paper measures the real internet via CrUX top lists and active
+//! measurement. This crate builds the substitute: a deterministic, seeded
+//! world of 150 countries (the paper's exact country set, embedded from
+//! Appendix E), thousands of providers, 45 certificate authorities, and a
+//! TLD ecosystem — with per-country provider distributions *calibrated* so
+//! each country's centralization score matches the value the paper reports
+//! in Tables 5–8, and cross-border dependence wired from the §5.3 case
+//! studies (CIS→Russia, francophone→France, Slovakia→Czechia, ...).
+//!
+//! The generated [`World`] can be deployed onto the simulated network
+//! ([`deploy::DeployedWorld`]): every website gets serving IPs, DNS
+//! delegations, and TLS certificates, so the measurement pipeline recovers
+//! the world by *scanning*, not by reading ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod country;
+pub mod deploy;
+pub mod depmap;
+pub mod evolve;
+pub mod paper_data;
+pub mod provider;
+pub mod toplist;
+pub mod universe;
+pub mod world;
+
+pub use deploy::{DeployConfig, DeployedWorld};
+pub use country::{Continent, CountryRecord, Layer};
+pub use paper_data::{COUNTRIES, NUM_COUNTRIES};
+pub use provider::{CaRecord, Provider, ProviderTier, TldRecord};
+pub use universe::Universe;
+pub use world::{World, WorldConfig};

@@ -1,0 +1,210 @@
+//! Provider, CA, and TLD records — the entities websites depend on.
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth provider tiers used by the *generator* to shape pools.
+///
+/// These mirror the classes the paper finds (Tables 1 and 2), but note the
+/// analysis layer does not read them: it re-derives classes by clustering
+/// usage and endemicity, as the paper does. The tests then check the two
+/// agree in the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProviderTier {
+    /// Extra-large global (Cloudflare, Amazon).
+    XlGlobal,
+    /// Large global (Akamai, Google, ...).
+    LargeGlobal,
+    /// Large global with a regional center of gravity (OVH, Hetzner).
+    LargeGlobalRegional,
+    /// Medium global.
+    MediumGlobal,
+    /// Small global.
+    SmallGlobal,
+    /// Large regional.
+    LargeRegional,
+    /// Small regional.
+    SmallRegional,
+    /// Extra-small regional (the long tail).
+    XsRegional,
+}
+
+impl ProviderTier {
+    /// The paper's class label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProviderTier::XlGlobal => "XL-GP",
+            ProviderTier::LargeGlobal => "L-GP",
+            ProviderTier::LargeGlobalRegional => "L-GP (R)",
+            ProviderTier::MediumGlobal => "M-GP",
+            ProviderTier::SmallGlobal => "S-GP",
+            ProviderTier::LargeRegional => "L-RP",
+            ProviderTier::SmallRegional => "S-RP",
+            ProviderTier::XsRegional => "XS-RP",
+        }
+    }
+
+    /// Whether the tier is global (usage spread over many countries).
+    pub fn is_global(self) -> bool {
+        matches!(
+            self,
+            ProviderTier::XlGlobal
+                | ProviderTier::LargeGlobal
+                | ProviderTier::LargeGlobalRegional
+                | ProviderTier::MediumGlobal
+                | ProviderTier::SmallGlobal
+        )
+    }
+}
+
+/// A hosting and/or DNS provider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provider {
+    /// Dense id; doubles as an index into `Universe::providers`.
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// HQ country (alpha-2); may be outside the 150-country dataset.
+    pub country: String,
+    /// Generator tier (ground truth; analysis re-derives classes).
+    pub tier: ProviderTier,
+    /// The provider's autonomous system number.
+    pub asn: u32,
+    /// Serves website content.
+    pub offers_hosting: bool,
+    /// Operates authoritative DNS.
+    pub offers_dns: bool,
+    /// Has per-continent points of presence (serving IPs geolocate near
+    /// users instead of at HQ).
+    pub cdn: bool,
+    /// Announces its service prefixes via anycast.
+    pub anycast: bool,
+}
+
+impl Provider {
+    /// DNS-safe slug used in nameserver host names
+    /// (`ns1.<slug>.net`).
+    pub fn slug(&self) -> String {
+        let mut s: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        while s.contains("--") {
+            s = s.replace("--", "-");
+        }
+        let trimmed = s.trim_matches('-');
+        format!("{}-{}", trimmed, self.id)
+    }
+}
+
+/// A certificate authority owner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaRecord {
+    /// Dense id; index into `Universe::cas`.
+    pub id: u32,
+    /// Owner name (the CCADB "CA Owner").
+    pub name: String,
+    /// HQ country (alpha-2).
+    pub country: String,
+    /// Generator tier (only the global/regional split matters for CAs).
+    pub tier: ProviderTier,
+    /// Certificate id of the issuing intermediate this owner signs with.
+    pub issuing_cert_id: u32,
+    /// Certificate id (serial) of the owner's root.
+    pub root_cert_id: u32,
+}
+
+/// TLD categories used by the Appendix B analysis (Figure 16's legend).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TldKind {
+    /// `.com`, treated as insular to the US per the paper's convention.
+    Com,
+    /// Other global TLDs (`net`, `org`, `io`, ...).
+    Global,
+    /// A country-code TLD.
+    Cc(String),
+}
+
+/// A top-level domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TldRecord {
+    /// Dense id; index into `Universe::tlds`.
+    pub id: u32,
+    /// The label, without dot (`com`, `de`, ...).
+    pub label: String,
+    /// Category.
+    pub kind: TldKind,
+}
+
+impl TldRecord {
+    /// The country a TLD is insular to, if any (`com` → US, ccTLD → its
+    /// country, global TLDs → none).
+    pub fn home_country(&self) -> Option<&str> {
+        match &self.kind {
+            TldKind::Com => Some("US"),
+            TldKind::Global => None,
+            TldKind::Cc(cc) => Some(cc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(ProviderTier::XlGlobal.label(), "XL-GP");
+        assert_eq!(ProviderTier::XsRegional.label(), "XS-RP");
+        assert!(ProviderTier::MediumGlobal.is_global());
+        assert!(!ProviderTier::LargeRegional.is_global());
+    }
+
+    #[test]
+    fn slug_is_dns_safe() {
+        let p = Provider {
+            id: 7,
+            name: "Online S.A.S.".into(),
+            country: "FR".into(),
+            tier: ProviderTier::LargeRegional,
+            asn: 1007,
+            offers_hosting: true,
+            offers_dns: true,
+            cdn: false,
+            anycast: false,
+        };
+        let slug = p.slug();
+        assert_eq!(slug, "online-s-a-s-7");
+        assert!(slug
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+    }
+
+    #[test]
+    fn tld_home_countries() {
+        let com = TldRecord {
+            id: 0,
+            label: "com".into(),
+            kind: TldKind::Com,
+        };
+        let net = TldRecord {
+            id: 1,
+            label: "net".into(),
+            kind: TldKind::Global,
+        };
+        let de = TldRecord {
+            id: 2,
+            label: "de".into(),
+            kind: TldKind::Cc("DE".into()),
+        };
+        assert_eq!(com.home_country(), Some("US"));
+        assert_eq!(net.home_country(), None);
+        assert_eq!(de.home_country(), Some("DE"));
+    }
+}

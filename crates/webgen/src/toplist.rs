@@ -1,0 +1,155 @@
+//! Websites and toplists: the CrUX stand-in.
+//!
+//! A [`Site`] is one website with its ground-truth dependencies. Countries
+//! reference sites by index into the world's site table; a country's
+//! toplist mixes a share of the shared *global pool* (the same popular
+//! sites appear in many countries, exactly like the real CrUX data) with
+//! country-local sites.
+
+use serde::{Deserialize, Serialize};
+
+/// One website and its ground-truth layer assignments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    /// Registered domain, e.g. `kalomi123.com`.
+    pub domain: String,
+    /// TLD id (into `Universe::tlds`).
+    pub tld: u32,
+    /// Hosting provider id.
+    pub hosting: u32,
+    /// DNS provider id.
+    pub dns: u32,
+    /// CA id securing the site.
+    pub ca: u32,
+    /// Content language tag.
+    pub language: String,
+    /// True for global-pool sites shared across countries.
+    pub is_global: bool,
+}
+
+/// Deterministic, allocation-light domain name generator.
+///
+/// Names look like `<syllables><counter>.<tld>`; the counter guarantees
+/// global uniqueness, the syllables keep them humane in reports.
+#[derive(Debug)]
+pub struct DomainForge {
+    counter: u64,
+}
+
+const SYLLABLES: [&str; 16] = [
+    "ka", "lo", "mi", "ve", "tor", "zan", "pel", "ri", "su", "den", "fa", "gu", "hab", "nor",
+    "qui", "bex",
+];
+
+impl DomainForge {
+    /// Creates a forge; `start` offsets the counter so snapshots can avoid
+    /// colliding with each other.
+    pub fn new(start: u64) -> Self {
+        DomainForge { counter: start }
+    }
+
+    /// Produces the next domain under `tld_label`.
+    pub fn next(&mut self, tld_label: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        let s1 = SYLLABLES[(n % 16) as usize];
+        let s2 = SYLLABLES[((n / 16) % 16) as usize];
+        let s3 = SYLLABLES[((n / 256) % 16) as usize];
+        format!("{s1}{s2}{s3}{n}.{tld_label}")
+    }
+
+    /// How many names have been issued.
+    pub fn issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+/// Expands an owner count table into a per-slot assignment: owner `o` with
+/// count `k` occupies `k` consecutive slots, largest owners first. The
+/// result has `sum(counts)` entries.
+pub fn expand_counts(owners_counts: &[(u32, u64)]) -> Vec<u32> {
+    let mut sorted: Vec<(u32, u64)> = owners_counts.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total: u64 = sorted.iter().map(|(_, c)| c).sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for (owner, count) in sorted {
+        out.extend(std::iter::repeat_n(owner, count as usize));
+    }
+    out
+}
+
+/// A deterministic in-place shuffle (xorshift-based Fisher–Yates), used to
+/// decorrelate layer assignments without pulling in a full RNG.
+pub fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn forge_unique_names() {
+        let mut f = DomainForge::new(0);
+        let names: HashSet<String> = (0..10_000).map(|_| f.next("com")).collect();
+        assert_eq!(names.len(), 10_000);
+        assert_eq!(f.issued(), 10_000);
+        assert!(names.iter().all(|n| n.ends_with(".com")));
+    }
+
+    #[test]
+    fn forge_offset_does_not_collide() {
+        let mut a = DomainForge::new(0);
+        let mut b = DomainForge::new(1_000_000);
+        let sa: HashSet<String> = (0..1000).map(|_| a.next("net")).collect();
+        let sb: HashSet<String> = (0..1000).map(|_| b.next("net")).collect();
+        assert!(sa.is_disjoint(&sb));
+    }
+
+    #[test]
+    fn names_are_valid_dns() {
+        let mut f = DomainForge::new(77);
+        for _ in 0..100 {
+            let d = f.next("io");
+            assert!(webdep_dns::DomainName::parse(&d).is_ok(), "{d}");
+        }
+    }
+
+    #[test]
+    fn expand_counts_layout() {
+        let slots = expand_counts(&[(7, 1), (3, 3), (5, 2)]);
+        assert_eq!(slots, vec![3, 3, 3, 5, 5, 7]);
+    }
+
+    #[test]
+    fn expand_empty() {
+        assert!(expand_counts(&[]).is_empty());
+        assert!(expand_counts(&[(1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn shuffle_deterministic_and_permutation() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        seeded_shuffle(&mut a, 42);
+        seeded_shuffle(&mut b, 42);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort_unstable();
+        assert_eq!(c, (0..100).collect::<Vec<u32>>());
+        let mut d: Vec<u32> = (0..100).collect();
+        seeded_shuffle(&mut d, 43);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: the metric toolkit on small, hand-made data.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use webdep::core::centralization::{centralization_score, hhi, ConcentrationBand};
+use webdep::core::dist::CountDist;
+use webdep::core::emd::emd_to_decentralized_via_transport;
+use webdep::core::fdiv::{disjoint_embedding, js_divergence, total_variation};
+use webdep::core::insularity::{insularity, InsularityInput};
+use webdep::core::regionalization::UsageCurve;
+use webdep::core::topn::top_n_share;
+
+fn main() {
+    // --- Centralization -------------------------------------------------
+    // Two markets with the same top-5 share but different shapes (the
+    // paper's Azerbaijan-vs-Hong-Kong motivating example).
+    let (steep, flat) = webdep::core::topn::topn_blindspot_pair(5);
+    println!("== Centralization score S ==");
+    for (name, d) in [("steep head", &steep), ("flat head", &flat)] {
+        let s = centralization_score(d);
+        println!(
+            "  {name}: top-5 share {:.2}, S = {s:.4} ({})",
+            top_n_share(d, 5),
+            ConcentrationBand::classify(hhi(d)).label(),
+        );
+    }
+    println!("  -> same top-5 coverage, different S: the top-N blind spot\n");
+
+    // --- The EMD formulation --------------------------------------------
+    // The closed form equals the generic minimum-cost transportation
+    // solution (Appendix A).
+    let d = CountDist::from_counts(vec![12, 6, 4, 2, 1]).unwrap();
+    let closed = centralization_score(&d);
+    let solved = emd_to_decentralized_via_transport(&d).unwrap();
+    println!("== EMD equivalence (Appendix A) ==");
+    println!("  closed form S = {closed:.6}");
+    println!("  transport-solver EMD = {solved:.6}\n");
+
+    // --- Why not f-divergences (§3.1) ------------------------------------
+    let concentrated = disjoint_embedding(&[90, 5, 5]).unwrap();
+    let diffuse = disjoint_embedding(&[10; 10]).unwrap();
+    println!("== f-divergences saturate on disjoint support ==");
+    println!(
+        "  TV(concentrated, reference) = {:.3}, TV(diffuse, reference) = {:.3}",
+        total_variation(&concentrated.0, &concentrated.1).unwrap(),
+        total_variation(&diffuse.0, &diffuse.1).unwrap(),
+    );
+    println!(
+        "  JS(concentrated) = {:.4}, JS(diffuse) = {:.4}  (both at the ln 2 ceiling)",
+        js_divergence(&concentrated.0, &concentrated.1).unwrap(),
+        js_divergence(&diffuse.0, &diffuse.1).unwrap(),
+    );
+    println!(
+        "  S separates them: {:.3} vs {:.3}\n",
+        centralization_score(&CountDist::from_counts(vec![90, 5, 5]).unwrap()),
+        centralization_score(&CountDist::from_counts(vec![10; 10]).unwrap()),
+    );
+
+    // --- Regionalization --------------------------------------------------
+    println!("== Usage and endemicity (§3.3) ==");
+    let global = UsageCurve::new((0..150).map(|i| 40.0 - 0.1 * i as f64).collect());
+    let mut regional_usage = vec![0.1; 150];
+    regional_usage[0] = 18.0;
+    regional_usage[1] = 9.0;
+    let regional = UsageCurve::new(regional_usage);
+    for (name, c) in [("global provider", &global), ("regional provider", &regional)] {
+        println!(
+            "  {name}: U = {:.0}, E = {:.0}, E_R = {:.2}",
+            c.usage(),
+            c.endemicity(),
+            c.endemicity_ratio()
+        );
+    }
+
+    // --- Insularity --------------------------------------------------------
+    let rows = vec![
+        InsularityInput { provider_country: "US", websites: 83 },
+        InsularityInput { provider_country: "DE", websites: 11 },
+        InsularityInput { provider_country: "FR", websites: 6 },
+    ];
+    println!("\n== Insularity ==");
+    println!(
+        "  a country hosting 83/100 sites domestically: {:.1}%",
+        100.0 * insularity(&"US", &rows).unwrap()
+    );
+}

@@ -1,0 +1,53 @@
+//! Bootstrap uncertainty for centralization scores: how stable is a
+//! country's S under resampling of its toplist? (A toolkit extension —
+//! the paper reports point estimates; this quantifies their sampling
+//! noise.)
+//!
+//! Run with: `cargo run --release --example uncertainty`
+
+use webdep::analysis::AnalysisCtx;
+use webdep::core::centralization::centralization_score_counts;
+use webdep::pipeline::{measure, PipelineConfig};
+use webdep::stats::bootstrap_ci;
+use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig::small());
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let ds = measure(&world, &dep, &PipelineConfig::default());
+    let ctx = AnalysisCtx::new(&world, &ds);
+
+    println!("95% bootstrap CIs for hosting centralization (500 replicates):\n");
+    println!("country |  S      |  95% CI             | paper");
+    println!("--------|---------|---------------------|-------");
+    for code in ["TH", "ID", "BR", "US", "DE", "BG", "CZ", "RU", "IR"] {
+        let ci_idx = World::country_index(code).unwrap();
+        // The raw per-site owner labels are the resampling unit.
+        let owners: Vec<u32> = ctx
+            .ds
+            .country_observations(ci_idx)
+            .filter_map(|o| o.hosting_org)
+            .collect();
+        let stat = |sample: &[u32]| -> f64 {
+            let mut tally = std::collections::HashMap::new();
+            for &o in sample {
+                *tally.entry(o).or_insert(0u64) += 1;
+            }
+            let counts: Vec<u64> = tally.into_values().collect();
+            centralization_score_counts(&counts).unwrap_or(0.0)
+        };
+        let ci = bootstrap_ci(&owners, stat, 500, 0.95, 42).expect("non-empty sample");
+        let paper = webdep::webgen::CountryRecord::by_code(code)
+            .unwrap()
+            .paper_score(Layer::Hosting);
+        println!(
+            "{code:7} | {:.4}  | [{:.4}, {:.4}]    | {paper:.4}{}",
+            ci.point,
+            ci.lo,
+            ci.hi,
+            if ci.contains(paper) { "  (in CI)" } else { "" }
+        );
+    }
+    println!("\nIntervals shrink ~1/sqrt(C): at the paper's 10k sites per");
+    println!("country they are ~3x tighter than at this example's 1k.");
+}

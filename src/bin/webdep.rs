@@ -1,0 +1,158 @@
+//! `webdep` — command-line interface to the dependence toolkit.
+//!
+//! ```text
+//! webdep score 60 20 10 5 5        # S / HHI / top-N for raw counts
+//! webdep country DE [tiny|small]   # one country's full dependence profile
+//! webdep tables [tiny|small]       # the four layer tables
+//! webdep experiments [tiny|small]  # the paper-vs-measured suite
+//! ```
+//!
+//! The heavier subcommands generate, deploy, and measure a synthetic world
+//! (seconds at `tiny`, ~1 minute at `small`).
+
+use webdep::analysis::centralization::layer_table;
+use webdep::analysis::insularity::{dependence_shares, insularity_table};
+use webdep::analysis::report;
+use webdep::analysis::{AnalysisCtx, ExperimentSuite};
+use webdep::core::centralization::{centralization_score, hhi, ConcentrationBand};
+use webdep::core::dist::CountDist;
+use webdep::core::topn::top_n_share;
+use webdep::pipeline::{measure, MeasuredDataset, PipelineConfig};
+use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]"
+    );
+    std::process::exit(2);
+}
+
+fn scale_config(arg: Option<&str>) -> WorldConfig {
+    match arg.unwrap_or("tiny") {
+        "tiny" => WorldConfig::tiny(),
+        "small" => WorldConfig::small(),
+        "paper" => WorldConfig::paper(),
+        other => {
+            eprintln!("unknown scale {other:?} (tiny | small | paper)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn measured(config: WorldConfig) -> (World, MeasuredDataset) {
+    let world = World::generate(config);
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let ds = measure(&world, &dep, &PipelineConfig::default());
+    (world, ds)
+}
+
+fn cmd_score(args: &[String]) {
+    let counts: Vec<u64> = args
+        .iter()
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("not a count: {a:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let Ok(dist) = CountDist::from_counts(counts) else {
+        eprintln!("need at least one positive count");
+        std::process::exit(2);
+    };
+    let s = centralization_score(&dist);
+    println!("C                  = {}", dist.total());
+    println!("providers          = {}", dist.num_providers());
+    println!("S (centralization) = {s:.6}");
+    println!("HHI                = {:.6}", hhi(&dist));
+    println!(
+        "DoJ band           = {}",
+        ConcentrationBand::classify(hhi(&dist)).label()
+    );
+    for n in [1usize, 5, 10] {
+        println!("top-{n:<2} share       = {:.4}", top_n_share(&dist, n));
+    }
+    println!(
+        "90% coverage       = {} providers",
+        dist.providers_to_cover(0.90)
+    );
+}
+
+fn cmd_country(code: &str, scale: Option<&str>) {
+    let Some(ci) = World::country_index(&code.to_ascii_uppercase()) else {
+        eprintln!("unknown country code {code:?} (need one of the paper's 150)");
+        std::process::exit(2);
+    };
+    let (world, ds) = measured(scale_config(scale));
+    let ctx = AnalysisCtx::new(&world, &ds);
+    let record = &webdep::webgen::COUNTRIES[ci];
+    println!(
+        "{} ({}) — {} / {}",
+        record.name,
+        record.code,
+        record.subregion,
+        record.continent.code()
+    );
+    for layer in Layer::ALL {
+        let Some(dist) = ctx.country_dist(ci, layer) else {
+            continue;
+        };
+        let s = centralization_score(&dist);
+        let ins = webdep::analysis::insularity::country_insularity(&ctx, ci, layer)
+            .unwrap_or(0.0);
+        println!(
+            "\n[{:<7}] S = {s:.4} (paper {:.4})  insularity = {:.1}%  providers = {}",
+            layer.name(),
+            record.paper_score(layer),
+            100.0 * ins,
+            dist.num_providers()
+        );
+        for (owner, count) in ctx.country_counts(ci, layer).into_iter().take(5) {
+            println!(
+                "    {:<28} {:>5.1}%  ({})",
+                ctx.owner_name(layer, owner),
+                100.0 * count as f64 / dist.total() as f64,
+                ctx.owner_country(layer, owner).unwrap_or("--"),
+            );
+        }
+    }
+    println!("\nDependence by provider country (hosting):");
+    for (cc, share) in dependence_shares(&ctx, ci, Layer::Hosting).into_iter().take(6) {
+        println!("    {cc}: {:.1}%", 100.0 * share);
+    }
+}
+
+fn cmd_tables(scale: Option<&str>) {
+    let (world, ds) = measured(scale_config(scale));
+    let ctx = AnalysisCtx::new(&world, &ds);
+    for layer in Layer::ALL {
+        let t = layer_table(&ctx, layer);
+        println!("{}", report::layer_table_markdown(&t, 8, 4));
+    }
+    let ins = insularity_table(&ctx, Layer::Hosting);
+    println!("{}", report::insularity_markdown(&ins, 10));
+}
+
+fn cmd_experiments(scale: Option<&str>) {
+    let (world, ds) = measured(scale_config(scale));
+    let ctx = AnalysisCtx::new(&world, &ds);
+    let suite = ExperimentSuite::run(&ctx, None, None);
+    println!("{}", suite.to_markdown());
+    println!("{}/{} passed", suite.passed(), suite.total());
+    if suite.passed() != suite.total() {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("score") if args.len() > 1 => cmd_score(&args[1..]),
+        Some("country") if args.len() >= 2 => {
+            cmd_country(&args[1], args.get(2).map(String::as_str))
+        }
+        Some("tables") => cmd_tables(args.get(1).map(String::as_str)),
+        Some("experiments") => cmd_experiments(args.get(1).map(String::as_str)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,25 @@
+//! # webdep
+//!
+//! Facade crate for the `webdep` workspace: a toolkit for quantifying
+//! centralization and regionalization of web infrastructure, reproducing
+//! *Formalizing Dependence of Web Infrastructure* (SIGCOMM 2025).
+//!
+//! Re-exports every workspace crate under a stable path. See the README for
+//! the architecture overview and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use webdep_analysis as analysis;
+pub use webdep_core as core;
+pub use webdep_dns as dns;
+pub use webdep_geodb as geodb;
+pub use webdep_netsim as netsim;
+pub use webdep_pipeline as pipeline;
+pub use webdep_stats as stats;
+pub use webdep_tls as tls;
+pub use webdep_webgen as webgen;
+
+/// Convenience prelude pulling in the most used types across the workspace.
+pub mod prelude {
+    pub use webdep_core::prelude::*;
+}

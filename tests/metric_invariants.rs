@@ -1,0 +1,68 @@
+//! Workspace-level property tests tying the metric crate to the
+//! generator: calibration inverts scoring, and the metric's invariants
+//! survive realistic (Zipf-mixture) distributions.
+
+use proptest::prelude::*;
+use webdep::core::centralization::{centralization_score_counts, max_score};
+use webdep::core::dist::CountDist;
+use webdep::core::emd::emd_to_decentralized_via_transport;
+use webdep::webgen::calibrate::{adjust_to_target, solve_counts};
+use webdep::webgen::depmap::head_share_for_score;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// solve_counts is a right inverse of the score, across the whole
+    /// plausible (target, size, pool) space.
+    #[test]
+    fn calibration_inverts_scoring(
+        target in 0.02f64..0.6,
+        total in 2_000u64..20_000,
+        pool in 50usize..800,
+    ) {
+        let head = head_share_for_score(target);
+        let counts = solve_counts(target, total, pool, head);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        let s = centralization_score_counts(&counts).unwrap();
+        prop_assert!((s - target).abs() < 0.02, "target {}, got {}", target, s);
+    }
+
+    /// adjust_to_target converges from arbitrary starting shapes.
+    #[test]
+    fn adjustment_converges(
+        mut counts in prop::collection::vec(1u64..500, 4..64),
+        target in 0.05f64..0.5,
+    ) {
+        let total: u64 = counts.iter().sum();
+        let achieved = adjust_to_target(&mut counts, &[], target);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total, "mass conserved");
+        // Reachability: a fully-flat or fully-peaked vector bounds what is
+        // attainable; inside those bounds we must be close.
+        let n = counts.len() as f64;
+        let min_s = (1.0 / n - 1.0 / total as f64).max(0.0);
+        let max_s = max_score(total);
+        if target > min_s + 0.01 && target < max_s - 0.01 {
+            prop_assert!((achieved - target).abs() < 0.02,
+                "target {}, achieved {}", target, achieved);
+        }
+    }
+
+    /// Closed-form score equals the exact transportation solution on
+    /// Zipf-like inputs (Appendix A at realistic shapes, small C for the
+    /// O(C^2) reference solver).
+    #[test]
+    fn emd_equivalence_on_zipf_mixtures(
+        exponent in 0.3f64..2.0,
+        providers in 2usize..10,
+    ) {
+        let counts: Vec<u64> = (1..=providers)
+            .map(|i| ((providers as f64 / i as f64).powf(exponent)).ceil() as u64)
+            .collect();
+        let dist = CountDist::from_counts(counts).unwrap();
+        let closed = centralization_score_counts(
+            dist.counts()
+        ).unwrap();
+        let solved = emd_to_decentralized_via_transport(&dist).unwrap();
+        prop_assert!((closed - solved).abs() < 1e-7, "{} vs {}", closed, solved);
+    }
+}
