@@ -48,10 +48,12 @@ pub struct LayerTable {
 
 /// Builds the layer's table from measured data.
 pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
-    let mut rows: Vec<CountryScore> = COUNTRIES
-        .iter()
-        .enumerate()
-        .filter_map(|(ci, country)| {
+    // Countries are independent: fan the per-country scoring across cores.
+    // `par_map_indices` returns results in country order, so the table is
+    // identical to the sequential one.
+    let mut rows: Vec<CountryScore> =
+        webdep_stats::par_map_indices(COUNTRIES.len(), webdep_stats::par::default_threads(), |ci| {
+            let country = &COUNTRIES[ci];
             let dist = ctx.country_dist(ci, layer)?;
             Some(CountryScore {
                 rank: 0,
@@ -65,6 +67,8 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
                 providers_for_90pct: dist.providers_to_cover(0.90),
             })
         })
+        .into_iter()
+        .flatten()
         .collect();
     rows.sort_by(|a, b| b.s.partial_cmp(&a.s).expect("scores are finite"));
     for (i, r) in rows.iter_mut().enumerate() {

@@ -73,7 +73,9 @@ pub fn dependence_shares(
         .into_iter()
         .map(|(cc, c)| (cc, c as f64 / total as f64))
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    // Tie-break on country code: the tally is HashMap-fed, so equal shares
+    // would otherwise surface in randomized iteration order.
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0)));
     v
 }
 

@@ -1,0 +1,135 @@
+//! Writes `BENCH_pipeline.json` at the repo root: throughput and wire-query
+//! accounting for the measurement pipeline, before and after the
+//! concurrency/caching work. "Before" reproduces the original pipeline:
+//! thread-per-rack serving, static contiguous shards, private per-worker
+//! caches only, and a strictly query-driven resolver (no referral
+//! caching). "After" is the current default: inline rack responders,
+//! dynamic work queue, shared delegation/answer cache, referral caching.
+//!
+//! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`.
+
+use serde::Serialize;
+use std::path::Path;
+use webdep_dns::resolver::ResolverConfig;
+use webdep_pipeline::{measure_with_stats, MeasureStats, PipelineConfig, Scheduling};
+use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
+
+const WORKERS: usize = 8;
+
+#[derive(Serialize)]
+struct ModeSnapshot {
+    scheduling: String,
+    inline_racks: bool,
+    shared_cache: bool,
+    referral_caching: bool,
+    wall_ms: u64,
+    sites_per_sec: f64,
+    wire_queries: u64,
+    local_cache_hits: u64,
+    shared_cache_hits: u64,
+    peak_idle_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    sites: u64,
+    workers: u64,
+    before: ModeSnapshot,
+    after: ModeSnapshot,
+    speedup: f64,
+    wire_query_reduction: f64,
+}
+
+fn mode_snapshot(
+    scheduling: Scheduling,
+    inline_racks: bool,
+    shared_cache: bool,
+    referral_caching: bool,
+    stats: &MeasureStats,
+) -> ModeSnapshot {
+    ModeSnapshot {
+        scheduling: format!("{scheduling:?}"),
+        inline_racks,
+        shared_cache,
+        referral_caching,
+        wall_ms: stats.wall.as_millis() as u64,
+        sites_per_sec: round3(stats.sites_per_sec),
+        wire_queries: stats.wire_queries,
+        local_cache_hits: stats.local_cache_hits,
+        shared_cache_hits: stats.shared_cache_hits,
+        peak_idle_fraction: round3(stats.peak_idle_fraction),
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn run(
+    world: &World,
+    dep: &DeployedWorld,
+    scheduling: Scheduling,
+    shared: bool,
+    cache_referrals: bool,
+) -> MeasureStats {
+    let config = PipelineConfig {
+        workers: WORKERS,
+        scheduling,
+        shared_cache: shared,
+        resolver: ResolverConfig {
+            cache_referrals,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    measure_with_stats(world, dep, &config).1
+}
+
+fn main() {
+    let world = World::generate(WorldConfig::tiny());
+
+    // Each deployment lives only for its measurement: idle rack threads
+    // from the threaded deployment would otherwise poll away CPU during
+    // the inline run.
+    let before = {
+        let dep = DeployedWorld::deploy(
+            &world,
+            DeployConfig {
+                inline_racks: false,
+                ..DeployConfig::default()
+            },
+        );
+        eprintln!("warming up the threaded deployment (one untimed run)...");
+        let _ = run(&world, &dep, Scheduling::Static, false, false);
+        eprintln!("before: rack threads, static shards, private caches, query-driven resolver...");
+        run(&world, &dep, Scheduling::Static, false, false)
+    };
+    let after = {
+        let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+        eprintln!("warming up the inline deployment (one untimed run)...");
+        let _ = run(&world, &dep, Scheduling::Dynamic, true, true);
+        eprintln!("after: inline racks, dynamic queue, shared cache, referral caching...");
+        run(&world, &dep, Scheduling::Dynamic, true, true)
+    };
+
+    let snapshot = Snapshot {
+        sites: world.sites.len() as u64,
+        workers: WORKERS as u64,
+        speedup: round3(after.sites_per_sec / before.sites_per_sec),
+        wire_query_reduction: round3(
+            1.0 - after.wire_queries as f64 / before.wire_queries as f64,
+        ),
+        before: mode_snapshot(Scheduling::Static, false, false, false, &before),
+        after: mode_snapshot(Scheduling::Dynamic, true, true, true, &after),
+    };
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_pipeline.json");
+    eprintln!(
+        "wrote {} (speedup {:.2}x, wire queries -{:.0}%)",
+        out.display(),
+        snapshot.speedup,
+        snapshot.wire_query_reduction * 100.0
+    );
+}

@@ -39,7 +39,7 @@ pub fn insularity<C: PartialEq>(home: &C, rows: &[InsularityInput<C>]) -> Option
 /// country, sorted by descending share. The first entry is the country's
 /// biggest (possibly foreign) dependence — the basis of the §5.3.3 case
 /// studies.
-pub fn dependence_shares<C: std::hash::Hash + Eq + Clone>(
+pub fn dependence_shares<C: std::hash::Hash + Eq + Ord + Clone>(
     rows: &[InsularityInput<C>],
 ) -> Vec<(C, f64)> {
     let total: u64 = rows.iter().map(|r| r.websites).sum();
@@ -54,7 +54,13 @@ pub fn dependence_shares<C: std::hash::Hash + Eq + Clone>(
         .into_iter()
         .map(|(c, w)| (c, w as f64 / total as f64))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    // Tie-break on the country key: the tally is HashMap-fed, so equal
+    // shares would otherwise surface in randomized iteration order.
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("shares are finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     out
 }
 

@@ -21,12 +21,16 @@ pub mod bigzone;
 pub mod name;
 pub mod resolver;
 pub mod server;
+pub mod shared_cache;
 pub mod wire;
 pub mod zone;
 
 pub use bigzone::{Delegation, DelegationTable, HostTable};
 pub use name::DomainName;
-pub use resolver::{IterativeResolver, ResolveError, ResolverConfig, StubResolver};
+pub use resolver::{
+    IterativeResolver, ResolveError, ResolverConfig, ResolverStats, StubResolver,
+};
+pub use shared_cache::{SharedCacheStats, SharedDnsCache};
 pub use server::AuthServer;
 pub use wire::{Message, Question, Rcode, Record, RecordData, RecordType};
 pub use zone::{Zone, ZoneLookup};

@@ -1,4 +1,9 @@
 //! Domain names: validated label sequences.
+//!
+//! Stored as one lowercase dot-separated `String` rather than a
+//! `Vec<String>` of labels: names are cloned and hashed constantly on the
+//! resolver and wire-codec hot paths, and the compact form makes a clone
+//! one allocation and a hash one pass.
 
 use std::fmt;
 use std::str::FromStr;
@@ -8,11 +13,11 @@ pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum total name length (presentation form), per RFC 1035.
 pub const MAX_NAME_LEN: usize = 253;
 
-/// A fully qualified domain name, stored as lowercase labels without the
-/// trailing root dot. The root itself is the empty label sequence.
+/// A fully qualified domain name, stored lowercase without the trailing
+/// root dot. The root itself is the empty string.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DomainName {
-    labels: Vec<String>,
+    name: String,
 }
 
 /// Errors from parsing a domain name.
@@ -41,7 +46,9 @@ impl std::error::Error for NameError {}
 impl DomainName {
     /// The DNS root (empty name).
     pub fn root() -> Self {
-        DomainName { labels: Vec::new() }
+        DomainName {
+            name: String::new(),
+        }
     }
 
     /// Parses a name; accepts an optional trailing dot; lowercases.
@@ -53,52 +60,66 @@ impl DomainName {
         if s.len() > MAX_NAME_LEN {
             return Err(NameError::TooLong(s.len()));
         }
-        let mut labels = Vec::new();
         for raw in s.split('.') {
             if raw.is_empty() || raw.len() > MAX_LABEL_LEN {
                 return Err(NameError::BadLabel(raw.to_string()));
             }
-            let label = raw.to_ascii_lowercase();
-            for c in label.chars() {
-                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_') {
+            for c in raw.chars() {
+                if !(c.is_ascii_alphanumeric() || c == '-' || c == '_') {
                     return Err(NameError::BadCharacter(c));
                 }
             }
-            labels.push(label);
         }
-        Ok(DomainName { labels })
+        Ok(DomainName {
+            name: s.to_ascii_lowercase(),
+        })
     }
 
     /// Builds a name from pre-validated labels (panics on invalid input;
     /// used by generators that construct names programmatically).
     pub fn from_labels<I: IntoIterator<Item = S>, S: Into<String>>(labels: I) -> Self {
-        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
-        let joined = labels.join(".");
+        let joined = labels
+            .into_iter()
+            .map(Into::into)
+            .collect::<Vec<String>>()
+            .join(".");
         Self::parse(&joined).unwrap_or_else(|e| panic!("invalid labels {joined:?}: {e}"))
     }
 
+    /// The presentation form without the trailing dot; empty for the root.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
     /// The labels, leftmost (most specific) first.
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.').filter(|l| !l.is_empty())
     }
 
     /// Number of labels; 0 for the root.
     pub fn num_labels(&self) -> usize {
-        self.labels.len()
+        if self.name.is_empty() {
+            0
+        } else {
+            self.name.bytes().filter(|&b| b == b'.').count() + 1
+        }
     }
 
     /// True for the DNS root.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.name.is_empty()
     }
 
     /// The name's parent (one label removed from the left); `None` at root.
     pub fn parent(&self) -> Option<DomainName> {
-        if self.labels.is_empty() {
+        if self.name.is_empty() {
             None
         } else {
-            Some(DomainName {
-                labels: self.labels[1..].to_vec(),
+            Some(match self.name.split_once('.') {
+                Some((_, rest)) => DomainName {
+                    name: rest.to_string(),
+                },
+                None => Self::root(),
             })
         }
     }
@@ -106,35 +127,45 @@ impl DomainName {
     /// Whether `self` equals `other` or is underneath it
     /// (`www.example.com` is within `example.com` and within the root).
     pub fn is_within(&self, other: &DomainName) -> bool {
-        if other.labels.len() > self.labels.len() {
-            return false;
+        if other.name.is_empty() {
+            return true;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..] == other.labels[..]
+        if self.name.len() == other.name.len() {
+            return self.name == other.name;
+        }
+        // Strictly longer: the suffix must start at a label boundary.
+        self.name.len() > other.name.len()
+            && self.name.ends_with(other.name.as_str())
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
     /// Prepends a label, producing a child name.
     pub fn child(&self, label: &str) -> Result<DomainName, NameError> {
-        let mut s = label.to_string();
-        if !self.is_root() {
+        let mut s = String::with_capacity(label.len() + 1 + self.name.len());
+        s.push_str(label);
+        if !self.name.is_empty() {
             s.push('.');
-            s.push_str(&self.to_string());
+            s.push_str(&self.name);
         }
         Self::parse(&s)
     }
 
     /// The top-level domain label, if any (`com` for `www.example.com`).
     pub fn tld(&self) -> Option<&str> {
-        self.labels.last().map(|s| s.as_str())
+        if self.name.is_empty() {
+            None
+        } else {
+            self.name.rsplit('.').next()
+        }
     }
 }
 
 impl fmt::Display for DomainName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.name.is_empty() {
             write!(f, ".")
         } else {
-            write!(f, "{}", self.labels.join("."))
+            write!(f, "{}", self.name)
         }
     }
 }
@@ -167,6 +198,7 @@ mod tests {
         assert_eq!(r, DomainName::root());
         assert_eq!(r.parent(), None);
         assert_eq!(r.tld(), None);
+        assert_eq!(r.labels().count(), 0);
     }
 
     #[test]
@@ -199,6 +231,12 @@ mod tests {
         let a = DomainName::parse("example.com").unwrap();
         let b = DomainName::parse("ample.com").unwrap();
         assert!(!a.is_within(&b));
+    }
+
+    #[test]
+    fn labels_iterate_left_to_right() {
+        let n = DomainName::parse("a.b.c").unwrap();
+        assert_eq!(n.labels().collect::<Vec<_>>(), ["a", "b", "c"]);
     }
 
     #[test]

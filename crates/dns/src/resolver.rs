@@ -7,9 +7,11 @@
 //! caches delegations so bulk resolution does not hammer the root.
 
 use crate::name::DomainName;
+use crate::shared_cache::SharedDnsCache;
 use crate::wire::{decode, encode, Message, Rcode, RecordData, RecordType};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 use webdep_netsim::{Endpoint, NetError, SockAddr};
 
@@ -24,6 +26,12 @@ pub struct ResolverConfig {
     pub max_depth: u32,
     /// Maximum CNAME chain length per resolution.
     pub max_cnames: u32,
+    /// Cache a referral's authority NS set and glue A records as answers,
+    /// so later `NS`/`A` queries for them skip the wire entirely. Real
+    /// resolvers keep this delegation data too; disabling it reproduces
+    /// the strictly query-driven behaviour (one wire round trip per
+    /// record set ever returned).
+    pub cache_referrals: bool,
 }
 
 impl Default for ResolverConfig {
@@ -33,6 +41,7 @@ impl Default for ResolverConfig {
             retries: 2,
             max_depth: 16,
             max_cnames: 8,
+            cache_referrals: true,
         }
     }
 }
@@ -141,14 +150,32 @@ struct ZoneServers {
     addrs: Vec<Ipv4Addr>,
 }
 
-/// An iterative resolver with a per-instance delegation cache.
+/// Lookup accounting: where answers came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries sent on the wire (including retries).
+    pub wire_queries: u64,
+    /// Answers served from this resolver's private cache.
+    pub local_cache_hits: u64,
+    /// Answers or delegations served from the shared cache tier.
+    pub shared_cache_hits: u64,
+}
+
+/// An iterative resolver with a per-instance delegation cache, optionally
+/// layered over a process-wide [`SharedDnsCache`].
 pub struct IterativeResolver {
     stub: StubResolver,
     roots: Vec<Ipv4Addr>,
     /// zone apex -> authoritative server addresses.
     zone_cache: HashMap<DomainName, ZoneServers>,
-    /// Completed (name, type) answers.
-    answer_cache: HashMap<(DomainName, RecordType), Vec<RecordData>>,
+    /// Completed answers by owner name, then record type. Nesting by name
+    /// lets the hot lookup path borrow `name` instead of cloning it into a
+    /// `(DomainName, RecordType)` probe key.
+    answer_cache: HashMap<DomainName, Vec<(RecordType, Vec<RecordData>)>>,
+    /// Shared cache tier consulted between the private cache and the wire.
+    shared: Option<Arc<SharedDnsCache>>,
+    local_cache_hits: u64,
+    shared_cache_hits: u64,
 }
 
 impl IterativeResolver {
@@ -160,12 +187,37 @@ impl IterativeResolver {
             roots,
             zone_cache: HashMap::new(),
             answer_cache: HashMap::new(),
+            shared: None,
+            local_cache_hits: 0,
+            shared_cache_hits: 0,
         }
+    }
+
+    /// Like [`IterativeResolver::new`], but consults (and feeds) `shared`
+    /// between the private cache and the wire.
+    pub fn with_shared_cache(
+        endpoint: Endpoint,
+        roots: Vec<Ipv4Addr>,
+        config: ResolverConfig,
+        shared: Arc<SharedDnsCache>,
+    ) -> Self {
+        let mut r = Self::new(endpoint, roots, config);
+        r.shared = Some(shared);
+        r
     }
 
     /// Total queries sent on the wire (cache hits cost nothing).
     pub fn queries_sent(&self) -> u64 {
         self.stub.queries_sent
+    }
+
+    /// Wire/cache accounting for this resolver.
+    pub fn stats(&self) -> ResolverStats {
+        ResolverStats {
+            wire_queries: self.stub.queries_sent,
+            local_cache_hits: self.local_cache_hits,
+            shared_cache_hits: self.shared_cache_hits,
+        }
     }
 
     /// Resolves A records for `name`.
@@ -202,9 +254,18 @@ impl IterativeResolver {
         if cname_depth > self.stub.config.max_cnames {
             return Err(ResolveError::DepthExceeded);
         }
-        let cache_key = (name.clone(), qtype);
-        if let Some(hit) = self.answer_cache.get(&cache_key) {
-            return Ok(hit.clone());
+        // Private cache first: borrowed-key lookup, no allocation on hits.
+        if let Some(hit) = self.lookup_local(name, qtype) {
+            self.local_cache_hits += 1;
+            return Ok(hit);
+        }
+        // Then the shared tier, promoting hits into the private cache.
+        if let Some(shared) = &self.shared {
+            if let Some(hit) = shared.get_answer(name, qtype) {
+                self.shared_cache_hits += 1;
+                self.insert_local(name.clone(), qtype, hit.clone());
+                return Ok(hit);
+            }
         }
 
         // Start from the deepest cached zone enclosing `name`.
@@ -235,12 +296,12 @@ impl IterativeResolver {
                 if terminal.is_empty() {
                     if let Some(target) = last_cname {
                         let resolved = self.resolve(&target, qtype, cname_depth + 1)?;
-                        self.answer_cache.insert(cache_key, resolved.clone());
+                        self.cache_answer(name.clone(), qtype, resolved.clone());
                         return Ok(resolved);
                     }
                     return Err(ResolveError::NoData(name.clone()));
                 }
-                self.answer_cache.insert(cache_key, terminal.clone());
+                self.cache_answer(name.clone(), qtype, terminal.clone());
                 return Ok(terminal);
             }
             // Referral?
@@ -284,10 +345,67 @@ impl IterativeResolver {
             if glue.is_empty() {
                 return Err(ResolveError::ServFail);
             }
+            if self.stub.config.cache_referrals {
+                self.cache_referral_data(&zone, &ns_names, &resp);
+            }
+            if let Some(shared) = &self.shared {
+                shared.put_zone(zone.clone(), glue.clone());
+            }
             self.zone_cache
                 .insert(zone, ZoneServers { addrs: glue.clone() });
             servers = glue;
         }
+    }
+
+    /// Caches what a referral already proves: the delegated zone's NS set
+    /// and the glue addresses of its nameservers. The authoritative server
+    /// would answer those queries with the same record sets (the deployed
+    /// worlds publish delegation and apex data from one source), so this
+    /// spares one wire round trip per `resolve_ns` and per glued NS
+    /// address lookup.
+    fn cache_referral_data(&mut self, zone: &DomainName, ns_names: &[DomainName], resp: &Message) {
+        let ns_data: Vec<RecordData> =
+            ns_names.iter().cloned().map(RecordData::Ns).collect();
+        self.cache_answer(zone.clone(), RecordType::Ns, ns_data);
+        for ns in ns_names {
+            let addrs: Vec<RecordData> = resp
+                .additionals
+                .iter()
+                .filter(|r| &r.name == ns)
+                .filter_map(|r| match r.data {
+                    RecordData::A(ip) => Some(RecordData::A(ip)),
+                    _ => None,
+                })
+                .collect();
+            if !addrs.is_empty() {
+                self.cache_answer(ns.clone(), RecordType::A, addrs);
+            }
+        }
+    }
+
+    /// Borrowed-key private-cache lookup.
+    fn lookup_local(&self, name: &DomainName, qtype: RecordType) -> Option<Vec<RecordData>> {
+        self.answer_cache
+            .get(name)?
+            .iter()
+            .find(|(t, _)| *t == qtype)
+            .map(|(_, data)| data.clone())
+    }
+
+    fn insert_local(&mut self, name: DomainName, qtype: RecordType, data: Vec<RecordData>) {
+        let rows = self.answer_cache.entry(name).or_default();
+        match rows.iter_mut().find(|(t, _)| *t == qtype) {
+            Some(row) => row.1 = data,
+            None => rows.push((qtype, data)),
+        }
+    }
+
+    /// Writes a completed answer through to both cache tiers.
+    fn cache_answer(&mut self, name: DomainName, qtype: RecordType, data: Vec<RecordData>) {
+        if let Some(shared) = &self.shared {
+            shared.put_answer(name.clone(), qtype, data.clone());
+        }
+        self.insert_local(name, qtype, data);
     }
 
     /// Resolving a glueless NS name must not recurse unboundedly.
@@ -302,11 +420,21 @@ impl IterativeResolver {
         self.resolve_a(name)
     }
 
-    fn starting_servers(&self, name: &DomainName) -> Vec<Ipv4Addr> {
+    /// Deepest known enclosing zone's servers: private cache, then the
+    /// shared tier (promoting hits), then the root hints.
+    fn starting_servers(&mut self, name: &DomainName) -> Vec<Ipv4Addr> {
         let mut current = Some(name.clone());
         while let Some(n) = current {
             if let Some(zs) = self.zone_cache.get(&n) {
                 return zs.addrs.clone();
+            }
+            if let Some(shared) = &self.shared {
+                if let Some(addrs) = shared.get_zone(&n) {
+                    self.shared_cache_hits += 1;
+                    self.zone_cache
+                        .insert(n, ZoneServers { addrs: addrs.clone() });
+                    return addrs;
+                }
             }
             current = n.parent();
         }
@@ -486,6 +614,50 @@ mod tests {
         );
         let addrs = r.resolve_a(&n("www.example.com")).unwrap();
         assert_eq!(addrs, vec![ip("203.0.113.11")]);
+    }
+
+    #[test]
+    fn shared_cache_spares_the_wire() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = build_world(&net);
+        let shared = Arc::new(SharedDnsCache::new());
+
+        // First resolver warms the shared cache from a cold start.
+        let ep1 = net.bind(ip("10.0.0.98"), 3553, Region::EUROPE).unwrap();
+        let mut r1 = IterativeResolver::with_shared_cache(
+            ep1,
+            roots.clone(),
+            ResolverConfig::default(),
+            Arc::clone(&shared),
+        );
+        r1.resolve_a(&n("www.example.com")).unwrap();
+        assert!(r1.queries_sent() > 0);
+
+        // Second resolver gets the same answer without touching the wire.
+        let ep2 = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r2 = IterativeResolver::with_shared_cache(
+            ep2,
+            roots,
+            ResolverConfig::default(),
+            Arc::clone(&shared),
+        );
+        let addrs = r2.resolve_a(&n("www.example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.11")]);
+        assert_eq!(r2.queries_sent(), 0, "expected a shared-cache answer");
+        assert!(r2.stats().shared_cache_hits >= 1);
+
+        // A sibling name needs the wire, but the shared *delegation* cache
+        // lets it skip the root/TLD walk entirely: give this resolver an
+        // unreachable root hint and it still succeeds.
+        let ep3 = net.bind(ip("10.0.0.97"), 3553, Region::EUROPE).unwrap();
+        let mut r3 = IterativeResolver::with_shared_cache(
+            ep3,
+            vec![ip("9.9.9.9")],
+            ResolverConfig::default(),
+            shared,
+        );
+        let addrs = r3.resolve_a(&n("example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.10")]);
     }
 
     #[test]

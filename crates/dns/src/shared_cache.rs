@@ -1,0 +1,205 @@
+//! Process-wide DNS cache shared by every resolver in a measurement run.
+//!
+//! The pipeline spawns one [`crate::IterativeResolver`] per worker, each
+//! with a private delegation/answer cache. That means every worker re-walks
+//! the root and TLD tier on its own: with `w` workers the delegation tier
+//! sees roughly `w`× the wire queries a single resolver would send. The
+//! [`SharedDnsCache`] sits *under* the per-resolver caches: lookups check
+//! the private cache first, then this shared tier (promoting hits into the
+//! private cache), and only then go to the wire. Writes go through to both.
+//!
+//! The cache is lock-striped: keys are spread over [`NUM_SHARDS`]
+//! independent `RwLock`-protected maps so concurrent workers rarely contend
+//! on the same lock, and readers never block each other at all.
+
+use crate::name::DomainName;
+use crate::wire::{RecordData, RecordType};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independent lock stripes. A small power of two well above the
+/// worker counts the pipeline uses keeps the collision probability low.
+pub const NUM_SHARDS: usize = 16;
+
+/// Answers for one name, keyed by record type. Kept as a small association
+/// list: a name rarely has more than two cached record types, and nesting
+/// by name lets lookups borrow the key instead of building `(name, type)`
+/// tuples.
+type AnswerRows = Vec<(RecordType, Vec<RecordData>)>;
+
+#[derive(Default)]
+struct Shard {
+    /// zone apex -> authoritative server addresses.
+    zones: RwLock<HashMap<DomainName, Vec<Ipv4Addr>>>,
+    /// completed answers by owner name, then record type.
+    answers: RwLock<HashMap<DomainName, AnswerRows>>,
+}
+
+/// Running hit/miss counters for a [`SharedDnsCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the shared tier.
+    pub hits: u64,
+    /// Lookups that fell through to the wire.
+    pub misses: u64,
+}
+
+/// A lock-striped delegation + answer cache shared across resolvers.
+///
+/// Thread-safe; intended to be wrapped in an `Arc` and handed to each
+/// worker's resolver via
+/// [`crate::IterativeResolver::with_shared_cache`].
+#[derive(Default)]
+pub struct SharedDnsCache {
+    shards: [Shard; NUM_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn shard_index(name: &DomainName) -> usize {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    (h.finish() as usize) % NUM_SHARDS
+}
+
+impl SharedDnsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached authoritative addresses for `zone`, if any.
+    pub fn get_zone(&self, zone: &DomainName) -> Option<Vec<Ipv4Addr>> {
+        let shard = &self.shards[shard_index(zone)];
+        let hit = shard.zones.read().get(zone).cloned();
+        self.count(hit.is_some());
+        hit
+    }
+
+    /// Records the authoritative addresses for `zone`.
+    pub fn put_zone(&self, zone: DomainName, addrs: Vec<Ipv4Addr>) {
+        let shard = &self.shards[shard_index(&zone)];
+        shard.zones.write().insert(zone, addrs);
+    }
+
+    /// Cached answer for `name`/`qtype`, if any.
+    pub fn get_answer(&self, name: &DomainName, qtype: RecordType) -> Option<Vec<RecordData>> {
+        let shard = &self.shards[shard_index(name)];
+        let guard = shard.answers.read();
+        let hit = guard
+            .get(name)
+            .and_then(|rows| rows.iter().find(|(t, _)| *t == qtype))
+            .map(|(_, data)| data.clone());
+        drop(guard);
+        self.count(hit.is_some());
+        hit
+    }
+
+    /// Records a completed answer for `name`/`qtype`.
+    pub fn put_answer(&self, name: DomainName, qtype: RecordType, data: Vec<RecordData>) {
+        let shard = &self.shards[shard_index(&name)];
+        let mut guard = shard.answers.write();
+        let rows = guard.entry(name).or_default();
+        match rows.iter_mut().find(|(t, _)| *t == qtype) {
+            Some(row) => row.1 = data,
+            None => rows.push((qtype, data)),
+        }
+    }
+
+    /// Hit/miss counters accumulated since construction.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn zone_roundtrip() {
+        let cache = SharedDnsCache::new();
+        assert_eq!(cache.get_zone(&n("com")), None);
+        cache.put_zone(n("com"), vec![Ipv4Addr::new(192, 5, 6, 30)]);
+        assert_eq!(
+            cache.get_zone(&n("com")),
+            Some(vec![Ipv4Addr::new(192, 5, 6, 30)])
+        );
+    }
+
+    #[test]
+    fn answers_keyed_by_type() {
+        let cache = SharedDnsCache::new();
+        let name = n("example.com");
+        cache.put_answer(
+            name.clone(),
+            RecordType::A,
+            vec![RecordData::A(Ipv4Addr::new(203, 0, 113, 10))],
+        );
+        cache.put_answer(
+            name.clone(),
+            RecordType::Ns,
+            vec![RecordData::Ns(n("ns1.example.com"))],
+        );
+        assert_eq!(
+            cache.get_answer(&name, RecordType::A),
+            Some(vec![RecordData::A(Ipv4Addr::new(203, 0, 113, 10))])
+        );
+        assert_eq!(
+            cache.get_answer(&name, RecordType::Ns),
+            Some(vec![RecordData::Ns(n("ns1.example.com"))])
+        );
+        assert_eq!(cache.get_answer(&name, RecordType::Cname), None);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = SharedDnsCache::new();
+        let _ = cache.get_zone(&n("org")); // miss
+        cache.put_zone(n("org"), vec![Ipv4Addr::new(199, 19, 56, 1)]);
+        let _ = cache.get_zone(&n("org")); // hit
+        let _ = cache.get_answer(&n("example.org"), RecordType::A); // miss
+        assert_eq!(cache.stats(), SharedCacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let cache = SharedDnsCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8u8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50u8 {
+                        let name = n(&format!("host{}.zone{}.test", i, t));
+                        cache.put_answer(
+                            name.clone(),
+                            RecordType::A,
+                            vec![RecordData::A(Ipv4Addr::new(10, t, i, 1))],
+                        );
+                        assert!(cache.get_answer(&name, RecordType::A).is_some());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 50);
+    }
+}

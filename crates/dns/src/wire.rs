@@ -210,7 +210,9 @@ const CLASS_IN: u16 = 1;
 /// Encodes a message to wire bytes (with name compression).
 pub fn encode(msg: &Message) -> Bytes {
     let mut buf = BytesMut::with_capacity(512);
-    let mut offsets: HashMap<DomainName, u16> = HashMap::new();
+    // Suffixes are borrowed straight out of the message's names, so
+    // compression bookkeeping allocates nothing.
+    let mut offsets: HashMap<&str, u16> = HashMap::new();
 
     buf.put_u16(msg.id);
     let mut flags = 0u16;
@@ -243,7 +245,7 @@ pub fn encode(msg: &Message) -> Bytes {
     buf.freeze()
 }
 
-fn encode_record(buf: &mut BytesMut, r: &Record, offsets: &mut HashMap<DomainName, u16>) {
+fn encode_record<'a>(buf: &mut BytesMut, r: &'a Record, offsets: &mut HashMap<&'a str, u16>) {
     encode_name(buf, &r.name, offsets);
     buf.put_u16(r.data.record_type().code());
     buf.put_u16(CLASS_IN);
@@ -268,25 +270,25 @@ fn encode_record(buf: &mut BytesMut, r: &Record, offsets: &mut HashMap<DomainNam
 
 /// Encodes `name`, emitting a compression pointer at the first suffix that
 /// was already written.
-fn encode_name(buf: &mut BytesMut, name: &DomainName, offsets: &mut HashMap<DomainName, u16>) {
-    let mut current = name.clone();
+fn encode_name<'a>(buf: &mut BytesMut, name: &'a DomainName, offsets: &mut HashMap<&'a str, u16>) {
+    let mut rest = name.as_str();
     loop {
-        if current.is_root() {
+        if rest.is_empty() {
             buf.put_u8(0);
             return;
         }
-        if let Some(&off) = offsets.get(&current) {
+        if let Some(&off) = offsets.get(rest) {
             buf.put_u16(0xC000 | off);
             return;
         }
         // Record this suffix's offset if it is still pointer-addressable.
         if buf.len() < 0x3FFF {
-            offsets.insert(current.clone(), buf.len() as u16);
+            offsets.insert(rest, buf.len() as u16);
         }
-        let label = current.labels()[0].clone();
+        let (label, tail) = rest.split_once('.').unwrap_or((rest, ""));
         buf.put_u8(label.len() as u8);
         buf.put_slice(label.as_bytes());
-        current = current.parent().expect("non-root name has a parent");
+        rest = tail;
     }
 }
 
@@ -371,7 +373,7 @@ impl<'a> Cursor<'a> {
 
 /// Decodes a possibly compressed name starting at the cursor.
 fn decode_name(cur: &mut Cursor<'_>) -> Result<DomainName, WireError> {
-    let mut labels: Vec<String> = Vec::new();
+    let mut name = String::new();
     let mut pos = cur.pos;
     let mut jumped = false;
     let mut hops = 0;
@@ -406,13 +408,16 @@ fn decode_name(cur: &mut Cursor<'_>) -> Result<DomainName, WireError> {
         let end = start + len;
         let raw = cur.bytes.get(start..end).ok_or(WireError::Truncated)?;
         let label = std::str::from_utf8(raw).map_err(|_| WireError::BadName)?;
-        labels.push(label.to_string());
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(label);
         pos = end;
     }
-    if labels.is_empty() {
+    if name.is_empty() {
         return Ok(DomainName::root());
     }
-    DomainName::parse(&labels.join(".")).map_err(|_| WireError::BadName)
+    DomainName::parse(&name).map_err(|_| WireError::BadName)
 }
 
 /// Decodes one record; returns `None` for unknown types (skipped), matching

@@ -40,6 +40,6 @@ pub mod shared;
 pub use addr::{Prefix, SockAddr};
 pub use error::NetError;
 pub use latency::LatencyModel;
-pub use network::{Endpoint, NetConfig, NetStats, Network, Region};
+pub use network::{Endpoint, NetConfig, NetStats, Network, Region, ResponderFn};
 pub use packet::Datagram;
-pub use shared::SharedEndpoint;
+pub use shared::{ResponderSet, SharedEndpoint};

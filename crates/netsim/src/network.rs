@@ -1,4 +1,11 @@
 //! The datagram network: binding, unicast and anycast delivery, loss.
+//!
+//! The fabric is built for many concurrent senders: the endpoint tables are
+//! lock-striped across [`NUM_SHARDS`] independent `RwLock`ed maps (the send
+//! path only ever takes read locks), delivery counters are atomics, and the
+//! loss process derives each drop decision from a per-*sender* counter
+//! stream rather than one global RNG behind a mutex — so loss decisions are
+//! deterministic per sender regardless of how threads interleave.
 
 use crate::addr::SockAddr;
 use crate::error::NetError;
@@ -7,10 +14,10 @@ use crate::packet::Datagram;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -86,17 +93,93 @@ pub struct NetStats {
     pub total_latency_ms: u64,
 }
 
+/// A synchronous service function bound at an address. It is invoked
+/// *inline on the sender's thread* with each delivered datagram; returning
+/// `Some(payload)` sends that payload back to the datagram's source through
+/// the normal send path (loss, latency accounting and all).
+pub type ResponderFn = dyn Fn(&Datagram) -> Option<Bytes> + Send + Sync;
+
+/// Where a delivered datagram goes.
+#[derive(Clone)]
+enum Sink {
+    /// Into a channel drained by some receiving thread.
+    Queue(Sender<Datagram>),
+    /// Into a stateless service function run on the sender's thread.
+    Inline(Arc<ResponderFn>),
+}
+
 struct Bound {
-    tx: Sender<Datagram>,
+    sink: Sink,
     region: Region,
 }
 
-struct NetworkInner {
+/// Replies from inline responders re-enter the send path. Responders
+/// answering responders is not a pattern the simulation uses, so chains
+/// deeper than this count as unreachable rather than recursing away.
+const MAX_INLINE_DEPTH: u8 = 4;
+
+/// Number of lock stripes for the endpoint tables.
+pub const NUM_SHARDS: usize = 16;
+
+fn shard_index(addr: &SockAddr) -> usize {
+    (addr_hash(addr) as usize) % NUM_SHARDS
+}
+
+fn addr_hash(addr: &SockAddr) -> u64 {
+    let mut h = DefaultHasher::new();
+    addr.hash(&mut h);
+    h.finish()
+}
+
+/// One lock stripe of the endpoint tables (plus the loss-stream counters of
+/// senders hashing into it).
+#[derive(Default)]
+struct Shard {
     unicast: RwLock<HashMap<SockAddr, Bound>>,
     anycast: RwLock<HashMap<SockAddr, Vec<Bound>>>,
-    loss: Mutex<StdRng>,
+    loss_seq: Mutex<HashMap<SockAddr, u64>>,
+}
+
+/// Delivery counters as atomics so the hot send path never locks for stats.
+#[derive(Default)]
+struct AtomicStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    unreachable: AtomicU64,
+    total_latency_ms: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            unreachable: self.unreachable.load(Ordering::Relaxed),
+            total_latency_ms: self.total_latency_ms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// SplitMix64: the drop decision for (sender, sequence number) is a pure
+/// function of the seed, so loss is reproducible per sender no matter how
+/// concurrent sends interleave.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+struct NetworkInner {
+    shards: [Shard; NUM_SHARDS],
     config: NetConfig,
-    stats: Mutex<NetStats>,
+    stats: AtomicStats,
 }
 
 /// Handle to a simulated network. Cloning shares the same fabric.
@@ -110,24 +193,26 @@ impl Network {
     pub fn new(config: NetConfig) -> Self {
         Network {
             inner: Arc::new(NetworkInner {
-                unicast: RwLock::new(HashMap::new()),
-                anycast: RwLock::new(HashMap::new()),
-                loss: Mutex::new(StdRng::seed_from_u64(config.seed)),
+                shards: std::array::from_fn(|_| Shard::default()),
                 config,
-                stats: Mutex::new(NetStats::default()),
+                stats: AtomicStats::default(),
             }),
         }
+    }
+
+    fn shard(&self, addr: &SockAddr) -> &Shard {
+        &self.inner.shards[shard_index(addr)]
     }
 
     /// Binds a unicast endpoint at `ip:port` located in `region`.
     pub fn bind(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<Endpoint, NetError> {
         let addr = SockAddr::new(ip, port);
-        let mut map = self.inner.unicast.write();
+        let mut map = self.shard(&addr).unicast.write();
         if map.contains_key(&addr) {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = unbounded();
-        map.insert(addr, Bound { tx, region });
+        map.insert(addr, Bound { sink: Sink::Queue(tx), region });
         Ok(Endpoint {
             addr,
             region,
@@ -142,16 +227,17 @@ impl Network {
     /// latency from the sender's region (ties by bind order).
     pub fn bind_anycast(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<Endpoint, NetError> {
         let addr = SockAddr::new(ip, port);
-        if self.inner.unicast.read().contains_key(&addr) {
+        let shard = self.shard(&addr);
+        if shard.unicast.read().contains_key(&addr) {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = unbounded();
-        self.inner
+        shard
             .anycast
             .write()
             .entry(addr)
             .or_default()
-            .push(Bound { tx, region });
+            .push(Bound { sink: Sink::Queue(tx), region });
         Ok(Endpoint {
             addr,
             region,
@@ -172,23 +258,47 @@ impl Network {
         tx: Sender<Datagram>,
         anycast: bool,
     ) -> Result<(), NetError> {
+        self.bind_sink(addr, region, Sink::Queue(tx), anycast)
+    }
+
+    /// Binds an address onto an inline service function (responder-set
+    /// support): datagrams to it are answered on the sender's thread.
+    pub(crate) fn bind_responder(
+        &self,
+        addr: SockAddr,
+        region: Region,
+        f: Arc<ResponderFn>,
+        anycast: bool,
+    ) -> Result<(), NetError> {
+        self.bind_sink(addr, region, Sink::Inline(f), anycast)
+    }
+
+    fn bind_sink(
+        &self,
+        addr: SockAddr,
+        region: Region,
+        sink: Sink,
+        anycast: bool,
+    ) -> Result<(), NetError> {
+        let shard = self.shard(&addr);
         if anycast {
-            if self.inner.unicast.read().contains_key(&addr) {
+            if shard.unicast.read().contains_key(&addr) {
                 return Err(NetError::AddrInUse(addr));
             }
-            self.inner
+            shard
                 .anycast
                 .write()
                 .entry(addr)
                 .or_default()
-                .push(Bound { tx, region });
+                .push(Bound { sink, region });
             Ok(())
         } else {
-            let mut map = self.inner.unicast.write();
-            if map.contains_key(&addr) || self.inner.anycast.read().contains_key(&addr) {
+            // Lock order within a shard is always unicast before anycast.
+            let mut map = shard.unicast.write();
+            if map.contains_key(&addr) || shard.anycast.read().contains_key(&addr) {
                 return Err(NetError::AddrInUse(addr));
             }
-            map.insert(addr, Bound { tx, region });
+            map.insert(addr, Bound { sink, region });
             Ok(())
         }
     }
@@ -211,15 +321,31 @@ impl Network {
 
     /// Whether an address is announced via anycast.
     pub fn is_anycast(&self, ip: Ipv4Addr, port: u16) -> bool {
-        self.inner
-            .anycast
-            .read()
-            .contains_key(&SockAddr::new(ip, port))
+        let addr = SockAddr::new(ip, port);
+        self.shard(&addr).anycast.read().contains_key(&addr)
     }
 
     /// Snapshot of delivery counters.
     pub fn stats(&self) -> NetStats {
-        *self.inner.stats.lock()
+        self.inner.stats.snapshot()
+    }
+
+    /// Whether the next datagram from `src` is eaten by the loss process.
+    ///
+    /// Each sender gets its own counter-indexed SplitMix64 stream, so the
+    /// decisions a sender sees depend only on the seed and its own send
+    /// count — never on other senders or thread scheduling.
+    fn loss_roll(&self, src: SockAddr) -> bool {
+        let seq = {
+            let mut seqs = self.shard(&src).loss_seq.lock();
+            let seq = seqs.entry(src).or_insert(0);
+            let n = *seq;
+            *seq += 1;
+            n
+        };
+        let stream = splitmix64(self.inner.config.seed ^ addr_hash(&src));
+        let roll = unit_f64(splitmix64(stream.wrapping_add(seq)));
+        roll < self.inner.config.loss_rate
     }
 
     fn send_from(
@@ -229,53 +355,87 @@ impl Network {
         dst: SockAddr,
         payload: Bytes,
     ) -> Result<(), NetError> {
-        let inner = &self.inner;
-        inner.stats.lock().sent += 1;
+        self.send_from_depth(src, src_region, dst, payload, 0)
+    }
 
-        if inner.config.loss_rate > 0.0 {
-            let roll: f64 = inner.loss.lock().random_range(0.0..1.0);
-            if roll < inner.config.loss_rate {
-                inner.stats.lock().dropped += 1;
-                return Ok(()); // silent loss, like the real thing
-            }
+    fn send_from_depth(
+        &self,
+        src: SockAddr,
+        src_region: Region,
+        dst: SockAddr,
+        payload: Bytes,
+        depth: u8,
+    ) -> Result<(), NetError> {
+        let inner = &self.inner;
+        inner.stats.sent.fetch_add(1, Ordering::Relaxed);
+
+        if inner.config.loss_rate > 0.0 && self.loss_roll(src) {
+            inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // silent loss, like the real thing
         }
 
-        // Prefer a unicast binding; otherwise route to the best anycast site.
-        let (tx, dst_region) = {
-            let unicast = inner.unicast.read();
+        // Prefer a unicast binding; otherwise route to the best anycast
+        // site. The sink is cloned out so no shard lock is held while
+        // delivering (an inline responder's reply re-enters this path).
+        let shard = self.shard(&dst);
+        let (sink, dst_region) = {
+            let unicast = shard.unicast.read();
             if let Some(b) = unicast.get(&dst) {
-                (b.tx.clone(), b.region)
+                (b.sink.clone(), b.region)
             } else {
-                let anycast = inner.anycast.read();
+                drop(unicast);
+                let anycast = shard.anycast.read();
                 let Some(sites) = anycast.get(&dst) else {
-                    inner.stats.lock().unreachable += 1;
+                    inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
                     return Err(NetError::Unreachable(dst));
                 };
                 let best = sites
                     .iter()
                     .min_by_key(|b| inner.config.latency.one_way(src_region, b.region))
                     .expect("anycast entries are never empty");
-                (best.tx.clone(), best.region)
+                (best.sink.clone(), best.region)
             }
         };
 
         let latency = inner.config.latency.one_way(src_region, dst_region);
-        let delivered = tx
-            .send(Datagram { src, dst, payload })
-            .is_ok();
-        let mut stats = inner.stats.lock();
-        if delivered {
-            stats.delivered += 1;
-            stats.total_latency_ms += latency.as_millis() as u64;
-        } else {
-            stats.unreachable += 1;
+        match sink {
+            Sink::Queue(tx) => {
+                let delivered = tx.send(Datagram { src, dst, payload }).is_ok();
+                if delivered {
+                    inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .stats
+                        .total_latency_ms
+                        .fetch_add(latency.as_millis() as u64, Ordering::Relaxed);
+                } else {
+                    inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Sink::Inline(f) => {
+                if depth >= MAX_INLINE_DEPTH {
+                    inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+                    return Err(NetError::Unreachable(dst));
+                }
+                inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .total_latency_ms
+                    .fetch_add(latency.as_millis() as u64, Ordering::Relaxed);
+                let dgram = Datagram { src, dst, payload };
+                if let Some(reply) = f(&dgram) {
+                    // The responder answers from the address it was queried
+                    // at, in the region anycast routing selected.
+                    let _ = self.send_from_depth(dgram.dst, dst_region, dgram.src, reply, depth + 1);
+                }
+            }
         }
         Ok(())
     }
 
     fn unbind(&self, addr: SockAddr, anycast: bool, region: Region) {
+        let shard = self.shard(&addr);
         if anycast {
-            let mut map = self.inner.anycast.write();
+            let mut map = shard.anycast.write();
             if let Some(sites) = map.get_mut(&addr) {
                 // Remove one site in this region (the endpoint's own).
                 if let Some(pos) = sites.iter().position(|b| b.region == region) {
@@ -286,7 +446,7 @@ impl Network {
                 }
             }
         } else {
-            self.inner.unicast.write().remove(&addr);
+            shard.unicast.write().remove(&addr);
         }
     }
 }
@@ -463,6 +623,42 @@ mod tests {
         let stats = net.stats();
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_sender() {
+        // The drop pattern a sender sees must depend only on (seed, sender),
+        // not on what other senders do in between.
+        let pattern = |interleave: bool| -> Vec<bool> {
+            let net = Network::new(NetConfig {
+                loss_rate: 0.5,
+                seed: 42,
+                ..Default::default()
+            });
+            let sink = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+            let a = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+            let b = net.bind(ip("10.0.0.3"), 1, Region::ASIA).unwrap();
+            let mut got = Vec::new();
+            for i in 0..32u8 {
+                a.send(sink.addr(), Bytes::copy_from_slice(&[i])).unwrap();
+                if interleave {
+                    // Noise from another sender must not perturb a's stream.
+                    b.send(sink.addr(), Bytes::from_static(b"noise")).unwrap();
+                }
+                let mut arrived = false;
+                while let Some(d) = sink.try_recv() {
+                    if d.src == a.addr() {
+                        arrived = true;
+                    }
+                }
+                got.push(arrived);
+            }
+            got
+        };
+        let clean = pattern(false);
+        assert!(clean.iter().any(|&x| x), "some datagrams should survive");
+        assert!(!clean.iter().all(|&x| x), "some datagrams should drop");
+        assert_eq!(clean, pattern(true));
     }
 
     #[test]

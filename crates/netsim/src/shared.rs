@@ -1,4 +1,5 @@
-//! Shared endpoints: many addresses, one receive queue.
+//! Shared endpoints: many addresses, one receive queue — and responder
+//! sets: many addresses, one inline service function.
 //!
 //! Deploying a synthetic internet with tens of thousands of provider IPs
 //! cannot afford a thread per address. A [`SharedEndpoint`] attaches many
@@ -6,31 +7,50 @@
 //! "rack" thread can serve a whole shelf of providers — the simulation
 //! analogue of shared hosting. Replies are sent *from* the address the
 //! query was addressed to, so clients still see a well-behaved peer.
+//!
+//! A [`ResponderSet`] goes one step further for *stateless* services: the
+//! service function runs inline on the sender's thread, so a round trip is
+//! a function call rather than two cross-thread channel hops. On a machine
+//! with few cores this is the difference between a query costing two
+//! context switches and costing none.
 
 use crate::addr::SockAddr;
 use crate::error::NetError;
-use crate::network::{Network, Region};
+use crate::network::{Network, Region, ResponderFn};
 use crate::packet::Datagram;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Lock stripes for the attached-address table. The reply path only reads,
+/// so with `RwLock` stripes concurrent repliers never contend at all.
+const NUM_STRIPES: usize = 8;
+
+fn stripe_index(addr: &SockAddr) -> usize {
+    let mut h = DefaultHasher::new();
+    addr.hash(&mut h);
+    (h.finish() as usize) % NUM_STRIPES
+}
 
 /// A receive queue shared by many bound addresses.
 pub struct SharedEndpoint {
     net: Network,
     tx: Sender<Datagram>,
     rx: Receiver<Datagram>,
-    /// Attached addresses and their regions (anycast flag kept for unbind).
-    attached: Mutex<HashMap<SockAddr, (Region, bool)>>,
+    /// Attached addresses and their regions (anycast flag kept for unbind),
+    /// striped by address hash.
+    attached: [RwLock<HashMap<SockAddr, (Region, bool)>>; NUM_STRIPES],
 }
 
 impl std::fmt::Debug for SharedEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedEndpoint")
-            .field("attached", &self.attached.lock().len())
+            .field("attached", &self.num_attached())
             .finish_non_exhaustive()
     }
 }
@@ -43,15 +63,19 @@ impl SharedEndpoint {
             net: net.clone(),
             tx,
             rx,
-            attached: Mutex::new(HashMap::new()),
+            attached: std::array::from_fn(|_| RwLock::new(HashMap::new())),
         }
+    }
+
+    fn stripe(&self, addr: &SockAddr) -> &RwLock<HashMap<SockAddr, (Region, bool)>> {
+        &self.attached[stripe_index(addr)]
     }
 
     /// Attaches a unicast address; datagrams to it arrive on this queue.
     pub fn attach(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<(), NetError> {
         let addr = SockAddr::new(ip, port);
         self.net.bind_tx(addr, region, self.tx.clone(), false)?;
-        self.attached.lock().insert(addr, (region, false));
+        self.stripe(&addr).write().insert(addr, (region, false));
         Ok(())
     }
 
@@ -59,13 +83,13 @@ impl SharedEndpoint {
     pub fn attach_anycast(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<(), NetError> {
         let addr = SockAddr::new(ip, port);
         self.net.bind_tx(addr, region, self.tx.clone(), true)?;
-        self.attached.lock().insert(addr, (region, true));
+        self.stripe(&addr).write().insert(addr, (region, true));
         Ok(())
     }
 
     /// Number of attached addresses.
     pub fn num_attached(&self) -> usize {
-        self.attached.lock().len()
+        self.attached.iter().map(|s| s.read().len()).sum()
     }
 
     /// Blocks for the next datagram addressed to any attached address.
@@ -79,7 +103,7 @@ impl SharedEndpoint {
     /// Sends a reply from `src` (which must be attached) to `dst`.
     pub fn send_from(&self, src: SockAddr, dst: SockAddr, payload: Bytes) -> Result<(), NetError> {
         let region = {
-            let attached = self.attached.lock();
+            let attached = self.stripe(&src).read();
             let Some(&(region, _)) = attached.get(&src) else {
                 return Err(NetError::Unreachable(src));
             };
@@ -91,8 +115,83 @@ impl SharedEndpoint {
 
 impl Drop for SharedEndpoint {
     fn drop(&mut self) {
-        for (addr, (region, anycast)) in self.attached.lock().drain() {
-            self.net.unbind_raw(addr, anycast, region);
+        for stripe in &self.attached {
+            for (addr, (region, anycast)) in stripe.write().drain() {
+                self.net.unbind_raw(addr, anycast, region);
+            }
+        }
+    }
+}
+
+/// Many addresses served by one inline function, zero threads.
+///
+/// The function must be stateless (or internally synchronized): it is
+/// called concurrently from every sending thread. Replies it returns are
+/// sent from the queried address through the normal network path, so loss,
+/// latency accounting and anycast behave exactly as with a threaded rack.
+pub struct ResponderSet {
+    net: Network,
+    f: Arc<ResponderFn>,
+    /// Attached addresses and their regions (anycast flag kept for unbind),
+    /// striped by address hash.
+    attached: [RwLock<HashMap<SockAddr, (Region, bool)>>; NUM_STRIPES],
+}
+
+impl std::fmt::Debug for ResponderSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponderSet")
+            .field("attached", &self.num_attached())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResponderSet {
+    /// Creates a responder set on `net` serving with `f`.
+    pub fn new(
+        net: &Network,
+        f: impl Fn(&Datagram) -> Option<Bytes> + Send + Sync + 'static,
+    ) -> Self {
+        ResponderSet {
+            net: net.clone(),
+            f: Arc::new(f),
+            attached: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn stripe(&self, addr: &SockAddr) -> &RwLock<HashMap<SockAddr, (Region, bool)>> {
+        &self.attached[stripe_index(addr)]
+    }
+
+    /// Attaches a unicast address; datagrams to it are answered inline.
+    pub fn attach(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<(), NetError> {
+        let addr = SockAddr::new(ip, port);
+        self.net
+            .bind_responder(addr, region, Arc::clone(&self.f), false)?;
+        self.stripe(&addr).write().insert(addr, (region, false));
+        Ok(())
+    }
+
+    /// Attaches one anycast site of an address.
+    pub fn attach_anycast(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<(), NetError> {
+        let addr = SockAddr::new(ip, port);
+        self.net
+            .bind_responder(addr, region, Arc::clone(&self.f), true)?;
+        self.stripe(&addr).write().insert(addr, (region, true));
+        Ok(())
+    }
+
+    /// Number of attached addresses.
+    pub fn num_attached(&self) -> usize {
+        self.attached.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+impl Drop for ResponderSet {
+    fn drop(&mut self) {
+        for stripe in &self.attached {
+            for (addr, (region, anycast)) in stripe.write().drain() {
+                self.net.unbind_raw(addr, anycast, region);
+            }
         }
     }
 }
@@ -195,5 +294,72 @@ mod tests {
         let rack = SharedEndpoint::new(&net);
         rack.attach(ip("10.0.0.7"), 53, Region::ASIA).unwrap();
         assert!(rack.attach(ip("10.0.0.7"), 53, Region::ASIA).is_err());
+    }
+
+    #[test]
+    fn responder_answers_inline() {
+        let net = Network::new(NetConfig::default());
+        let echo = ResponderSet::new(&net, |d: &Datagram| Some(d.payload.clone()));
+        echo.attach(ip("10.0.0.7"), 7, Region::ASIA).unwrap();
+        echo.attach(ip("10.0.0.8"), 7, Region::ASIA).unwrap();
+        assert_eq!(echo.num_attached(), 2);
+
+        let client = net.bind(ip("10.9.9.9"), 1, Region::ASIA).unwrap();
+        for last in [7u8, 8u8] {
+            let dst = SockAddr::new(Ipv4Addr::new(10, 0, 0, last), 7);
+            client.send(dst, Bytes::copy_from_slice(&[last])).unwrap();
+            // The reply is already queued when send returns: no thread hop.
+            let d = client.try_recv().expect("inline reply is synchronous");
+            assert_eq!(d.src, dst);
+            assert_eq!(&d.payload[..], &[last]);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 4); // two queries + two replies
+        assert_eq!(stats.delivered, 4);
+    }
+
+    #[test]
+    fn responder_anycast_routes_regionally() {
+        let net = Network::new(NetConfig::default());
+        let tagged = |tag: &'static [u8]| move |_: &Datagram| Some(Bytes::from_static(tag));
+        let eu = ResponderSet::new(&net, tagged(b"eu"));
+        let asia = ResponderSet::new(&net, tagged(b"as"));
+        eu.attach_anycast(ip("1.1.1.1"), 53, Region::EUROPE).unwrap();
+        asia.attach_anycast(ip("1.1.1.1"), 53, Region::ASIA).unwrap();
+
+        let client = net.bind(ip("10.9.9.9"), 1, Region::ASIA).unwrap();
+        client
+            .send(SockAddr::new(ip("1.1.1.1"), 53), Bytes::from_static(b"q"))
+            .unwrap();
+        let d = client.try_recv().expect("inline reply is synchronous");
+        assert_eq!(&d.payload[..], b"as");
+    }
+
+    #[test]
+    fn responder_reply_passes_through_loss() {
+        let net = Network::new(NetConfig {
+            loss_rate: 1.0,
+            ..Default::default()
+        });
+        let echo = ResponderSet::new(&net, |d: &Datagram| Some(d.payload.clone()));
+        echo.attach(ip("10.0.0.7"), 7, Region::ASIA).unwrap();
+        let client = net.bind(ip("10.9.9.9"), 1, Region::ASIA).unwrap();
+        client
+            .send(SockAddr::new(ip("10.0.0.7"), 7), Bytes::from_static(b"x"))
+            .unwrap();
+        // The query itself is eaten by the loss process before the
+        // responder ever runs; nothing comes back.
+        assert!(client.try_recv().is_none());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn responder_detaches_on_drop() {
+        let net = Network::new(NetConfig::default());
+        {
+            let set = ResponderSet::new(&net, |_: &Datagram| None);
+            set.attach(ip("10.0.0.7"), 53, Region::ASIA).unwrap();
+        }
+        assert!(net.bind(ip("10.0.0.7"), 53, Region::ASIA).is_ok());
     }
 }

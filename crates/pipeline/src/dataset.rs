@@ -88,7 +88,7 @@ impl SiteObservation {
 }
 
 /// The full measured dataset, aligned with the generating world.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeasuredDataset {
     /// One observation per world site (same indexing as `World::sites`).
     pub observations: Vec<SiteObservation>,

@@ -21,5 +21,5 @@ pub mod run;
 pub mod vantage;
 
 pub use dataset::{MeasuredDataset, SiteObservation};
-pub use run::{measure, PipelineConfig};
+pub use run::{measure, measure_with_stats, MeasureStats, PipelineConfig, Scheduling};
 pub use vantage::resolve_hosting_orgs;

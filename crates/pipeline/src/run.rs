@@ -1,11 +1,39 @@
 //! The measurement run: parallel resolve + scan + enrich.
+//!
+//! Two scheduler/caching knobs govern how the run scales:
+//!
+//! * [`Scheduling::Dynamic`] (the default) feeds workers from a shared
+//!   atomic cursor in small batches, so a worker that lands on slow sites
+//!   does not leave the rest of its statically assigned shard idle.
+//!   [`Scheduling::Static`] keeps the original contiguous-shard split.
+//! * `shared_cache` layers one process-wide [`SharedDnsCache`] under every
+//!   worker's private resolver cache, so the delegation tier (root, TLD
+//!   referrals) is walked roughly once per run instead of once per worker.
+//!
+//! Both knobs change only *when and where* work happens, never the result:
+//! `measure` returns a byte-identical dataset for any worker count,
+//! scheduling mode, and cache setting.
 
 use crate::dataset::{MeasuredDataset, SiteObservation};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use webdep_dns::resolver::{IterativeResolver, ResolveError, ResolverConfig};
+use webdep_dns::shared_cache::SharedDnsCache;
 use webdep_dns::DomainName;
 use webdep_geodb::{AnycastSet, AsOrgDb, CaOwnerDb, GeoDb, PrefixTable};
 use webdep_tls::scanner::{Scanner, ScannerConfig};
 use webdep_webgen::{Continent, DeployedWorld, World};
+
+/// How sites are handed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Pre-split the site list into one contiguous shard per worker.
+    Static,
+    /// Workers pull fixed-size batches from a shared atomic cursor.
+    #[default]
+    Dynamic,
+}
 
 /// Pipeline parameters.
 #[derive(Debug, Clone)]
@@ -19,6 +47,10 @@ pub struct PipelineConfig {
     pub resolver: ResolverConfig,
     /// Scanner tuning.
     pub scanner: ScannerConfig,
+    /// Work distribution strategy.
+    pub scheduling: Scheduling,
+    /// Share one delegation/answer cache across all workers.
+    pub shared_cache: bool,
 }
 
 impl Default for PipelineConfig {
@@ -28,8 +60,45 @@ impl Default for PipelineConfig {
             vantage: Continent::NorthAmerica,
             resolver: ResolverConfig::default(),
             scanner: ScannerConfig::default(),
+            scheduling: Scheduling::Dynamic,
+            shared_cache: true,
         }
     }
+}
+
+/// Sites per pull from the dynamic work queue: small enough to balance
+/// slow sites across workers, large enough that the cursor is cold.
+const DYNAMIC_BATCH: usize = 16;
+
+/// Throughput and cache accounting for one [`measure_with_stats`] run.
+#[derive(Debug, Clone)]
+pub struct MeasureStats {
+    /// Wall-clock duration of the parallel section.
+    pub wall: Duration,
+    /// Sites measured per wall-clock second.
+    pub sites_per_sec: f64,
+    /// DNS queries that actually hit the simulated wire (all workers).
+    pub wire_queries: u64,
+    /// Answers served from workers' private resolver caches.
+    pub local_cache_hits: u64,
+    /// Answers/delegations served from the shared cache tier.
+    pub shared_cache_hits: u64,
+    /// Per-worker busy time (from spawn to last site finished).
+    pub worker_busy: Vec<Duration>,
+    /// Largest fraction of the wall clock any worker spent idle, i.e. done
+    /// but waiting for stragglers. Static sharding drives this up; the
+    /// dynamic queue keeps it near zero.
+    pub peak_idle_fraction: f64,
+}
+
+/// What one worker brings home: observations tagged with their site index,
+/// plus accounting.
+struct WorkerReport {
+    observations: Vec<(usize, SiteObservation)>,
+    busy: Duration,
+    wire_queries: u64,
+    local_cache_hits: u64,
+    shared_cache_hits: u64,
 }
 
 /// Measures every site of `world` against its deployment, returning the
@@ -39,50 +108,151 @@ impl Default for PipelineConfig {
 /// is copied from the site record (the LangDetect substitute) and toplist
 /// membership from the CrUX stand-in.
 pub fn measure(world: &World, dep: &DeployedWorld, config: &PipelineConfig) -> MeasuredDataset {
+    measure_with_stats(world, dep, config).0
+}
+
+/// Like [`measure`], but also reports throughput and cache accounting.
+pub fn measure_with_stats(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+) -> (MeasuredDataset, MeasureStats) {
     let n = world.sites.len();
     let workers = config.workers.max(1);
-    let mut observations: Vec<SiteObservation> = world
-        .sites
-        .iter()
-        .map(|s| SiteObservation::blank(&s.domain, &s.language))
+    let shared = config
+        .shared_cache
+        .then(|| Arc::new(SharedDnsCache::new()));
+    let static_chunk = n.div_ceil(workers);
+    let cursor = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    let reports: Vec<WorkerReport> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wi| {
+                let cfg = config.clone();
+                let shared = shared.clone();
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let worker_start = Instant::now();
+                    let resolver_ep = dep.vantage(cfg.vantage);
+                    let scanner_ep = dep.vantage(cfg.vantage);
+                    let mut resolver = match shared {
+                        Some(cache) => IterativeResolver::with_shared_cache(
+                            resolver_ep,
+                            dep.roots.clone(),
+                            cfg.resolver.clone(),
+                            cache,
+                        ),
+                        None => IterativeResolver::new(
+                            resolver_ep,
+                            dep.roots.clone(),
+                            cfg.resolver.clone(),
+                        ),
+                    };
+                    let mut scanner = Scanner::new(scanner_ep, cfg.scanner.clone());
+                    let mut observations: Vec<(usize, SiteObservation)> = Vec::new();
+
+                    // Claim the next batch of site indices, per the mode.
+                    let mut static_done = false;
+                    let mut next_batch = || -> std::ops::Range<usize> {
+                        match cfg.scheduling {
+                            Scheduling::Static => {
+                                // Yield this worker's shard once, then stop.
+                                if static_done {
+                                    return n..n;
+                                }
+                                static_done = true;
+                                let lo = (wi * static_chunk).min(n);
+                                let hi = (lo + static_chunk).min(n);
+                                lo..hi
+                            }
+                            Scheduling::Dynamic => {
+                                let lo = cursor.fetch_add(DYNAMIC_BATCH, Ordering::Relaxed).min(n);
+                                let hi = (lo + DYNAMIC_BATCH).min(n);
+                                lo..hi
+                            }
+                        }
+                    };
+                    loop {
+                        let batch = next_batch();
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for i in batch {
+                            let site = &world.sites[i];
+                            let mut obs = SiteObservation::blank(&site.domain, &site.language);
+                            measure_one(
+                                &mut obs,
+                                &mut resolver,
+                                &mut scanner,
+                                &dep.pfx2as,
+                                &dep.asorg,
+                                &dep.geodb,
+                                &dep.anycast,
+                                &dep.caodb,
+                            );
+                            observations.push((i, obs));
+                        }
+                    }
+
+                    let rstats = resolver.stats();
+                    WorkerReport {
+                        observations,
+                        busy: worker_start.elapsed(),
+                        wire_queries: rstats.wire_queries,
+                        local_cache_hits: rstats.local_cache_hits,
+                        shared_cache_hits: rstats.shared_cache_hits,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline workers do not panic"))
+            .collect()
+    })
+    .expect("pipeline scope does not panic");
+    let wall = start.elapsed();
+
+    let worker_busy: Vec<Duration> = reports.iter().map(|r| r.busy).collect();
+    let wire_queries = reports.iter().map(|r| r.wire_queries).sum();
+    let local_cache_hits = reports.iter().map(|r| r.local_cache_hits).sum();
+    let shared_cache_hits = reports.iter().map(|r| r.shared_cache_hits).sum();
+
+    // Scatter worker results back into site order.
+    let mut slots: Vec<Option<SiteObservation>> = (0..n).map(|_| None).collect();
+    for report in reports {
+        for (i, obs) in report.observations {
+            slots[i] = Some(obs);
+        }
+    }
+    let observations: Vec<SiteObservation> = slots
+        .into_iter()
+        .map(|s| s.expect("every site measured exactly once"))
         .collect();
 
-    // Shard sites across workers; each worker owns a disjoint slice.
-    let chunk = n.div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
-        for (wi, slice) in observations.chunks_mut(chunk).enumerate() {
-            let offset = wi * chunk;
-            let cfg = config.clone();
-            scope.spawn(move |_| {
-                let resolver_ep = dep.vantage(cfg.vantage);
-                let scanner_ep = dep.vantage(cfg.vantage);
-                let mut resolver =
-                    IterativeResolver::new(resolver_ep, dep.roots.clone(), cfg.resolver.clone());
-                let mut scanner = Scanner::new(scanner_ep, cfg.scanner.clone());
-                for (i, obs) in slice.iter_mut().enumerate() {
-                    let _site_idx = offset + i;
-                    measure_one(
-                        obs,
-                        &mut resolver,
-                        &mut scanner,
-                        &dep.pfx2as,
-                        &dep.asorg,
-                        &dep.geodb,
-                        &dep.anycast,
-                        &dep.caodb,
-                    );
-                }
-            });
-        }
-    })
-    .expect("pipeline workers do not panic");
+    let peak_idle_fraction = worker_busy
+        .iter()
+        .map(|b| 1.0 - b.as_secs_f64() / wall.as_secs_f64().max(f64::MIN_POSITIVE))
+        .fold(0.0f64, f64::max)
+        .clamp(0.0, 1.0);
+    let stats = MeasureStats {
+        wall,
+        sites_per_sec: n as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        wire_queries,
+        local_cache_hits,
+        shared_cache_hits,
+        worker_busy,
+        peak_idle_fraction,
+    };
 
-    MeasuredDataset {
+    let dataset = MeasuredDataset {
         observations,
         toplists: world.toplists.clone(),
         global_top: world.global_top.clone(),
         label: world.label.clone(),
-    }
+    };
+    (dataset, stats)
 }
 
 /// Runs the whole pipeline for a single observation.

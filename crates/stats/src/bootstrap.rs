@@ -5,7 +5,16 @@
 //! resamples observations with replacement and returns a percentile
 //! interval for any statistic — used by `examples/uncertainty.rs` to
 //! attach intervals to per-country centralization scores.
+//!
+//! Replicates are independent by construction: replicate `r` draws from its
+//! own RNG seeded by `mix(seed, r)`, so the interval is identical whether
+//! replicates run sequentially or spread across threads. The resampling
+//! itself is by *index* — [`bootstrap_ci_indexed`] hands the statistic a
+//! borrowing [`Resample`] view and never clones an item; [`bootstrap_ci`]
+//! keeps the slice-based signature by gathering into one scratch buffer per
+//! thread, reused across that thread's replicates.
 
+use crate::par::par_map_indices;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -35,45 +44,155 @@ impl BootstrapCi {
     }
 }
 
+/// One bootstrap resample, viewed through its index vector: item `i` of the
+/// resample is `items[idx[i]]`. No items are cloned.
+pub struct Resample<'a, T> {
+    items: &'a [T],
+    idx: &'a [u32],
+}
+
+impl<'a, T> Resample<'a, T> {
+    /// Number of drawn items (equals the original sample size).
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the resample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The `i`-th drawn item.
+    pub fn get(&self, i: usize) -> &'a T {
+        &self.items[self.idx[i] as usize]
+    }
+
+    /// Iterates over the drawn items, repeats included.
+    pub fn iter(&self) -> impl Iterator<Item = &'a T> + '_ {
+        self.idx.iter().map(move |&i| &self.items[i as usize])
+    }
+}
+
+/// Decorrelates per-replicate seeds (SplitMix64 finalizer).
+fn replicate_seed(seed: u64, r: u64) -> u64 {
+    let mut x = seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn draw_indices(rng: &mut StdRng, n: usize, idx: &mut Vec<u32>) {
+    idx.clear();
+    for _ in 0..n {
+        idx.push(rng.random_range(0..n) as u32);
+    }
+}
+
+fn percentile_interval(point: f64, mut stats: Vec<f64>, level: f64) -> BootstrapCi {
+    let replicates = stats.len();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx =
+        |q: f64| -> usize { ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1) };
+    BootstrapCi {
+        point,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        replicates,
+    }
+}
+
+fn valid(n_items: usize, replicates: usize, level: f64) -> bool {
+    n_items > 0 && replicates > 0 && level > 0.0 && level < 1.0
+}
+
+/// Number of replicates to hand each parallel worker at a time. Large
+/// enough to amortize scheduling, small enough to balance uneven statistic
+/// costs.
+const REPLICATE_CHUNK: usize = 32;
+
 /// Percentile bootstrap for `statistic` over `items`.
 ///
 /// * `level` — confidence level in `(0, 1)`, e.g. `0.95`.
 /// * `replicates` — number of resamples (hundreds suffice for reporting).
 ///
-/// Deterministic for a given `seed`. Returns `None` for an empty sample,
-/// a degenerate level, or zero replicates.
-pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
+/// Deterministic for a given `seed`, independent of thread count. Returns
+/// `None` for an empty sample, a degenerate level, or zero replicates.
+pub fn bootstrap_ci<T: Clone + Sync, F: Fn(&[T]) -> f64 + Sync>(
     items: &[T],
     statistic: F,
     replicates: usize,
     level: f64,
     seed: u64,
 ) -> Option<BootstrapCi> {
-    if items.is_empty() || replicates == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+    if !valid(items.len(), replicates, level) {
         return None;
     }
     let point = statistic(items);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stats = Vec::with_capacity(replicates);
-    let mut resample = Vec::with_capacity(items.len());
-    for _ in 0..replicates {
-        resample.clear();
-        for _ in 0..items.len() {
-            resample.push(items[rng.random_range(0..items.len())].clone());
-        }
-        stats.push(statistic(&resample));
-    }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
-    let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1)
-    };
-    Some(BootstrapCi {
-        point,
-        lo: stats[idx(alpha)],
-        hi: stats[idx(1.0 - alpha)],
-        replicates,
+    let n = items.len();
+    let chunks = replicates.div_ceil(REPLICATE_CHUNK);
+    let threads = crate::par::default_threads().min(chunks);
+    let stats: Vec<f64> = par_map_indices(chunks, threads, |c| {
+        // Per-chunk scratch buffers, reused across the chunk's replicates.
+        let mut idx: Vec<u32> = Vec::with_capacity(n);
+        let mut resample: Vec<T> = Vec::with_capacity(n);
+        let lo = c * REPLICATE_CHUNK;
+        let hi = (lo + REPLICATE_CHUNK).min(replicates);
+        (lo..hi)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(replicate_seed(seed, r as u64));
+                draw_indices(&mut rng, n, &mut idx);
+                resample.clear();
+                resample.extend(idx.iter().map(|&i| items[i as usize].clone()));
+                statistic(&resample)
+            })
+            .collect::<Vec<f64>>()
     })
+    .into_iter()
+    .flatten()
+    .collect();
+    Some(percentile_interval(point, stats, level))
+}
+
+/// Clone-free percentile bootstrap: the statistic reads each resample
+/// through a borrowing [`Resample`] view instead of a gathered slice.
+///
+/// Draws the *same* index streams as [`bootstrap_ci`] for a given `seed`,
+/// so the two agree exactly when the statistics agree.
+pub fn bootstrap_ci_indexed<T: Sync, F: Fn(&Resample<'_, T>) -> f64 + Sync>(
+    items: &[T],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if !valid(items.len(), replicates, level) {
+        return None;
+    }
+    let n = items.len();
+    let identity: Vec<u32> = (0..n as u32).collect();
+    let point = statistic(&Resample {
+        items,
+        idx: &identity,
+    });
+    let chunks = replicates.div_ceil(REPLICATE_CHUNK);
+    let threads = crate::par::default_threads().min(chunks);
+    let stats: Vec<f64> = par_map_indices(chunks, threads, |c| {
+        let mut idx: Vec<u32> = Vec::with_capacity(n);
+        let lo = c * REPLICATE_CHUNK;
+        let hi = (lo + REPLICATE_CHUNK).min(replicates);
+        (lo..hi)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(replicate_seed(seed, r as u64));
+                draw_indices(&mut rng, n, &mut idx);
+                statistic(&Resample { items, idx: &idx })
+            })
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    Some(percentile_interval(point, stats, level))
 }
 
 #[cfg(test)]
@@ -104,6 +223,21 @@ mod tests {
     }
 
     #[test]
+    fn indexed_agrees_with_cloning() {
+        let data: Vec<f64> = (0..120).map(|i| ((i * 17) % 31) as f64).collect();
+        let cloned = bootstrap_ci(&data, mean, 300, 0.95, 11).unwrap();
+        let indexed = bootstrap_ci_indexed(
+            &data,
+            |rs| rs.iter().sum::<f64>() / rs.len() as f64,
+            300,
+            0.95,
+            11,
+        )
+        .unwrap();
+        assert_eq!(cloned, indexed);
+    }
+
+    #[test]
     fn degenerate_sample_gives_zero_width() {
         let data = vec![3.0; 30];
         let ci = bootstrap_ci(&data, mean, 100, 0.95, 1).unwrap();
@@ -127,5 +261,6 @@ mod tests {
         assert!(bootstrap_ci(&data, mean, 0, 0.95, 0).is_none());
         assert!(bootstrap_ci(&data, mean, 100, 1.0, 0).is_none());
         assert!(bootstrap_ci(&data, mean, 100, 0.0, 0).is_none());
+        assert!(bootstrap_ci_indexed(&data, |rs| rs.get(0) * 1.0, 0, 0.95, 0).is_none());
     }
 }

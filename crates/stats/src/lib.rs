@@ -11,6 +11,8 @@
 //! * [`scale`] — min-max feature scaling used before clustering (§5.2).
 //! * [`hist`] — fixed-width histograms and empirical CDFs (Figures 11, 12).
 //! * [`bootstrap`] — seeded percentile bootstrap confidence intervals.
+//! * [`par`] — scoped-thread parallel map with deterministic output order,
+//!   used to spread country tables and bootstrap replicates across cores.
 //! * [`affinity`] — affinity propagation clustering (Frey & Dueck 2007),
 //!   the algorithm the paper uses to find provider classes.
 //! * [`kmeans`] — k-means++ baseline clustering for comparison.
@@ -27,11 +29,13 @@ pub mod describe;
 pub mod hist;
 pub mod jaccard;
 pub mod kmeans;
+pub mod par;
 pub mod scale;
 pub mod special;
 
 pub use affinity::{affinity_propagation, AffinityConfig, Clustering};
-pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use bootstrap::{bootstrap_ci, bootstrap_ci_indexed, BootstrapCi, Resample};
+pub use par::{par_map, par_map_indices};
 pub use corr::{pearson, spearman, Correlation, CorrelationStrength};
 pub use describe::Summary;
 pub use jaccard::jaccard_index;

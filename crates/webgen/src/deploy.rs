@@ -16,8 +16,13 @@
 //!   paper's ~89.4% accuracy knob), anycast prefixes, and the CCADB-style
 //!   issuer→owner map, all derived from the deployed addressing plan.
 //!
-//! One rack thread serves many providers (shared hosting), so even the
-//! full ~12k-provider world needs only `racks + registries + 1` threads.
+//! One rack serves many providers (shared hosting). By default racks are
+//! *inline responders*: stateless serving logic invoked on the querier's
+//! thread, so a round trip costs a function call rather than two context
+//! switches. With [`DeployConfig::inline_racks`] off, each rack is a
+//! dedicated thread draining a shared endpoint (the original deployment),
+//! and even the full ~12k-provider world needs only
+//! `racks + registries + 1` threads. Both modes answer identically.
 
 use crate::country::{Continent, CountryRecord};
 use crate::world::World;
@@ -35,7 +40,9 @@ use webdep_dns::wire as dnswire;
 use webdep_dns::zone::Zone;
 use webdep_dns::DNS_PORT;
 use webdep_geodb::{AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable};
-use webdep_netsim::{Endpoint, NetConfig, Network, Prefix, Region, SharedEndpoint};
+use webdep_netsim::{
+    Datagram, Endpoint, NetConfig, NetError, Network, Prefix, Region, ResponderSet, SharedEndpoint,
+};
 use webdep_tls::cert::{Certificate, CertificateChain};
 use webdep_tls::handshake::{self, HandshakeMessage, ALERT_UNRECOGNIZED_NAME};
 use webdep_tls::TLS_PORT;
@@ -43,7 +50,7 @@ use webdep_tls::TLS_PORT;
 /// Deployment parameters.
 #[derive(Debug, Clone)]
 pub struct DeployConfig {
-    /// Number of hosting rack threads.
+    /// Number of hosting racks.
     pub racks: usize,
     /// Country-level geolocation accuracy (paper: NetAcuity ~0.894).
     pub geo_accuracy: f64,
@@ -52,6 +59,12 @@ pub struct DeployConfig {
     /// Network packet-loss probability (failure injection for resolver /
     /// scanner retry testing).
     pub loss_rate: f64,
+    /// Serve racks as inline responders on the sender's thread instead of
+    /// dedicated rack threads. Rack serving logic is stateless, so both
+    /// modes answer identically; inline skips the two context switches a
+    /// threaded round trip costs. Disable to reproduce the original
+    /// thread-per-rack deployment.
+    pub inline_racks: bool,
 }
 
 impl Default for DeployConfig {
@@ -61,6 +74,7 @@ impl Default for DeployConfig {
             geo_accuracy: 1.0,
             seed: 7,
             loss_rate: 0.0,
+            inline_racks: true,
         }
     }
 }
@@ -130,6 +144,7 @@ pub struct DeployedWorld {
     eyeball_prefixes: [Prefix; 6],
     vantage_counters: [AtomicU32; 6],
     racks: Vec<RackHandle>,
+    responders: Vec<ResponderSet>,
     _root_server: AuthServer,
 }
 
@@ -304,6 +319,21 @@ fn leaf_ca_index(leaf: &Certificate) -> usize {
     (leaf.issuer_id - 100_000) as usize
 }
 
+/// One rack answer: DNS on port 53, TLS on 443. Pure in the rack data, so
+/// it can run on a rack thread or inline on the querier's thread alike.
+fn rack_respond(data: &RackData, dgram: &Datagram) -> Option<Bytes> {
+    match dgram.dst.port {
+        DNS_PORT => match dnswire::decode(&dgram.payload) {
+            Ok(query) if !query.is_response => {
+                Some(dnswire::encode(&data.respond_dns(&query, dgram.src.ip)))
+            }
+            _ => None,
+        },
+        TLS_PORT => data.respond_tls(&dgram.payload),
+        _ => None,
+    }
+}
+
 fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::Relaxed) {
         let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
@@ -311,20 +341,27 @@ fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
             Err(webdep_netsim::NetError::Timeout) => continue,
             Err(_) => break,
         };
-        let reply = match dgram.dst.port {
-            DNS_PORT => match dnswire::decode(&dgram.payload) {
-                Ok(query) if !query.is_response => {
-                    Some(dnswire::encode(&data.respond_dns(&query, dgram.src.ip)))
-                }
-                _ => None,
-            },
-            TLS_PORT => data.respond_tls(&dgram.payload),
-            _ => None,
-        };
-        if let Some(payload) = reply {
+        if let Some(payload) = rack_respond(&data, &dgram) {
             let _ = endpoint.send_from(dgram.dst, dgram.src, payload);
         }
     }
+}
+
+/// One registry answer: the TLD delegation table keyed by the server IP
+/// the query was addressed to.
+fn registry_respond(
+    tables: &HashMap<Ipv4Addr, Arc<DelegationTable>>,
+    dgram: &Datagram,
+) -> Option<Bytes> {
+    if dgram.dst.port != DNS_PORT {
+        return None;
+    }
+    let table = tables.get(&dgram.dst.ip)?;
+    let query = dnswire::decode(&dgram.payload).ok()?;
+    if query.is_response {
+        return None;
+    }
+    Some(dnswire::encode(&table.respond(&query)))
 }
 
 /// Registry rack: serves several TLD delegation tables keyed by server IP.
@@ -339,20 +376,9 @@ fn registry_loop(
             Err(webdep_netsim::NetError::Timeout) => continue,
             Err(_) => break,
         };
-        if dgram.dst.port != DNS_PORT {
-            continue;
+        if let Some(payload) = registry_respond(&tables, &dgram) {
+            let _ = endpoint.send_from(dgram.dst, dgram.src, payload);
         }
-        let Some(table) = tables.get(&dgram.dst.ip) else {
-            continue;
-        };
-        let Ok(query) = dnswire::decode(&dgram.payload) else {
-            continue;
-        };
-        if query.is_response {
-            continue;
-        }
-        let resp = table.respond(&query);
-        let _ = endpoint.send_from(dgram.dst, dgram.src, dnswire::encode(&resp));
     }
 }
 
@@ -649,67 +675,97 @@ impl DeployedWorld {
             "US",
         );
 
+        let mut responders: Vec<ResponderSet> = Vec::new();
         for tables in registry_tables {
             if tables.is_empty() {
                 continue;
             }
-            let ep = SharedEndpoint::new(&network);
-            for ip in tables.keys() {
-                ep.attach(*ip, DNS_PORT, Region::NORTH_AMERICA)
-                    .expect("registry address free");
+            let ips: Vec<Ipv4Addr> = tables.keys().copied().collect();
+            if config.inline_racks {
+                let set = ResponderSet::new(&network, move |d: &Datagram| {
+                    registry_respond(&tables, d)
+                });
+                for ip in ips {
+                    set.attach(ip, DNS_PORT, Region::NORTH_AMERICA)
+                        .expect("registry address free");
+                }
+                responders.push(set);
+            } else {
+                let ep = SharedEndpoint::new(&network);
+                for ip in ips {
+                    ep.attach(ip, DNS_PORT, Region::NORTH_AMERICA)
+                        .expect("registry address free");
+                }
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || registry_loop(ep, tables, stop2));
+                racks.push(RackHandle {
+                    stop,
+                    handle: Some(handle),
+                });
             }
-            let stop = Arc::new(AtomicBool::new(false));
-            let stop2 = Arc::clone(&stop);
-            let handle = std::thread::spawn(move || registry_loop(ep, tables, stop2));
-            racks.push(RackHandle {
-                stop,
-                handle: Some(handle),
-            });
         }
 
         // ---- Spawn hosting racks ----
         for (ri, data) in rack_data.into_iter().enumerate() {
-            let ep = SharedEndpoint::new(&network);
-            // Attach every address of every provider on this rack.
-            for p in &universe.providers {
-                if rack_of(p.id) != ri {
-                    continue;
-                }
-                let pp = &pools[p.id as usize];
-                for (ci, pool) in pp.pools.iter().enumerate() {
-                    let region = CONT_ORDER[ci].region();
-                    for &ip in pool {
+            // Attach every address of every provider on this rack, whatever
+            // the attachment target (rack thread queue or inline responder).
+            let attach_all = |attach: &dyn Fn(Ipv4Addr, u16, Region) -> Result<(), NetError>,
+                              attach_anycast: &dyn Fn(Ipv4Addr, u16, Region) -> Result<(), NetError>| {
+                for p in &universe.providers {
+                    if rack_of(p.id) != ri {
+                        continue;
+                    }
+                    let pp = &pools[p.id as usize];
+                    for (ci, pool) in pp.pools.iter().enumerate() {
+                        let region = CONT_ORDER[ci].region();
+                        for &ip in pool {
+                            if p.anycast {
+                                // Anycast pools share addresses across
+                                // continents; attach each once per region.
+                                let _ = attach_anycast(ip, TLS_PORT, region);
+                                let _ = attach_anycast(ip, DNS_PORT, region);
+                            } else {
+                                attach(ip, TLS_PORT, region).expect("address plan is collision-free");
+                                attach(ip, DNS_PORT, region).expect("address plan is collision-free");
+                            }
+                        }
+                    }
+                    let home_region = continent_of_country(&p.country).region();
+                    for &ns in &pp.ns_addrs {
                         if p.anycast {
-                            // Anycast pools share addresses across
-                            // continents; attach each once per region.
-                            let _ = ep.attach_anycast(ip, TLS_PORT, region);
-                            let _ = ep.attach_anycast(ip, DNS_PORT, region);
+                            for cont in CONT_ORDER {
+                                let _ = attach_anycast(ns, DNS_PORT, cont.region());
+                            }
                         } else {
-                            ep.attach(ip, TLS_PORT, region).expect("address plan is collision-free");
-                            ep.attach(ip, DNS_PORT, region).expect("address plan is collision-free");
+                            // NS address may coincide with a pool address only
+                            // for the tiny single-IP fallback; tolerate.
+                            let _ = attach(ns, DNS_PORT, home_region);
                         }
                     }
                 }
-                let home_region = continent_of_country(&p.country).region();
-                for &ns in &pp.ns_addrs {
-                    if p.anycast {
-                        for cont in CONT_ORDER {
-                            let _ = ep.attach_anycast(ns, DNS_PORT, cont.region());
-                        }
-                    } else {
-                        // NS address may coincide with a pool address only
-                        // for the tiny single-IP fallback; tolerate.
-                        let _ = ep.attach(ns, DNS_PORT, home_region);
-                    }
-                }
+            };
+            if config.inline_racks {
+                let set = ResponderSet::new(&network, move |d: &Datagram| rack_respond(&data, d));
+                attach_all(
+                    &|ip, port, r| set.attach(ip, port, r),
+                    &|ip, port, r| set.attach_anycast(ip, port, r),
+                );
+                responders.push(set);
+            } else {
+                let ep = SharedEndpoint::new(&network);
+                attach_all(
+                    &|ip, port, r| ep.attach(ip, port, r),
+                    &|ip, port, r| ep.attach_anycast(ip, port, r),
+                );
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || rack_loop(ep, data, stop2));
+                racks.push(RackHandle {
+                    stop,
+                    handle: Some(handle),
+                });
             }
-            let stop = Arc::new(AtomicBool::new(false));
-            let stop2 = Arc::clone(&stop);
-            let handle = std::thread::spawn(move || rack_loop(ep, data, stop2));
-            racks.push(RackHandle {
-                stop,
-                handle: Some(handle),
-            });
         }
 
         let geodb = if config.geo_accuracy < 1.0 {
@@ -732,6 +788,7 @@ impl DeployedWorld {
             eyeball_prefixes,
             vantage_counters: std::array::from_fn(|_| AtomicU32::new(10)),
             racks,
+            responders,
             _root_server: root_server,
         }
     }
@@ -749,9 +806,9 @@ impl DeployedWorld {
             .expect("vantage addresses are unique")
     }
 
-    /// Number of rack threads running (registries + hosting).
+    /// Number of serving racks (registries + hosting), threaded or inline.
     pub fn num_racks(&self) -> usize {
-        self.racks.len()
+        self.racks.len() + self.responders.len()
     }
 }
 

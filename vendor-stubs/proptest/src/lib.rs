@@ -1,0 +1,575 @@
+//! Offline shim for `proptest`: deterministic random generation without
+//! shrinking. Each `proptest!` test runs `ProptestConfig::cases` cases from
+//! a seed derived from the test name, so failures reproduce exactly.
+
+/// Deterministic generator handed to strategies (xoshiro256++).
+pub struct Gen {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Gen {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Gen {
+            s: std::array::from_fn(|_| splitmix64(&mut sm)),
+        }
+    }
+
+    /// The next 64 uniformly distributed random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (Lemire's method).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the per-test seed from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. Unlike upstream there is no shrinking: `generate`
+/// draws one value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |g: &mut Gen| self.generate(g)))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Fn(&mut Gen) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        (self.0)(g)
+    }
+}
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        let idx = g.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(g)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _g: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + g.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return g.next_u64() as $t;
+                }
+                (lo as i128 + g.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * g.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, g: &mut Gen) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * g.unit_f64() as f32
+    }
+}
+
+/// A string literal is a regex strategy (subset; see [`string`]).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .generate(g)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$n.generate(g),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J, 10 K),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J, 10 K, 11 L),
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u32>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for a primitive (the [`any`] implementation).
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! arb_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let f: fn(&mut Gen) -> $t = $gen;
+                f(g)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arb_prim!(
+    u8 => |g| g.next_u64() as u8,
+    u16 => |g| g.next_u64() as u16,
+    u32 => |g| g.next_u64() as u32,
+    u64 => |g| g.next_u64(),
+    usize => |g| g.next_u64() as usize,
+    i8 => |g| g.next_u64() as i8,
+    i16 => |g| g.next_u64() as i16,
+    i32 => |g| g.next_u64() as i32,
+    i64 => |g| g.next_u64() as i64,
+    isize => |g| g.next_u64() as isize,
+    bool => |g| g.next_u64() & 1 == 1,
+);
+
+impl<T: Arbitrary, const N: usize> Strategy for AnyPrim<[T; N]> {
+    type Value = [T; N];
+    fn generate(&self, g: &mut Gen) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary().generate(g))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = AnyPrim<[T; N]>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Strategy for a `Vec` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vec of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + g.below(span) as usize;
+            (0..n).map(|_| self.element.generate(g)).collect()
+        }
+    }
+}
+
+/// Regex-like string strategies (subset: char classes, literals, escapes,
+/// `{m}` / `{m,n}` quantifiers).
+pub mod string {
+    use super::{Gen, Strategy};
+
+    /// Error for unsupported or malformed patterns.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled pattern.
+    pub struct RegexStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, g: &mut Gen) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = atom.min + g.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    let idx = g.below(atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles a pattern from the supported regex subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let mut atoms = Vec::new();
+        while pos < chars.len() {
+            let set = match chars[pos] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, pos + 1)?;
+                    pos = next;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(pos + 1)
+                        .ok_or_else(|| Error("dangling backslash".into()))?;
+                    pos += 2;
+                    vec![c]
+                }
+                '.' => {
+                    pos += 1;
+                    (' '..='~').collect()
+                }
+                c if "(){}*+?|^$".contains(c) => {
+                    return Err(Error(format!("unsupported metachar '{c}'")));
+                }
+                c => {
+                    pos += 1;
+                    vec![c]
+                }
+            };
+            if set.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            let (min, max) = if chars.get(pos) == Some(&'{') {
+                let (lo, hi, next) = parse_quantifier(&chars, pos + 1)?;
+                pos = next;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error(format!("bad quantifier {{{min},{max}}}")));
+            }
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut set = Vec::new();
+        while pos < chars.len() && chars[pos] != ']' {
+            let c = if chars[pos] == '\\' {
+                pos += 1;
+                *chars
+                    .get(pos)
+                    .ok_or_else(|| Error("dangling backslash in class".into()))?
+            } else {
+                chars[pos]
+            };
+            // `a-z` range iff '-' sits between two members.
+            if chars.get(pos + 1) == Some(&'-')
+                && pos + 2 < chars.len()
+                && chars[pos + 2] != ']'
+            {
+                let hi = chars[pos + 2];
+                if c > hi {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                set.extend(c..=hi);
+                pos += 3;
+            } else {
+                set.push(c);
+                pos += 1;
+            }
+        }
+        if pos >= chars.len() {
+            return Err(Error("unterminated character class".into()));
+        }
+        Ok((set, pos + 1)) // consume ']'
+    }
+
+    fn parse_quantifier(chars: &[char], mut pos: usize) -> Result<(usize, usize, usize), Error> {
+        let mut lo = String::new();
+        while pos < chars.len() && chars[pos].is_ascii_digit() {
+            lo.push(chars[pos]);
+            pos += 1;
+        }
+        let lo: usize = lo.parse().map_err(|_| Error("bad quantifier".into()))?;
+        let hi = if chars.get(pos) == Some(&',') {
+            pos += 1;
+            let mut hi = String::new();
+            while pos < chars.len() && chars[pos].is_ascii_digit() {
+                hi.push(chars[pos]);
+                pos += 1;
+            }
+            hi.parse().map_err(|_| Error("bad quantifier".into()))?
+        } else {
+            lo
+        };
+        if chars.get(pos) != Some(&'}') {
+            return Err(Error("unterminated quantifier".into()));
+        }
+        Ok((lo, hi, pos + 1))
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$m:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$m])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut gen = $crate::Gen::from_seed($crate::seed_for(stringify!($name)));
+                for _case in 0..cfg.cases {
+                    $(let $p = $crate::Strategy::generate(&($s), &mut gen);)+
+                    // Closure so prop_assume! can skip the case via return.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| { $body })();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property (panics on failure, aborting the test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality (panics on failure, aborting the test).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality (panics on failure, aborting the test).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::{collection, string};
+    }
+}

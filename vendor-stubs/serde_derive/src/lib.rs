@@ -1,0 +1,323 @@
+//! Offline shim for `serde_derive`: hand-rolled (no syn/quote) derives for
+//! the simplified `serde` shim. Supports named-field structs and enums with
+//! unit or tuple variants. `#[serde(...)]` attributes are not supported and
+//! generics fall back to a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<(String, usize)>),
+}
+
+/// A generic parameter on the derived item.
+enum Param {
+    Lifetime(String),
+    Type(String),
+}
+
+fn generics_for(params: &[Param], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_parts: Vec<String> = params
+        .iter()
+        .map(|p| match p {
+            Param::Lifetime(l) => l.clone(),
+            Param::Type(t) => format!("{t}: {bound}"),
+        })
+        .collect();
+    let ty_parts: Vec<String> = params
+        .iter()
+        .map(|p| match p {
+            Param::Lifetime(l) => l.clone(),
+            Param::Type(t) => t.clone(),
+        })
+        .collect();
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, params, shape) = match parse(input) {
+        Ok(x) => x,
+        Err(msg) => return format!("compile_error!(\"{msg}\");").parse().unwrap(),
+    };
+    if !serialize {
+        let (ig, tg) = generics_for(&params, "::serde::Deserialize");
+        return format!("impl{ig} ::serde::Deserialize for {name}{tg} {{}}")
+            .parse()
+            .unwrap();
+    }
+    let (impl_generics, ty_generics) = generics_for(&params, "::serde::Serialize");
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Content::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(v0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_content(v0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(v{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Parses `(pub)? (struct|enum) Name<...>? (where ...)? { ... }`.
+fn parse(input: TokenStream) -> Result<(String, Vec<Param>, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    // Skip attributes and visibility, find `struct`/`enum`.
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, possibly followed by `(crate)` handled below.
+            }
+            TokenTree::Group(_) => {} // pub(crate) restriction group
+            _ => return Err("serde shim derive: unexpected token before item".into()),
+        }
+    }
+    let kind = kind.ok_or("serde shim derive: no struct/enum keyword")?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing item name".into()),
+    };
+    // Optional generics list immediately after the name.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            params = parse_generics(&mut iter, &name)?;
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive: tuple struct {name} unsupported"
+                ));
+            }
+            Some(_) => continue, // where-clause tokens
+            None => return Err(format!("serde shim derive: no body on {name}")),
+        }
+    };
+    if kind == "struct" {
+        Ok((name, params, Shape::Struct(struct_fields(body.stream())?)))
+    } else {
+        Ok((name, params, Shape::Enum(enum_variants(body.stream())?)))
+    }
+}
+
+/// Parses generic params after the opening `<` up to the matching `>`.
+/// Bounds and defaults inside the list are skipped; const params error.
+fn parse_generics(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    name: &str,
+) -> Result<Vec<Param>, String> {
+    let mut params = Vec::new();
+    let mut depth = 1i32; // we are inside the first '<'
+    let mut at_param_start = true;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(params);
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                '\'' if depth == 1 && at_param_start => {
+                    // Lifetime param: tick + ident.
+                    if let Some(TokenTree::Ident(id)) = iter.next() {
+                        params.push(Param::Lifetime(format!("'{id}")));
+                    }
+                    at_param_start = false;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                if id.to_string() == "const" {
+                    return Err(format!(
+                        "serde shim derive: const generics on {name} unsupported"
+                    ));
+                }
+                params.push(Param::Type(id.to_string()));
+                at_param_start = false;
+            }
+            _ => {}
+        }
+    }
+    Err(format!("serde shim derive: unclosed generics on {name}"))
+}
+
+/// Field names of a named-field struct body.
+fn struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility; the next plain ident is the field.
+        let name = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(_) => return Err("serde shim derive: bad struct body".into()),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde shim derive: field {name} missing type")),
+        }
+        fields.push(name);
+        // Consume the type up to the next field-separating comma, tracking
+        // angle-bracket depth (generic args contain commas).
+        let mut angle: i32 = 0;
+        loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// `(variant name, tuple arity)` pairs of an enum body (arity 0 = unit).
+fn enum_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(_) => return Err("serde shim derive: bad enum body".into()),
+            }
+        };
+        let mut arity = 0usize;
+        // Optional payload, then the separating comma.
+        loop {
+            match iter.next() {
+                None => {
+                    variants.push((name, arity));
+                    return Ok(variants);
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    return Err(format!(
+                        "serde shim derive: struct variant {name} unsupported"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {} // discriminant `= N` etc.
+            }
+        }
+        variants.push((name, arity));
+    }
+}
+
+/// Number of comma-separated types at angle depth 0.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut arity = 1usize;
+    let mut any = false;
+    for tt in stream {
+        any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        arity
+    } else {
+        0
+    }
+}
