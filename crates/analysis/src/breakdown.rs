@@ -115,12 +115,12 @@ pub fn tld_breakdown(ctx: &AnalysisCtx<'_>) -> Breakdown {
     let mut stacks = Vec::new();
     for (ci, country) in COUNTRIES.iter().enumerate() {
         let counts = ctx.country_counts(ci, Layer::Tld);
-        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let total = ctx.country_total(ci, Layer::Tld);
         if total == 0 {
             continue;
         }
         let mut shares = vec![0.0; 4];
-        for (owner, c) in counts {
+        for &(owner, c) in counts.iter() {
             let tld = ctx.world.universe.tld(owner);
             let cat = match &tld.kind {
                 TldKind::Com => 0,
@@ -150,13 +150,13 @@ fn build_stacks<F: Fn(u32) -> usize>(
     let mut stacks = Vec::new();
     for (ci, country) in COUNTRIES.iter().enumerate() {
         let counts = ctx.country_counts(ci, layer);
-        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let total = ctx.country_total(ci, layer);
         if total == 0 {
             continue;
         }
         let mut shares = vec![0.0; n_categories];
-        for (owner, c) in &counts {
-            shares[category_of(*owner)] += *c as f64 / total as f64;
+        for &(owner, c) in counts.iter() {
+            shares[category_of(owner)] += c as f64 / total as f64;
         }
         let dist = ctx.country_dist(ci, layer).expect("non-empty");
         stacks.push(CountryStack {

@@ -4,7 +4,6 @@
 use crate::ctx::AnalysisCtx;
 use serde::Serialize;
 use webdep_core::centralization::centralization_score;
-use webdep_core::CountDist;
 use webdep_stats::describe::{median_index, Summary};
 use webdep_webgen::{Layer, COUNTRIES};
 
@@ -51,8 +50,10 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
     // Countries are independent: fan the per-country scoring across cores.
     // `par_map_indices` returns results in country order, so the table is
     // identical to the sequential one.
-    let mut rows: Vec<CountryScore> =
-        webdep_stats::par_map_indices(COUNTRIES.len(), webdep_stats::par::default_threads(), |ci| {
+    let mut rows: Vec<CountryScore> = webdep_stats::par_map_indices(
+        COUNTRIES.len(),
+        webdep_stats::par::default_threads(),
+        |ci| {
             let country = &COUNTRIES[ci];
             let dist = ctx.country_dist(ci, layer)?;
             Some(CountryScore {
@@ -66,10 +67,11 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
                 top_share: dist.top_share(),
                 providers_for_90pct: dist.providers_to_cover(0.90),
             })
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|a, b| b.s.partial_cmp(&a.s).expect("scores are finite"));
     for (i, r) in rows.iter_mut().enumerate() {
         r.rank = i + 1;
@@ -91,14 +93,7 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
 
 /// Centralization of the global top list at a layer (Figure 12's marker).
 pub fn global_top_score(ctx: &AnalysisCtx<'_>, layer: Layer) -> Option<f64> {
-    let mut tally: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
-    for &oi in &ctx.ds.global_top {
-        let obs = &ctx.ds.observations[oi as usize];
-        if let Some(owner) = ctx.owner_of(obs, layer) {
-            *tally.entry(owner).or_insert(0) += 1;
-        }
-    }
-    let dist = CountDist::from_counts(tally.into_values().collect()).ok()?;
+    let dist = ctx.global_dist(layer)?;
     Some(centralization_score(&dist))
 }
 
@@ -197,7 +192,11 @@ mod tests {
             hosting.summary.mean
         );
         let us = tld.row("US").unwrap();
-        assert!(us.rank <= 6, "US should top the TLD table, rank {}", us.rank);
+        assert!(
+            us.rank <= 6,
+            "US should top the TLD table, rank {}",
+            us.rank
+        );
     }
 
     #[test]

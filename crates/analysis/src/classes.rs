@@ -101,17 +101,21 @@ const CLUSTER_USAGE_FLOOR: f64 = 1.0;
 
 /// Classifies a layer's owners.
 pub fn classify(ctx: &AnalysisCtx<'_>, layer: Layer) -> Classification {
-    let usage = ctx.usage_matrix(layer);
+    // `usage_rows` is ordered by owner id, so the feature list (and with
+    // it the clustering input and every tie-broken sort below) is
+    // deterministic across runs — HashMap iteration order was not.
+    let usage = ctx.usage_rows(layer);
     let mut features: Vec<OwnerFeatures> = Vec::new();
     let mut tail: Vec<OwnerFeatures> = Vec::new();
-    for (&owner, per_country) in &usage {
-        let curve = UsageCurve::new(per_country.clone());
+    for (owner, per_country) in usage {
+        let countries = per_country.iter().filter(|&&v| v > 0.0).count();
+        let curve = UsageCurve::new(per_country);
         let f = OwnerFeatures {
             owner,
             usage: curve.usage(),
             endemicity_ratio: curve.endemicity_ratio(),
             peak: curve.peak(),
-            countries: per_country.iter().filter(|&&v| v > 0.0).count(),
+            countries,
         };
         if f.usage >= CLUSTER_USAGE_FLOOR {
             features.push(f);
@@ -119,7 +123,12 @@ pub fn classify(ctx: &AnalysisCtx<'_>, layer: Layer) -> Classification {
             tail.push(f);
         }
     }
-    features.sort_by(|a, b| b.usage.partial_cmp(&a.usage).expect("finite"));
+    features.sort_by(|a, b| {
+        b.usage
+            .partial_cmp(&a.usage)
+            .expect("finite")
+            .then(a.owner.cmp(&b.owner))
+    });
 
     // Min-max scale (usage, endemicity ratio) and cluster.
     let raw: Vec<Vec<f64>> = features
@@ -127,7 +136,16 @@ pub fn classify(ctx: &AnalysisCtx<'_>, layer: Layer) -> Classification {
         .map(|f| vec![f.usage, f.endemicity_ratio])
         .collect();
     let scaled = min_max_scale_columns(&raw);
-    let clustering = affinity_propagation(&scaled, &AffinityConfig::default());
+    // The legacy (tally-on-demand) context reproduces the pre-cube engine
+    // end to end, so it also runs the baseline untiled sweeps; both modes
+    // produce byte-identical clusterings.
+    let clustering = affinity_propagation(
+        &scaled,
+        &AffinityConfig {
+            baseline_sweeps: ctx.cube().is_none(),
+            ..AffinityConfig::default()
+        },
+    );
     let num_clusters = clustering.as_ref().map(|c| c.num_clusters()).unwrap_or(0);
 
     // Label by features (the paper labels its clusters manually; these
@@ -212,6 +230,7 @@ impl Classification {
                 .unwrap_or(&0.0)
                 .partial_cmp(usage_of.get(a).unwrap_or(&0.0))
                 .expect("finite")
+                .then(a.cmp(b))
         });
         ids
     }
@@ -250,7 +269,11 @@ mod tests {
             "Beget is regional, got {:?}",
             cls.class(beget)
         );
-        let shb = c.world.universe.provider_by_name("SuperHosting.BG").unwrap();
+        let shb = c
+            .world
+            .universe
+            .provider_by_name("SuperHosting.BG")
+            .unwrap();
         assert!(!cls.class(shb).is_global());
     }
 
@@ -313,11 +336,7 @@ mod tests {
         let cls = classify(&c, Layer::Dns);
         for name in ["NSONE", "Neustar UltraDNS"] {
             let id = c.world.universe.provider_by_name(name).unwrap();
-            assert!(
-                cls.class(id).is_global(),
-                "{name}: {:?}",
-                cls.class(id)
-            );
+            assert!(cls.class(id).is_global(), "{name}: {:?}", cls.class(id));
         }
     }
 }

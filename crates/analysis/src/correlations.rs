@@ -37,7 +37,7 @@ pub fn class_correlations(
             continue;
         };
         let counts = ctx.country_counts(ci, layer);
-        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let total = ctx.country_total(ci, layer);
         let share_of = |pred: &dyn Fn(ProviderClass) -> bool| -> f64 {
             counts
                 .iter()
@@ -82,11 +82,7 @@ pub fn hosting_vs_tld_insularity(ctx: &AnalysisCtx<'_>) -> Option<Correlation> {
 }
 
 /// ρ between two layers' centralization scores (e.g. hosting vs DNS).
-pub fn layer_score_correlation(
-    ctx: &AnalysisCtx<'_>,
-    a: Layer,
-    b: Layer,
-) -> Option<Correlation> {
+pub fn layer_score_correlation(ctx: &AnalysisCtx<'_>, a: Layer, b: Layer) -> Option<Correlation> {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for ci in 0..COUNTRIES.len() {

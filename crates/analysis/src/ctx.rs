@@ -1,8 +1,12 @@
 //! The analysis context: measured data joined with entity metadata.
 
+use crate::cube::DependenceCube;
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use webdep_core::CountDist;
 use webdep_pipeline::{MeasuredDataset, SiteObservation};
+use webdep_stats::{bootstrap_ci_indexed, BootstrapCi};
 use webdep_webgen::{Layer, World, COUNTRIES};
 
 /// Joins a [`MeasuredDataset`] with the [`World`]'s entity metadata.
@@ -10,24 +14,63 @@ use webdep_webgen::{Layer, World, COUNTRIES};
 /// Every per-layer tally keys owners by a dense `u32`: provider org id for
 /// hosting/DNS, CA owner id for the CA layer, and TLD id for the TLD layer
 /// (observation TLD labels are interned through the universe).
+///
+/// [`AnalysisCtx::new`] builds a [`DependenceCube`] up front — one parallel
+/// pass over the observations — and every accessor below reads borrowed
+/// cube slices. [`AnalysisCtx::new_legacy`] keeps the original
+/// tally-on-demand behavior; it exists only as the measured baseline for
+/// `bench-snapshot` and the equivalence tests, and re-walks a country's
+/// toplist on every call.
 pub struct AnalysisCtx<'a> {
     /// The generating world (entity names, HQ countries, TLD kinds).
     pub world: &'a World,
     /// The measured dataset under analysis.
     pub ds: &'a MeasuredDataset,
     tld_ids: HashMap<String, u32>,
+    cube: Option<DependenceCube>,
 }
 
 impl<'a> AnalysisCtx<'a> {
-    /// Builds a context.
+    /// Builds a context backed by a [`DependenceCube`].
     pub fn new(world: &'a World, ds: &'a MeasuredDataset) -> Self {
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        let cube = DependenceCube::build(world, ds, &tld_ids);
+        AnalysisCtx {
+            world,
+            ds,
+            tld_ids,
+            cube: Some(cube),
+        }
+    }
+
+    /// Builds a context that tallies on demand (the pre-cube behavior).
+    ///
+    /// Baseline-only: every `country_counts`/`owner_share` call re-walks
+    /// the country's observations. Kept so benches can time "before" and
+    /// tests can assert the cube reproduces it exactly.
+    pub fn new_legacy(world: &'a World, ds: &'a MeasuredDataset) -> Self {
         let tld_ids = world
             .universe
             .tlds
             .iter()
             .map(|t| (t.label.clone(), t.id))
             .collect();
-        AnalysisCtx { world, ds, tld_ids }
+        AnalysisCtx {
+            world,
+            ds,
+            tld_ids,
+            cube: None,
+        }
+    }
+
+    /// The dependence cube, when this context was built with one.
+    pub fn cube(&self) -> Option<&DependenceCube> {
+        self.cube.as_ref()
     }
 
     /// The measured owner of an observation at a layer, if that layer
@@ -61,8 +104,8 @@ impl<'a> AnalysisCtx<'a> {
         }
     }
 
-    /// Per-owner website counts for a country's layer, largest first.
-    pub fn country_counts(&self, country_idx: usize, layer: Layer) -> Vec<(u32, u64)> {
+    /// The legacy tally: one HashMap pass over a country's observations.
+    fn tally_counts(&self, country_idx: usize, layer: Layer) -> Vec<(u32, u64)> {
         let mut tally: HashMap<u32, u64> = HashMap::new();
         for obs in self.ds.country_observations(country_idx) {
             if let Some(owner) = self.owner_of(obs, layer) {
@@ -74,28 +117,102 @@ impl<'a> AnalysisCtx<'a> {
         v
     }
 
+    /// Per-owner website counts for a country's layer, largest first
+    /// (count descending, owner id ascending). Borrowed straight from the
+    /// cube; only the legacy baseline allocates.
+    pub fn country_counts(&self, country_idx: usize, layer: Layer) -> Cow<'_, [(u32, u64)]> {
+        match &self.cube {
+            Some(cube) => Cow::Borrowed(cube.layer(layer).sorted_counts(country_idx)),
+            None => Cow::Owned(self.tally_counts(country_idx, layer)),
+        }
+    }
+
     /// The country's measured distribution as a [`CountDist`].
-    pub fn country_dist(&self, country_idx: usize, layer: Layer) -> Option<CountDist> {
-        let counts: Vec<u64> = self
-            .country_counts(country_idx, layer)
-            .into_iter()
-            .map(|(_, c)| c)
-            .collect();
-        CountDist::from_counts(counts).ok()
+    pub fn country_dist(&self, country_idx: usize, layer: Layer) -> Option<Cow<'_, CountDist>> {
+        match &self.cube {
+            Some(cube) => cube.layer(layer).dist(country_idx).map(Cow::Borrowed),
+            None => {
+                let counts: Vec<u64> = self
+                    .tally_counts(country_idx, layer)
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .collect();
+                CountDist::from_counts(counts).ok().map(Cow::Owned)
+            }
+        }
+    }
+
+    /// Total measured sites for a country's layer.
+    pub fn country_total(&self, country_idx: usize, layer: Layer) -> u64 {
+        match &self.cube {
+            Some(cube) => cube.layer(layer).total(country_idx),
+            None => self
+                .tally_counts(country_idx, layer)
+                .iter()
+                .map(|&(_, c)| c)
+                .sum(),
+        }
     }
 
     /// Share of a country's measured sites belonging to `owner` at `layer`.
+    ///
+    /// O(1) against the cube (one dense lookup plus the precomputed row
+    /// total). The legacy baseline re-tallies the country — the quadratic
+    /// path this PR removed from production.
     pub fn owner_share(&self, country_idx: usize, layer: Layer, owner: u32) -> f64 {
-        let counts = self.country_counts(country_idx, layer);
-        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
-        if total == 0 {
-            return 0.0;
+        match &self.cube {
+            Some(cube) => {
+                let lc = cube.layer(layer);
+                let total = lc.total(country_idx);
+                if total == 0 {
+                    return 0.0;
+                }
+                lc.count(country_idx, owner) as f64 / total as f64
+            }
+            None => {
+                let counts = self.tally_counts(country_idx, layer);
+                let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+                if total == 0 {
+                    return 0.0;
+                }
+                counts
+                    .iter()
+                    .find(|&&(o, _)| o == owner)
+                    .map(|&(_, c)| c as f64 / total as f64)
+                    .unwrap_or(0.0)
+            }
         }
-        counts
-            .iter()
-            .find(|&&(o, _)| o == owner)
-            .map(|&(_, c)| c as f64 / total as f64)
-            .unwrap_or(0.0)
+    }
+
+    /// The global-top tally for a layer, largest first (Figure 12's
+    /// marker distribution).
+    pub fn global_counts(&self, layer: Layer) -> Cow<'_, [(u32, u64)]> {
+        match &self.cube {
+            Some(cube) => Cow::Borrowed(cube.layer(layer).global_sorted()),
+            None => {
+                let mut tally: HashMap<u32, u64> = HashMap::new();
+                for &oi in &self.ds.global_top {
+                    let obs = &self.ds.observations[oi as usize];
+                    if let Some(owner) = self.owner_of(obs, layer) {
+                        *tally.entry(owner).or_insert(0) += 1;
+                    }
+                }
+                let mut v: Vec<(u32, u64)> = tally.into_iter().collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                Cow::Owned(v)
+            }
+        }
+    }
+
+    /// The global-top distribution for a layer.
+    pub fn global_dist(&self, layer: Layer) -> Option<Cow<'_, CountDist>> {
+        match &self.cube {
+            Some(cube) => cube.layer(layer).global_dist().map(Cow::Borrowed),
+            None => {
+                let counts: Vec<u64> = self.global_counts(layer).iter().map(|&(_, c)| c).collect();
+                CountDist::from_counts(counts).ok().map(Cow::Owned)
+            }
+        }
     }
 
     /// Per-owner usage matrix for a layer: owner → usage percentage in each
@@ -104,17 +221,114 @@ impl<'a> AnalysisCtx<'a> {
         let mut m: HashMap<u32, Vec<f64>> = HashMap::new();
         for ci in 0..COUNTRIES.len() {
             let counts = self.country_counts(ci, layer);
-            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            let total = self.country_total(ci, layer);
             if total == 0 {
                 continue;
             }
-            for (owner, c) in counts {
-                m.entry(owner)
-                    .or_insert_with(|| vec![0.0; COUNTRIES.len()])[ci] =
+            for &(owner, c) in counts.iter() {
+                m.entry(owner).or_insert_with(|| vec![0.0; COUNTRIES.len()])[ci] =
                     100.0 * c as f64 / total as f64;
             }
         }
         m
+    }
+
+    /// [`AnalysisCtx::usage_matrix`] in a deterministic shape: one row per
+    /// observed owner, ascending owner id. Consumers that feed clustering
+    /// or reports should prefer this — HashMap iteration order is not
+    /// stable across runs.
+    pub fn usage_rows(&self, layer: Layer) -> Vec<(u32, Vec<f64>)> {
+        let m = self.usage_matrix(layer);
+        let mut rows: Vec<(u32, Vec<f64>)> = m.into_iter().collect();
+        rows.sort_by_key(|&(owner, _)| owner);
+        rows
+    }
+
+    /// Bootstrap confidence interval for a country's centralization score
+    /// at a layer, resampling the cube's dense site-label array.
+    ///
+    /// Replicates draw indices into the label array and tally into a
+    /// thread-local scratch row — zero allocation per replicate after the
+    /// first on each worker thread. Deterministic per seed, independent of
+    /// thread count. Returns `None` for an unmeasured country or for
+    /// degenerate `replicates`/`level`.
+    ///
+    /// The legacy baseline resamples the same per-site owner sequence but
+    /// pays the pre-cube per-replicate cost: a gathered sample, a HashMap
+    /// tally, and a [`CountDist`] allocation for every replicate. Both
+    /// paths draw identical index streams, so the intervals agree to
+    /// floating-point summation order.
+    pub fn score_ci(
+        &self,
+        country_idx: usize,
+        layer: Layer,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+    ) -> Option<BootstrapCi> {
+        let Some(cube) = self.cube() else {
+            let labels: Vec<u32> = self
+                .ds
+                .country_observations(country_idx)
+                .filter_map(|obs| self.owner_of(obs, layer))
+                .collect();
+            return webdep_stats::bootstrap_ci(
+                &labels,
+                |sample: &[u32]| {
+                    let mut tally: HashMap<u32, u64> = HashMap::new();
+                    for &o in sample {
+                        *tally.entry(o).or_insert(0) += 1;
+                    }
+                    let mut counts: Vec<u64> = tally.into_values().collect();
+                    counts.sort_unstable_by(|a, b| b.cmp(a));
+                    CountDist::from_counts(counts)
+                        .map(|d| webdep_core::centralization_score(&d))
+                        .unwrap_or(0.0)
+                },
+                replicates,
+                level,
+                seed,
+            );
+        };
+        let lc = cube.layer(layer);
+        let labels = lc.site_labels(country_idx);
+        let n_owners = lc.owners().len();
+        thread_local! {
+            static SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+        bootstrap_ci_indexed(
+            labels,
+            |rs| {
+                SCRATCH.with(|cell| {
+                    let mut scratch = cell.borrow_mut();
+                    if scratch.len() < n_owners {
+                        scratch.resize(n_owners, 0);
+                    }
+                    let mut total = 0u64;
+                    for &l in rs.iter() {
+                        scratch[l as usize] += 1;
+                        total += 1;
+                    }
+                    let c = total as f64;
+                    // Second pass over the drawn labels computes Σ(a/C)²
+                    // while zeroing every touched slot, so the scratch row
+                    // is clean for the next replicate without a memset.
+                    let mut hhi = 0.0;
+                    for &l in rs.iter() {
+                        let a = scratch[l as usize];
+                        if a != 0 {
+                            let share = a as f64 / c;
+                            hhi += share * share;
+                            scratch[l as usize] = 0;
+                        }
+                    }
+                    hhi - 1.0 / c
+                })
+            },
+            replicates,
+            level,
+            seed,
+        )
     }
 
     /// Observation count per country toplist (should equal the configured
@@ -147,6 +361,12 @@ pub(crate) mod testutil {
         let (world, ds) = fixture();
         AnalysisCtx::new(world, ds)
     }
+
+    /// The tally-on-demand baseline over the same fixture.
+    pub fn legacy_ctx() -> AnalysisCtx<'static> {
+        let (world, ds) = fixture();
+        AnalysisCtx::new_legacy(world, ds)
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +381,11 @@ mod tests {
         let th = World::country_index("TH").unwrap();
         let measured = c.country_counts(th, Layer::Hosting);
         let truth = c.world.layer_counts(th, Layer::Hosting);
-        assert_eq!(measured, truth, "pipeline must recover the ground truth");
+        assert_eq!(
+            measured.as_ref(),
+            truth.as_slice(),
+            "pipeline must recover the ground truth"
+        );
     }
 
     #[test]
@@ -195,5 +419,47 @@ mod tests {
         // countries at tiny scale.
         let used = row.iter().filter(|&&v| v > 0.0).count();
         assert!(used > 140, "{used}");
+    }
+
+    #[test]
+    fn usage_rows_are_sorted_and_match_matrix() {
+        let c = ctx();
+        let rows = c.usage_rows(Layer::Hosting);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        let m = c.usage_matrix(Layer::Hosting);
+        assert_eq!(rows.len(), m.len());
+        for (owner, row) in &rows {
+            assert_eq!(&m[owner], row);
+        }
+    }
+
+    /// Both CI paths draw the same index streams; the statistics differ
+    /// only in floating-point summation order, so the intervals must agree
+    /// to tight tolerance.
+    #[test]
+    fn score_ci_legacy_matches_cube() {
+        let c = ctx();
+        let legacy = crate::ctx::testutil::legacy_ctx();
+        for code in ["TH", "US", "IR"] {
+            let i = World::country_index(code).unwrap();
+            let a = c.score_ci(i, Layer::Hosting, 100, 0.95, 7).unwrap();
+            let b = legacy.score_ci(i, Layer::Hosting, 100, 0.95, 7).unwrap();
+            assert!((a.point - b.point).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
+            assert!((a.lo - b.lo).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
+            assert!((a.hi - b.hi).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn score_ci_brackets_point_and_is_seeded() {
+        let c = ctx();
+        let th = World::country_index("TH").unwrap();
+        let ci = c.score_ci(th, Layer::Hosting, 200, 0.95, 42).unwrap();
+        let point = webdep_core::centralization_score(&c.country_dist(th, Layer::Hosting).unwrap());
+        assert!((ci.point - point).abs() < 1e-12, "{} vs {point}", ci.point);
+        assert!(ci.contains(ci.point));
+        assert!(ci.width() > 0.0 && ci.width() < 0.5, "{ci:?}");
+        let again = c.score_ci(th, Layer::Hosting, 200, 0.95, 42).unwrap();
+        assert_eq!(ci, again);
     }
 }

@@ -1,0 +1,413 @@
+//! The dependence cube: every per-(country, layer) owner tally, built once.
+//!
+//! The analysis re-reads the same aggregations constantly — score tables,
+//! usage curves, insularity, breakdowns, correlations, and bootstrap
+//! replicates all start from "how many of country X's sites does owner Y
+//! serve at layer L". Tallying that from raw observations per call made
+//! `AnalysisCtx` quadratic in places (`owner_share` re-walked a whole
+//! toplist per lookup). The [`DependenceCube`] replaces all of that with
+//! one parallel pass over the [`MeasuredDataset`]:
+//!
+//! * per layer, a dense `country × owner` count matrix (`u64`), with owners
+//!   interned to dense indices (only owners actually observed get a column;
+//!   observation TLD labels are interned through the universe once, at
+//!   build time, instead of being hashed on every lookup);
+//! * precomputed row totals, per-country sorted `(owner, count)` views in
+//!   the analysis's canonical order (count descending, owner id ascending —
+//!   exactly [`World::layer_counts`]'s order), and per-country
+//!   [`CountDist`]s;
+//! * the global-top tally per layer (the Figure 12 marker);
+//! * per-country dense owner labels per measured site, in toplist order —
+//!   the index arrays bootstrap replicates resample against with zero
+//!   per-replicate allocation.
+//!
+//! Determinism: the per-country pass runs under
+//! [`webdep_stats::par_map_indices`], which returns results in country
+//! order; interning sorts the observed owner set; every sorted view uses a
+//! total order. The cube is byte-identical across runs and thread counts.
+
+use std::collections::HashMap;
+use webdep_core::CountDist;
+use webdep_pipeline::MeasuredDataset;
+use webdep_stats::{par::default_threads, par_map_indices};
+use webdep_webgen::{Layer, World, COUNTRIES};
+
+/// Sentinel in `dense_of` for owners never observed at a layer.
+const UNOBSERVED: u32 = u32::MAX;
+
+/// One layer's dense count matrix plus its derived views.
+pub struct LayerCube {
+    /// Observed owner world-ids, ascending. Dense index = position.
+    owners: Vec<u32>,
+    /// World id → dense index (`UNOBSERVED` when never seen at this layer).
+    dense_of: Vec<u32>,
+    /// Row-major counts: `COUNTRIES.len()` rows × `owners.len()` columns.
+    counts: Vec<u64>,
+    /// Per-country measured-site totals (row sums).
+    totals: Vec<u64>,
+    /// Flattened per-country `(owner world id, count)` views, count
+    /// descending then owner ascending; country `ci` spans
+    /// `sorted_off[ci]..sorted_off[ci + 1]`.
+    sorted: Vec<(u32, u64)>,
+    sorted_off: Vec<usize>,
+    /// Per-country distributions (`None` when nothing measured).
+    dists: Vec<Option<CountDist>>,
+    /// Global-top tally in the same sorted order.
+    global_sorted: Vec<(u32, u64)>,
+    /// Global-top distribution.
+    global_dist: Option<CountDist>,
+    /// Dense owner label per measured site, toplist order, flattened;
+    /// country `ci` spans `label_off[ci]..label_off[ci + 1]`.
+    labels: Vec<u32>,
+    label_off: Vec<usize>,
+}
+
+impl LayerCube {
+    /// Observed owner world-ids, ascending.
+    pub fn owners(&self) -> &[u32] {
+        &self.owners
+    }
+
+    /// Dense column index of an owner world id, if observed at this layer.
+    pub fn dense_of(&self, owner: u32) -> Option<usize> {
+        match self.dense_of.get(owner as usize) {
+            Some(&d) if d != UNOBSERVED => Some(d as usize),
+            _ => None,
+        }
+    }
+
+    /// A country's full count row (one slot per observed owner).
+    pub fn row(&self, ci: usize) -> &[u64] {
+        let w = self.owners.len();
+        &self.counts[ci * w..(ci + 1) * w]
+    }
+
+    /// A country's measured-site total.
+    pub fn total(&self, ci: usize) -> u64 {
+        self.totals[ci]
+    }
+
+    /// Sites of country `ci` served by `owner` (world id).
+    pub fn count(&self, ci: usize, owner: u32) -> u64 {
+        match self.dense_of(owner) {
+            Some(d) => self.row(ci)[d],
+            None => 0,
+        }
+    }
+
+    /// A country's `(owner world id, count)` view, count descending then
+    /// owner ascending — the canonical tally order everywhere else in the
+    /// analysis.
+    pub fn sorted_counts(&self, ci: usize) -> &[(u32, u64)] {
+        &self.sorted[self.sorted_off[ci]..self.sorted_off[ci + 1]]
+    }
+
+    /// A country's distribution, if anything was measured.
+    pub fn dist(&self, ci: usize) -> Option<&CountDist> {
+        self.dists[ci].as_ref()
+    }
+
+    /// The global-top tally in sorted order.
+    pub fn global_sorted(&self) -> &[(u32, u64)] {
+        &self.global_sorted
+    }
+
+    /// The global-top distribution.
+    pub fn global_dist(&self) -> Option<&CountDist> {
+        self.global_dist.as_ref()
+    }
+
+    /// Dense owner labels of a country's measured sites, toplist order —
+    /// the resampling universe for bootstrap replicates. Each label indexes
+    /// [`LayerCube::owners`].
+    pub fn site_labels(&self, ci: usize) -> &[u32] {
+        &self.labels[self.label_off[ci]..self.label_off[ci + 1]]
+    }
+}
+
+/// All four layers' cubes. See the module docs for layout and guarantees.
+pub struct DependenceCube {
+    layers: [LayerCube; 4],
+}
+
+impl DependenceCube {
+    /// One layer's cube.
+    pub fn layer(&self, layer: Layer) -> &LayerCube {
+        &self.layers[layer.index()]
+    }
+
+    /// Builds the cube from a measured dataset in one parallel pass.
+    ///
+    /// `tld_ids` is the observation-TLD interning table (label → universe
+    /// TLD id); the caller already has it, so the cube reuses it rather
+    /// than rebuilding.
+    pub fn build(world: &World, ds: &MeasuredDataset, tld_ids: &HashMap<String, u32>) -> Self {
+        let n_countries = COUNTRIES.len();
+        let threads = default_threads();
+
+        // Pass 1 (parallel over countries): resolve each measured site to
+        // its owner world-id per layer, in toplist order. TLD labels are
+        // interned here, once per observation.
+        let resolve = |ci: usize| -> [Vec<u32>; 4] {
+            let mut out: [Vec<u32>; 4] = Default::default();
+            for obs in ds.country_observations(ci) {
+                for layer in Layer::ALL {
+                    let owner = match layer {
+                        Layer::Hosting => obs.hosting_org,
+                        Layer::Dns => obs.dns_org,
+                        Layer::Ca => obs.ca_owner,
+                        Layer::Tld => tld_ids.get(&obs.tld).copied(),
+                    };
+                    if let Some(o) = owner {
+                        out[layer.index()].push(o);
+                    }
+                }
+            }
+            out
+        };
+        let per_country: Vec<[Vec<u32>; 4]> = par_map_indices(n_countries, threads, resolve);
+
+        // The global top list, resolved the same way (serial: one list).
+        let mut global: [Vec<u32>; 4] = Default::default();
+        for &oi in &ds.global_top {
+            let obs = &ds.observations[oi as usize];
+            for layer in Layer::ALL {
+                let owner = match layer {
+                    Layer::Hosting => obs.hosting_org,
+                    Layer::Dns => obs.dns_org,
+                    Layer::Ca => obs.ca_owner,
+                    Layer::Tld => tld_ids.get(&obs.tld).copied(),
+                };
+                if let Some(o) = owner {
+                    global[layer.index()].push(o);
+                }
+            }
+        }
+
+        let layers = Layer::ALL.map(|layer| {
+            let li = layer.index();
+            let universe_width = match layer {
+                Layer::Hosting | Layer::Dns => world.universe.providers.len(),
+                Layer::Ca => world.universe.cas.len(),
+                Layer::Tld => world.universe.tlds.len(),
+            };
+
+            // Intern: every owner observed anywhere (countries or global
+            // top) gets a dense column, in ascending world-id order.
+            let mut seen = vec![false; universe_width];
+            for c in &per_country {
+                for &o in &c[li] {
+                    seen[o as usize] = true;
+                }
+            }
+            for &o in &global[li] {
+                seen[o as usize] = true;
+            }
+            let owners: Vec<u32> = (0..universe_width as u32)
+                .filter(|&o| seen[o as usize])
+                .collect();
+            let mut dense_of = vec![UNOBSERVED; universe_width];
+            for (d, &o) in owners.iter().enumerate() {
+                dense_of[o as usize] = d as u32;
+            }
+            let w = owners.len();
+
+            // Pass 2 (parallel over countries): dense rows, sorted views,
+            // dists, and dense site labels, assembled in country order.
+            struct CountryAgg {
+                row: Vec<u64>,
+                total: u64,
+                sorted: Vec<(u32, u64)>,
+                dist: Option<CountDist>,
+                labels: Vec<u32>,
+            }
+            let built: Vec<CountryAgg> = par_map_indices(n_countries, threads, |ci| {
+                let world_labels = &per_country[ci][li];
+                let mut row = vec![0u64; w];
+                let mut labels = Vec::with_capacity(world_labels.len());
+                for &o in world_labels {
+                    let d = dense_of[o as usize];
+                    row[d as usize] += 1;
+                    labels.push(d);
+                }
+                let total: u64 = world_labels.len() as u64;
+                let mut sorted: Vec<(u32, u64)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(d, &c)| (owners[d], c))
+                    .collect();
+                sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let dist = CountDist::from_counts(sorted.iter().map(|&(_, c)| c).collect()).ok();
+                CountryAgg {
+                    row,
+                    total,
+                    sorted,
+                    dist,
+                    labels,
+                }
+            });
+
+            let mut counts = Vec::with_capacity(n_countries * w);
+            let mut totals = Vec::with_capacity(n_countries);
+            let mut sorted = Vec::new();
+            let mut sorted_off = Vec::with_capacity(n_countries + 1);
+            let mut dists = Vec::with_capacity(n_countries);
+            let mut labels = Vec::new();
+            let mut label_off = Vec::with_capacity(n_countries + 1);
+            sorted_off.push(0);
+            label_off.push(0);
+            for agg in built {
+                counts.extend_from_slice(&agg.row);
+                totals.push(agg.total);
+                sorted.extend_from_slice(&agg.sorted);
+                sorted_off.push(sorted.len());
+                dists.push(agg.dist);
+                labels.extend_from_slice(&agg.labels);
+                label_off.push(labels.len());
+            }
+
+            // Global-top tally over the same dense axis.
+            let mut global_row = vec![0u64; w];
+            for &o in &global[li] {
+                global_row[dense_of[o as usize] as usize] += 1;
+            }
+            let mut global_sorted: Vec<(u32, u64)> = global_row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(d, &c)| (owners[d], c))
+                .collect();
+            global_sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let global_dist =
+                CountDist::from_counts(global_sorted.iter().map(|&(_, c)| c).collect()).ok();
+
+            LayerCube {
+                owners,
+                dense_of,
+                counts,
+                totals,
+                sorted,
+                sorted_off,
+                dists,
+                global_sorted,
+                global_dist,
+                labels,
+                label_off,
+            }
+        });
+
+        DependenceCube { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctx::testutil::{ctx, legacy_ctx};
+    use webdep_webgen::{Layer, COUNTRIES};
+
+    /// Satellite equivalence suite: the cube must reproduce the pre-cube
+    /// tally-on-demand results *exactly* — same counts, same order, same
+    /// floats — on a seeded world, for every country and layer.
+    #[test]
+    fn cube_reproduces_legacy_tallies_exactly() {
+        let cube = ctx();
+        let legacy = legacy_ctx();
+        for layer in Layer::ALL {
+            for ci in 0..COUNTRIES.len() {
+                assert_eq!(
+                    cube.country_counts(ci, layer).as_ref(),
+                    legacy.country_counts(ci, layer).as_ref(),
+                    "counts mismatch: {} {layer:?}",
+                    COUNTRIES[ci].code
+                );
+                assert_eq!(
+                    cube.country_dist(ci, layer).map(|d| d.into_owned()),
+                    legacy.country_dist(ci, layer).map(|d| d.into_owned()),
+                    "dist mismatch: {} {layer:?}",
+                    COUNTRIES[ci].code
+                );
+                assert_eq!(
+                    cube.country_total(ci, layer),
+                    legacy.country_total(ci, layer),
+                    "total mismatch: {} {layer:?}",
+                    COUNTRIES[ci].code
+                );
+            }
+            assert_eq!(
+                cube.global_counts(layer).as_ref(),
+                legacy.global_counts(layer).as_ref(),
+                "global counts mismatch: {layer:?}"
+            );
+            assert_eq!(
+                cube.global_dist(layer).map(|d| d.into_owned()),
+                legacy.global_dist(layer).map(|d| d.into_owned()),
+                "global dist mismatch: {layer:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cube_reproduces_legacy_usage_matrix() {
+        let cube = ctx();
+        let legacy = legacy_ctx();
+        for layer in Layer::ALL {
+            // Exact f64 equality: both paths compute 100 * count / total
+            // from identical integers.
+            assert_eq!(
+                cube.usage_matrix(layer),
+                legacy.usage_matrix(layer),
+                "usage matrix mismatch: {layer:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cube_reproduces_legacy_owner_share() {
+        let cube = ctx();
+        let legacy = legacy_ctx();
+        for layer in Layer::ALL {
+            for ci in (0..COUNTRIES.len()).step_by(7) {
+                let counts = legacy.country_counts(ci, layer);
+                // Every observed owner in the country's top ten, exactly.
+                for &(owner, _) in counts.iter().take(10) {
+                    let a = cube.owner_share(ci, layer, owner);
+                    let b = legacy.owner_share(ci, layer, owner);
+                    assert_eq!(
+                        a, b,
+                        "share mismatch: {} {layer:?} owner {owner}",
+                        COUNTRIES[ci].code
+                    );
+                }
+            }
+            // An owner never observed at this layer shares 0.0 both ways.
+            let unobserved = u32::MAX - 1;
+            assert_eq!(cube.owner_share(0, layer, unobserved), 0.0);
+            assert_eq!(legacy.owner_share(0, layer, unobserved), 0.0);
+        }
+    }
+
+    /// The dense site labels must re-tally to the count rows — they are
+    /// what bootstrap replicates resample.
+    #[test]
+    fn site_labels_tally_back_to_rows() {
+        let c = ctx();
+        let cube = c.cube().unwrap();
+        for layer in Layer::ALL {
+            let lc = cube.layer(layer);
+            for ci in (0..COUNTRIES.len()).step_by(13) {
+                let mut row = vec![0u64; lc.owners().len()];
+                for &l in lc.site_labels(ci) {
+                    row[l as usize] += 1;
+                }
+                assert_eq!(&row, lc.row(ci), "{} {layer:?}", COUNTRIES[ci].code);
+                assert_eq!(
+                    row.iter().sum::<u64>(),
+                    lc.total(ci),
+                    "{} {layer:?}",
+                    COUNTRIES[ci].code
+                );
+            }
+        }
+    }
+}

@@ -9,14 +9,17 @@ use crate::centralization::layer_table;
 use crate::classes::{classify, ProviderClass};
 use crate::correlations::{class_correlations, hosting_vs_tld_insularity, layer_score_correlation};
 use crate::ctx::AnalysisCtx;
-use crate::figures::{fig1_topn_shortcoming, fig2_emd_example, fig3_example_curves, fig4_usage_endemicity, fig12_histograms};
+use crate::figures::{
+    fig12_histograms, fig1_topn_shortcoming, fig2_emd_example, fig3_example_curves,
+    fig4_usage_endemicity,
+};
 use crate::insularity::insularity_table;
 use crate::longitudinal::compare;
 use crate::regional::{continent_matrix, subregion_summary, Attribution};
 use crate::vantage::validate_vantage;
 use serde::Serialize;
 use std::fmt::Write as _;
-use webdep_webgen::{DeployedWorld, Layer};
+use webdep_webgen::{DeployedWorld, Layer, World, COUNTRIES};
 
 /// One experiment's paper-vs-measured outcome.
 #[derive(Debug, Clone, Serialize)]
@@ -41,14 +44,7 @@ pub struct ExperimentSuite {
 }
 
 impl ExperimentSuite {
-    fn push(
-        &mut self,
-        id: &str,
-        description: &str,
-        paper: String,
-        measured: String,
-        pass: bool,
-    ) {
+    fn push(&mut self, id: &str, description: &str, paper: String, measured: String, pass: bool) {
         self.results.push(ExperimentResult {
             id: id.to_string(),
             description: description.to_string(),
@@ -117,7 +113,10 @@ impl ExperimentSuite {
             format!("{:?}", crate::figures::FIG3_TARGETS),
             format!(
                 "{:?}",
-                f3.curves.iter().map(|c| (c.1 * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+                f3.curves
+                    .iter()
+                    .map(|c| (c.1 * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
             ),
             f3_ok,
         );
@@ -139,7 +138,10 @@ impl ExperimentSuite {
         }
 
         // --- Layer tables (Tables 5-8, Figures 5, 17-19) ---
-        let tables: Vec<_> = Layer::ALL.iter().map(|&l| (l, layer_table(ctx, l))).collect();
+        let tables: Vec<_> = Layer::ALL
+            .iter()
+            .map(|&l| (l, layer_table(ctx, l)))
+            .collect();
         for (layer, t) in &tables {
             let corr = t.paper_correlation().map(|c| c.rho).unwrap_or(0.0);
             suite.push(
@@ -167,6 +169,37 @@ impl ExperimentSuite {
             format!("max {}", hosting.max_providers_for_90pct()),
             hosting.max_providers_for_90pct() < 206,
         );
+        // Bootstrap 95% CIs on every per-country hosting score (the
+        // paper's scores are point estimates over a sampled toplist; the
+        // reproduction quantifies that sampling noise). 500 replicates per
+        // country resample the per-site owner labels.
+        let cis: Vec<_> = (0..COUNTRIES.len())
+            .filter_map(|ci| ctx.score_ci(ci, Layer::Hosting, 500, 0.95, 42))
+            .collect();
+        let max_width = cis.iter().map(|c| c.width()).fold(0.0, f64::max);
+        let th_ci =
+            World::country_index("TH").and_then(|i| ctx.score_ci(i, Layer::Hosting, 500, 0.95, 42));
+        let ir_ci =
+            World::country_index("IR").and_then(|i| ctx.score_ci(i, Layer::Hosting, 500, 0.95, 42));
+        let separated = match (&th_ci, &ir_ci) {
+            (Some(th), Some(ir)) => th.lo > ir.hi,
+            _ => false,
+        };
+        suite.push(
+            "Tab 5",
+            "per-country score CIs tight; TH/IR extremes separated",
+            "point estimates stable under resampling".into(),
+            format!(
+                "{} countries, max CI width {:.3}; TH [{:.3}, {:.3}] vs IR [{:.3}, {:.3}]",
+                cis.len(),
+                max_width,
+                th_ci.as_ref().map(|c| c.lo).unwrap_or(0.0),
+                th_ci.as_ref().map(|c| c.hi).unwrap_or(0.0),
+                ir_ci.as_ref().map(|c| c.lo).unwrap_or(0.0),
+                ir_ci.as_ref().map(|c| c.hi).unwrap_or(0.0),
+            ),
+            cis.len() == COUNTRIES.len() && separated && max_width < 0.2,
+        );
         let se = hosting.subregion_mean("South-eastern Asia").unwrap_or(0.0);
         let ca_sub = hosting.subregion_mean("Central Asia").unwrap_or(1.0);
         suite.push(
@@ -183,7 +216,10 @@ impl ExperimentSuite {
             "§7.1",
             "CA centralization tight across countries",
             "mean 0.2007, var 0.0007".into(),
-            format!("mean {:.4}, var {:.5}", ca_table.summary.mean, ca_table.summary.var),
+            format!(
+                "mean {:.4}, var {:.5}",
+                ca_table.summary.mean, ca_table.summary.var
+            ),
             ca_table.summary.var < 0.01,
         );
 
@@ -333,10 +369,7 @@ impl ExperimentSuite {
             "Fig 20",
             "hosting insularity top: US, IR, CZ, RU",
             "92.1% / 64.8% / 54.5% / 51.1%".into(),
-            format!(
-                "{top4:?} ({:.0}%)",
-                100.0 * ins_host.rows[0].insularity
-            ),
+            format!("{top4:?} ({:.0}%)", 100.0 * ins_host.rows[0].insularity),
             top4[0] == "US"
                 && ["IR", "CZ", "RU"]
                     .iter()
@@ -420,7 +453,10 @@ impl ExperimentSuite {
             "Fig 12",
             "global-top marker representative for hosting",
             "near the mean".into(),
-            format!("marker {:.3} vs mean {:.3}", marker_host, hosting.summary.mean),
+            format!(
+                "marker {:.3} vs mean {:.3}",
+                marker_host, hosting.summary.mean
+            ),
             marker_ok,
         );
 
@@ -453,7 +489,10 @@ impl ExperimentSuite {
             "§5.3.3",
             "Slovakia on Czechia",
             "26%".into(),
-            format!("{:.0}%", 100.0 * dependence_on(ctx, "SK", "CZ", Layer::Hosting)),
+            format!(
+                "{:.0}%",
+                100.0 * dependence_on(ctx, "SK", "CZ", Layer::Hosting)
+            ),
             dependence_on(ctx, "SK", "CZ", Layer::Hosting) > 0.15,
         );
         if let Some(persian) = afghan_persian_case(ctx) {
@@ -490,7 +529,11 @@ impl ExperimentSuite {
             "App B",
             ".fr more popular than local ccTLDs in the DOM + former colonies",
             "14 countries use .fr; several above their own ccTLD".into(),
-            format!("{} users, {} outrank local", fr_adoption.len(), fr_outranking),
+            format!(
+                "{} users, {} outrank local",
+                fr_adoption.len(),
+                fr_outranking
+            ),
             fr_adoption.len() >= 5 && fr_outranking >= 3,
         );
         let ext_corr = crate::tld_appendix::external_cc_vs_centralization(ctx)
@@ -523,11 +566,16 @@ impl ExperimentSuite {
                     "+{:.1} pts; Jaccard {:.2}",
                     rep.mean_cloudflare_delta_pts, rep.mean_jaccard
                 ),
-                rep.mean_cloudflare_delta_pts > 1.0
-                    && (0.2..0.6).contains(&rep.mean_jaccard),
+                rep.mean_cloudflare_delta_pts > 1.0 && (0.2..0.6).contains(&rep.mean_jaccard),
             );
-            let tm = rep.delta("TM").map(|d| d.cloudflare_delta_pts).unwrap_or(0.0);
-            let ru = rep.delta("RU").map(|d| d.cloudflare_delta_pts).unwrap_or(9.0);
+            let tm = rep
+                .delta("TM")
+                .map(|d| d.cloudflare_delta_pts)
+                .unwrap_or(0.0);
+            let ru = rep
+                .delta("RU")
+                .map(|d| d.cloudflare_delta_pts)
+                .unwrap_or(9.0);
             suite.push(
                 "§5.4",
                 "extremes: TM +11.3 pts, RU -2.0 pts",
@@ -564,8 +612,7 @@ mod tests {
         let c = ctx();
         let suite = ExperimentSuite::run(&c, None, None);
         assert!(suite.total() >= 25, "experiments: {}", suite.total());
-        let failed: Vec<&ExperimentResult> =
-            suite.results.iter().filter(|r| !r.pass).collect();
+        let failed: Vec<&ExperimentResult> = suite.results.iter().filter(|r| !r.pass).collect();
         assert!(
             failed.is_empty(),
             "failing experiments: {:#?}",
@@ -583,5 +630,16 @@ mod tests {
         let md = suite.to_markdown();
         assert!(md.contains("| Fig 2 |"));
         assert!(md.lines().count() >= suite.total() + 2);
+    }
+
+    /// Regenerating the report must be byte-identical: two fresh contexts
+    /// (two cube builds, so two parallel passes at whatever thread count
+    /// this host has), two suite runs, one answer. Guards every ordering
+    /// and parallelism decision in the engine at once.
+    #[test]
+    fn report_regeneration_is_byte_identical() {
+        let first = ExperimentSuite::run(&ctx(), None, None).to_markdown();
+        let second = ExperimentSuite::run(&ctx(), None, None).to_markdown();
+        assert_eq!(first, second);
     }
 }

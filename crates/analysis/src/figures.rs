@@ -5,7 +5,7 @@
 
 use crate::ctx::AnalysisCtx;
 use serde::Serialize;
-use webdep_core::centralization::{centralization_score, centralization_score_counts};
+use webdep_core::centralization::{centralization_score, centralization_score_counts_ref};
 use webdep_core::emd::emd_to_decentralized_via_transport;
 use webdep_core::regionalization::UsageCurve;
 use webdep_core::topn::{provider_rank_curve, top_n_share};
@@ -57,8 +57,8 @@ pub struct Fig2EmdExample {
 pub fn fig2_emd_example() -> Fig2EmdExample {
     let a = vec![12u64, 6, 4, 2, 1];
     let b = vec![13u64, 6, 4, 2];
-    let s_a = centralization_score_counts(&a).expect("non-empty");
-    let s_b = centralization_score_counts(&b).expect("non-empty");
+    let s_a = centralization_score_counts_ref(&a).expect("non-empty");
+    let s_b = centralization_score_counts_ref(&b).expect("non-empty");
     let dist_a = CountDist::from_counts(a.clone()).expect("non-empty");
     let dist_b = CountDist::from_counts(b.clone()).expect("non-empty");
     let t_a = emd_to_decentralized_via_transport(&dist_a).expect("solvable");
@@ -88,7 +88,7 @@ pub fn fig3_example_curves(total: u64) -> Fig3ExampleCurves {
         .map(|&target| {
             let head = (target.sqrt() * 0.999).clamp(0.001, 0.98);
             let counts = solve_counts(target, total, (total as usize).min(10_000), head);
-            let achieved = centralization_score_counts(&counts).expect("non-empty");
+            let achieved = centralization_score_counts_ref(&counts).expect("non-empty");
             let mut cum = Vec::with_capacity(counts.len());
             let mut acc = 0u64;
             for c in &counts {
@@ -191,8 +191,16 @@ mod tests {
     #[test]
     fn fig2_scores_match_paper() {
         let f = fig2_emd_example();
-        assert!((f.country_a.1 - 0.28).abs() < 0.005, "A = {}", f.country_a.1);
-        assert!((f.country_b.1 - 0.32).abs() < 0.005, "B = {}", f.country_b.1);
+        assert!(
+            (f.country_a.1 - 0.28).abs() < 0.005,
+            "A = {}",
+            f.country_a.1
+        );
+        assert!(
+            (f.country_b.1 - 0.32).abs() < 0.005,
+            "B = {}",
+            f.country_b.1
+        );
         // Appendix A: transport solver agrees with the closed form.
         assert!((f.via_transport.0 - f.country_a.1).abs() < 1e-9);
         assert!((f.via_transport.1 - f.country_b.1).abs() < 1e-9);

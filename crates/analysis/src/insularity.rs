@@ -38,7 +38,7 @@ pub struct InsularityTable {
 pub fn country_insularity(ctx: &AnalysisCtx<'_>, country_idx: usize, layer: Layer) -> Option<f64> {
     let code = COUNTRIES[country_idx].code;
     let counts = ctx.country_counts(country_idx, layer);
-    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let total = ctx.country_total(country_idx, layer);
     if total == 0 {
         return None;
     }
@@ -59,12 +59,12 @@ pub fn dependence_shares(
     layer: Layer,
 ) -> Vec<(String, f64)> {
     let counts = ctx.country_counts(country_idx, layer);
-    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let total = ctx.country_total(country_idx, layer);
     if total == 0 {
         return Vec::new();
     }
     let mut tally: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
-    for (owner, c) in counts {
+    for &(owner, c) in counts.iter() {
         if let Some(cc) = ctx.owner_country(layer, owner) {
             *tally.entry(cc.to_string()).or_insert(0) += c;
         }
@@ -75,16 +75,23 @@ pub fn dependence_shares(
         .collect();
     // Tie-break on country code: the tally is HashMap-fed, so equal shares
     // would otherwise surface in randomized iteration order.
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0)));
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     v
 }
 
 /// Builds the layer's insularity table (Figures 13 and 20–22).
 pub fn insularity_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> InsularityTable {
-    let mut rows: Vec<CountryInsularity> = COUNTRIES
-        .iter()
-        .enumerate()
-        .filter_map(|(ci, country)| {
+    // Countries are independent; fan them across cores. Results come back
+    // in country order, so the table matches the sequential one.
+    let mut rows: Vec<CountryInsularity> = webdep_stats::par_map_indices(
+        COUNTRIES.len(),
+        webdep_stats::par::default_threads(),
+        |ci| {
+            let country = &COUNTRIES[ci];
             let ins = country_insularity(ctx, ci, layer)?;
             let deps = dependence_shares(ctx, ci, layer);
             let top = deps
@@ -98,8 +105,11 @@ pub fn insularity_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> InsularityTable 
                 insularity: ins,
                 top_dependence: top,
             })
-        })
-        .collect();
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|a, b| b.insularity.partial_cmp(&a.insularity).expect("finite"));
     for (i, r) in rows.iter_mut().enumerate() {
         r.rank = i + 1;

@@ -102,15 +102,16 @@ mod tests {
         let rows = latency_table(&c, &LatencyModel::default());
         assert_eq!(rows.len(), 150);
         let means = continent_means(&rows);
-        let of = |code: &str| means.iter().find(|(c, _)| c == code).map(|&(_, m)| m).unwrap();
+        let of = |code: &str| {
+            means
+                .iter()
+                .find(|(c, _)| c == code)
+                .map(|&(_, m)| m)
+                .unwrap()
+        };
         // Africa's reliance on NA/EU infrastructure costs real RTT compared
         // to the self-reliant continents.
-        assert!(
-            of("AF") > of("NA"),
-            "AF {} vs NA {}",
-            of("AF"),
-            of("NA")
-        );
+        assert!(of("AF") > of("NA"), "AF {} vs NA {}", of("AF"), of("NA"));
         assert!(of("AF") > of("EU"), "AF {} vs EU {}", of("AF"), of("EU"));
     }
 

@@ -5,6 +5,8 @@
 //!
 //! * [`ctx`] — the analysis context joining the measured dataset with the
 //!   world's entity metadata (names, HQ countries, TLD kinds).
+//! * [`cube`] — the dependence cube: dense per-layer country × owner count
+//!   matrices built in one parallel pass, backing every accessor above.
 //! * [`centralization`] — per-country per-layer score tables (Tables 5–8,
 //!   Figures 5, 17–19), coverage (§5.1), and the global-top marker
 //!   (Figure 12).
@@ -39,6 +41,7 @@ pub mod centralization;
 pub mod classes;
 pub mod correlations;
 pub mod ctx;
+pub mod cube;
 pub mod experiments;
 pub mod figures;
 pub mod insularity;
@@ -50,4 +53,5 @@ pub mod tld_appendix;
 pub mod vantage;
 
 pub use ctx::AnalysisCtx;
+pub use cube::DependenceCube;
 pub use experiments::{ExperimentResult, ExperimentSuite};

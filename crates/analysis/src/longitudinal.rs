@@ -49,7 +49,7 @@ fn cloudflare_share(ctx: &AnalysisCtx<'_>, ci: usize) -> f64 {
 
 fn us_share(ctx: &AnalysisCtx<'_>, ci: usize) -> f64 {
     let counts = ctx.country_counts(ci, Layer::Hosting);
-    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let total = ctx.country_total(ci, Layer::Hosting);
     if total == 0 {
         return 0.0;
     }
@@ -85,8 +85,7 @@ pub fn compare(old: &AnalysisCtx<'_>, new: &AnalysisCtx<'_>) -> LongitudinalRepo
             code: country.code,
             s_old: centralization_score(&d_old),
             s_new: centralization_score(&d_new),
-            cloudflare_delta_pts: 100.0
-                * (cloudflare_share(new, ci) - cloudflare_share(old, ci)),
+            cloudflare_delta_pts: 100.0 * (cloudflare_share(new, ci) - cloudflare_share(old, ci)),
             jaccard: jaccard_index(&domains_old, &domains_new),
             us_share_delta_pts: 100.0 * (us_share(new, ci) - us_share(old, ci)),
         });
@@ -103,10 +102,7 @@ pub fn compare(old: &AnalysisCtx<'_>, new: &AnalysisCtx<'_>) -> LongitudinalRepo
                 .collect::<Vec<_>>(),
         ),
         mean_jaccard: mean(&deltas.iter().map(|d| d.jaccard).collect::<Vec<_>>()),
-        us_reliance_decreased: deltas
-            .iter()
-            .filter(|d| d.us_share_delta_pts < 0.0)
-            .count(),
+        us_reliance_decreased: deltas.iter().filter(|d| d.us_share_delta_pts < 0.0).count(),
         deltas,
     }
 }

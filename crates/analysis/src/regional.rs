@@ -56,46 +56,62 @@ pub enum Attribution {
 
 /// Builds a cross-continent dependence matrix (Figure 8a/b/c).
 pub fn continent_matrix(ctx: &AnalysisCtx<'_>, attribution: Attribution) -> ContinentMatrix {
+    // Countries tally independently into one continent row each; fan them
+    // across cores and sum the integer partials in country order.
+    let per_country = webdep_stats::par_map_indices(
+        COUNTRIES.len(),
+        webdep_stats::par::default_threads(),
+        |ci| {
+            let country = &COUNTRIES[ci];
+            let mut row_counts = [0u64; 7];
+            let Some(row) = continent_index(country.continent.code()) else {
+                return (0usize, row_counts, 0u64);
+            };
+            let mut total = 0u64;
+            for obs in ctx.ds.country_observations(ci) {
+                let col: Option<usize> = match attribution {
+                    Attribution::HostingHq => obs
+                        .hosting_org_country
+                        .as_deref()
+                        .and_then(continent_code_of_country)
+                        .and_then(continent_index)
+                        .or(Some(0)), // non-dataset HQs (e.g. CN) fold to the fallback
+                    Attribution::IpGeo => {
+                        if obs.hosting_anycast {
+                            Some(6)
+                        } else {
+                            obs.hosting_ip_country
+                                .as_deref()
+                                .and_then(continent_code_of_country)
+                                .and_then(continent_index)
+                        }
+                    }
+                    Attribution::NsGeo => {
+                        if obs.dns_anycast {
+                            Some(6)
+                        } else {
+                            obs.dns_ip_country
+                                .as_deref()
+                                .and_then(continent_code_of_country)
+                                .and_then(continent_index)
+                        }
+                    }
+                };
+                if let Some(col) = col {
+                    row_counts[col] += 1;
+                    total += 1;
+                }
+            }
+            (row, row_counts, total)
+        },
+    );
     let mut counts = vec![vec![0u64; 7]; 6];
     let mut totals = vec![0u64; 6];
-    for (ci, country) in COUNTRIES.iter().enumerate() {
-        let Some(row) = continent_index(country.continent.code()) else {
-            continue;
-        };
-        for obs in ctx.ds.country_observations(ci) {
-            let col: Option<usize> = match attribution {
-                Attribution::HostingHq => obs
-                    .hosting_org_country
-                    .as_deref()
-                    .and_then(continent_code_of_country)
-                    .and_then(continent_index)
-                    .or(Some(0)), // non-dataset HQs (e.g. CN) fold to the fallback
-                Attribution::IpGeo => {
-                    if obs.hosting_anycast {
-                        Some(6)
-                    } else {
-                        obs.hosting_ip_country
-                            .as_deref()
-                            .and_then(continent_code_of_country)
-                            .and_then(continent_index)
-                    }
-                }
-                Attribution::NsGeo => {
-                    if obs.dns_anycast {
-                        Some(6)
-                    } else {
-                        obs.dns_ip_country
-                            .as_deref()
-                            .and_then(continent_code_of_country)
-                            .and_then(continent_index)
-                    }
-                }
-            };
-            if let Some(col) = col {
-                counts[row][col] += 1;
-                totals[row] += 1;
-            }
+    for (row, row_counts, total) in per_country {
+        for (col, &c) in row_counts.iter().enumerate() {
+            counts[row][col] += c;
         }
+        totals[row] += total;
     }
     let share = counts
         .into_iter()

@@ -16,7 +16,10 @@ pub fn layer_table_markdown(t: &LayerTable, head: usize, tail: usize) -> String 
         "### {} centralization (mean {:.4}, var {:.5}, median country {})\n",
         t.layer_name, t.summary.mean, t.summary.var, t.median_country
     );
-    let _ = writeln!(out, "| rank | country | S | paper S | top share | providers |");
+    let _ = writeln!(
+        out,
+        "| rank | country | S | paper S | top share | providers |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|---|");
     let render = |out: &mut String, r: &crate::centralization::CountryScore| {
         let _ = writeln!(

@@ -41,7 +41,7 @@ pub fn external_cc_adoption(
             continue;
         }
         let counts = ctx.country_counts(ci, Layer::Tld);
-        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let total = ctx.country_total(ci, Layer::Tld);
         if total == 0 {
             continue;
         }
@@ -114,7 +114,7 @@ pub fn insularity_regimes(
 /// that external-ccTLD use correlates with lower TLD centralization.
 pub fn global_tld_share(ctx: &AnalysisCtx<'_>, country_idx: usize) -> f64 {
     let counts = ctx.country_counts(country_idx, Layer::Tld);
-    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let total = ctx.country_total(country_idx, Layer::Tld);
     if total == 0 {
         return 0.0;
     }
@@ -130,7 +130,7 @@ pub fn global_tld_share(ctx: &AnalysisCtx<'_>, country_idx: usize) -> f64 {
 pub fn external_cc_share(ctx: &AnalysisCtx<'_>, country_idx: usize) -> f64 {
     let code = COUNTRIES[country_idx].code;
     let counts = ctx.country_counts(country_idx, Layer::Tld);
-    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let total = ctx.country_total(country_idx, Layer::Tld);
     if total == 0 {
         return 0.0;
     }
@@ -184,7 +184,11 @@ mod tests {
         // The DOM heavy users should outrank their own ccTLD (the paper
         // lists 14 countries where .fr beats the local ccTLD).
         let outranking = uses.iter().filter(|u| u.outranks_local).count();
-        assert!(outranking >= 3, "outranking: {outranking} of {}", uses.len());
+        assert!(
+            outranking >= 3,
+            "outranking: {outranking} of {}",
+            uses.len()
+        );
     }
 
     #[test]

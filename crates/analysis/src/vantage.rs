@@ -9,7 +9,7 @@
 
 use crate::ctx::AnalysisCtx;
 use serde::Serialize;
-use webdep_core::centralization::centralization_score_counts;
+use webdep_core::centralization::centralization_score_counts_ref;
 use webdep_pipeline::resolve_hosting_orgs;
 use webdep_stats::{pearson, Correlation};
 use webdep_webgen::{DeployedWorld, COUNTRIES};
@@ -37,8 +37,7 @@ pub fn validate_vantage(
     let mut scores = Vec::new();
     for (ci, country) in COUNTRIES.iter().enumerate().step_by(stride.max(1)) {
         // Local-continent vantage (the RIPE-probe analogue).
-        let local =
-            resolve_hosting_orgs(ctx.world, dep, ci, country.continent, sample);
+        let local = resolve_hosting_orgs(ctx.world, dep, ci, country.continent, sample);
         // Default vantage over the same sampled sites.
         let default = resolve_hosting_orgs(
             ctx.world,
@@ -52,8 +51,11 @@ pub fn validate_vantage(
             for org in orgs.iter().flatten() {
                 *tally.entry(*org).or_insert(0) += 1;
             }
-            let counts: Vec<u64> = tally.into_values().collect();
-            centralization_score_counts(&counts)
+            // Sort so the fused kernel's summation order (and thus the
+            // score's last bits) never depends on HashMap iteration.
+            let mut counts: Vec<u64> = tally.into_values().collect();
+            counts.sort_unstable();
+            centralization_score_counts_ref(&counts)
         };
         if let (Some(s_default), Some(s_local)) = (score_of(&default), score_of(&local)) {
             scores.push((country.code.to_string(), s_default, s_local));

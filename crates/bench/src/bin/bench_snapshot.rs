@@ -1,12 +1,20 @@
-//! Writes `BENCH_pipeline.json` at the repo root: throughput and wire-query
-//! accounting for the measurement pipeline, before and after the
-//! concurrency/caching work. "Before" reproduces the original pipeline:
-//! thread-per-rack serving, static contiguous shards, private per-worker
-//! caches only, and a strictly query-driven resolver (no referral
-//! caching). "After" is the current default: inline rack responders,
-//! dynamic work queue, shared delegation/answer cache, referral caching.
+//! Writes the repo-root benchmark snapshots.
 //!
-//! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`.
+//! `BENCH_pipeline.json`: throughput and wire-query accounting for the
+//! measurement pipeline, before and after the concurrency/caching work.
+//! "Before" reproduces the original pipeline: thread-per-rack serving,
+//! static contiguous shards, private per-worker caches only, and a
+//! strictly query-driven resolver (no referral caching). "After" is the
+//! current default: inline rack responders, dynamic work queue, shared
+//! delegation/answer cache, referral caching.
+//!
+//! `BENCH_analysis.json`: the analysis engine — dependence-cube build
+//! time, full `ExperimentSuite` wall before (tally-on-demand) and after
+//! (cube-backed), and affinity-propagation sweep throughput serial vs
+//! parallel.
+//!
+//! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
+//! (optionally `-- pipeline` or `-- analysis` for just one snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -85,7 +93,39 @@ fn run(
     measure_with_stats(world, dep, &config).1
 }
 
-fn main() {
+fn repo_root_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../")
+        .join(name)
+}
+
+/// Points clustered in the affinity timing — above the parallel
+/// threshold, so the sweep actually fans out.
+const AFFINITY_POINTS: usize = 512;
+
+fn analysis_snapshot() {
+    // Small scale: the suite's fixed costs (the worked-example figures,
+    // calibration curves) are world-size independent, so tiny-scale runs
+    // understate how much of the wall the tallying actually was.
+    eprintln!("analysis: measuring a small world, then timing legacy vs cube suite runs...");
+    let snapshot =
+        webdep_bench::analysis::analysis_snapshot("small", WorldConfig::small(), AFFINITY_POINTS);
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_analysis.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_analysis.json");
+    eprintln!(
+        "wrote {} (cube build {:.1} ms, suite {:.0} ms -> {:.0} ms, speedup {:.2}x, affinity x{:.2} @ {} pts)",
+        out.display(),
+        snapshot.cube_build_ms,
+        snapshot.before.end_to_end_ms(),
+        snapshot.after.end_to_end_ms(),
+        snapshot.suite_speedup,
+        snapshot.affinity.speedup,
+        snapshot.affinity.points,
+    );
+}
+
+fn pipeline_snapshot() {
     let world = World::generate(WorldConfig::tiny());
 
     // Each deployment lives only for its measurement: idle rack threads
@@ -116,15 +156,13 @@ fn main() {
         sites: world.sites.len() as u64,
         workers: WORKERS as u64,
         speedup: round3(after.sites_per_sec / before.sites_per_sec),
-        wire_query_reduction: round3(
-            1.0 - after.wire_queries as f64 / before.wire_queries as f64,
-        ),
+        wire_query_reduction: round3(1.0 - after.wire_queries as f64 / before.wire_queries as f64),
         before: mode_snapshot(Scheduling::Static, false, false, false, &before),
         after: mode_snapshot(Scheduling::Dynamic, true, true, true, &after),
     };
 
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
-    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    let out = repo_root_path("BENCH_pipeline.json");
     std::fs::write(&out, json + "\n").expect("write BENCH_pipeline.json");
     eprintln!(
         "wrote {} (speedup {:.2}x, wire queries -{:.0}%)",
@@ -132,4 +170,20 @@ fn main() {
         snapshot.speedup,
         snapshot.wire_query_reduction * 100.0
     );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "pipeline" => pipeline_snapshot(),
+        "analysis" => analysis_snapshot(),
+        "all" => {
+            pipeline_snapshot();
+            analysis_snapshot();
+        }
+        other => {
+            eprintln!("unknown snapshot {other:?} (pipeline | analysis | all)");
+            std::process::exit(2);
+        }
+    }
 }

@@ -9,6 +9,8 @@ use webdep_analysis::AnalysisCtx;
 use webdep_pipeline::{measure, MeasuredDataset, PipelineConfig};
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
+pub mod analysis;
+
 /// The shared (world, dataset) fixture at tiny scale.
 pub fn fixture() -> &'static (World, MeasuredDataset) {
     static FIXTURE: OnceLock<(World, MeasuredDataset)> = OnceLock::new();
@@ -24,4 +26,24 @@ pub fn fixture() -> &'static (World, MeasuredDataset) {
 pub fn ctx() -> AnalysisCtx<'static> {
     let (world, ds) = fixture();
     AnalysisCtx::new(world, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tier-1 smoke for the snapshot harness: a cube build plus a full
+    /// suite run over the shared world, through the same `time_suite` the
+    /// `bench-snapshot` binary times, and a (tiny) affinity sweep check.
+    #[test]
+    fn snapshot_harness_runs_cube_suite() {
+        let (world, ds) = fixture();
+        let t = analysis::time_suite(world, ds, false);
+        assert_eq!(t.passed, t.total, "{}/{} experiments", t.passed, t.total);
+        assert!(t.ctx_build_ms >= 0.0 && t.suite_wall_ms > 0.0);
+
+        let a = analysis::time_affinity(160, 2);
+        assert!(a.identical, "parallel affinity diverged from serial");
+        assert!(a.sweeps > 0);
+    }
 }

