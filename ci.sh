@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The canonical repo check (see DESIGN.md): tier-1 gate + lint gate.
+#
+#   ./ci.sh            build (release) + full test suite + clippy -D warnings
+#   ./ci.sh quick      skip the release build (debug tests + clippy only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates green"

@@ -28,21 +28,32 @@ pub struct CountryScore {
     pub top_share: f64,
     /// Providers needed to cover 90% of websites.
     pub providers_for_90pct: usize,
+    /// Fraction of the country's toplist observed at this layer.
+    pub coverage: f64,
 }
 
 /// A full layer table plus summary statistics.
+///
+/// Under fault injection whole layers can go dark: `rows` then shrinks to
+/// the countries still observed, and `summary`/`median_country` are `None`
+/// when nothing was. Coverage fields report how much of the toplists the
+/// remaining scores actually rest on.
 #[derive(Debug, Clone, Serialize)]
 pub struct LayerTable {
     /// The layer measured.
     pub layer_name: &'static str,
-    /// Rows sorted most-centralized first.
+    /// Rows sorted most-centralized first (observed countries only).
     pub rows: Vec<CountryScore>,
-    /// Mean / variance / extremes of the measured scores.
-    pub summary: Summary,
+    /// Mean / variance / extremes of the measured scores (`None` when no
+    /// country measured at all).
+    pub summary: Option<Summary>,
     /// Country code at the median of the score distribution.
-    pub median_country: &'static str,
+    pub median_country: Option<&'static str>,
     /// Centralization of the global top list (the Figure 12 marker).
     pub global_top_score: Option<f64>,
+    /// Site-weighted coverage: observed toplist entries over expected,
+    /// across all 150 countries (unmeasured countries drag this down).
+    pub mean_coverage: f64,
 }
 
 /// Builds the layer's table from measured data.
@@ -66,6 +77,7 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
                 num_providers: dist.num_providers(),
                 top_share: dist.top_share(),
                 providers_for_90pct: dist.providers_to_cover(0.90),
+                coverage: ctx.country_coverage(ci, layer),
             })
         },
     )
@@ -77,10 +89,22 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
         r.rank = i + 1;
     }
     let scores: Vec<f64> = rows.iter().map(|r| r.s).collect();
-    let summary = Summary::of(&scores).expect("at least one country measured");
-    let median_country = rows[median_index(&scores).expect("non-empty")].code;
+    let summary = Summary::of(&scores);
+    let median_country = median_index(&scores).map(|i| rows[i].code);
 
     let global_top_score = global_top_score(ctx, layer);
+
+    let (observed, expected) = (0..COUNTRIES.len()).fold((0u64, 0u64), |(o, e), ci| {
+        (
+            o + ctx.country_total(ci, layer),
+            e + ctx.toplist_len(ci) as u64,
+        )
+    });
+    let mean_coverage = if expected == 0 {
+        0.0
+    } else {
+        observed as f64 / expected as f64
+    };
 
     LayerTable {
         layer_name: layer.name(),
@@ -88,6 +112,7 @@ pub fn layer_table(ctx: &AnalysisCtx<'_>, layer: Layer) -> LayerTable {
         summary,
         median_country,
         global_top_score,
+        mean_coverage,
     }
 }
 
@@ -175,7 +200,7 @@ mod tests {
         // CA scores cluster tightly (paper: var = 0.0007) — allow tiny-
         // scale slack but require the variance to be far below hosting's.
         let hosting = layer_table(&c, Layer::Hosting);
-        assert!(ca.summary.var < hosting.summary.var * 2.0);
+        assert!(ca.summary.as_ref().unwrap().var < hosting.summary.as_ref().unwrap().var * 2.0);
         // Every country uses at most 45 CAs.
         assert!(ca.rows.iter().all(|r| r.num_providers <= 45));
     }
@@ -185,11 +210,13 @@ mod tests {
         let c = ctx();
         let tld = layer_table(&c, Layer::Tld);
         let hosting = layer_table(&c, Layer::Hosting);
+        let (tld_mean, host_mean) = (
+            tld.summary.as_ref().unwrap().mean,
+            hosting.summary.as_ref().unwrap().mean,
+        );
         assert!(
-            tld.summary.mean > hosting.summary.mean,
-            "tld {} vs hosting {}",
-            tld.summary.mean,
-            hosting.summary.mean
+            tld_mean > host_mean,
+            "tld {tld_mean} vs hosting {host_mean}"
         );
         let us = tld.row("US").unwrap();
         assert!(
@@ -204,18 +231,18 @@ mod tests {
         let c = ctx();
         let t = layer_table(&c, Layer::Hosting);
         let marker = t.global_top_score.unwrap();
+        let mean = t.summary.as_ref().unwrap().mean;
         assert!(
-            (marker - t.summary.mean).abs() < 0.08,
-            "marker {marker} vs mean {}",
-            t.summary.mean
+            (marker - mean).abs() < 0.08,
+            "marker {marker} vs mean {mean}"
         );
         // ... but NOT representative for TLDs (paper, Figure 12).
         let tld = layer_table(&c, Layer::Tld);
         let tld_marker = tld.global_top_score.unwrap();
+        let tld_mean = tld.summary.as_ref().unwrap().mean;
         assert!(
-            (tld_marker - tld.summary.mean).abs() > 0.05,
-            "TLD marker {tld_marker} should sit away from mean {}",
-            tld.summary.mean
+            (tld_marker - tld_mean).abs() > 0.05,
+            "TLD marker {tld_marker} should sit away from mean {tld_mean}"
         );
     }
 
@@ -226,6 +253,21 @@ mod tests {
         // Paper: fewer than 206 providers cover 90% everywhere (10k sites).
         // Tiny worlds have fewer providers; the bound still holds.
         assert!(t.max_providers_for_90pct() < 206);
+    }
+
+    #[test]
+    fn clean_measurement_has_full_coverage() {
+        let c = ctx();
+        for layer in webdep_webgen::Layer::ALL {
+            let t = layer_table(&c, layer);
+            assert!(
+                t.mean_coverage > 0.99,
+                "{}: coverage {}",
+                layer.name(),
+                t.mean_coverage
+            );
+            assert!(t.rows.iter().all(|r| r.coverage > 0.9), "{}", layer.name());
+        }
     }
 
     #[test]

@@ -336,6 +336,17 @@ impl<'a> AnalysisCtx<'a> {
     pub fn toplist_len(&self, country_idx: usize) -> usize {
         self.ds.toplists[country_idx].len()
     }
+
+    /// Fraction of a country's toplist observed at `layer` — the weight a
+    /// reader should put on that country's score under degraded
+    /// measurement. 0.0 for an empty toplist.
+    pub fn country_coverage(&self, country_idx: usize, layer: Layer) -> f64 {
+        let expected = self.toplist_len(country_idx);
+        if expected == 0 {
+            return 0.0;
+        }
+        self.country_total(country_idx, layer) as f64 / expected as f64
+    }
 }
 
 #[cfg(test)]

@@ -314,24 +314,24 @@ mod tests {
         let cube = ctx();
         let legacy = legacy_ctx();
         for layer in Layer::ALL {
-            for ci in 0..COUNTRIES.len() {
+            for (ci, country) in COUNTRIES.iter().enumerate() {
                 assert_eq!(
                     cube.country_counts(ci, layer).as_ref(),
                     legacy.country_counts(ci, layer).as_ref(),
                     "counts mismatch: {} {layer:?}",
-                    COUNTRIES[ci].code
+                    country.code
                 );
                 assert_eq!(
                     cube.country_dist(ci, layer).map(|d| d.into_owned()),
                     legacy.country_dist(ci, layer).map(|d| d.into_owned()),
                     "dist mismatch: {} {layer:?}",
-                    COUNTRIES[ci].code
+                    country.code
                 );
                 assert_eq!(
                     cube.country_total(ci, layer),
                     legacy.country_total(ci, layer),
                     "total mismatch: {} {layer:?}",
-                    COUNTRIES[ci].code
+                    country.code
                 );
             }
             assert_eq!(

@@ -15,6 +15,8 @@
 //! * [`breakdown`] — per-country class share stacks (Figures 7, 14–16).
 //! * [`insularity`] — country self-sufficiency per layer (Figures 10, 11,
 //!   13, 20–22).
+//! * [`coverage`] — per-layer measurement coverage: what fraction of each
+//!   toplist the scores actually rest on under degraded measurement.
 //! * [`regional`] — continent dependence matrices and subregion summaries
 //!   (Figures 8, 9).
 //! * [`correlations`] — the paper's headline correlations (§5.2, §5.3.1,
@@ -40,6 +42,7 @@ pub mod cases;
 pub mod centralization;
 pub mod classes;
 pub mod correlations;
+pub mod coverage;
 pub mod ctx;
 pub mod cube;
 pub mod experiments;
@@ -52,6 +55,7 @@ pub mod report;
 pub mod tld_appendix;
 pub mod vantage;
 
+pub use coverage::{coverage_model, CoverageModel, LayerCoverage};
 pub use ctx::AnalysisCtx;
 pub use cube::DependenceCube;
 pub use experiments::{ExperimentResult, ExperimentSuite};

@@ -9,12 +9,28 @@ use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Renders a layer table as markdown (top `head` + bottom `tail` rows).
+///
+/// Renders a stub (header only) when the layer measured nothing — an
+/// all-faults world still produces a report, it just says so.
 pub fn layer_table_markdown(t: &LayerTable, head: usize, tail: usize) -> String {
     let mut out = String::new();
+    let Some(summary) = &t.summary else {
+        let _ = writeln!(
+            out,
+            "### {} centralization (unmeasured, coverage {:.1}%)\n",
+            t.layer_name,
+            100.0 * t.mean_coverage
+        );
+        return out;
+    };
     let _ = writeln!(
         out,
-        "### {} centralization (mean {:.4}, var {:.5}, median country {})\n",
-        t.layer_name, t.summary.mean, t.summary.var, t.median_country
+        "### {} centralization (mean {:.4}, var {:.5}, median country {}, coverage {:.1}%)\n",
+        t.layer_name,
+        summary.mean,
+        summary.var,
+        t.median_country.unwrap_or("-"),
+        100.0 * t.mean_coverage
     );
     let _ = writeln!(
         out,
@@ -122,6 +138,23 @@ mod tests {
         assert!(md.contains("| 150 |"));
         assert!(md.contains("..."));
         assert!(md.lines().count() < 12);
+    }
+
+    /// An all-faults world produces empty tables; rendering must degrade
+    /// to a stub instead of panicking.
+    #[test]
+    fn markdown_renders_unmeasured_stub() {
+        let t = LayerTable {
+            layer_name: "hosting",
+            rows: vec![],
+            summary: None,
+            median_country: None,
+            global_top_score: None,
+            mean_coverage: 0.0,
+        };
+        let md = layer_table_markdown(&t, 3, 2);
+        assert!(md.contains("unmeasured"), "{md}");
+        assert!(md.contains("coverage 0.0%"), "{md}");
     }
 
     #[test]

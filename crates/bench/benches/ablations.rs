@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use webdep_core::centralization::centralization_score_counts;
+use webdep_core::centralization::centralization_score_counts_ref;
 use webdep_core::dist::CountDist;
 use webdep_webgen::calibrate::solve_counts;
 use webdep_webgen::depmap::head_share_for_score;
@@ -22,7 +22,7 @@ fn head_share_sensitivity(c: &mut Criterion) {
     for scale in [0.7, 0.85, 1.0, 1.15, 1.3] {
         let head = (head_share_for_score(target) * scale).min(0.9);
         let counts = solve_counts(target, 10_000, 420, head);
-        let achieved = centralization_score_counts(&counts).unwrap();
+        let achieved = centralization_score_counts_ref(&counts).unwrap();
         eprintln!(
             "ablation head_share x{scale}: head {head:.3} -> achieved {achieved:.4} (target {target})"
         );

@@ -71,7 +71,7 @@ fn fig05(c: &mut Criterion) {
         "fig05 hosting: most {} {:.4} | median {} | least {} {:.4}",
         t.rows[0].code,
         t.rows[0].s,
-        t.median_country,
+        t.median_country.unwrap_or("-"),
         t.rows.last().unwrap().code,
         t.rows.last().unwrap().s
     );

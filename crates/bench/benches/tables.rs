@@ -39,7 +39,7 @@ fn tab05_08_scores(c: &mut Criterion) {
             t.rows[0].s,
             t.rows.last().unwrap().code,
             t.rows.last().unwrap().s,
-            t.summary.mean,
+            t.summary.as_ref().map(|s| s.mean).unwrap_or(f64::NAN),
             rho
         );
         g.bench_function(layer.name(), |b| {

@@ -13,8 +13,14 @@
 //! (cube-backed), and affinity-propagation sweep throughput serial vs
 //! parallel.
 //!
+//! `BENCH_faults.json`: the fault-injection sweep — per-layer coverage,
+//! failure taxonomy, and hosting-score drift (with bootstrap CIs) under
+//! three intensities each of whole-server outages, flaky SERVFAIL, and
+//! flaky drop, plus the zero-fault byte-identity check.
+//!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
-//! (optionally `-- pipeline` or `-- analysis` for just one snapshot).
+//! (optionally `-- pipeline`, `-- analysis`, or `-- faults` for just one
+//! snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -172,17 +178,38 @@ fn pipeline_snapshot() {
     );
 }
 
+fn faults_snapshot() {
+    eprintln!("faults: sweeping outage / servfail / drop plans over a reduced world...");
+    let snapshot = webdep_bench::faults::faults_snapshot(WORKERS, |line| eprintln!("  {line}"));
+    assert!(
+        snapshot.zero_fault_identical,
+        "a FaultPlan::none() run diverged from the no-plan baseline"
+    );
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_faults.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_faults.json");
+    eprintln!(
+        "wrote {} ({} runs over {} sites, zero-fault identical: {})",
+        out.display(),
+        snapshot.runs.len(),
+        snapshot.sites,
+        snapshot.zero_fault_identical
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match which.as_str() {
         "pipeline" => pipeline_snapshot(),
         "analysis" => analysis_snapshot(),
+        "faults" => faults_snapshot(),
         "all" => {
             pipeline_snapshot();
             analysis_snapshot();
+            faults_snapshot();
         }
         other => {
-            eprintln!("unknown snapshot {other:?} (pipeline | analysis | all)");
+            eprintln!("unknown snapshot {other:?} (pipeline | analysis | faults | all)");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,470 @@
+//! The fault-injection sweep behind `BENCH_faults.json`.
+//!
+//! Sweeps [`FaultPlan`] intensity across three fault kinds (whole-server
+//! outages, flaky SERVFAIL, flaky drop) and records, per run: how much of
+//! each layer's toplists remained observable, the per-layer failure
+//! taxonomy, and how far each country's hosting centralization score
+//! drifted from the zero-fault baseline — with seeded bootstrap CIs for a
+//! fixed panel of countries, so "drift" can be read against sampling
+//! noise.
+//!
+//! The snapshot also certifies the determinism contract at its boundary:
+//! a deployment equipped with [`FaultPlan::none`] must produce a dataset
+//! byte-identical to one with no plan at all.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use webdep_analysis::centralization::layer_table;
+use webdep_analysis::{coverage_model, AnalysisCtx};
+use webdep_dns::resolver::ResolverConfig;
+use webdep_netsim::{FaultKind, FaultPlan};
+use webdep_pipeline::{measure, FailureTaxonomy, MeasuredDataset, PipelineConfig};
+use webdep_tls::scanner::ScannerConfig;
+use webdep_webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
+
+/// Seed shared by every plan in the sweep (fault decisions are pure in
+/// `(seed, ip, key)`, so runs are reproducible bit-for-bit).
+const SWEEP_SEED: u64 = 1007;
+
+/// Bootstrap replicates / level / seed for the per-country CIs.
+const CI_REPLICATES: usize = 200;
+const CI_LEVEL: f64 = 0.95;
+const CI_SEED: u64 = 42;
+
+/// Countries whose hosting score gets a CI in every run: the paper's two
+/// CI case studies (TH, IR) plus high-, mid- and low-rank anchors.
+const CI_PANEL: [&str; 5] = ["TH", "IR", "US", "DE", "BR"];
+
+/// One fault plan's worth of degradation, summarized.
+#[derive(Serialize)]
+pub struct FaultRunSnapshot {
+    /// Human-readable run id, e.g. `outage@0.15` or `servfail@0.50`.
+    pub label: String,
+    /// The plan's knobs.
+    pub plan: PlanSummary,
+    /// Wall-clock of the measurement run (ms).
+    pub wall_ms: u64,
+    /// Sites with no layer error at all.
+    pub clean_sites: u64,
+    /// Sites measured (== the world's site count).
+    pub total_sites: u64,
+    /// Per-layer coverage after degradation.
+    pub coverage: Vec<LayerCoverageSummary>,
+    /// Failure counts by layer and cause.
+    pub taxonomy: FailureTaxonomy,
+    /// Hosting-score drift vs the zero-fault baseline.
+    pub hosting: HostingDrift,
+}
+
+/// The sweep axes of one [`FaultPlan`].
+#[derive(Serialize)]
+pub struct PlanSummary {
+    /// Fault kind swept (`outage`, `servfail`, `drop`).
+    pub kind: String,
+    /// The swept intensity: outage fraction, or per-query fail rate.
+    pub intensity: f64,
+    /// Plan seed.
+    pub seed: u64,
+    /// Fraction of servers down for the whole run.
+    pub outage_fraction: f64,
+    /// Fraction of servers that are flaky.
+    pub flaky_fraction: f64,
+    /// Per-query fault probability on flaky servers.
+    pub fail_rate: f64,
+}
+
+/// One layer's post-degradation coverage.
+#[derive(Serialize)]
+pub struct LayerCoverageSummary {
+    /// Layer name.
+    pub layer: &'static str,
+    /// Site-weighted fraction of toplist entries observed.
+    pub fraction: f64,
+    /// Countries with zero observations at this layer.
+    pub dark_countries: usize,
+    /// The worst-covered country and its fraction.
+    pub worst_country: &'static str,
+    /// Coverage of the worst country.
+    pub worst_fraction: f64,
+}
+
+/// A panel country's hosting score under faults, with its bootstrap CI
+/// and the baseline score it drifted from. `None`-scored (unobserved)
+/// panel countries are omitted from the run's list.
+#[derive(Serialize)]
+pub struct CountryCi {
+    /// Country code.
+    pub code: String,
+    /// Hosting centralization score under this run's faults.
+    pub s: f64,
+    /// Lower bootstrap bound.
+    pub ci_lo: f64,
+    /// Upper bootstrap bound.
+    pub ci_hi: f64,
+    /// The same country's zero-fault score.
+    pub baseline_s: f64,
+    /// `s - baseline_s`.
+    pub drift: f64,
+    /// Whether the baseline score lies inside this run's CI — drift
+    /// within sampling noise.
+    pub baseline_in_ci: bool,
+}
+
+/// How the hosting layer's per-country scores moved vs the baseline.
+#[derive(Serialize)]
+pub struct HostingDrift {
+    /// Countries still scored at the hosting layer.
+    pub countries_scored: usize,
+    /// Mean score over scored countries.
+    pub mean_s: f64,
+    /// Mean absolute per-country drift (scored countries only).
+    pub mean_abs_drift: f64,
+    /// Largest absolute per-country drift.
+    pub max_abs_drift: f64,
+    /// Country where the largest drift occurred (empty when none scored).
+    pub max_drift_country: String,
+    /// CI panel, one entry per still-observed panel country.
+    pub panel: Vec<CountryCi>,
+}
+
+/// The zero-fault reference run.
+#[derive(Serialize)]
+pub struct BaselineSnapshot {
+    /// Wall-clock of the measurement run (ms).
+    pub wall_ms: u64,
+    /// Sites with no layer error (should be all of them).
+    pub clean_sites: u64,
+    /// Mean hosting score over all scored countries.
+    pub mean_hosting_s: f64,
+    /// Hosting-layer coverage (should be 1.0).
+    pub hosting_coverage: f64,
+}
+
+/// The whole `BENCH_faults.json` payload.
+#[derive(Serialize)]
+pub struct FaultsSnapshot {
+    /// Sites in the sweep world.
+    pub sites: u64,
+    /// Pipeline workers.
+    pub workers: u64,
+    /// Resolver/scanner timeout used for every run (ms).
+    pub timeout_ms: u64,
+    /// Whether a run under [`FaultPlan::none`] serialized byte-identical
+    /// to the run with no plan installed at all.
+    pub zero_fault_identical: bool,
+    /// The zero-fault reference.
+    pub baseline: BaselineSnapshot,
+    /// The sweep, in `kind`-major order.
+    pub runs: Vec<FaultRunSnapshot>,
+}
+
+/// World for the sweep: smaller than the pipeline bench's `tiny` so nine
+/// degraded runs — each paying real timeouts for black-holed datagrams —
+/// stay tractable, while keeping all 150 countries populated.
+fn sweep_world_config() -> WorldConfig {
+    WorldConfig {
+        seed: 42,
+        sites_per_country: 60,
+        global_pool_size: 300,
+        tail_scale: 0.04,
+        pool_target: 40,
+    }
+}
+
+/// Short timeouts and no retries: the latency model only *accounts* delay
+/// (clean queries answer instantly), so timeouts fire only for genuinely
+/// dropped datagrams — and a deterministic fault plan means retries of a
+/// faulted query can never succeed anyway, only rotation can.
+fn sweep_pipeline_config(workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        workers,
+        resolver: ResolverConfig {
+            timeout: std::time::Duration::from_millis(15),
+            retries: 0,
+            ..ResolverConfig::default()
+        },
+        scanner: ScannerConfig {
+            timeout: std::time::Duration::from_millis(15),
+            retries: 0,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn deploy_with(world: &World, faults: Option<FaultPlan>) -> DeployedWorld {
+    DeployedWorld::deploy(
+        world,
+        DeployConfig {
+            faults: faults.map(Arc::new),
+            ..DeployConfig::default()
+        },
+    )
+}
+
+fn timed_measure(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+) -> (MeasuredDataset, u64) {
+    let t0 = Instant::now();
+    let ds = measure(world, dep, config);
+    (ds, t0.elapsed().as_millis() as u64)
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+/// Per-country hosting scores, keyed by code.
+fn hosting_scores(ctx: &AnalysisCtx<'_>) -> Vec<(&'static str, f64)> {
+    layer_table(ctx, Layer::Hosting)
+        .rows
+        .iter()
+        .map(|r| (r.code, r.s))
+        .collect()
+}
+
+fn coverage_summaries(ctx: &AnalysisCtx<'_>) -> Vec<LayerCoverageSummary> {
+    coverage_model(ctx)
+        .layers
+        .iter()
+        .map(|l| {
+            let (worst_country, worst_fraction) = l.min_country().unwrap_or(("-", 0.0));
+            LayerCoverageSummary {
+                layer: l.layer_name,
+                fraction: round4(l.fraction()),
+                dark_countries: l.dark_countries(),
+                worst_country,
+                worst_fraction: round4(worst_fraction),
+            }
+        })
+        .collect()
+}
+
+fn drift_snapshot(ctx: &AnalysisCtx<'_>, baseline: &[(&'static str, f64)]) -> HostingDrift {
+    let scores = hosting_scores(ctx);
+    let mut mean_s = 0.0;
+    let mut mean_abs = 0.0;
+    let mut max_abs = 0.0;
+    let mut max_country = String::new();
+    let mut drifted = 0usize;
+    for &(code, s) in &scores {
+        mean_s += s;
+        if let Some(&(_, base)) = baseline.iter().find(|&&(c, _)| c == code) {
+            let d = (s - base).abs();
+            mean_abs += d;
+            drifted += 1;
+            if d > max_abs {
+                max_abs = d;
+                max_country = code.to_string();
+            }
+        }
+    }
+    let n = scores.len().max(1) as f64;
+    let panel = CI_PANEL
+        .iter()
+        .filter_map(|&code| {
+            let s = scores.iter().find(|&&(c, _)| c == code)?.1;
+            let base = baseline.iter().find(|&&(c, _)| c == code)?.1;
+            let ci = World::country_index(code)
+                .and_then(|i| ctx.score_ci(i, Layer::Hosting, CI_REPLICATES, CI_LEVEL, CI_SEED))?;
+            Some(CountryCi {
+                code: code.to_string(),
+                s: round4(s),
+                ci_lo: round4(ci.lo),
+                ci_hi: round4(ci.hi),
+                baseline_s: round4(base),
+                drift: round4(s - base),
+                baseline_in_ci: ci.lo <= base && base <= ci.hi,
+            })
+        })
+        .collect();
+    HostingDrift {
+        countries_scored: scores.len(),
+        mean_s: round4(mean_s / n),
+        mean_abs_drift: round4(mean_abs / (drifted.max(1) as f64)),
+        max_abs_drift: round4(max_abs),
+        max_drift_country: max_country,
+        panel,
+    }
+}
+
+/// The sweep grid: three intensities for each of three fault kinds.
+fn sweep_plans() -> Vec<(String, String, f64, FaultPlan)> {
+    let mut plans = Vec::new();
+    for &frac in &[0.05, 0.15, 0.30] {
+        plans.push((
+            format!("outage@{frac:.2}"),
+            "outage".to_string(),
+            frac,
+            FaultPlan::outages(SWEEP_SEED, frac),
+        ));
+    }
+    for &(kind, name) in &[(FaultKind::ServFail, "servfail"), (FaultKind::Drop, "drop")] {
+        for &rate in &[0.2, 0.5, 0.8] {
+            plans.push((
+                format!("{name}@{rate:.2}"),
+                name.to_string(),
+                rate,
+                FaultPlan::flaky(SWEEP_SEED, 0.25, rate, vec![kind]),
+            ));
+        }
+    }
+    plans
+}
+
+/// Serializes the observations (the part of the dataset the analysis
+/// reads) for the byte-identity check.
+fn dataset_bytes(ds: &MeasuredDataset) -> Vec<u8> {
+    serde_json::to_string(&ds.observations)
+        .expect("observations serialize")
+        .into_bytes()
+}
+
+/// Runs the full sweep and assembles the snapshot.
+///
+/// `progress` receives one line per completed run (the bench binary wires
+/// it to stderr; tests pass a sink).
+pub fn faults_snapshot(workers: usize, mut progress: impl FnMut(&str)) -> FaultsSnapshot {
+    let world = World::generate(sweep_world_config());
+    let config = sweep_pipeline_config(workers);
+
+    let (baseline_ds, baseline_wall) = {
+        let dep = deploy_with(&world, None);
+        timed_measure(&world, &dep, &config)
+    };
+    progress(&format!(
+        "baseline: {} sites in {} ms",
+        baseline_ds.observations.len(),
+        baseline_wall
+    ));
+
+    // The determinism contract at the boundary: an inactive plan must be
+    // indistinguishable, byte for byte, from no plan at all.
+    let zero_fault_identical = {
+        let dep = deploy_with(&world, Some(FaultPlan::none()));
+        let (ds, _) = timed_measure(&world, &dep, &config);
+        ds == baseline_ds && dataset_bytes(&ds) == dataset_bytes(&baseline_ds)
+    };
+    progress(&format!("zero-fault identical: {zero_fault_identical}"));
+
+    let baseline_ctx = AnalysisCtx::new(&world, &baseline_ds);
+    let baseline_scores = hosting_scores(&baseline_ctx);
+    let baseline_taxonomy = baseline_ds.failure_taxonomy();
+    let baseline = BaselineSnapshot {
+        wall_ms: baseline_wall,
+        clean_sites: baseline_taxonomy.clean,
+        mean_hosting_s: round4(
+            baseline_scores.iter().map(|&(_, s)| s).sum::<f64>()
+                / baseline_scores.len().max(1) as f64,
+        ),
+        hosting_coverage: round4(coverage_model(&baseline_ctx).layer(Layer::Hosting).fraction()),
+    };
+
+    let runs = sweep_plans()
+        .into_iter()
+        .map(|(label, kind, intensity, plan)| {
+            let summary = PlanSummary {
+                kind,
+                intensity,
+                seed: plan.seed,
+                outage_fraction: plan.outage_fraction,
+                flaky_fraction: plan.flaky_fraction,
+                fail_rate: plan.fail_rate,
+            };
+            let dep = deploy_with(&world, Some(plan));
+            let (ds, wall_ms) = timed_measure(&world, &dep, &config);
+            let ctx = AnalysisCtx::new(&world, &ds);
+            let taxonomy = ds.failure_taxonomy();
+            let run = FaultRunSnapshot {
+                label,
+                plan: summary,
+                wall_ms,
+                clean_sites: taxonomy.clean,
+                total_sites: taxonomy.total,
+                coverage: coverage_summaries(&ctx),
+                taxonomy,
+                hosting: drift_snapshot(&ctx, &baseline_scores),
+            };
+            progress(&format!(
+                "{}: {}/{} clean, hosting coverage {:.1}%, mean |drift| {:.4} ({} ms)",
+                run.label,
+                run.clean_sites,
+                run.total_sites,
+                100.0 * run.coverage[Layer::Hosting.index()].fraction,
+                run.hosting.mean_abs_drift,
+                run.wall_ms
+            ));
+            run
+        })
+        .collect();
+
+    FaultsSnapshot {
+        sites: world.sites.len() as u64,
+        workers: workers as u64,
+        timeout_ms: config.resolver.timeout.as_millis() as u64,
+        zero_fault_identical,
+        baseline,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One cheap end-to-end pass of the sweep machinery: a micro world,
+    /// the zero-fault identity check, and a single degraded run per kind
+    /// would still take seconds, so this drives the helpers directly.
+    #[test]
+    fn sweep_grid_covers_three_intensities_and_kinds() {
+        let plans = sweep_plans();
+        assert_eq!(plans.len(), 9);
+        let kinds: std::collections::BTreeSet<&str> =
+            plans.iter().map(|(_, k, _, _)| k.as_str()).collect();
+        assert_eq!(kinds.len(), 3, "{kinds:?}");
+        for (_, _, intensity, plan) in &plans {
+            assert!(plan.is_active(), "inactive plan in the sweep");
+            assert!(*intensity > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_no_plan() {
+        let world = World::generate(sweep_world_config());
+        let config = sweep_pipeline_config(4);
+        let (a, _) = timed_measure(&world, &deploy_with(&world, None), &config);
+        let (b, _) = timed_measure(&world, &deploy_with(&world, Some(FaultPlan::none())), &config);
+        assert_eq!(a, b);
+        assert_eq!(dataset_bytes(&a), dataset_bytes(&b));
+    }
+
+    #[test]
+    fn degraded_run_reports_drift_and_taxonomy() {
+        let world = World::generate(sweep_world_config());
+        let config = sweep_pipeline_config(4);
+        let (base, _) = timed_measure(&world, &deploy_with(&world, None), &config);
+        let base_ctx = AnalysisCtx::new(&world, &base);
+        let base_scores = hosting_scores(&base_ctx);
+
+        let plan = FaultPlan::flaky(SWEEP_SEED, 1.0, 0.8, vec![FaultKind::ServFail]);
+        let (ds, _) = timed_measure(&world, &deploy_with(&world, Some(plan)), &config);
+        let tax = ds.failure_taxonomy();
+        assert!(tax.clean < tax.total, "faults did nothing");
+        assert!(tax.layer_total("dns") + tax.layer_total("hosting") > 0);
+
+        let ctx = AnalysisCtx::new(&world, &ds);
+        let cov = coverage_summaries(&ctx);
+        assert_eq!(cov.len(), Layer::ALL.len());
+        assert!(cov[Layer::Hosting.index()].fraction < 1.0);
+
+        let drift = drift_snapshot(&ctx, &base_scores);
+        assert!(drift.countries_scored <= base_scores.len());
+        // Panel entries only exist for still-observed countries, and every
+        // CI must bracket its own point score's neighbourhood.
+        for c in &drift.panel {
+            assert!(c.ci_lo <= c.ci_hi, "{}: [{}, {}]", c.code, c.ci_lo, c.ci_hi);
+        }
+    }
+}

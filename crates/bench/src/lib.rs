@@ -10,6 +10,7 @@ use webdep_pipeline::{measure, MeasuredDataset, PipelineConfig};
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
 pub mod analysis;
+pub mod faults;
 
 /// The shared (world, dataset) fixture at tiny scale.
 pub fn fixture() -> &'static (World, MeasuredDataset) {

@@ -186,9 +186,9 @@ mod tests {
             .is_infinite());
 
         // EMD, by contrast, separates them (this is the paper's pitch).
-        use crate::centralization::centralization_score_counts;
-        let s_c = centralization_score_counts(&[90, 5, 5]).unwrap();
-        let s_d = centralization_score_counts(&[10; 10]).unwrap();
+        use crate::centralization::centralization_score_counts_ref;
+        let s_c = centralization_score_counts_ref(&[90, 5, 5]).unwrap();
+        let s_d = centralization_score_counts_ref(&[10; 10]).unwrap();
         assert!(s_c > 4.0 * s_d);
     }
 

@@ -81,13 +81,13 @@ pub fn unit_mass_centralization(counts: &[u64]) -> Result<f64, MetricError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::centralization::centralization_score_counts;
+    use crate::centralization::centralization_score_counts_ref;
 
     #[test]
     fn reduces_to_unweighted_with_unit_masses() {
         for counts in [vec![5u64], vec![1, 1, 1], vec![10, 5, 3, 1]] {
             let weighted = unit_mass_centralization(&counts).unwrap();
-            let classic = centralization_score_counts(&counts).unwrap();
+            let classic = centralization_score_counts_ref(&counts).unwrap();
             assert!(
                 (weighted - classic).abs() < 1e-12,
                 "{counts:?}: {weighted} vs {classic}"

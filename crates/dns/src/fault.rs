@@ -1,0 +1,116 @@
+//! Applying a [`FaultPlan`] to authoritative DNS answers.
+//!
+//! Servers call [`apply_dns_fault`] on every ready response. The decision is
+//! keyed on `(server ip, qname)` only — see the determinism notes on
+//! [`FaultPlan`] — so a retried query meets exactly the same fate and
+//! recovery requires asking a different server.
+
+use crate::wire::{encode, Message, Rcode};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+use webdep_netsim::{FaultKind, FaultPlan};
+
+/// Runs the clean `response` to `query` through `plan` as server `ip`.
+///
+/// Returns `None` when the fault swallows the reply, otherwise the payload
+/// to send — possibly a SERVFAIL, a truncated prefix, or a garbled header.
+/// [`FaultKind::Delay`] sleeps on the serving thread before answering.
+pub fn apply_dns_fault(
+    plan: &FaultPlan,
+    ip: Ipv4Addr,
+    query: &Message,
+    response: &Message,
+) -> Option<Bytes> {
+    let key = query
+        .questions
+        .first()
+        .map(|q| q.name.as_str())
+        .unwrap_or("");
+    match plan.query_fault(ip, key.as_bytes()) {
+        None => Some(encode(response)),
+        Some(FaultKind::Drop) => None,
+        Some(FaultKind::ServFail) => {
+            let mut r = Message::response_to(query);
+            r.rcode = Rcode::ServFail;
+            Some(encode(&r))
+        }
+        Some(FaultKind::Truncate) => {
+            // Half a message never survives the record parser.
+            let full = encode(response);
+            Some(Bytes::from(full[..full.len() / 2].to_vec()))
+        }
+        Some(FaultKind::Garble) => {
+            // Flip the transaction id: the reply decodes cleanly but matches
+            // no outstanding query, like a stale or spoofed datagram.
+            let mut v = encode(response).to_vec();
+            v[0] ^= 0xFF;
+            v[1] ^= 0xFF;
+            Some(Bytes::from(v))
+        }
+        Some(FaultKind::Delay) => {
+            std::thread::sleep(plan.delay);
+            Some(encode(response))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DomainName;
+    use crate::wire::{decode, RecordType};
+
+    fn msgs() -> (Message, Message) {
+        let q = Message::query(9, DomainName::parse("a.example").unwrap(), RecordType::A);
+        let r = Message::response_to(&q);
+        (q, r)
+    }
+
+    fn plan_with(kind: FaultKind) -> FaultPlan {
+        FaultPlan::flaky(1, 1.0, 1.0, vec![kind])
+    }
+
+    #[test]
+    fn inactive_plan_passes_through() {
+        let (q, r) = msgs();
+        let out = apply_dns_fault(&FaultPlan::none(), "1.2.3.4".parse().unwrap(), &q, &r);
+        assert_eq!(out, Some(encode(&r)));
+    }
+
+    #[test]
+    fn drop_swallows_the_reply() {
+        let (q, r) = msgs();
+        let out = apply_dns_fault(&plan_with(FaultKind::Drop), "1.2.3.4".parse().unwrap(), &q, &r);
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn servfail_answers_with_failure_rcode() {
+        let (q, r) = msgs();
+        let out =
+            apply_dns_fault(&plan_with(FaultKind::ServFail), "1.2.3.4".parse().unwrap(), &q, &r)
+                .unwrap();
+        let decoded = decode(&out).unwrap();
+        assert_eq!(decoded.rcode, Rcode::ServFail);
+        assert_eq!(decoded.id, q.id);
+    }
+
+    #[test]
+    fn truncated_reply_fails_to_decode() {
+        let (q, r) = msgs();
+        let out =
+            apply_dns_fault(&plan_with(FaultKind::Truncate), "1.2.3.4".parse().unwrap(), &q, &r)
+                .unwrap();
+        assert!(decode(&out).is_err());
+    }
+
+    #[test]
+    fn garbled_reply_decodes_with_wrong_id() {
+        let (q, r) = msgs();
+        let out =
+            apply_dns_fault(&plan_with(FaultKind::Garble), "1.2.3.4".parse().unwrap(), &q, &r)
+                .unwrap();
+        let decoded = decode(&out).unwrap();
+        assert_ne!(decoded.id, q.id);
+    }
+}

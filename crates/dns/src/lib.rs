@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod bigzone;
+pub mod fault;
 pub mod name;
 pub mod resolver;
 pub mod server;
@@ -26,6 +27,7 @@ pub mod wire;
 pub mod zone;
 
 pub use bigzone::{Delegation, DelegationTable, HostTable};
+pub use fault::apply_dns_fault;
 pub use name::DomainName;
 pub use resolver::{
     IterativeResolver, ResolveError, ResolverConfig, ResolverStats, StubResolver,

@@ -86,6 +86,12 @@ pub struct StubResolver {
     next_id: u16,
     /// Queries sent (including retries); exposed for measurement accounting.
     pub queries_sent: u64,
+    /// Received datagrams discarded because they failed to decode
+    /// (truncated or corrupted answers).
+    pub malformed_datagrams: u64,
+    /// Received datagrams that decoded but matched no outstanding query
+    /// (wrong id or question — stale, garbled, or spoofed replies).
+    pub mismatched_ids: u64,
 }
 
 impl StubResolver {
@@ -96,6 +102,8 @@ impl StubResolver {
             config,
             next_id: 1,
             queries_sent: 0,
+            malformed_datagrams: 0,
+            mismatched_ids: 0,
         }
     }
 
@@ -107,40 +115,60 @@ impl StubResolver {
         qtype: RecordType,
     ) -> Result<Message, ResolveError> {
         for _attempt in 0..=self.config.retries {
-            let id = self.next_id;
-            self.next_id = self.next_id.wrapping_add(1).max(1);
-            let msg = Message::query(id, name.clone(), qtype);
-            self.queries_sent += 1;
-            match self.endpoint.send(server, encode(&msg)) {
-                Ok(()) => {}
-                Err(NetError::Unreachable(a)) => {
-                    return Err(ResolveError::Network(NetError::Unreachable(a)))
-                }
-                Err(e) => return Err(ResolveError::Network(e)),
-            }
-            let deadline = std::time::Instant::now() + self.config.timeout;
-            loop {
-                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                if remaining.is_zero() {
-                    break; // retry
-                }
-                match self.endpoint.recv_timeout(remaining) {
-                    Ok(dgram) => match decode(&dgram.payload) {
-                        Ok(resp)
-                            if resp.is_response
-                                && resp.id == id
-                                && resp.questions == msg.questions =>
-                        {
-                            return Ok(resp);
-                        }
-                        _ => continue, // stale or foreign datagram; keep waiting
-                    },
-                    Err(NetError::Timeout) => break,
-                    Err(e) => return Err(ResolveError::Network(e)),
-                }
+            match self.query_once(server, name, qtype, self.config.timeout) {
+                Err(ResolveError::Timeout) => continue,
+                other => return other,
             }
         }
         Err(ResolveError::Timeout)
+    }
+
+    /// One send and one wait window against a single server — the building
+    /// block the iterative resolver's rotation/backoff schedule is made of.
+    pub fn query_once(
+        &mut self,
+        server: SockAddr,
+        name: &DomainName,
+        qtype: RecordType,
+        timeout: Duration,
+    ) -> Result<Message, ResolveError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let msg = Message::query(id, name.clone(), qtype);
+        self.queries_sent += 1;
+        match self.endpoint.send(server, encode(&msg)) {
+            Ok(()) => {}
+            Err(e) => return Err(ResolveError::Network(e)),
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(ResolveError::Timeout);
+            }
+            match self.endpoint.recv_timeout(remaining) {
+                Ok(dgram) => match decode(&dgram.payload) {
+                    Ok(resp)
+                        if resp.is_response
+                            && resp.id == id
+                            && resp.questions == msg.questions =>
+                    {
+                        return Ok(resp);
+                    }
+                    Ok(_) => {
+                        // Stale or foreign datagram; keep waiting.
+                        self.mismatched_ids += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        self.malformed_datagrams += 1;
+                        continue;
+                    }
+                },
+                Err(NetError::Timeout) => return Err(ResolveError::Timeout),
+                Err(e) => return Err(ResolveError::Network(e)),
+            }
+        }
     }
 }
 
@@ -159,6 +187,10 @@ pub struct ResolverStats {
     pub local_cache_hits: u64,
     /// Answers or delegations served from the shared cache tier.
     pub shared_cache_hits: u64,
+    /// Received datagrams discarded because they failed to decode.
+    pub malformed_datagrams: u64,
+    /// Decoded datagrams discarded for a wrong id or question.
+    pub mismatched_ids: u64,
 }
 
 /// An iterative resolver with a per-instance delegation cache, optionally
@@ -174,8 +206,25 @@ pub struct IterativeResolver {
     answer_cache: HashMap<DomainName, Vec<(RecordType, Vec<RecordData>)>>,
     /// Shared cache tier consulted between the private cache and the wire.
     shared: Option<Arc<SharedDnsCache>>,
+    /// Consecutive fully-failed passes per server. A server at
+    /// [`DEAD_AFTER_STRIKES`] is demoted: still probed (once, last) so
+    /// outcomes stay schedule-independent, but no longer granted the full
+    /// backoff schedule. Any successful answer clears its strikes.
+    server_strikes: HashMap<Ipv4Addr, u32>,
     local_cache_hits: u64,
     shared_cache_hits: u64,
+}
+
+/// Fully-failed `query_any` passes before a server is demoted to a single
+/// trailing probe per query.
+const DEAD_AFTER_STRIKES: u32 = 2;
+
+/// Cap on the exponential backoff: the per-attempt timeout doubles each
+/// rotation round up to `base << BACKOFF_CAP`.
+const BACKOFF_CAP: u32 = 3;
+
+fn backoff_timeout(base: Duration, round: u32) -> Duration {
+    base * (1u32 << round.min(BACKOFF_CAP))
 }
 
 impl IterativeResolver {
@@ -188,6 +237,7 @@ impl IterativeResolver {
             zone_cache: HashMap::new(),
             answer_cache: HashMap::new(),
             shared: None,
+            server_strikes: HashMap::new(),
             local_cache_hits: 0,
             shared_cache_hits: 0,
         }
@@ -217,6 +267,8 @@ impl IterativeResolver {
             wire_queries: self.stub.queries_sent,
             local_cache_hits: self.local_cache_hits,
             shared_cache_hits: self.shared_cache_hits,
+            malformed_datagrams: self.stub.malformed_datagrams,
+            mismatched_ids: self.stub.mismatched_ids,
         }
     }
 
@@ -270,13 +322,31 @@ impl IterativeResolver {
 
         // Start from the deepest cached zone enclosing `name`.
         let mut servers = self.starting_servers(name);
+        // Nameservers of the current zone whose addresses are not in
+        // `servers` yet — the rotation reserve when every known address
+        // fails.
+        let mut pending_ns: Vec<DomainName> = Vec::new();
         let mut depth = 0;
         loop {
             depth += 1;
             if depth > self.stub.config.max_depth {
                 return Err(ResolveError::DepthExceeded);
             }
-            let resp = self.query_any(&servers, name, qtype)?;
+            let resp = match self.query_any(&servers, name, qtype) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Every known address for this zone failed. Before
+                    // giving up, resolve the zone's remaining NS names and
+                    // rotate onto their addresses.
+                    match self.next_alternative(&mut pending_ns, depth) {
+                        Some(addrs) => {
+                            servers = addrs;
+                            continue;
+                        }
+                        None => return Err(e),
+                    }
+                }
+            };
             match resp.rcode {
                 Rcode::NoError => {}
                 Rcode::NxDomain => return Err(ResolveError::NxDomain(name.clone())),
@@ -333,18 +403,32 @@ impl IterativeResolver {
                     _ => None,
                 })
                 .collect();
+            // NS names the referral carried no glue for: keep them as the
+            // rotation reserve rather than forgetting them.
+            let mut reserve: Vec<DomainName> = ns_names
+                .iter()
+                .filter(|ns| {
+                    !resp
+                        .additionals
+                        .iter()
+                        .any(|r| r.name == **ns && matches!(r.data, RecordData::A(_)))
+                })
+                .cloned()
+                .collect();
             if glue.is_empty() {
-                // Glueless delegation: resolve the first resolvable NS name.
-                for ns in &ns_names {
-                    if let Ok(addrs) = self.resolve_a_guarded(ns, depth) {
+                // Glueless delegation: resolve NS names until one yields
+                // addresses; the rest stay in reserve.
+                while glue.is_empty() && !reserve.is_empty() {
+                    let ns = reserve.remove(0);
+                    if let Ok(addrs) = self.resolve_a_guarded(&ns, depth) {
                         glue.extend(addrs);
-                        break;
                     }
                 }
             }
             if glue.is_empty() {
                 return Err(ResolveError::ServFail);
             }
+            pending_ns = reserve;
             if self.stub.config.cache_referrals {
                 self.cache_referral_data(&zone, &ns_names, &resp);
             }
@@ -441,23 +525,134 @@ impl IterativeResolver {
         self.roots.clone()
     }
 
+    /// Resolves names from `pending` until one yields addresses; used to
+    /// rotate onto a zone's remaining nameservers after every known
+    /// address has failed.
+    fn next_alternative(
+        &mut self,
+        pending: &mut Vec<DomainName>,
+        depth: u32,
+    ) -> Option<Vec<Ipv4Addr>> {
+        while !pending.is_empty() {
+            let ns = pending.remove(0);
+            if let Ok(addrs) = self.resolve_a_guarded(&ns, depth) {
+                if !addrs.is_empty() {
+                    return Some(addrs);
+                }
+            }
+        }
+        None
+    }
+
+    /// Asks the zone's servers for `name`/`qtype`, rotating across all of
+    /// them with exponential backoff: one attempt per server per round, the
+    /// per-attempt timeout doubling each round (capped). Definitive answers
+    /// (NOERROR/NXDOMAIN) return immediately; refusals are remembered and
+    /// only surfaced once no server gives a real answer.
+    ///
+    /// Servers that repeatedly fail whole passes are demoted: they are
+    /// probed once, last, with the base timeout — still always *tried*, so
+    /// which answers we obtain never depends on what this resolver learned
+    /// from earlier, unrelated queries; only the time spent does. That
+    /// keeps datasets byte-identical across worker counts while letting
+    /// runs against dead infrastructure terminate quickly.
     fn query_any(
         &mut self,
         servers: &[Ipv4Addr],
         name: &DomainName,
         qtype: RecordType,
     ) -> Result<Message, ResolveError> {
-        let mut last_err = ResolveError::Timeout;
-        for &ip in servers {
-            match self
-                .stub
-                .query(SockAddr::new(ip, crate::DNS_PORT), name, qtype)
+        let (live, demoted): (Vec<Ipv4Addr>, Vec<Ipv4Addr>) =
+            servers.iter().copied().partition(|ip| {
+                self.server_strikes
+                    .get(ip)
+                    .is_none_or(|&s| s < DEAD_AFTER_STRIKES)
+            });
+        let base = self.stub.config.timeout;
+        let rounds = self.stub.config.retries + 1;
+        let mut refused: Option<Message> = None;
+        let mut timed_out = false;
+        let mut last_net: Option<ResolveError> = None;
+        // Per-call bookkeeping: who was tried, who answered, who is
+        // unreachable (unbound — no point re-sending within this call).
+        let mut tried: Vec<Ipv4Addr> = Vec::new();
+        let mut answered: Vec<Ipv4Addr> = Vec::new();
+        let mut unreachable: Vec<Ipv4Addr> = Vec::new();
+        let mut verdict: Option<Message> = None;
+
+        'rounds: for round in 0..rounds {
+            let timeout = backoff_timeout(base, round);
+            // Demoted servers get exactly one trailing probe in round 0.
+            let trailing = if round == 0 { demoted.as_slice() } else { &[] };
+            for &ip in live.iter().chain(trailing) {
+                if unreachable.contains(&ip) || answered.contains(&ip) {
+                    continue;
+                }
+                let attempt_timeout = if demoted.contains(&ip) { base } else { timeout };
+                if !tried.contains(&ip) {
+                    tried.push(ip);
+                }
+                match self.stub.query_once(
+                    SockAddr::new(ip, crate::DNS_PORT),
+                    name,
+                    qtype,
+                    attempt_timeout,
+                ) {
+                    Ok(resp) => {
+                        answered.push(ip);
+                        match resp.rcode {
+                            Rcode::NoError | Rcode::NxDomain => {
+                                verdict = Some(resp);
+                                break 'rounds;
+                            }
+                            // A refusal is an answer from a live server,
+                            // but another server may do better: rotate on.
+                            _ => refused = Some(resp),
+                        }
+                    }
+                    Err(ResolveError::Timeout) => timed_out = true,
+                    Err(ResolveError::Network(NetError::Unreachable(a))) => {
+                        unreachable.push(ip);
+                        last_net = Some(ResolveError::Network(NetError::Unreachable(a)));
+                    }
+                    Err(e) => {
+                        last_net = Some(e);
+                        break 'rounds;
+                    }
+                }
+            }
+            // Later rounds only revisit servers that timed out; if none
+            // did, there is nothing left worth re-asking.
+            if live
+                .iter()
+                .all(|ip| unreachable.contains(ip) || answered.contains(ip))
             {
-                Ok(resp) => return Ok(resp),
-                Err(e) => last_err = e,
+                break;
             }
         }
-        Err(last_err)
+
+        // Strike accounting: answering clears a server's record; being
+        // tried without ever answering earns one strike.
+        for &ip in &answered {
+            self.server_strikes.remove(&ip);
+        }
+        for &ip in &tried {
+            if !answered.contains(&ip) {
+                let s = self.server_strikes.entry(ip).or_insert(0);
+                *s = s.saturating_add(1);
+            }
+        }
+
+        if let Some(resp) = verdict {
+            return Ok(resp);
+        }
+        if let Some(resp) = refused {
+            return Ok(resp);
+        }
+        if timed_out {
+            return Err(ResolveError::Timeout);
+        }
+        Err(last_net.unwrap_or(ResolveError::Timeout))
     }
 }
 
@@ -674,5 +869,174 @@ mod tests {
         let net = Network::new(NetConfig::default());
         let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
         let _ = IterativeResolver::new(ep, vec![], ResolverConfig::default());
+    }
+
+    fn fast_config() -> ResolverConfig {
+        ResolverConfig {
+            timeout: Duration::from_millis(40),
+            retries: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn glueless_delegation_rotates_past_dead_first_ns() {
+        // victim.com is delegated *gluelessly* to two nameservers; the
+        // first NS name resolves to an unbound (dead) address, the second
+        // to a live server. Resolution must rotate onto the second instead
+        // of dying on the first.
+        let net = Network::new(NetConfig::default());
+        let root_ip = ip("198.41.0.4");
+        let com_ip = ip("192.5.6.30");
+        let net_ip = ip("192.5.6.31");
+        let provider_ns_ip = ip("203.0.113.54");
+        let dead_ip = ip("203.0.113.60"); // never bound
+        let live_ip = ip("203.0.113.61");
+
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        root.delegate(n("net"), &[n("b.gtld-servers.net")], &[(n("b.gtld-servers.net"), net_ip)]);
+
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("victim.com"),
+            &[n("ns-dead.provider.net"), n("ns-live.provider.net")],
+            &[], // no glue: the resolver must chase the NS names itself
+        );
+
+        let mut netz = Zone::new(n("net"));
+        netz.delegate(
+            n("provider.net"),
+            &[n("ns1.provider.net")],
+            &[(n("ns1.provider.net"), provider_ns_ip)],
+        );
+
+        let mut provider = Zone::new(n("provider.net"));
+        provider.add_a(n("ns-dead.provider.net"), dead_ip);
+        provider.add_a(n("ns-live.provider.net"), live_ip);
+
+        let mut victim = Zone::new(n("victim.com"));
+        victim.add_a(n("victim.com"), ip("203.0.113.70"));
+
+        let _servers = [
+            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
+            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            AuthServer::spawn(net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(netz)]),
+            AuthServer::spawn(net.bind(provider_ns_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(provider)]),
+            AuthServer::spawn(net.bind(live_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(victim)]),
+        ];
+
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(ep, vec![root_ip], fast_config());
+        let addrs = r.resolve_a(&n("victim.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.70")]);
+    }
+
+    #[test]
+    fn servfail_from_first_server_rotates_to_sibling() {
+        // example.com has two glued nameservers; the first is misconfigured
+        // (authoritative for nothing, so it answers SERVFAIL), the second
+        // is healthy. The refusal must not end the resolution.
+        let net = Network::new(NetConfig::default());
+        let root_ip = ip("198.41.0.4");
+        let com_ip = ip("192.5.6.30");
+        let bad_ip = ip("203.0.113.55");
+        let good_ip = ip("203.0.113.53");
+
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("example.com"),
+            &[n("ns-bad.example.com"), n("ns-good.example.com")],
+            &[
+                (n("ns-bad.example.com"), bad_ip),
+                (n("ns-good.example.com"), good_ip),
+            ],
+        );
+        let mut example = Zone::new(n("example.com"));
+        example.add_a(n("example.com"), ip("203.0.113.10"));
+
+        let _servers = [
+            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
+            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            // Misconfigured: serves no zones at all, so every query gets
+            // SERVFAIL.
+            AuthServer::spawn(net.bind(bad_ip, 53, Region::EUROPE).unwrap(), vec![]),
+            AuthServer::spawn(net.bind(good_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(example)]),
+        ];
+
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(ep, vec![root_ip], fast_config());
+        let addrs = r.resolve_a(&n("example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.10")]);
+    }
+
+    /// One faulty + one clean authoritative for example.com; the faulty one
+    /// mangles every answer per `kind`.
+    fn faulty_pair_world(net: &Network, kind: webdep_netsim::FaultKind) -> (Vec<AuthServer>, Vec<Ipv4Addr>) {
+        use webdep_netsim::FaultPlan;
+        let root_ip = ip("198.41.0.4");
+        let com_ip = ip("192.5.6.30");
+        let faulty_ip = ip("203.0.113.55");
+        let clean_ip = ip("203.0.113.53");
+
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("example.com"),
+            &[n("ns-faulty.example.com"), n("ns-clean.example.com")],
+            &[
+                (n("ns-faulty.example.com"), faulty_ip),
+                (n("ns-clean.example.com"), clean_ip),
+            ],
+        );
+        let mut example = Zone::new(n("example.com"));
+        example.add_a(n("example.com"), ip("203.0.113.10"));
+        let example = Arc::new(example);
+
+        let plan = Arc::new(FaultPlan::flaky(1, 1.0, 1.0, vec![kind]));
+        let servers = vec![
+            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
+            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            AuthServer::spawn_with_faults(
+                net.bind(faulty_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::clone(&example)],
+                Some(plan),
+            ),
+            AuthServer::spawn(net.bind(clean_ip, 53, Region::EUROPE).unwrap(), vec![example]),
+        ];
+        (servers, vec![root_ip])
+    }
+
+    #[test]
+    fn truncating_server_is_counted_and_survived() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = faulty_pair_world(&net, webdep_netsim::FaultKind::Truncate);
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(ep, roots, fast_config());
+        let addrs = r.resolve_a(&n("example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.10")]);
+        assert!(
+            r.stats().malformed_datagrams >= 1,
+            "truncated answers should be counted: {:?}",
+            r.stats()
+        );
+    }
+
+    #[test]
+    fn garbling_server_is_counted_and_survived() {
+        let net = Network::new(NetConfig::default());
+        let (_servers, roots) = faulty_pair_world(&net, webdep_netsim::FaultKind::Garble);
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(ep, roots, fast_config());
+        let addrs = r.resolve_a(&n("example.com")).unwrap();
+        assert_eq!(addrs, vec![ip("203.0.113.10")]);
+        assert!(
+            r.stats().mismatched_ids >= 1,
+            "garbled answers should be counted: {:?}",
+            r.stats()
+        );
     }
 }

@@ -1,12 +1,13 @@
 //! Threaded authoritative DNS server over the simulated network.
 
+use crate::fault::apply_dns_fault;
 use crate::wire::{decode, encode, Message, Rcode};
 use crate::zone::{Zone, ZoneLookup};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use webdep_netsim::Endpoint;
+use webdep_netsim::{Endpoint, FaultPlan};
 
 /// An authoritative server: serves one or more zones from a thread bound to
 /// a netsim endpoint. Stops when dropped.
@@ -21,9 +22,19 @@ impl AuthServer {
     /// Zones are matched most-specific-first when several could hold the
     /// queried name (e.g. a host serving both a TLD zone and a child zone).
     pub fn spawn(endpoint: Endpoint, zones: Vec<Arc<Zone>>) -> Self {
+        Self::spawn_with_faults(endpoint, zones, None)
+    }
+
+    /// Like [`AuthServer::spawn`], but runs every answer through a
+    /// fault-injection plan (see [`apply_dns_fault`]).
+    pub fn spawn_with_faults(
+        endpoint: Endpoint,
+        zones: Vec<Arc<Zone>>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || serve_loop(endpoint, zones, stop2));
+        let handle = std::thread::spawn(move || serve_loop(endpoint, zones, stop2, faults));
         AuthServer {
             stop,
             handle: Some(handle),
@@ -51,9 +62,15 @@ impl Drop for AuthServer {
     }
 }
 
-fn serve_loop(endpoint: Endpoint, mut zones: Vec<Arc<Zone>>, stop: Arc<AtomicBool>) -> u64 {
+fn serve_loop(
+    endpoint: Endpoint,
+    mut zones: Vec<Arc<Zone>>,
+    stop: Arc<AtomicBool>,
+    faults: Option<Arc<FaultPlan>>,
+) -> u64 {
     // Most-specific zone first.
     zones.sort_by_key(|z| std::cmp::Reverse(z.origin().num_labels()));
+    let faults = faults.filter(|p| p.is_active());
     let mut served = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
@@ -61,20 +78,26 @@ fn serve_loop(endpoint: Endpoint, mut zones: Vec<Arc<Zone>>, stop: Arc<AtomicBoo
             Err(webdep_netsim::NetError::Timeout) => continue,
             Err(_) => break, // network gone
         };
-        let response = match decode(&dgram.payload) {
-            Ok(query) if !query.is_response && query.questions.len() == 1 => {
-                answer(&zones, &query)
-            }
-            Ok(query) => {
-                let mut r = Message::response_to(&query);
-                r.rcode = Rcode::FormErr;
-                r
-            }
+        let query = match decode(&dgram.payload) {
+            Ok(q) => q,
             Err(_) => continue, // undecodable datagram: drop, like real servers
         };
-        // Best effort: the client may already be gone.
-        let _ = endpoint.send(dgram.src, encode(&response));
+        let response = if !query.is_response && query.questions.len() == 1 {
+            answer(&zones, &query)
+        } else {
+            let mut r = Message::response_to(&query);
+            r.rcode = Rcode::FormErr;
+            r
+        };
+        let payload = match &faults {
+            Some(plan) => apply_dns_fault(plan, endpoint.addr().ip, &query, &response),
+            None => Some(encode(&response)),
+        };
         served += 1;
+        if let Some(payload) = payload {
+            // Best effort: the client may already be gone.
+            let _ = endpoint.send(dgram.src, payload);
+        }
     }
     served
 }

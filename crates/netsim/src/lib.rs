@@ -32,6 +32,7 @@
 
 pub mod addr;
 pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod packet;
@@ -39,6 +40,7 @@ pub mod shared;
 
 pub use addr::{Prefix, SockAddr};
 pub use error::NetError;
+pub use fault::{FaultKind, FaultPlan};
 pub use latency::LatencyModel;
 pub use network::{Endpoint, NetConfig, NetStats, Network, Region, ResponderFn};
 pub use packet::Datagram;

@@ -9,6 +9,7 @@
 
 use crate::addr::SockAddr;
 use crate::error::NetError;
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::packet::Datagram;
 use bytes::Bytes;
@@ -66,6 +67,11 @@ pub struct NetConfig {
     pub seed: u64,
     /// Latency model used for anycast site selection and latency accounting.
     pub latency: LatencyModel,
+    /// Optional fault-injection plan. Servers the plan declares out become
+    /// transport-level black holes: every datagram addressed to them is
+    /// silently eaten (counted in [`NetStats::faulted`]), whatever the
+    /// protocol on top.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for NetConfig {
@@ -74,6 +80,7 @@ impl Default for NetConfig {
             loss_rate: 0.0,
             seed: 0,
             latency: LatencyModel::default(),
+            faults: None,
         }
     }
 }
@@ -89,6 +96,9 @@ pub struct NetStats {
     pub dropped: u64,
     /// Sends that failed because nothing was bound at the destination.
     pub unreachable: u64,
+    /// Datagrams black-holed because the fault plan has the destination
+    /// server out.
+    pub faulted: u64,
     /// Sum of simulated one-way latency over delivered datagrams (ms).
     pub total_latency_ms: u64,
 }
@@ -147,6 +157,7 @@ struct AtomicStats {
     delivered: AtomicU64,
     dropped: AtomicU64,
     unreachable: AtomicU64,
+    faulted: AtomicU64,
     total_latency_ms: AtomicU64,
 }
 
@@ -157,6 +168,7 @@ impl AtomicStats {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             unreachable: self.unreachable.load(Ordering::Relaxed),
+            faulted: self.faulted.load(Ordering::Relaxed),
             total_latency_ms: self.total_latency_ms.load(Ordering::Relaxed),
         }
     }
@@ -372,6 +384,16 @@ impl Network {
         if inner.config.loss_rate > 0.0 && self.loss_roll(src) {
             inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
             return Ok(()); // silent loss, like the real thing
+        }
+
+        // An out server is a black hole, not an unbound address: the sender
+        // cannot tell the difference between outage and loss, exactly like a
+        // dead host behind a live route.
+        if let Some(plan) = &inner.config.faults {
+            if plan.server_out(dst.ip) {
+                inner.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
         }
 
         // Prefer a unicast binding; otherwise route to the best anycast
@@ -662,6 +684,23 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_black_holes_out_servers() {
+        let net = Network::new(NetConfig {
+            faults: Some(Arc::new(FaultPlan::outages(1, 1.0))),
+            ..Default::default()
+        });
+        let a = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
+        // Like loss, the outage is silent: send succeeds, nothing arrives.
+        b.send(a.addr(), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout));
+        let stats = net.stats();
+        assert_eq!(stats.faulted, 1);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
     fn stats_accumulate_latency() {
         let net = Network::new(NetConfig::default());
         let a = net.bind(ip("10.0.0.1"), 53, Region::EUROPE).unwrap();
@@ -678,10 +717,7 @@ mod tests {
         let server = net.bind(ip("10.0.0.1"), 7, Region::NORTH_AMERICA).unwrap();
         let handle = std::thread::spawn(move || {
             // Echo until the first message saying "quit".
-            loop {
-                let Ok(d) = server.recv_timeout(Duration::from_secs(5)) else {
-                    break;
-                };
+            while let Ok(d) = server.recv_timeout(Duration::from_secs(5)) {
                 if &d.payload[..] == b"quit" {
                     break;
                 }

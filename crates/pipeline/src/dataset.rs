@@ -1,13 +1,89 @@
 //! The measured dataset: one enriched observation per site.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+
+/// Why a measurement layer failed, normalized across DNS and TLS.
+///
+/// The variants deliberately mirror the fault-injection kinds plus the
+/// failure modes real measurement reports bucket by: a timeout and a
+/// SERVFAIL are different operational stories even when both leave the
+/// same field unobserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// No answer within the retry budget.
+    Timeout,
+    /// The network refused the send (no listener / route).
+    Unreachable,
+    /// The server answered but refused to serve (SERVFAIL, fatal alert).
+    Refused,
+    /// The name does not exist according to the authority.
+    NxDomain,
+    /// The answer existed but was empty or missing the needed records.
+    NoRecords,
+    /// The answer (or the queried name) failed to parse.
+    Malformed,
+    /// The certificate's issuer is not in the CCADB-style owner map.
+    UnknownIssuer,
+    /// An upstream layer failed, so this layer was never attempted.
+    Skipped,
+}
+
+impl FailureCause {
+    /// Every cause, in taxonomy-table order.
+    pub const ALL: [FailureCause; 8] = [
+        FailureCause::Timeout,
+        FailureCause::Unreachable,
+        FailureCause::Refused,
+        FailureCause::NxDomain,
+        FailureCause::NoRecords,
+        FailureCause::Malformed,
+        FailureCause::UnknownIssuer,
+        FailureCause::Skipped,
+    ];
+
+    /// Stable snake_case name (taxonomy keys, report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureCause::Timeout => "timeout",
+            FailureCause::Unreachable => "unreachable",
+            FailureCause::Refused => "refused",
+            FailureCause::NxDomain => "nxdomain",
+            FailureCause::NoRecords => "no_records",
+            FailureCause::Malformed => "malformed",
+            FailureCause::UnknownIssuer => "unknown_issuer",
+            FailureCause::Skipped => "skipped",
+        }
+    }
+}
+
+/// One layer's failure: a normalized cause plus the human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerError {
+    /// Normalized failure class (taxonomy bucket).
+    pub cause: FailureCause,
+    /// Free-form detail, e.g. the underlying resolver error.
+    pub detail: String,
+}
+
+impl LayerError {
+    /// Builds a layer error.
+    pub fn new(cause: FailureCause, detail: impl Into<String>) -> Self {
+        LayerError {
+            cause,
+            detail: detail.into(),
+        }
+    }
+}
 
 /// Everything the pipeline learned about one website.
 ///
 /// Organization / owner ids refer to the world's universe (the analysis
 /// resolves names through it); `None` fields record measurement failures,
-/// which the analysis reports rather than hiding.
+/// which the analysis reports rather than hiding. Each measured layer
+/// carries its own error slot — a DNS timeout no longer masks a TLS
+/// refusal — and `error` is a derived summary kept for display.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteObservation {
     /// The measured domain.
@@ -50,14 +126,33 @@ pub struct SiteObservation {
     /// CA owner HQ country.
     pub ca_owner_country: Option<String>,
 
-    /// First error encountered, if any step failed.
+    /// Hosting-layer (A lookup + enrichment) failure, if any.
+    pub hosting_error: Option<LayerError>,
+    /// DNS-layer (NS lookup + nameserver address) failure, if any.
+    pub dns_error: Option<LayerError>,
+    /// CA-layer (TLS scan + issuer join) failure, if any.
+    pub ca_error: Option<LayerError>,
+
+    /// Derived summary: the first per-layer failure in pipeline order
+    /// (hosting, DNS, CA), skipping `Skipped` entries. Kept for display
+    /// and backward compatibility; the per-layer fields are authoritative.
     pub error: Option<String>,
 }
 
 impl SiteObservation {
     /// A blank observation for a domain (pre-measurement).
+    ///
+    /// The TLD is the last label of the *normalized* name: trailing root
+    /// dots are stripped first (`"example.com."` → `"com"`, not `""`),
+    /// the label is lowercased, and a name without a dot-separated TLD —
+    /// label-less (`"."`, `""`) or single-label (`"localhost"`) — yields
+    /// an empty TLD rather than becoming its own.
     pub fn blank(domain: &str, language: &str) -> Self {
-        let tld = domain.rsplit('.').next().unwrap_or("").to_string();
+        let normalized = domain.trim_end_matches('.');
+        let tld = match normalized.rsplit_once('.') {
+            Some((_, last)) => last.to_ascii_lowercase(),
+            None => String::new(),
+        };
         SiteObservation {
             domain: domain.to_string(),
             tld,
@@ -77,6 +172,9 @@ impl SiteObservation {
             dns_anycast: false,
             ca_owner: None,
             ca_owner_country: None,
+            hosting_error: None,
+            dns_error: None,
+            ca_error: None,
             error: None,
         }
     }
@@ -84,6 +182,76 @@ impl SiteObservation {
     /// True when every layer was measured successfully.
     pub fn complete(&self) -> bool {
         self.hosting_org.is_some() && self.dns_org.is_some() && self.ca_owner.is_some()
+    }
+
+    /// Recomputes the derived `error` summary from the per-layer slots:
+    /// first failure in pipeline order, ignoring `Skipped` layers.
+    pub fn derive_error_summary(&mut self) {
+        self.error = [&self.hosting_error, &self.dns_error, &self.ca_error]
+            .into_iter()
+            .flatten()
+            .find(|e| e.cause != FailureCause::Skipped)
+            .map(|e| e.detail.clone());
+    }
+}
+
+/// Failure counts by measurement layer and normalized cause.
+///
+/// Layers are keyed by name (`hosting`, `dns`, `ca`) and causes by
+/// [`FailureCause::name`]; `BTreeMap`s keep iteration — and the serialized
+/// form — deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureTaxonomy {
+    /// layer name → cause name → observation count.
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Observations with no failure at any layer.
+    pub clean: u64,
+    /// Observations examined.
+    pub total: u64,
+}
+
+impl FailureTaxonomy {
+    /// Records one layer failure.
+    pub fn record(&mut self, layer: &str, cause: FailureCause) {
+        *self
+            .counts
+            .entry(layer.to_string())
+            .or_default()
+            .entry(cause.name().to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Total failures recorded for a layer.
+    pub fn layer_total(&self, layer: &str) -> u64 {
+        self.counts
+            .get(layer)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Count for one (layer, cause) cell.
+    pub fn count(&self, layer: &str, cause: FailureCause) -> u64 {
+        self.counts
+            .get(layer)
+            .and_then(|m| m.get(cause.name()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the taxonomy as a compact Markdown table (one row per
+    /// layer × cause with a non-zero count).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| layer | cause | sites |\n|---|---|---:|\n");
+        for (layer, causes) in &self.counts {
+            for (cause, n) in causes {
+                out.push_str(&format!("| {layer} | {cause} | {n} |\n"));
+            }
+        }
+        out.push_str(&format!(
+            "| _clean_ | — | {} |\n| _total_ | — | {} |\n",
+            self.clean, self.total
+        ));
+        out
     }
 }
 
@@ -123,6 +291,33 @@ impl MeasuredDataset {
             .iter()
             .map(move |&i| &self.observations[i as usize])
     }
+
+    /// Tallies every observation's per-layer failures into a
+    /// [`FailureTaxonomy`]. Derived on demand so it can never drift from
+    /// the observations themselves.
+    pub fn failure_taxonomy(&self) -> FailureTaxonomy {
+        let mut tax = FailureTaxonomy {
+            total: self.observations.len() as u64,
+            ..FailureTaxonomy::default()
+        };
+        for obs in &self.observations {
+            let mut any = false;
+            for (layer, err) in [
+                ("hosting", &obs.hosting_error),
+                ("dns", &obs.dns_error),
+                ("ca", &obs.ca_error),
+            ] {
+                if let Some(e) = err {
+                    tax.record(layer, e.cause);
+                    any = true;
+                }
+            }
+            if !any {
+                tax.clean += 1;
+            }
+        }
+        tax
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +330,31 @@ mod tests {
         assert_eq!(o.tld, "co");
         assert!(!o.complete());
         assert!(o.error.is_none());
+    }
+
+    /// Regression: a fully-qualified name with a trailing root dot used to
+    /// yield an empty TLD (`rsplit('.')` sees the empty final label).
+    #[test]
+    fn blank_normalizes_trailing_dot() {
+        assert_eq!(SiteObservation::blank("example.com.", "en").tld, "com");
+        assert_eq!(SiteObservation::blank("example.COM.", "en").tld, "com");
+    }
+
+    /// Regression: label-less names must yield an empty TLD, not panic or
+    /// produce a garbage label.
+    #[test]
+    fn blank_rejects_label_less_names() {
+        assert_eq!(SiteObservation::blank(".", "en").tld, "");
+        assert_eq!(SiteObservation::blank("", "en").tld, "");
+        assert_eq!(SiteObservation::blank("...", "en").tld, "");
+    }
+
+    /// Regression: a single-label name (`"localhost"`) used to become its
+    /// own TLD.
+    #[test]
+    fn blank_rejects_single_label_names() {
+        assert_eq!(SiteObservation::blank("localhost", "en").tld, "");
+        assert_eq!(SiteObservation::blank("localhost.", "en").tld, "");
     }
 
     #[test]
@@ -153,5 +373,45 @@ mod tests {
         };
         assert!((ds.success_rate() - 0.5).abs() < 1e-12);
         assert_eq!(ds.country_observations(0).count(), 2);
+    }
+
+    #[test]
+    fn derived_summary_skips_skipped_layers() {
+        let mut o = SiteObservation::blank("a.com", "en");
+        o.hosting_error = Some(LayerError::new(FailureCause::Timeout, "A: query timed out"));
+        o.ca_error = Some(LayerError::new(FailureCause::Skipped, "hosting failed"));
+        o.derive_error_summary();
+        assert_eq!(o.error.as_deref(), Some("A: query timed out"));
+
+        o.hosting_error = None;
+        o.derive_error_summary();
+        assert_eq!(o.error, None, "skipped-only failures have no summary");
+    }
+
+    #[test]
+    fn taxonomy_counts_by_layer_and_cause() {
+        let mut a = SiteObservation::blank("a.com", "en");
+        a.hosting_error = Some(LayerError::new(FailureCause::Timeout, "A: timeout"));
+        a.ca_error = Some(LayerError::new(FailureCause::Skipped, "hosting failed"));
+        let mut b = SiteObservation::blank("b.com", "en");
+        b.dns_error = Some(LayerError::new(FailureCause::Refused, "NS: servfail"));
+        let clean = SiteObservation::blank("c.com", "en");
+        let ds = MeasuredDataset {
+            observations: vec![a, b, clean],
+            toplists: vec![vec![0, 1, 2]],
+            global_top: vec![],
+            label: "t".into(),
+        };
+        let tax = ds.failure_taxonomy();
+        assert_eq!(tax.total, 3);
+        assert_eq!(tax.clean, 1);
+        assert_eq!(tax.count("hosting", FailureCause::Timeout), 1);
+        assert_eq!(tax.count("ca", FailureCause::Skipped), 1);
+        assert_eq!(tax.count("dns", FailureCause::Refused), 1);
+        assert_eq!(tax.layer_total("hosting"), 1);
+        assert_eq!(tax.count("dns", FailureCause::Timeout), 0);
+        let md = tax.to_markdown();
+        assert!(md.contains("| hosting | timeout | 1 |"), "{md}");
+        assert!(md.contains("| _total_ | — | 3 |"), "{md}");
     }
 }

@@ -20,6 +20,6 @@ pub mod dataset;
 pub mod run;
 pub mod vantage;
 
-pub use dataset::{MeasuredDataset, SiteObservation};
+pub use dataset::{FailureCause, FailureTaxonomy, LayerError, MeasuredDataset, SiteObservation};
 pub use run::{measure, measure_with_stats, MeasureStats, PipelineConfig, Scheduling};
 pub use vantage::resolve_hosting_orgs;

@@ -14,7 +14,7 @@
 //! `measure` returns a byte-identical dataset for any worker count,
 //! scheduling mode, and cache setting.
 
-use crate::dataset::{MeasuredDataset, SiteObservation};
+use crate::dataset::{FailureCause, LayerError, MeasuredDataset, SiteObservation};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -89,6 +89,14 @@ pub struct MeasureStats {
     /// but waiting for stragglers. Static sharding drives this up; the
     /// dynamic queue keeps it near zero.
     pub peak_idle_fraction: f64,
+    /// DNS replies discarded as undecodable (truncated/corrupt datagrams),
+    /// summed over all workers.
+    pub malformed_datagrams: u64,
+    /// DNS replies discarded for a transaction-id mismatch (garbled or
+    /// stale datagrams), summed over all workers.
+    pub mismatched_ids: u64,
+    /// TLS server flights discarded as malformed, summed over all workers.
+    pub malformed_flights: u64,
 }
 
 /// What one worker brings home: observations tagged with their site index,
@@ -99,6 +107,9 @@ struct WorkerReport {
     wire_queries: u64,
     local_cache_hits: u64,
     shared_cache_hits: u64,
+    malformed_datagrams: u64,
+    mismatched_ids: u64,
+    malformed_flights: u64,
 }
 
 /// Measures every site of `world` against its deployment, returning the
@@ -202,6 +213,9 @@ pub fn measure_with_stats(
                         wire_queries: rstats.wire_queries,
                         local_cache_hits: rstats.local_cache_hits,
                         shared_cache_hits: rstats.shared_cache_hits,
+                        malformed_datagrams: rstats.malformed_datagrams,
+                        mismatched_ids: rstats.mismatched_ids,
+                        malformed_flights: scanner.malformed_flights,
                     }
                 })
             })
@@ -218,6 +232,9 @@ pub fn measure_with_stats(
     let wire_queries = reports.iter().map(|r| r.wire_queries).sum();
     let local_cache_hits = reports.iter().map(|r| r.local_cache_hits).sum();
     let shared_cache_hits = reports.iter().map(|r| r.shared_cache_hits).sum();
+    let malformed_datagrams = reports.iter().map(|r| r.malformed_datagrams).sum();
+    let mismatched_ids = reports.iter().map(|r| r.mismatched_ids).sum();
+    let malformed_flights = reports.iter().map(|r| r.malformed_flights).sum();
 
     // Scatter worker results back into site order.
     let mut slots: Vec<Option<SiteObservation>> = (0..n).map(|_| None).collect();
@@ -244,6 +261,9 @@ pub fn measure_with_stats(
         shared_cache_hits,
         worker_busy,
         peak_idle_fraction,
+        malformed_datagrams,
+        mismatched_ids,
+        malformed_flights,
     };
 
     let dataset = MeasuredDataset {
@@ -255,7 +275,38 @@ pub fn measure_with_stats(
     (dataset, stats)
 }
 
+/// Maps a resolver error onto the normalized failure taxonomy; `prefix`
+/// labels which lookup failed in the human-readable detail ("A", "NS").
+fn resolve_failure(prefix: &str, e: &ResolveError) -> LayerError {
+    let cause = match e {
+        ResolveError::Timeout => FailureCause::Timeout,
+        ResolveError::Network(_) => FailureCause::Unreachable,
+        ResolveError::NxDomain(_) => FailureCause::NxDomain,
+        ResolveError::NoData(_) => FailureCause::NoRecords,
+        ResolveError::DepthExceeded => FailureCause::Malformed,
+        ResolveError::ServFail => FailureCause::Refused,
+    };
+    LayerError::new(cause, format!("{prefix}: {e}"))
+}
+
+/// Maps a TLS scan error onto the normalized failure taxonomy.
+fn scan_failure(e: &webdep_tls::ScanError) -> LayerError {
+    use webdep_tls::ScanError;
+    let cause = match e {
+        ScanError::Timeout => FailureCause::Timeout,
+        ScanError::Network(_) => FailureCause::Unreachable,
+        ScanError::Alert(_) => FailureCause::Refused,
+        ScanError::BadResponse => FailureCause::Malformed,
+    };
+    LayerError::new(cause, format!("TLS: {e}"))
+}
+
 /// Runs the whole pipeline for a single observation.
+///
+/// Every layer runs to completion and records its *own* failure — a DNS
+/// timeout no longer masks a TLS refusal the way the old first-error-wins
+/// summary did. The CA layer is `Skipped` (not failed) when hosting left
+/// no IP to scan. The derived `error` summary is recomputed at the end.
 #[allow(clippy::too_many_arguments)]
 fn measure_one(
     obs: &mut SiteObservation,
@@ -268,7 +319,13 @@ fn measure_one(
     caodb: &CaOwnerDb,
 ) {
     let Ok(name) = DomainName::parse(&obs.domain) else {
-        obs.error = Some("unparseable domain".to_string());
+        obs.hosting_error = Some(LayerError::new(
+            FailureCause::Malformed,
+            "unparseable domain",
+        ));
+        obs.dns_error = Some(LayerError::new(FailureCause::Skipped, "domain unparseable"));
+        obs.ca_error = Some(LayerError::new(FailureCause::Skipped, "domain unparseable"));
+        obs.derive_error_summary();
         return;
     };
 
@@ -287,8 +344,10 @@ fn measure_one(
             obs.hosting_ip_country = geodb.country_of(ip).map(str::to_string);
             obs.hosting_anycast = anycast.contains(ip);
         }
-        Ok(_) => obs.error = Some("empty A answer".to_string()),
-        Err(e) => obs.error = Some(format!("A: {e}")),
+        Ok(_) => {
+            obs.hosting_error = Some(LayerError::new(FailureCause::NoRecords, "empty A answer"))
+        }
+        Err(e) => obs.hosting_error = Some(resolve_failure("A", &e)),
     }
 
     // DNS: NS names -> first NS address -> AS -> org.
@@ -316,43 +375,54 @@ fn measure_one(
                 }
                 obs.dns_ip_country = geodb.country_of(ip).map(str::to_string);
                 obs.dns_anycast = anycast.contains(ip);
-            } else if obs.error.is_none() {
-                obs.error = Some("no nameserver address".to_string());
+            } else {
+                obs.dns_error = Some(LayerError::new(
+                    FailureCause::NoRecords,
+                    "no nameserver address",
+                ));
             }
         }
         Ok(_) => {
-            if obs.error.is_none() {
-                obs.error = Some("empty NS answer".to_string());
-            }
+            obs.dns_error = Some(LayerError::new(FailureCause::NoRecords, "empty NS answer"))
         }
+        // A zone with no visible NS records is a data gap, not a failure.
         Err(ResolveError::NoData(_)) => {}
-        Err(e) => {
-            if obs.error.is_none() {
-                obs.error = Some(format!("NS: {e}"));
-            }
-        }
+        Err(e) => obs.dns_error = Some(resolve_failure("NS", &e)),
     }
 
     // TLS: leaf certificate -> issuer -> CA owner.
-    if let Some(ip) = obs.hosting_ip {
-        match scanner.scan(ip, &obs.domain) {
-            Ok(chain) => {
-                if let Some(leaf) = chain.leaf() {
+    match obs.hosting_ip {
+        None => {
+            obs.ca_error = Some(LayerError::new(
+                FailureCause::Skipped,
+                "no serving IP to scan",
+            ))
+        }
+        Some(ip) => match scanner.scan(ip, &obs.domain) {
+            Ok(chain) => match chain.leaf() {
+                Some(leaf) => {
                     if let Some(owner) = caodb.owner_of_issuer(leaf.issuer_id) {
                         obs.ca_owner = Some(owner.owner_id);
                         obs.ca_owner_country = Some(owner.country.clone());
-                    } else if obs.error.is_none() {
-                        obs.error = Some("unknown issuer".to_string());
+                    } else {
+                        obs.ca_error = Some(LayerError::new(
+                            FailureCause::UnknownIssuer,
+                            "unknown issuer",
+                        ));
                     }
                 }
-            }
-            Err(e) => {
-                if obs.error.is_none() {
-                    obs.error = Some(format!("TLS: {e}"));
+                None => {
+                    obs.ca_error = Some(LayerError::new(
+                        FailureCause::Malformed,
+                        "empty certificate chain",
+                    ))
                 }
-            }
-        }
+            },
+            Err(e) => obs.ca_error = Some(scan_failure(&e)),
+        },
     }
+
+    obs.derive_error_summary();
 }
 
 #[cfg(test)]

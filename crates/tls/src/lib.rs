@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod fault;
 pub mod handshake;
 pub mod scanner;
 pub mod server;
 
 pub use cert::{CertStore, Certificate, CertificateChain};
+pub use fault::{apply_tls_fault, ALERT_INTERNAL_ERROR};
 pub use handshake::{HandshakeMessage, TlsError};
 pub use scanner::{ScanError, Scanner, ScannerConfig};
 pub use server::TlsServer;

@@ -58,6 +58,9 @@ pub struct Scanner {
     next_random: u64,
     /// Handshakes attempted (including retries).
     pub handshakes_sent: u64,
+    /// Server flights discarded because they failed to parse or had an
+    /// unexpected shape (truncated or garbled responses).
+    pub malformed_flights: u64,
 }
 
 impl Scanner {
@@ -68,6 +71,7 @@ impl Scanner {
             config,
             next_random: 0x5EED,
             handshakes_sent: 0,
+            malformed_flights: 0,
         }
     }
 
@@ -111,6 +115,7 @@ impl Scanner {
                     continue; // stale reply from an earlier target
                 }
                 let Ok(frames) = decode_flight(&dgram.payload) else {
+                    self.malformed_flights += 1;
                     return Err(ScanError::BadResponse);
                 };
                 match frames.as_slice() {
@@ -118,7 +123,10 @@ impl Scanner {
                     [HandshakeMessage::ServerHello { .. }, HandshakeMessage::Certificate(chain)] => {
                         return Ok(chain.clone())
                     }
-                    _ => return Err(ScanError::BadResponse),
+                    _ => {
+                        self.malformed_flights += 1;
+                        return Err(ScanError::BadResponse);
+                    }
                 }
             }
         }

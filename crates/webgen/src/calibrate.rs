@@ -7,7 +7,7 @@
 //! toward a target while respecting per-bucket floors — used after mixing
 //! in the shared global-site pool, whose contribution is fixed.
 
-use webdep_core::centralization::centralization_score_counts;
+use webdep_core::centralization::centralization_score_counts_ref;
 
 /// Solves for a count vector of `total` sites over at most `pool_size`
 /// providers with the given top-provider share, whose centralization score
@@ -321,7 +321,7 @@ pub fn adjust_to_target(counts: &mut [u64], floors: &[u64], target_s: f64) -> f6
             counts[src] -= m;
         }
     }
-    centralization_score_counts(counts).unwrap_or(0.0)
+    centralization_score_counts_ref(counts).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -332,7 +332,7 @@ mod tests {
     use crate::paper_data::COUNTRIES;
 
     fn achieved(counts: &[u64]) -> f64 {
-        centralization_score_counts(counts).unwrap()
+        centralization_score_counts_ref(counts).unwrap()
     }
 
     #[test]

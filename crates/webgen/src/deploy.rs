@@ -41,7 +41,8 @@ use webdep_dns::zone::Zone;
 use webdep_dns::DNS_PORT;
 use webdep_geodb::{AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable};
 use webdep_netsim::{
-    Datagram, Endpoint, NetConfig, NetError, Network, Prefix, Region, ResponderSet, SharedEndpoint,
+    Datagram, Endpoint, FaultPlan, NetConfig, NetError, Network, Prefix, Region, ResponderSet,
+    SharedEndpoint,
 };
 use webdep_tls::cert::{Certificate, CertificateChain};
 use webdep_tls::handshake::{self, HandshakeMessage, ALERT_UNRECOGNIZED_NAME};
@@ -65,6 +66,12 @@ pub struct DeployConfig {
     /// threaded round trip costs. Disable to reproduce the original
     /// thread-per-rack deployment.
     pub inline_racks: bool,
+    /// Deterministic fault plan. Whole-run outages apply at the transport
+    /// to every non-protected server address; per-query flaky faults apply
+    /// only at the authoritative tier (hosting/DNS racks), keyed on
+    /// `(server ip, qname or sni)` so retries meet the same fate on every
+    /// worker schedule. The root server is always protected.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for DeployConfig {
@@ -75,6 +82,7 @@ impl Default for DeployConfig {
             seed: 7,
             loss_rate: 0.0,
             inline_racks: true,
+            faults: None,
         }
     }
 }
@@ -197,6 +205,8 @@ struct RackData {
     provider_slug: Arc<Vec<String>>,
     /// Eyeball prefixes for querier-continent detection.
     eyeballs: [Prefix; 6],
+    /// Active fault plan for this deployment (authoritative tier only).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl RackData {
@@ -288,28 +298,32 @@ impl RackData {
         resp
     }
 
-    fn respond_tls(&self, payload: &[u8]) -> Option<Bytes> {
+    fn respond_tls(&self, payload: &[u8], dst: Ipv4Addr) -> Option<Bytes> {
         let frames = handshake::decode_flight(payload).ok()?;
         let HandshakeMessage::ClientHello { random, sni } = frames.first()? else {
             return None;
         };
-        match self.leaf_by_sni.get(&sni.to_ascii_lowercase()) {
+        let flight = match self.leaf_by_sni.get(&sni.to_ascii_lowercase()) {
             Some(leaf) => {
                 let (inter, root) = &self.ca_certs[leaf_ca_index(leaf)];
                 let chain = CertificateChain {
                     certs: vec![leaf.clone(), inter.clone(), root.clone()],
                 };
-                Some(handshake::encode_flight(&[
+                handshake::encode_flight(&[
                     HandshakeMessage::ServerHello {
                         random: random.wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         cipher: 0x1301,
                     },
                     HandshakeMessage::Certificate(chain),
-                ]))
+                ])
             }
-            None => Some(handshake::encode_flight(&[HandshakeMessage::Alert(
+            None => handshake::encode_flight(&[HandshakeMessage::Alert(
                 ALERT_UNRECOGNIZED_NAME,
-            )])),
+            )]),
+        };
+        match &self.faults {
+            Some(plan) => webdep_tls::apply_tls_fault(plan, dst, sni, flight),
+            None => Some(flight),
         }
     }
 }
@@ -321,15 +335,23 @@ fn leaf_ca_index(leaf: &Certificate) -> usize {
 
 /// One rack answer: DNS on port 53, TLS on 443. Pure in the rack data, so
 /// it can run on a rack thread or inline on the querier's thread alike.
+/// Any active fault plan is applied to the ready answer, keyed on the
+/// server address the query was sent to.
 fn rack_respond(data: &RackData, dgram: &Datagram) -> Option<Bytes> {
     match dgram.dst.port {
         DNS_PORT => match dnswire::decode(&dgram.payload) {
             Ok(query) if !query.is_response => {
-                Some(dnswire::encode(&data.respond_dns(&query, dgram.src.ip)))
+                let resp = data.respond_dns(&query, dgram.src.ip);
+                match &data.faults {
+                    Some(plan) => {
+                        webdep_dns::apply_dns_fault(plan, dgram.dst.ip, &query, &resp)
+                    }
+                    None => Some(dnswire::encode(&resp)),
+                }
             }
             _ => None,
         },
-        TLS_PORT => data.respond_tls(&dgram.payload),
+        TLS_PORT => data.respond_tls(&dgram.payload, dgram.dst.ip),
         _ => None,
     }
 }
@@ -385,9 +407,23 @@ fn registry_loop(
 impl DeployedWorld {
     /// Deploys `world` onto a fresh network.
     pub fn deploy(world: &World, config: DeployConfig) -> DeployedWorld {
+        // The root always answers: a whole-run outage of the single root
+        // address would zero the measurement rather than degrade it, and
+        // the fault model targets provider infrastructure.
+        let root_ip = Ipv4Addr::new(198, 41, 0, 4);
+        let faults = config.faults.clone().filter(|p| p.is_active()).map(|plan| {
+            if plan.protected.contains(&root_ip) {
+                plan
+            } else {
+                let mut p = (*plan).clone();
+                p.protected.push(root_ip);
+                Arc::new(p)
+            }
+        });
         let network = Network::new(NetConfig {
             loss_rate: config.loss_rate,
             seed: config.seed,
+            faults: faults.clone(),
             ..NetConfig::default()
         });
         let universe = &world.universe;
@@ -534,6 +570,7 @@ impl DeployedWorld {
                 provider_cdn: Arc::clone(&provider_cdn),
                 provider_slug: Arc::clone(&provider_slug),
                 eyeballs: eyeball_prefixes,
+                faults: faults.clone(),
             })
             .collect();
 
@@ -661,7 +698,6 @@ impl DeployedWorld {
             registry_tables[gi % registry_groups].insert(ip, Arc::new(table));
         }
         // Root server.
-        let root_ip = Ipv4Addr::new(198, 41, 0, 4);
         let root_ep = network
             .bind(root_ip, DNS_PORT, Region::NORTH_AMERICA)
             .expect("root address free");
@@ -978,6 +1014,87 @@ mod tests {
             .find(|p| !p.is_empty())
             .unwrap();
         assert_eq!(dep.geodb.country_of(pool[0]), Some("RU"));
+    }
+
+    #[test]
+    fn fault_plan_degrades_racks_but_spares_root_and_registries() {
+        use webdep_netsim::{FaultKind, FaultPlan};
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(
+            &world,
+            DeployConfig {
+                faults: Some(Arc::new(FaultPlan::flaky(
+                    5,
+                    1.0,
+                    1.0,
+                    vec![FaultKind::ServFail],
+                ))),
+                ..DeployConfig::default()
+            },
+        );
+        let site = &world.sites[world.toplists[0][0] as usize];
+        let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+
+        // Every rack answers SERVFAIL, so resolution fails — but quickly
+        // (no timeouts): root and registry referrals still work, and the
+        // authoritative servers answer, just unhelpfully.
+        let vantage = dep.vantage(Continent::NorthAmerica);
+        let mut resolver =
+            IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
+        let err = resolver.resolve_a(&name).unwrap_err();
+        assert!(matches!(
+            err,
+            webdep_dns::resolver::ResolveError::ServFail
+        ));
+
+        // TLS flights from the hosting rack become fatal alerts.
+        let pool = dep.pools[site.hosting as usize]
+            .pools
+            .iter()
+            .find(|p| !p.is_empty())
+            .unwrap();
+        let mut scanner = Scanner::new(
+            dep.vantage(Continent::NorthAmerica),
+            ScannerConfig::default(),
+        );
+        let err = scanner.scan(pool[0], &site.domain).unwrap_err();
+        assert_eq!(
+            err,
+            webdep_tls::ScanError::Alert(webdep_tls::ALERT_INTERNAL_ERROR)
+        );
+    }
+
+    #[test]
+    fn outage_plan_black_holes_rack_servers() {
+        use webdep_netsim::FaultPlan;
+        let world = World::generate(WorldConfig::tiny());
+        let dep = DeployedWorld::deploy(
+            &world,
+            DeployConfig {
+                faults: Some(Arc::new(FaultPlan::outages(9, 1.0))),
+                ..DeployConfig::default()
+            },
+        );
+        // Every server address except the protected root is out; the
+        // resolver gets referrals nowhere (registry IPs are out too) and
+        // must conclude with a timeout rather than hang.
+        let vantage = dep.vantage(Continent::Europe);
+        let mut resolver = IterativeResolver::new(
+            vantage,
+            dep.roots.clone(),
+            ResolverConfig {
+                timeout: Duration::from_millis(20),
+                retries: 0,
+                ..ResolverConfig::default()
+            },
+        );
+        let site = &world.sites[world.toplists[3][0] as usize];
+        let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
+        let err = resolver.resolve_a(&name).unwrap_err();
+        assert!(matches!(
+            err,
+            webdep_dns::resolver::ResolveError::Timeout
+        ));
     }
 
     #[test]

@@ -904,7 +904,7 @@ impl World {
             .into_iter()
             .map(|(_, c)| c)
             .collect();
-        webdep_core::centralization::centralization_score_counts(&counts).unwrap_or(0.0)
+        webdep_core::centralization::centralization_score_counts_ref(&counts).unwrap_or(0.0)
     }
 }
 

@@ -60,7 +60,7 @@ fn layer_ordering_matches_paper() {
     let (world, ds) = fixture();
     let ctx = AnalysisCtx::new(world, ds);
     // Mean centralization: TLD > CA > hosting ~ DNS (Figure 9's gist).
-    let mean = |l: Layer| layer_table(&ctx, l).summary.mean;
+    let mean = |l: Layer| layer_table(&ctx, l).summary.unwrap().mean;
     let (h, d, c, t) = (
         mean(Layer::Hosting),
         mean(Layer::Dns),
@@ -69,7 +69,7 @@ fn layer_ordering_matches_paper() {
     );
     assert!(t > c && c > (h + d) / 2.0 - 0.02, "t={t} c={c} h={h} d={d}");
     // CA var smallest among provider layers (§7.1).
-    let var = |l: Layer| layer_table(&ctx, l).summary.var;
+    let var = |l: Layer| layer_table(&ctx, l).summary.unwrap().var;
     assert!(var(Layer::Ca) < var(Layer::Tld));
 }
 

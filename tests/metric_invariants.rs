@@ -3,7 +3,7 @@
 //! survive realistic (Zipf-mixture) distributions.
 
 use proptest::prelude::*;
-use webdep::core::centralization::{centralization_score_counts, max_score};
+use webdep::core::centralization::{centralization_score_counts_ref, max_score};
 use webdep::core::dist::CountDist;
 use webdep::core::emd::emd_to_decentralized_via_transport;
 use webdep::webgen::calibrate::{adjust_to_target, solve_counts};
@@ -23,7 +23,7 @@ proptest! {
         let head = head_share_for_score(target);
         let counts = solve_counts(target, total, pool, head);
         prop_assert_eq!(counts.iter().sum::<u64>(), total);
-        let s = centralization_score_counts(&counts).unwrap();
+        let s = centralization_score_counts_ref(&counts).unwrap();
         prop_assert!((s - target).abs() < 0.02, "target {}, got {}", target, s);
     }
 
@@ -59,7 +59,7 @@ proptest! {
             .map(|i| ((providers as f64 / i as f64).powf(exponent)).ceil() as u64)
             .collect();
         let dist = CountDist::from_counts(counts).unwrap();
-        let closed = centralization_score_counts(
+        let closed = centralization_score_counts_ref(
             dist.counts()
         ).unwrap();
         let solved = emd_to_decentralized_via_transport(&dist).unwrap();
