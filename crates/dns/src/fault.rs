@@ -8,36 +8,39 @@
 use crate::wire::{encode, Message, Rcode};
 use bytes::Bytes;
 use std::net::Ipv4Addr;
-use webdep_netsim::{FaultKind, FaultPlan};
+use webdep_netsim::{FaultKind, FaultPlan, FaultedReply};
 
 /// Runs the clean `response` to `query` through `plan` as server `ip`.
 ///
-/// Returns `None` when the fault swallows the reply, otherwise the payload
-/// to send — possibly a SERVFAIL, a truncated prefix, or a garbled header.
-/// [`FaultKind::Delay`] sleeps on the serving thread before answering.
+/// The returned [`FaultedReply`] carries the payload to send (`None` when
+/// the fault swallows the reply) — possibly a SERVFAIL, a truncated
+/// prefix, or a garbled header — and, for [`FaultKind::Delay`], how long
+/// delivery must wait. The delay is never slept here: the serving context
+/// schedules it so one slow answer cannot head-of-line-block a server's
+/// other clients.
 pub fn apply_dns_fault(
     plan: &FaultPlan,
     ip: Ipv4Addr,
     query: &Message,
     response: &Message,
-) -> Option<Bytes> {
+) -> FaultedReply {
     let key = query
         .questions
         .first()
         .map(|q| q.name.as_str())
         .unwrap_or("");
     match plan.query_fault(ip, key.as_bytes()) {
-        None => Some(encode(response)),
-        Some(FaultKind::Drop) => None,
+        None => FaultedReply::clean(encode(response)),
+        Some(FaultKind::Drop) => FaultedReply::swallowed(),
         Some(FaultKind::ServFail) => {
             let mut r = Message::response_to(query);
             r.rcode = Rcode::ServFail;
-            Some(encode(&r))
+            FaultedReply::clean(encode(&r))
         }
         Some(FaultKind::Truncate) => {
             // Half a message never survives the record parser.
             let full = encode(response);
-            Some(Bytes::from(full[..full.len() / 2].to_vec()))
+            FaultedReply::clean(Bytes::from(full[..full.len() / 2].to_vec()))
         }
         Some(FaultKind::Garble) => {
             // Flip the transaction id: the reply decodes cleanly but matches
@@ -45,12 +48,12 @@ pub fn apply_dns_fault(
             let mut v = encode(response).to_vec();
             v[0] ^= 0xFF;
             v[1] ^= 0xFF;
-            Some(Bytes::from(v))
+            FaultedReply::clean(Bytes::from(v))
         }
-        Some(FaultKind::Delay) => {
-            std::thread::sleep(plan.delay);
-            Some(encode(response))
-        }
+        Some(FaultKind::Delay) => FaultedReply {
+            payload: Some(encode(response)),
+            delay: Some(plan.delay),
+        },
     }
 }
 
@@ -74,14 +77,14 @@ mod tests {
     fn inactive_plan_passes_through() {
         let (q, r) = msgs();
         let out = apply_dns_fault(&FaultPlan::none(), "1.2.3.4".parse().unwrap(), &q, &r);
-        assert_eq!(out, Some(encode(&r)));
+        assert_eq!(out, webdep_netsim::FaultedReply::clean(encode(&r)));
     }
 
     #[test]
     fn drop_swallows_the_reply() {
         let (q, r) = msgs();
         let out = apply_dns_fault(&plan_with(FaultKind::Drop), "1.2.3.4".parse().unwrap(), &q, &r);
-        assert_eq!(out, None);
+        assert_eq!(out, webdep_netsim::FaultedReply::swallowed());
     }
 
     #[test]
@@ -89,6 +92,7 @@ mod tests {
         let (q, r) = msgs();
         let out =
             apply_dns_fault(&plan_with(FaultKind::ServFail), "1.2.3.4".parse().unwrap(), &q, &r)
+                .payload
                 .unwrap();
         let decoded = decode(&out).unwrap();
         assert_eq!(decoded.rcode, Rcode::ServFail);
@@ -100,6 +104,7 @@ mod tests {
         let (q, r) = msgs();
         let out =
             apply_dns_fault(&plan_with(FaultKind::Truncate), "1.2.3.4".parse().unwrap(), &q, &r)
+                .payload
                 .unwrap();
         assert!(decode(&out).is_err());
     }
@@ -109,8 +114,20 @@ mod tests {
         let (q, r) = msgs();
         let out =
             apply_dns_fault(&plan_with(FaultKind::Garble), "1.2.3.4".parse().unwrap(), &q, &r)
+                .payload
                 .unwrap();
         let decoded = decode(&out).unwrap();
         assert_ne!(decoded.id, q.id);
+    }
+
+    #[test]
+    fn delay_returns_the_wait_instead_of_sleeping() {
+        let (q, r) = msgs();
+        let plan = plan_with(FaultKind::Delay);
+        let start = std::time::Instant::now();
+        let out = apply_dns_fault(&plan, "1.2.3.4".parse().unwrap(), &q, &r);
+        assert!(start.elapsed() < plan.delay, "must not sleep inline");
+        assert_eq!(out.delay, Some(plan.delay));
+        assert_eq!(out.payload, Some(encode(&r)));
     }
 }

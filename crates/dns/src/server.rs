@@ -3,11 +3,12 @@
 use crate::fault::apply_dns_fault;
 use crate::wire::{decode, encode, Message, Rcode};
 use crate::zone::{Zone, ZoneLookup};
+use bytes::Bytes;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-use webdep_netsim::{Endpoint, FaultPlan};
+use std::time::{Duration, Instant};
+use webdep_netsim::{Endpoint, FaultPlan, FaultedReply, SockAddr};
 
 /// An authoritative server: serves one or more zones from a thread bound to
 /// a netsim endpoint. Stops when dropped.
@@ -42,7 +43,9 @@ impl AuthServer {
     }
 
     /// Signals the thread to stop and waits for it; returns the number of
-    /// queries served. Called automatically on drop (discarding the count).
+    /// responses actually sent (faults that swallow a reply, undecodable
+    /// datagrams, and delayed replies still queued at shutdown are not
+    /// counted). Called automatically on drop (discarding the count).
     pub fn shutdown(mut self) -> u64 {
         self.begin_stop();
         self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
@@ -62,6 +65,10 @@ impl Drop for AuthServer {
     }
 }
 
+/// Idle receive tick of the serve loop (also the upper bound on how late a
+/// scheduled delayed reply can fire).
+const SERVE_TICK: Duration = Duration::from_millis(50);
+
 fn serve_loop(
     endpoint: Endpoint,
     mut zones: Vec<Arc<Zone>>,
@@ -72,8 +79,29 @@ fn serve_loop(
     zones.sort_by_key(|z| std::cmp::Reverse(z.origin().num_labels()));
     let faults = faults.filter(|p| p.is_active());
     let mut served = 0u64;
+    // Replies held back by [`webdep_netsim::FaultKind::Delay`] are scheduled
+    // here instead of slept on the serving thread: one slow answer must not
+    // head-of-line-block the server's other clients.
+    let mut delayed: Vec<(Instant, SockAddr, Bytes)> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                let (_, dst, payload) = delayed.swap_remove(i);
+                served += 1;
+                // Best effort: the client may already be gone.
+                let _ = endpoint.send(dst, payload);
+            } else {
+                i += 1;
+            }
+        }
+        let tick = delayed
+            .iter()
+            .map(|(due, ..)| due.saturating_duration_since(now))
+            .min()
+            .map_or(SERVE_TICK, |d| d.min(SERVE_TICK));
+        let dgram = match endpoint.recv_timeout(tick) {
             Ok(d) => d,
             Err(webdep_netsim::NetError::Timeout) => continue,
             Err(_) => break, // network gone
@@ -89,14 +117,19 @@ fn serve_loop(
             r.rcode = Rcode::FormErr;
             r
         };
-        let payload = match &faults {
+        let reply = match &faults {
             Some(plan) => apply_dns_fault(plan, endpoint.addr().ip, &query, &response),
-            None => Some(encode(&response)),
+            None => FaultedReply::clean(encode(&response)),
         };
-        served += 1;
-        if let Some(payload) = payload {
-            // Best effort: the client may already be gone.
-            let _ = endpoint.send(dgram.src, payload);
+        let Some(payload) = reply.payload else {
+            continue; // the fault swallowed the reply
+        };
+        match reply.delay {
+            Some(d) => delayed.push((Instant::now() + d, dgram.src, payload)),
+            None => {
+                served += 1;
+                let _ = endpoint.send(dgram.src, payload);
+            }
         }
     }
     served
@@ -201,6 +234,82 @@ mod tests {
         client.send(server_addr, encode(&query)).unwrap();
         let d = client.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(decode(&d.payload).unwrap().id, 7);
+    }
+
+    #[test]
+    fn delayed_answer_does_not_block_other_queries() {
+        use webdep_netsim::{FaultKind, FaultPlan};
+        let server_ip: Ipv4Addr = "192.0.2.53".parse().unwrap();
+        let plan = FaultPlan {
+            delay: Duration::from_millis(300),
+            ..FaultPlan::flaky(21, 1.0, 0.5, vec![FaultKind::Delay])
+        };
+        // Pick one name the plan delays and one it spares (fault decisions
+        // are pure in (ip, qname), so we can probe them up front).
+        let mut z = Zone::new(n("example.com"));
+        let mut names = Vec::new();
+        for i in 0..64 {
+            let name = n(&format!("h{i}.example.com"));
+            z.add_a(name.clone(), Ipv4Addr::new(192, 0, 2, 2));
+            names.push(name);
+        }
+        let delayed = names
+            .iter()
+            .find(|nm| plan.query_fault(server_ip, nm.as_str().as_bytes()).is_some())
+            .expect("some name is delayed")
+            .clone();
+        let clean = names
+            .iter()
+            .find(|nm| plan.query_fault(server_ip, nm.as_str().as_bytes()).is_none())
+            .expect("some name is clean")
+            .clone();
+
+        let net = Network::new(NetConfig::default());
+        let server_ep = net.bind(server_ip, 53, Region::EUROPE).unwrap();
+        let server_addr = server_ep.addr();
+        let _server =
+            AuthServer::spawn_with_faults(server_ep, vec![Arc::new(z)], Some(Arc::new(plan)));
+
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        // The delayed query goes first; the clean answer must overtake it.
+        client
+            .send(server_addr, encode(&Message::query(1, delayed, RecordType::A)))
+            .unwrap();
+        client
+            .send(server_addr, encode(&Message::query(2, clean, RecordType::A)))
+            .unwrap();
+        let first = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload)
+            .unwrap();
+        assert_eq!(first.id, 2, "clean answer must not wait behind a delayed one");
+        let second = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload)
+            .unwrap();
+        assert_eq!(second.id, 1, "the delayed answer still arrives");
+    }
+
+    #[test]
+    fn swallowed_replies_are_not_counted_as_served() {
+        use webdep_netsim::{FaultKind, FaultPlan};
+        let net = Network::new(NetConfig::default());
+        let server_ep = net
+            .bind("192.0.2.53".parse().unwrap(), 53, Region::EUROPE)
+            .unwrap();
+        let server_addr = server_ep.addr();
+        let plan = FaultPlan::flaky(1, 1.0, 1.0, vec![FaultKind::Drop]);
+        let server =
+            AuthServer::spawn_with_faults(server_ep, vec![zone()], Some(Arc::new(plan)));
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        client
+            .send(
+                server_addr,
+                encode(&Message::query(3, n("www.example.com"), RecordType::A)),
+            )
+            .unwrap();
+        assert!(client.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(server.shutdown(), 0, "swallowed replies are not served");
     }
 
     #[test]

@@ -19,11 +19,13 @@
 //!   which hold for the entire run and are visible to every client equally.
 //!
 //! The plan is enforced in two places: the network's send path black-holes
-//! every datagram addressed to an out server (covering DNS, TLS and registry
-//! traffic uniformly), and protocol servers consult
+//! every datagram addressed to a *service port* of an out server (covering
+//! DNS, TLS and registry traffic uniformly — see [`FaultPlan::black_holes`]
+//! for why replies to clients are exempt), and protocol servers consult
 //! [`FaultPlan::query_fault`] to corrupt, refuse, delay, or drop individual
 //! answers on flaky servers.
 
+use bytes::Bytes;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -61,6 +63,38 @@ impl FaultKind {
             FaultKind::Garble => "garble",
             FaultKind::Delay => "delay",
         }
+    }
+}
+
+/// A reply after fault application: the payload to send (`None` when the
+/// fault swallowed it) plus an optional delivery delay
+/// ([`FaultKind::Delay`]).
+///
+/// The delay is *returned*, not slept, so the serving context can charge
+/// it to the right party: threaded servers schedule the reply for later
+/// delivery (one slow answer must not head-of-line-block the server's
+/// other clients), while inline responders — already running on the
+/// querier's own thread — may simply sleep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultedReply {
+    /// The payload to send, or `None` when the fault swallowed the reply.
+    pub payload: Option<Bytes>,
+    /// How long delivery must wait ([`FaultKind::Delay`] only).
+    pub delay: Option<Duration>,
+}
+
+impl FaultedReply {
+    /// A clean, undelayed reply.
+    pub fn clean(payload: Bytes) -> Self {
+        FaultedReply {
+            payload: Some(payload),
+            delay: None,
+        }
+    }
+
+    /// A swallowed reply: nothing is ever sent.
+    pub fn swallowed() -> Self {
+        FaultedReply::default()
     }
 }
 
@@ -164,11 +198,31 @@ impl FaultPlan {
         splitmix64(self.seed ^ salt ^ u64::from(u32::from(ip)))
     }
 
+    /// First ephemeral port. Outages black-hole only datagrams addressed
+    /// to service ports below this bound; clients (vantage points, stub
+    /// sockets) bind at or above it.
+    pub const EPHEMERAL_PORT_FLOOR: u16 = 1024;
+
     /// Whether `ip` is down for the whole run. Pure in `(seed, ip)`.
     pub fn server_out(&self, ip: Ipv4Addr) -> bool {
         self.outage_fraction > 0.0
             && !self.protected.contains(&ip)
             && unit_f64(self.ip_stream(OUTAGE_SALT, ip)) < self.outage_fraction
+    }
+
+    /// Whether an outage eats a datagram addressed to `ip:port`.
+    ///
+    /// An outage kills a *server*, identified by its well-known service
+    /// port (53, 443, …; anything below
+    /// [`FaultPlan::EPHEMERAL_PORT_FLOOR`]). Replies to clients on
+    /// ephemeral ports are never black-holed: a dead server cannot be
+    /// reached, but a live client that happens to share an "out" address
+    /// always can. The port gate also keeps outage plans deterministic —
+    /// which traffic is eaten depends only on the plan and the
+    /// deployment's fixed serving addresses, never on which worker bound
+    /// which vantage address in what order.
+    pub fn black_holes(&self, ip: Ipv4Addr, port: u16) -> bool {
+        port < Self::EPHEMERAL_PORT_FLOOR && self.server_out(ip)
     }
 
     /// Whether `ip` is flaky (faults a fraction of its queries). Out servers
@@ -264,6 +318,20 @@ mod tests {
         }
         let rate = hit as f64 / 500.0;
         assert!((rate - 0.5).abs() < 0.08, "fail rate {rate}");
+    }
+
+    #[test]
+    fn outages_black_hole_service_ports_only() {
+        let plan = FaultPlan::outages(1, 1.0);
+        for i in 0..64 {
+            assert!(plan.server_out(ip(i)));
+            // Service ports (DNS, TLS) are eaten …
+            assert!(plan.black_holes(ip(i), 53));
+            assert!(plan.black_holes(ip(i), 443));
+            // … replies to ephemeral client ports never are.
+            assert!(!plan.black_holes(ip(i), FaultPlan::EPHEMERAL_PORT_FLOOR));
+            assert!(!plan.black_holes(ip(i), 33000));
+        }
     }
 
     #[test]

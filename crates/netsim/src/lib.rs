@@ -40,7 +40,7 @@ pub mod shared;
 
 pub use addr::{Prefix, SockAddr};
 pub use error::NetError;
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, FaultedReply};
 pub use latency::LatencyModel;
 pub use network::{Endpoint, NetConfig, NetStats, Network, Region, ResponderFn};
 pub use packet::Datagram;

@@ -68,9 +68,11 @@ pub struct NetConfig {
     /// Latency model used for anycast site selection and latency accounting.
     pub latency: LatencyModel,
     /// Optional fault-injection plan. Servers the plan declares out become
-    /// transport-level black holes: every datagram addressed to them is
-    /// silently eaten (counted in [`NetStats::faulted`]), whatever the
-    /// protocol on top.
+    /// transport-level black holes: every datagram addressed to one of
+    /// their *service ports* is silently eaten (counted in
+    /// [`NetStats::faulted`]), whatever the protocol on top. Replies to
+    /// clients on ephemeral ports always get through — see
+    /// [`FaultPlan::black_holes`].
     pub faults: Option<Arc<FaultPlan>>,
 }
 
@@ -388,9 +390,11 @@ impl Network {
 
         // An out server is a black hole, not an unbound address: the sender
         // cannot tell the difference between outage and loss, exactly like a
-        // dead host behind a live route.
+        // dead host behind a live route. Only datagrams addressed to the
+        // server's service ports are eaten — a reply to a client's
+        // ephemeral port is not traffic *to* the dead server.
         if let Some(plan) = &inner.config.faults {
-            if plan.server_out(dst.ip) {
+            if plan.black_holes(dst.ip, dst.port) {
                 inner.stats.faulted.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
@@ -698,6 +702,31 @@ mod tests {
         assert_eq!(stats.faulted, 1);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn outage_never_eats_replies_to_ephemeral_ports() {
+        // Every address is "out", yet a reply to a client bound on an
+        // ephemeral port must still arrive: outages kill servers (service
+        // ports), not the clients that queried them.
+        let net = Network::new(NetConfig {
+            faults: Some(Arc::new(FaultPlan::outages(1, 1.0))),
+            ..Default::default()
+        });
+        let server = net.bind(ip("10.0.0.1"), 53, Region::ASIA).unwrap();
+        let client = net.bind(ip("10.0.0.2"), 33000, Region::ASIA).unwrap();
+        server
+            .send(client.addr(), Bytes::from_static(b"reply"))
+            .unwrap();
+        let d = client.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&d.payload[..], b"reply");
+        // The forward direction (to the server's service port) stays eaten.
+        client.send(server.addr(), Bytes::from_static(b"q")).unwrap();
+        assert_eq!(
+            server.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+        assert_eq!(net.stats().faulted, 1);
     }
 
     #[test]

@@ -178,6 +178,26 @@ fn faulted_dataset_identical_across_worker_counts() {
     assert_eq!(solo, again, "redeployment changed the faulted dataset");
 }
 
+/// The same law for an *outage* plan. Outages are enforced in the
+/// network's send path, where a careless implementation could black-hole
+/// replies to the vantage endpoints too — and vantage addresses are
+/// assigned by worker arrival order, which would make the dataset depend
+/// on worker count. Outages must key on the deployment's fixed serving
+/// addresses only.
+#[test]
+fn outage_dataset_identical_across_worker_counts() {
+    let world = small_world();
+    let dep = deploy_with_faults(&world, FaultPlan::outages(23, 0.3));
+    let solo = measure(&world, &dep, &fast_config(1));
+    let eight = measure(&world, &dep, &fast_config(8));
+    assert_eq!(solo, eight, "worker count changed the outage dataset");
+    // The comparison only bites if the outage actually splits the world:
+    // some sites must fail and some must still measure cleanly.
+    let tax = solo.failure_taxonomy();
+    assert!(tax.clean > 0, "a 30% outage should leave survivors");
+    assert!(tax.clean < tax.total, "a 30% outage should leave a mark");
+}
+
 /// Flaky servers leave fingerprints in the observability counters:
 /// truncated datagrams are malformed, garbled ones mismatch their id, and
 /// both must be visible in the run's aggregate stats.

@@ -7,7 +7,7 @@
 use crate::handshake::{encode_flight, HandshakeMessage};
 use bytes::Bytes;
 use std::net::Ipv4Addr;
-use webdep_netsim::{FaultKind, FaultPlan};
+use webdep_netsim::{FaultKind, FaultPlan, FaultedReply};
 
 /// Alert code fault-injected refusals answer with (mirrors TLS's
 /// `internal_error`, 80).
@@ -15,34 +15,38 @@ pub const ALERT_INTERNAL_ERROR: u8 = 80;
 
 /// Runs the clean server `flight` for `sni` through `plan` as server `ip`.
 ///
-/// Returns `None` when the fault swallows the flight, otherwise the payload
-/// to send — possibly a fatal alert, a truncated prefix, or a garbled
-/// flight. [`FaultKind::Delay`] sleeps on the serving thread first.
+/// The returned [`FaultedReply`] carries the payload to send (`None` when
+/// the fault swallows the flight) — possibly a fatal alert, a truncated
+/// prefix, or a garbled flight — and, for [`FaultKind::Delay`], how long
+/// delivery must wait. The delay is never slept here; the serving context
+/// schedules it (see [`FaultedReply`]).
 pub fn apply_tls_fault(
     plan: &FaultPlan,
     ip: Ipv4Addr,
     sni: &str,
     flight: Bytes,
-) -> Option<Bytes> {
+) -> FaultedReply {
     match plan.query_fault(ip, sni.as_bytes()) {
-        None => Some(flight),
-        Some(FaultKind::Drop) => None,
-        Some(FaultKind::ServFail) => Some(encode_flight(&[HandshakeMessage::Alert(
-            ALERT_INTERNAL_ERROR,
-        )])),
-        Some(FaultKind::Truncate) => Some(Bytes::from(flight[..flight.len() / 2].to_vec())),
+        None => FaultedReply::clean(flight),
+        Some(FaultKind::Drop) => FaultedReply::swallowed(),
+        Some(FaultKind::ServFail) => FaultedReply::clean(encode_flight(&[
+            HandshakeMessage::Alert(ALERT_INTERNAL_ERROR),
+        ])),
+        Some(FaultKind::Truncate) => {
+            FaultedReply::clean(Bytes::from(flight[..flight.len() / 2].to_vec()))
+        }
         Some(FaultKind::Garble) => {
             // Flip the leading frame type: the flight no longer parses.
             let mut v = flight.to_vec();
             if let Some(b) = v.first_mut() {
                 *b ^= 0xFF;
             }
-            Some(Bytes::from(v))
+            FaultedReply::clean(Bytes::from(v))
         }
-        Some(FaultKind::Delay) => {
-            std::thread::sleep(plan.delay);
-            Some(flight)
-        }
+        Some(FaultKind::Delay) => FaultedReply {
+            payload: Some(flight),
+            delay: Some(plan.delay),
+        },
     }
 }
 
@@ -64,11 +68,11 @@ mod tests {
         let ip = "1.2.3.4".parse().unwrap();
         assert_eq!(
             apply_tls_fault(&FaultPlan::none(), ip, "a.example", flight()),
-            Some(flight())
+            FaultedReply::clean(flight())
         );
         assert_eq!(
             apply_tls_fault(&plan_with(FaultKind::Drop), ip, "a.example", flight()),
-            None
+            FaultedReply::swallowed()
         );
     }
 
@@ -76,7 +80,7 @@ mod tests {
     fn refusal_is_a_fatal_alert() {
         let ip = "1.2.3.4".parse().unwrap();
         let out = apply_tls_fault(&plan_with(FaultKind::ServFail), ip, "a.example", flight());
-        let frames = decode_flight(&out.unwrap()).unwrap();
+        let frames = decode_flight(&out.payload.unwrap()).unwrap();
         assert_eq!(frames, vec![HandshakeMessage::Alert(ALERT_INTERNAL_ERROR)]);
     }
 
@@ -84,8 +88,21 @@ mod tests {
     fn truncated_and_garbled_flights_do_not_parse() {
         let ip = "1.2.3.4".parse().unwrap();
         for kind in [FaultKind::Truncate, FaultKind::Garble] {
-            let out = apply_tls_fault(&plan_with(kind), ip, "a.example", flight()).unwrap();
+            let out = apply_tls_fault(&plan_with(kind), ip, "a.example", flight())
+                .payload
+                .unwrap();
             assert!(decode_flight(&out).is_err(), "{kind:?} should not parse");
         }
+    }
+
+    #[test]
+    fn delay_returns_the_wait_instead_of_sleeping() {
+        let ip = "1.2.3.4".parse().unwrap();
+        let plan = plan_with(FaultKind::Delay);
+        let start = std::time::Instant::now();
+        let out = apply_tls_fault(&plan, ip, "a.example", flight());
+        assert!(start.elapsed() < plan.delay, "must not sleep inline");
+        assert_eq!(out.delay, Some(plan.delay));
+        assert_eq!(out.payload, Some(flight()));
     }
 }

@@ -32,7 +32,7 @@ use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use webdep_dns::bigzone::{Delegation, DelegationTable, HostTable};
 use webdep_dns::name::DomainName;
 use webdep_dns::server::AuthServer;
@@ -41,8 +41,8 @@ use webdep_dns::zone::Zone;
 use webdep_dns::DNS_PORT;
 use webdep_geodb::{AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable};
 use webdep_netsim::{
-    Datagram, Endpoint, FaultPlan, NetConfig, NetError, Network, Prefix, Region, ResponderSet,
-    SharedEndpoint,
+    Datagram, Endpoint, FaultPlan, FaultedReply, NetConfig, NetError, Network, Prefix, Region,
+    ResponderSet, SharedEndpoint,
 };
 use webdep_tls::cert::{Certificate, CertificateChain};
 use webdep_tls::handshake::{self, HandshakeMessage, ALERT_UNRECOGNIZED_NAME};
@@ -67,8 +67,10 @@ pub struct DeployConfig {
     /// thread-per-rack deployment.
     pub inline_racks: bool,
     /// Deterministic fault plan. Whole-run outages apply at the transport
-    /// to every non-protected server address; per-query flaky faults apply
-    /// only at the authoritative tier (hosting/DNS racks), keyed on
+    /// to every non-protected server address — service ports only, so
+    /// replies to vantage endpoints are never eaten (see
+    /// [`FaultPlan::black_holes`]); per-query flaky faults apply only at
+    /// the authoritative tier (hosting/DNS racks), keyed on
     /// `(server ip, qname or sni)` so retries meet the same fate on every
     /// worker schedule. The root server is always protected.
     pub faults: Option<Arc<FaultPlan>>,
@@ -298,10 +300,12 @@ impl RackData {
         resp
     }
 
-    fn respond_tls(&self, payload: &[u8], dst: Ipv4Addr) -> Option<Bytes> {
-        let frames = handshake::decode_flight(payload).ok()?;
-        let HandshakeMessage::ClientHello { random, sni } = frames.first()? else {
-            return None;
+    fn respond_tls(&self, payload: &[u8], dst: Ipv4Addr) -> FaultedReply {
+        let Ok(frames) = handshake::decode_flight(payload) else {
+            return FaultedReply::swallowed();
+        };
+        let Some(HandshakeMessage::ClientHello { random, sni }) = frames.first() else {
+            return FaultedReply::swallowed();
         };
         let flight = match self.leaf_by_sni.get(&sni.to_ascii_lowercase()) {
             Some(leaf) => {
@@ -323,7 +327,7 @@ impl RackData {
         };
         match &self.faults {
             Some(plan) => webdep_tls::apply_tls_fault(plan, dst, sni, flight),
-            None => Some(flight),
+            None => FaultedReply::clean(flight),
         }
     }
 }
@@ -336,8 +340,9 @@ fn leaf_ca_index(leaf: &Certificate) -> usize {
 /// One rack answer: DNS on port 53, TLS on 443. Pure in the rack data, so
 /// it can run on a rack thread or inline on the querier's thread alike.
 /// Any active fault plan is applied to the ready answer, keyed on the
-/// server address the query was sent to.
-fn rack_respond(data: &RackData, dgram: &Datagram) -> Option<Bytes> {
+/// server address the query was sent to; a [`FaultedReply`] delay is left
+/// for the caller to charge where it belongs (see [`FaultedReply`]).
+fn rack_respond(data: &RackData, dgram: &Datagram) -> FaultedReply {
     match dgram.dst.port {
         DNS_PORT => match dnswire::decode(&dgram.payload) {
             Ok(query) if !query.is_response => {
@@ -346,25 +351,53 @@ fn rack_respond(data: &RackData, dgram: &Datagram) -> Option<Bytes> {
                     Some(plan) => {
                         webdep_dns::apply_dns_fault(plan, dgram.dst.ip, &query, &resp)
                     }
-                    None => Some(dnswire::encode(&resp)),
+                    None => FaultedReply::clean(dnswire::encode(&resp)),
                 }
             }
-            _ => None,
+            _ => FaultedReply::swallowed(),
         },
         TLS_PORT => data.respond_tls(&dgram.payload, dgram.dst.ip),
-        _ => None,
+        _ => FaultedReply::swallowed(),
     }
 }
 
+/// Idle receive tick of threaded rack loops (also the upper bound on how
+/// late a scheduled delayed reply can fire).
+const RACK_TICK: Duration = Duration::from_millis(50);
+
 fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
+    // Delayed replies are scheduled, never slept: a rack thread serves many
+    // clients, and one latency spike must not head-of-line-block the rest.
+    let mut delayed: Vec<(Instant, webdep_netsim::SockAddr, webdep_netsim::SockAddr, Bytes)> =
+        Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        let dgram = match endpoint.recv_timeout(Duration::from_millis(50)) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                let (_, src, dst, payload) = delayed.swap_remove(i);
+                let _ = endpoint.send_from(src, dst, payload);
+            } else {
+                i += 1;
+            }
+        }
+        let tick = delayed
+            .iter()
+            .map(|(due, ..)| due.saturating_duration_since(now))
+            .min()
+            .map_or(RACK_TICK, |d| d.min(RACK_TICK));
+        let dgram = match endpoint.recv_timeout(tick) {
             Ok(d) => d,
             Err(webdep_netsim::NetError::Timeout) => continue,
             Err(_) => break,
         };
-        if let Some(payload) = rack_respond(&data, &dgram) {
-            let _ = endpoint.send_from(dgram.dst, dgram.src, payload);
+        let reply = rack_respond(&data, &dgram);
+        let Some(payload) = reply.payload else { continue };
+        match reply.delay {
+            Some(d) => delayed.push((Instant::now() + d, dgram.dst, dgram.src, payload)),
+            None => {
+                let _ = endpoint.send_from(dgram.dst, dgram.src, payload);
+            }
         }
     }
 }
@@ -782,7 +815,16 @@ impl DeployedWorld {
                 }
             };
             if config.inline_racks {
-                let set = ResponderSet::new(&network, move |d: &Datagram| rack_respond(&data, d));
+                let set = ResponderSet::new(&network, move |d: &Datagram| {
+                    let reply = rack_respond(&data, d);
+                    // An inline responder runs on the querier's own thread,
+                    // so a Delay fault may simply sleep here: only this
+                    // query is delayed, nobody is blocked behind it.
+                    if let Some(wait) = reply.delay {
+                        std::thread::sleep(wait);
+                    }
+                    reply.payload
+                });
                 attach_all(
                     &|ip, port, r| set.attach(ip, port, r),
                     &|ip, port, r| set.attach_anycast(ip, port, r),
