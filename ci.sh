@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# The canonical repo check (see DESIGN.md): tier-1 gate + lint gate.
+# The canonical repo check (see DESIGN.md): tier-1 gate + lint + format.
 #
-#   ./ci.sh            build (release) + full test suite + clippy -D warnings
-#   ./ci.sh quick      skip the release build (debug tests + clippy only)
+#   ./ci.sh            build (release) + full test suite + clippy -D warnings + fmt --check
+#   ./ci.sh quick      skip the release build (debug tests + clippy + fmt only)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,10 +11,17 @@ if [[ "${1:-}" != "quick" ]]; then
     cargo build --release
 fi
 
-echo "==> cargo test -q"
-cargo test -q
+# Tier-1 (root package) includes the chaos smoke (tests/chaos_smoke.rs:
+# one injected worker death plus a kill-and-resume cycle); --workspace
+# adds every crate's suite, including the full supervision matrix in
+# crates/pipeline/tests/supervision.rs.
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "ci: all gates green"

@@ -89,7 +89,8 @@ impl CoverageModel {
 
     /// Renders the model as a Markdown table.
     pub fn to_markdown(&self) -> String {
-        let mut out = String::from("| layer | coverage | worst country | dark |\n|---|---:|---|---:|\n");
+        let mut out =
+            String::from("| layer | coverage | worst country | dark |\n|---|---:|---|---:|\n");
         for l in &self.layers {
             let (code, frac) = l.min_country().unwrap_or(("-", 0.0));
             let _ = writeln!(

@@ -56,6 +56,7 @@ fn every_table_renders_under_heavy_faults() {
             scanner: ScannerConfig {
                 timeout: Duration::from_millis(5),
                 retries: 0,
+                site_deadline: None,
             },
             ..Default::default()
         },
@@ -75,11 +76,7 @@ fn every_table_renders_under_heavy_faults() {
     for &layer in &Layer::ALL {
         let t = layer_table(&ctx, layer);
         let md = layer_table_markdown(&t, 5, 5);
-        assert!(
-            md.contains("centralization"),
-            "{}: {md}",
-            layer.name()
-        );
+        assert!(md.contains("centralization"), "{}: {md}", layer.name());
         // Whatever was scored carries its own coverage fraction.
         for row in &t.rows {
             assert!(row.coverage > 0.0 && row.coverage <= 1.0, "{}", row.code);

@@ -8,7 +8,7 @@ use webdep_analysis::breakdown::{ca_breakdown, provider_breakdown, tld_breakdown
 use webdep_analysis::centralization::layer_table;
 use webdep_analysis::classes::classify;
 use webdep_analysis::figures::{
-    fig1_topn_shortcoming, fig12_histograms, fig2_emd_example, fig3_example_curves,
+    fig12_histograms, fig1_topn_shortcoming, fig2_emd_example, fig3_example_curves,
     fig4_usage_endemicity,
 };
 use webdep_analysis::insularity::insularity_table;
@@ -33,7 +33,9 @@ fn fig02(c: &mut Criterion) {
         "fig02 A: S={:.4} (paper 0.28); B: S={:.4} (paper 0.32)",
         f.country_a.1, f.country_b.1
     );
-    c.bench_function("fig02_emd_example", |b| b.iter(|| black_box(fig2_emd_example())));
+    c.bench_function("fig02_emd_example", |b| {
+        b.iter(|| black_box(fig2_emd_example()))
+    });
 }
 
 fn fig03(c: &mut Criterion) {
@@ -46,7 +48,9 @@ fn fig03(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig03_example_s_values");
     g.sample_size(10);
-    g.bench_function("generate", |b| b.iter(|| black_box(fig3_example_curves(10_000))));
+    g.bench_function("generate", |b| {
+        b.iter(|| black_box(fig3_example_curves(10_000)))
+    });
     g.finish();
 }
 
@@ -126,9 +130,19 @@ fn fig07_14_15_16(c: &mut Criterion) {
 
 fn fig08(c: &mut Criterion) {
     let ctx = ctx();
-    for attr in [Attribution::HostingHq, Attribution::IpGeo, Attribution::NsGeo] {
+    for attr in [
+        Attribution::HostingHq,
+        Attribution::IpGeo,
+        Attribution::NsGeo,
+    ] {
         let m = continent_matrix(&ctx, attr);
-        eprintln!("fig08 {attr:?} row AF: {:?}", m.share[3].iter().map(|v| (v * 100.0).round()).collect::<Vec<_>>());
+        eprintln!(
+            "fig08 {attr:?} row AF: {:?}",
+            m.share[3]
+                .iter()
+                .map(|v| (v * 100.0).round())
+                .collect::<Vec<_>>()
+        );
     }
     let mut g = c.benchmark_group("fig08_continent_matrices");
     g.sample_size(10);
@@ -199,7 +213,9 @@ fn fig12(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig12_s_histograms");
     g.sample_size(10);
-    g.bench_function("histograms", |b| b.iter(|| black_box(fig12_histograms(&ctx))));
+    g.bench_function("histograms", |b| {
+        b.iter(|| black_box(fig12_histograms(&ctx)))
+    });
     g.finish();
 }
 

@@ -76,7 +76,9 @@ fn dns_resolution(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("dns_resolution");
     g.sample_size(20);
-    let ep = net.bind(ip("10.0.0.9"), 5353, Region::NORTH_AMERICA).unwrap();
+    let ep = net
+        .bind(ip("10.0.0.9"), 5353, Region::NORTH_AMERICA)
+        .unwrap();
     let mut resolver = IterativeResolver::new(ep, vec![root_ip], ResolverConfig::default());
     // Warm the delegation cache once, then measure cached resolution.
     resolver.resolve_a(&n("host0.example.com")).unwrap();
@@ -84,7 +86,11 @@ fn dns_resolution(c: &mut Criterion) {
     g.bench_function("cached_delegation_resolve", |b| {
         b.iter(|| {
             i = (i + 1) % 200;
-            black_box(resolver.resolve_a(&n(&format!("host{i}.example.com"))).unwrap())
+            black_box(
+                resolver
+                    .resolve_a(&n(&format!("host{i}.example.com")))
+                    .unwrap(),
+            )
         })
     });
     g.finish();
@@ -133,7 +139,11 @@ fn tls_scan(c: &mut Criterion) {
     g.bench_function("handshake_roundtrip", |b| {
         b.iter(|| {
             i = (i + 1) % 64;
-            black_box(scanner.scan(server_ip, &format!("site{i}.example")).unwrap())
+            black_box(
+                scanner
+                    .scan(server_ip, &format!("site{i}.example"))
+                    .unwrap(),
+            )
         })
     });
     g.finish();
@@ -154,5 +164,11 @@ fn enrichment_lookups(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, dns_wire, dns_resolution, tls_scan, enrichment_lookups);
+criterion_group!(
+    benches,
+    dns_wire,
+    dns_resolution,
+    tls_scan,
+    enrichment_lookups
+);
 criterion_main!(benches);

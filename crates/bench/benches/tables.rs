@@ -14,11 +14,19 @@ fn tab01_02_03_classes(c: &mut Criterion) {
     let ctx = ctx();
     for (tab, layer) in [(1, Layer::Hosting), (2, Layer::Dns), (3, Layer::Ca)] {
         let cls = classify(&ctx, layer);
-        eprintln!("tab{tab:02} {} classes: {:?}", layer.name(), cls.class_counts);
+        eprintln!(
+            "tab{tab:02} {} classes: {:?}",
+            layer.name(),
+            cls.class_counts
+        );
     }
     let mut g = c.benchmark_group("tab01_02_03_classes");
     g.sample_size(10);
-    for (name, layer) in [("hosting", Layer::Hosting), ("dns", Layer::Dns), ("ca", Layer::Ca)] {
+    for (name, layer) in [
+        ("hosting", Layer::Hosting),
+        ("dns", Layer::Dns),
+        ("ca", Layer::Ca),
+    ] {
         g.bench_function(name, |b| b.iter(|| black_box(classify(&ctx, layer))));
     }
     g.finish();
@@ -68,5 +76,10 @@ fn sec52_correlations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, tab01_02_03_classes, tab05_08_scores, sec52_correlations);
+criterion_group!(
+    benches,
+    tab01_02_03_classes,
+    tab05_08_scores,
+    sec52_correlations
+);
 criterion_main!(benches);

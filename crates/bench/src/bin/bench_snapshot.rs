@@ -18,9 +18,13 @@
 //! three intensities each of whole-server outages, flaky SERVFAIL, and
 //! flaky drop, plus the zero-fault byte-identity check.
 //!
+//! `BENCH_resilience.json`: the supervision layer — journaling overhead,
+//! time-to-complete and observation loss under N injected worker deaths,
+//! and the crash-resume cycle's wall cost and byte-identity.
+//!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
-//! (optionally `-- pipeline`, `-- analysis`, or `-- faults` for just one
-//! snapshot).
+//! (optionally `-- pipeline`, `-- analysis`, `-- faults`, or
+//! `-- resilience` for just one snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -197,19 +201,54 @@ fn faults_snapshot() {
     );
 }
 
+fn resilience_snapshot() {
+    eprintln!("resilience: clean vs journaled runs, chaos worker deaths, crash-resume...");
+    let snapshot =
+        webdep_bench::resilience::resilience_snapshot(WORKERS, |line| eprintln!("  {line}"));
+    for run in &snapshot.deaths {
+        assert!(
+            run.byte_identical && run.observations_lost == 0,
+            "worker deaths lost observations (deaths={})",
+            run.deaths_injected
+        );
+    }
+    assert!(
+        snapshot.resume.byte_identical,
+        "crash-resume diverged from the uninterrupted run"
+    );
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_resilience.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_resilience.json");
+    eprintln!(
+        "wrote {} (journal overhead {:+.1}%, max death slowdown x{:.2}, resume {:.0}% of clean)",
+        out.display(),
+        snapshot.baseline.journal_overhead * 100.0,
+        snapshot
+            .deaths
+            .iter()
+            .map(|r| r.slowdown)
+            .fold(0.0f64, f64::max),
+        snapshot.resume.overhead_vs_clean * 100.0
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match which.as_str() {
         "pipeline" => pipeline_snapshot(),
         "analysis" => analysis_snapshot(),
         "faults" => faults_snapshot(),
+        "resilience" => resilience_snapshot(),
         "all" => {
             pipeline_snapshot();
             analysis_snapshot();
             faults_snapshot();
+            resilience_snapshot();
         }
         other => {
-            eprintln!("unknown snapshot {other:?} (pipeline | analysis | faults | all)");
+            eprintln!(
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | all)"
+            );
             std::process::exit(2);
         }
     }

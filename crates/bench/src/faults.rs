@@ -187,6 +187,7 @@ fn sweep_pipeline_config(workers: usize) -> PipelineConfig {
         scanner: ScannerConfig {
             timeout: std::time::Duration::from_millis(15),
             retries: 0,
+            site_deadline: None,
         },
         ..PipelineConfig::default()
     }
@@ -359,7 +360,11 @@ pub fn faults_snapshot(workers: usize, mut progress: impl FnMut(&str)) -> Faults
             baseline_scores.iter().map(|&(_, s)| s).sum::<f64>()
                 / baseline_scores.len().max(1) as f64,
         ),
-        hosting_coverage: round4(coverage_model(&baseline_ctx).layer(Layer::Hosting).fraction()),
+        hosting_coverage: round4(
+            coverage_model(&baseline_ctx)
+                .layer(Layer::Hosting)
+                .fraction(),
+        ),
     };
 
     let runs = sweep_plans()
@@ -435,7 +440,11 @@ mod tests {
         let world = World::generate(sweep_world_config());
         let config = sweep_pipeline_config(4);
         let (a, _) = timed_measure(&world, &deploy_with(&world, None), &config);
-        let (b, _) = timed_measure(&world, &deploy_with(&world, Some(FaultPlan::none())), &config);
+        let (b, _) = timed_measure(
+            &world,
+            &deploy_with(&world, Some(FaultPlan::none())),
+            &config,
+        );
         assert_eq!(a, b);
         assert_eq!(dataset_bytes(&a), dataset_bytes(&b));
     }

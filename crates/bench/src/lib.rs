@@ -11,6 +11,7 @@ use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
 pub mod analysis;
 pub mod faults;
+pub mod resilience;
 
 /// The shared (world, dataset) fixture at tiny scale.
 pub fn fixture() -> &'static (World, MeasuredDataset) {

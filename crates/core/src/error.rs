@@ -34,7 +34,10 @@ impl fmt::Display for MetricError {
                 write!(f, "length mismatch: {left} vs {right}")
             }
             MetricError::UnbalancedTransport { supply, demand } => {
-                write!(f, "unbalanced transport: supply {supply} != demand {demand}")
+                write!(
+                    f,
+                    "unbalanced transport: supply {supply} != demand {demand}"
+                )
             }
         }
     }

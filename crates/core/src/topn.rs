@@ -38,8 +38,8 @@ pub fn topn_blindspot_pair(n: usize) -> (CountDist, CountDist) {
     let head_total = 60u64;
     assert!(n <= 15, "head providers must stay above the tail size");
     let tail = vec![2u64; 20]; // identical 40-site tails
-    // Head providers must stay strictly above the tail's 2-count entries so
-    // they remain the top n after sorting; use 3 as the minimum head count.
+                               // Head providers must stay strictly above the tail's 2-count entries so
+                               // they remain the top n after sorting; use 3 as the minimum head count.
     let mut steep = vec![head_total - 3 * (n as u64 - 1)];
     steep.extend(std::iter::repeat_n(3, n - 1));
     steep.extend_from_slice(&tail);

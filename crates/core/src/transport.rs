@@ -208,13 +208,17 @@ mod tests {
 
     #[test]
     fn trivial_identity_costs_nothing() {
-        let w = min_cost_transport(&[1.0, 2.0], &[1.0, 2.0], |i, j| {
-            if i == j {
-                0.0
-            } else {
-                1.0
-            }
-        })
+        let w = min_cost_transport(
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            |i, j| {
+                if i == j {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+        )
         .unwrap();
         assert!(w.abs() < 1e-9);
     }

@@ -148,8 +148,7 @@ mod tests {
         ];
         let merged = vec![WeightedProvider::new(vec![2.0, 1.0, 3.0])];
         assert!(
-            weighted_centralization(&merged).unwrap()
-                > weighted_centralization(&separate).unwrap()
+            weighted_centralization(&merged).unwrap() > weighted_centralization(&separate).unwrap()
         );
     }
 

@@ -97,15 +97,14 @@ impl DelegationTable {
         }
         match self.children.get(&registered) {
             Some(d) => {
-                resp.authorities = d
-                    .ns
-                    .iter()
-                    .map(|ns| Record {
-                        name: registered.clone(),
-                        ttl: DEFAULT_TTL,
-                        data: RecordData::Ns(ns.clone()),
-                    })
-                    .collect();
+                resp.authorities =
+                    d.ns.iter()
+                        .map(|ns| Record {
+                            name: registered.clone(),
+                            ttl: DEFAULT_TTL,
+                            data: RecordData::Ns(ns.clone()),
+                        })
+                        .collect();
                 resp.additionals = d
                     .glue
                     .iter()

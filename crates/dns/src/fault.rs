@@ -83,17 +83,26 @@ mod tests {
     #[test]
     fn drop_swallows_the_reply() {
         let (q, r) = msgs();
-        let out = apply_dns_fault(&plan_with(FaultKind::Drop), "1.2.3.4".parse().unwrap(), &q, &r);
+        let out = apply_dns_fault(
+            &plan_with(FaultKind::Drop),
+            "1.2.3.4".parse().unwrap(),
+            &q,
+            &r,
+        );
         assert_eq!(out, webdep_netsim::FaultedReply::swallowed());
     }
 
     #[test]
     fn servfail_answers_with_failure_rcode() {
         let (q, r) = msgs();
-        let out =
-            apply_dns_fault(&plan_with(FaultKind::ServFail), "1.2.3.4".parse().unwrap(), &q, &r)
-                .payload
-                .unwrap();
+        let out = apply_dns_fault(
+            &plan_with(FaultKind::ServFail),
+            "1.2.3.4".parse().unwrap(),
+            &q,
+            &r,
+        )
+        .payload
+        .unwrap();
         let decoded = decode(&out).unwrap();
         assert_eq!(decoded.rcode, Rcode::ServFail);
         assert_eq!(decoded.id, q.id);
@@ -102,20 +111,28 @@ mod tests {
     #[test]
     fn truncated_reply_fails_to_decode() {
         let (q, r) = msgs();
-        let out =
-            apply_dns_fault(&plan_with(FaultKind::Truncate), "1.2.3.4".parse().unwrap(), &q, &r)
-                .payload
-                .unwrap();
+        let out = apply_dns_fault(
+            &plan_with(FaultKind::Truncate),
+            "1.2.3.4".parse().unwrap(),
+            &q,
+            &r,
+        )
+        .payload
+        .unwrap();
         assert!(decode(&out).is_err());
     }
 
     #[test]
     fn garbled_reply_decodes_with_wrong_id() {
         let (q, r) = msgs();
-        let out =
-            apply_dns_fault(&plan_with(FaultKind::Garble), "1.2.3.4".parse().unwrap(), &q, &r)
-                .payload
-                .unwrap();
+        let out = apply_dns_fault(
+            &plan_with(FaultKind::Garble),
+            "1.2.3.4".parse().unwrap(),
+            &q,
+            &r,
+        )
+        .payload
+        .unwrap();
         let decoded = decode(&out).unwrap();
         assert_ne!(decoded.id, q.id);
     }

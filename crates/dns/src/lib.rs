@@ -29,11 +29,9 @@ pub mod zone;
 pub use bigzone::{Delegation, DelegationTable, HostTable};
 pub use fault::apply_dns_fault;
 pub use name::DomainName;
-pub use resolver::{
-    IterativeResolver, ResolveError, ResolverConfig, ResolverStats, StubResolver,
-};
-pub use shared_cache::{SharedCacheStats, SharedDnsCache};
+pub use resolver::{IterativeResolver, ResolveError, ResolverConfig, ResolverStats, StubResolver};
 pub use server::AuthServer;
+pub use shared_cache::{SharedCacheStats, SharedDnsCache};
 pub use wire::{Message, Question, Rcode, Record, RecordData, RecordType};
 pub use zone::{Zone, ZoneLookup};
 

@@ -32,6 +32,14 @@ pub struct ResolverConfig {
     /// the strictly query-driven behaviour (one wire round trip per
     /// record set ever returned).
     pub cache_referrals: bool,
+    /// Total wall-clock cap for one top-level resolution, spanning every
+    /// rotation round, backoff, referral, and glueless-NS/CNAME recursion
+    /// it triggers. Without it, rotation + exponential backoff bounds each
+    /// *attempt* but not their sum, so one pathological (e.g. black-holed)
+    /// zone with many nameservers can stall a pipeline worker for the full
+    /// strike budget. `None` (the default) keeps the uncapped behaviour;
+    /// expiry surfaces as [`ResolveError::Timeout`].
+    pub site_deadline: Option<Duration>,
 }
 
 impl Default for ResolverConfig {
@@ -42,6 +50,7 @@ impl Default for ResolverConfig {
             max_depth: 16,
             max_cnames: 8,
             cache_referrals: true,
+            site_deadline: None,
         }
     }
 }
@@ -149,9 +158,7 @@ impl StubResolver {
             match self.endpoint.recv_timeout(remaining) {
                 Ok(dgram) => match decode(&dgram.payload) {
                     Ok(resp)
-                        if resp.is_response
-                            && resp.id == id
-                            && resp.questions == msg.questions =>
+                        if resp.is_response && resp.id == id && resp.questions == msg.questions =>
                     {
                         return Ok(resp);
                     }
@@ -211,6 +218,10 @@ pub struct IterativeResolver {
     /// outcomes stay schedule-independent, but no longer granted the full
     /// backoff schedule. Any successful answer clears its strikes.
     server_strikes: HashMap<Ipv4Addr, u32>,
+    /// Wall-clock budget for the in-progress top-level resolution,
+    /// installed by the outermost [`IterativeResolver::resolve`] call
+    /// (recursive re-entries for CNAMEs and glueless NS names share it).
+    budget_deadline: Option<std::time::Instant>,
     local_cache_hits: u64,
     shared_cache_hits: u64,
 }
@@ -238,6 +249,7 @@ impl IterativeResolver {
             answer_cache: HashMap::new(),
             shared: None,
             server_strikes: HashMap::new(),
+            budget_deadline: None,
             local_cache_hits: 0,
             shared_cache_hits: 0,
         }
@@ -297,7 +309,39 @@ impl IterativeResolver {
     }
 
     /// Full resolution with caching; returns the terminal record set.
+    ///
+    /// The outermost call installs the [`ResolverConfig::site_deadline`]
+    /// budget (if configured); recursive re-entries — CNAME chasing,
+    /// glueless NS resolution, nameserver rotation — run under the same
+    /// budget, so the cap bounds the whole resolution tree, not each hop.
     pub fn resolve(
+        &mut self,
+        name: &DomainName,
+        qtype: RecordType,
+        cname_depth: u32,
+    ) -> Result<Vec<RecordData>, ResolveError> {
+        let owns_budget = self.budget_deadline.is_none();
+        if owns_budget {
+            self.budget_deadline = self
+                .stub
+                .config
+                .site_deadline
+                .map(|d| std::time::Instant::now() + d);
+        }
+        let result = self.resolve_under_budget(name, qtype, cname_depth);
+        if owns_budget {
+            self.budget_deadline = None;
+        }
+        result
+    }
+
+    /// Remaining budget, if one is installed. `Some(ZERO)` means expired.
+    fn budget_remaining(&self) -> Option<Duration> {
+        self.budget_deadline
+            .map(|d| d.saturating_duration_since(std::time::Instant::now()))
+    }
+
+    fn resolve_under_budget(
         &mut self,
         name: &DomainName,
         qtype: RecordType,
@@ -331,6 +375,9 @@ impl IterativeResolver {
             depth += 1;
             if depth > self.stub.config.max_depth {
                 return Err(ResolveError::DepthExceeded);
+            }
+            if self.budget_remaining().is_some_and(|r| r.is_zero()) {
+                return Err(ResolveError::Timeout);
             }
             let resp = match self.query_any(&servers, name, qtype) {
                 Ok(r) => r,
@@ -435,8 +482,12 @@ impl IterativeResolver {
             if let Some(shared) = &self.shared {
                 shared.put_zone(zone.clone(), glue.clone());
             }
-            self.zone_cache
-                .insert(zone, ZoneServers { addrs: glue.clone() });
+            self.zone_cache.insert(
+                zone,
+                ZoneServers {
+                    addrs: glue.clone(),
+                },
+            );
             servers = glue;
         }
     }
@@ -448,8 +499,7 @@ impl IterativeResolver {
     /// spares one wire round trip per `resolve_ns` and per glued NS
     /// address lookup.
     fn cache_referral_data(&mut self, zone: &DomainName, ns_names: &[DomainName], resp: &Message) {
-        let ns_data: Vec<RecordData> =
-            ns_names.iter().cloned().map(RecordData::Ns).collect();
+        let ns_data: Vec<RecordData> = ns_names.iter().cloned().map(RecordData::Ns).collect();
         self.cache_answer(zone.clone(), RecordType::Ns, ns_data);
         for ns in ns_names {
             let addrs: Vec<RecordData> = resp
@@ -515,8 +565,12 @@ impl IterativeResolver {
             if let Some(shared) = &self.shared {
                 if let Some(addrs) = shared.get_zone(&n) {
                     self.shared_cache_hits += 1;
-                    self.zone_cache
-                        .insert(n, ZoneServers { addrs: addrs.clone() });
+                    self.zone_cache.insert(
+                        n,
+                        ZoneServers {
+                            addrs: addrs.clone(),
+                        },
+                    );
                     return addrs;
                 }
             }
@@ -588,7 +642,17 @@ impl IterativeResolver {
                 if unreachable.contains(&ip) || answered.contains(&ip) {
                     continue;
                 }
-                let attempt_timeout = if demoted.contains(&ip) { base } else { timeout };
+                let mut attempt_timeout = if demoted.contains(&ip) { base } else { timeout };
+                // The resolution-wide budget trumps the backoff schedule:
+                // clamp this attempt to what's left, and stop cold once
+                // it's spent (a bounded-out zone reports Timeout).
+                if let Some(remaining) = self.budget_remaining() {
+                    if remaining.is_zero() {
+                        timed_out = true;
+                        break 'rounds;
+                    }
+                    attempt_timeout = attempt_timeout.min(remaining);
+                }
                 if !tried.contains(&ip) {
                     tried.push(ip);
                 }
@@ -682,8 +746,16 @@ mod tests {
         let provider_ns_ip = ip("203.0.113.54");
 
         let mut root = Zone::new(DomainName::root());
-        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
-        root.delegate(n("net"), &[n("b.gtld-servers.net")], &[(n("b.gtld-servers.net"), net_ip)]);
+        root.delegate(
+            n("com"),
+            &[n("a.gtld-servers.net")],
+            &[(n("a.gtld-servers.net"), com_ip)],
+        );
+        root.delegate(
+            n("net"),
+            &[n("b.gtld-servers.net")],
+            &[(n("b.gtld-servers.net"), net_ip)],
+        );
 
         let mut com = Zone::new(n("com"));
         com.delegate(
@@ -714,8 +786,14 @@ mod tests {
                 net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
                 vec![Arc::new(root)],
             ),
-            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
-            AuthServer::spawn(net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(netz)]),
+            AuthServer::spawn(
+                net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(com)],
+            ),
+            AuthServer::spawn(
+                net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(netz)],
+            ),
             AuthServer::spawn(
                 net.bind(example_ns_ip, 53, Region::EUROPE).unwrap(),
                 vec![Arc::new(example)],
@@ -894,8 +972,16 @@ mod tests {
         let live_ip = ip("203.0.113.61");
 
         let mut root = Zone::new(DomainName::root());
-        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
-        root.delegate(n("net"), &[n("b.gtld-servers.net")], &[(n("b.gtld-servers.net"), net_ip)]);
+        root.delegate(
+            n("com"),
+            &[n("a.gtld-servers.net")],
+            &[(n("a.gtld-servers.net"), com_ip)],
+        );
+        root.delegate(
+            n("net"),
+            &[n("b.gtld-servers.net")],
+            &[(n("b.gtld-servers.net"), net_ip)],
+        );
 
         let mut com = Zone::new(n("com"));
         com.delegate(
@@ -919,11 +1005,26 @@ mod tests {
         victim.add_a(n("victim.com"), ip("203.0.113.70"));
 
         let _servers = [
-            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
-            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
-            AuthServer::spawn(net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(netz)]),
-            AuthServer::spawn(net.bind(provider_ns_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(provider)]),
-            AuthServer::spawn(net.bind(live_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(victim)]),
+            AuthServer::spawn(
+                net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(root)],
+            ),
+            AuthServer::spawn(
+                net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(com)],
+            ),
+            AuthServer::spawn(
+                net.bind(net_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(netz)],
+            ),
+            AuthServer::spawn(
+                net.bind(provider_ns_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::new(provider)],
+            ),
+            AuthServer::spawn(
+                net.bind(live_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::new(victim)],
+            ),
         ];
 
         let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
@@ -944,7 +1045,11 @@ mod tests {
         let good_ip = ip("203.0.113.53");
 
         let mut root = Zone::new(DomainName::root());
-        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        root.delegate(
+            n("com"),
+            &[n("a.gtld-servers.net")],
+            &[(n("a.gtld-servers.net"), com_ip)],
+        );
         let mut com = Zone::new(n("com"));
         com.delegate(
             n("example.com"),
@@ -958,12 +1063,21 @@ mod tests {
         example.add_a(n("example.com"), ip("203.0.113.10"));
 
         let _servers = [
-            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
-            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            AuthServer::spawn(
+                net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(root)],
+            ),
+            AuthServer::spawn(
+                net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(com)],
+            ),
             // Misconfigured: serves no zones at all, so every query gets
             // SERVFAIL.
             AuthServer::spawn(net.bind(bad_ip, 53, Region::EUROPE).unwrap(), vec![]),
-            AuthServer::spawn(net.bind(good_ip, 53, Region::EUROPE).unwrap(), vec![Arc::new(example)]),
+            AuthServer::spawn(
+                net.bind(good_ip, 53, Region::EUROPE).unwrap(),
+                vec![Arc::new(example)],
+            ),
         ];
 
         let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
@@ -974,7 +1088,10 @@ mod tests {
 
     /// One faulty + one clean authoritative for example.com; the faulty one
     /// mangles every answer per `kind`.
-    fn faulty_pair_world(net: &Network, kind: webdep_netsim::FaultKind) -> (Vec<AuthServer>, Vec<Ipv4Addr>) {
+    fn faulty_pair_world(
+        net: &Network,
+        kind: webdep_netsim::FaultKind,
+    ) -> (Vec<AuthServer>, Vec<Ipv4Addr>) {
         use webdep_netsim::FaultPlan;
         let root_ip = ip("198.41.0.4");
         let com_ip = ip("192.5.6.30");
@@ -982,7 +1099,11 @@ mod tests {
         let clean_ip = ip("203.0.113.53");
 
         let mut root = Zone::new(DomainName::root());
-        root.delegate(n("com"), &[n("a.gtld-servers.net")], &[(n("a.gtld-servers.net"), com_ip)]);
+        root.delegate(
+            n("com"),
+            &[n("a.gtld-servers.net")],
+            &[(n("a.gtld-servers.net"), com_ip)],
+        );
         let mut com = Zone::new(n("com"));
         com.delegate(
             n("example.com"),
@@ -998,14 +1119,23 @@ mod tests {
 
         let plan = Arc::new(FaultPlan::flaky(1, 1.0, 1.0, vec![kind]));
         let servers = vec![
-            AuthServer::spawn(net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(root)]),
-            AuthServer::spawn(net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(), vec![Arc::new(com)]),
+            AuthServer::spawn(
+                net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(root)],
+            ),
+            AuthServer::spawn(
+                net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(com)],
+            ),
             AuthServer::spawn_with_faults(
                 net.bind(faulty_ip, 53, Region::EUROPE).unwrap(),
                 vec![Arc::clone(&example)],
                 Some(plan),
             ),
-            AuthServer::spawn(net.bind(clean_ip, 53, Region::EUROPE).unwrap(), vec![example]),
+            AuthServer::spawn(
+                net.bind(clean_ip, 53, Region::EUROPE).unwrap(),
+                vec![example],
+            ),
         ];
         (servers, vec![root_ip])
     }
@@ -1022,6 +1152,78 @@ mod tests {
             r.stats().malformed_datagrams >= 1,
             "truncated answers should be counted: {:?}",
             r.stats()
+        );
+    }
+
+    #[test]
+    fn site_deadline_bounds_a_black_holed_zone() {
+        // victim.com is delegated to three nameservers whose addresses are
+        // bound but never served: sends succeed, replies never come, so
+        // every attempt runs to its full timeout. Without a site deadline
+        // the rotation/backoff schedule across three servers costs many
+        // seconds; with one, the resolution must bound out quickly and
+        // report Timeout.
+        let net = Network::new(NetConfig::default());
+        let root_ip = ip("198.41.0.4");
+        let com_ip = ip("192.5.6.30");
+        let bh = [ip("203.0.113.80"), ip("203.0.113.81"), ip("203.0.113.82")];
+
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(
+            n("com"),
+            &[n("a.gtld-servers.net")],
+            &[(n("a.gtld-servers.net"), com_ip)],
+        );
+        let mut com = Zone::new(n("com"));
+        com.delegate(
+            n("victim.com"),
+            &[
+                n("ns1.victim.com"),
+                n("ns2.victim.com"),
+                n("ns3.victim.com"),
+            ],
+            &[
+                (n("ns1.victim.com"), bh[0]),
+                (n("ns2.victim.com"), bh[1]),
+                (n("ns3.victim.com"), bh[2]),
+            ],
+        );
+        let _servers = [
+            AuthServer::spawn(
+                net.bind(root_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(root)],
+            ),
+            AuthServer::spawn(
+                net.bind(com_ip, 53, Region::NORTH_AMERICA).unwrap(),
+                vec![Arc::new(com)],
+            ),
+        ];
+        // Black holes: bound (so sends succeed) but never read or reply.
+        let _black_holes: Vec<_> = bh
+            .iter()
+            .map(|&a| net.bind(a, 53, Region::EUROPE).unwrap())
+            .collect();
+
+        let ep = net.bind(ip("10.0.0.99"), 3553, Region::EUROPE).unwrap();
+        let mut r = IterativeResolver::new(
+            ep,
+            vec![root_ip],
+            ResolverConfig {
+                timeout: Duration::from_millis(100),
+                retries: 4,
+                site_deadline: Some(Duration::from_millis(250)),
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let err = r.resolve_a(&n("victim.com")).unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err, ResolveError::Timeout);
+        // Uncapped, three servers x five rounds of up-to-800ms attempts
+        // would take > 5s; the budget must cut that to ~the deadline.
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "black-holed zone took {elapsed:?} despite a 250ms site deadline"
         );
     }
 

@@ -48,7 +48,10 @@ impl AuthServer {
     /// counted). Called automatically on drop (discarding the count).
     pub fn shutdown(mut self) -> u64 {
         self.begin_stop();
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
     }
 
     fn begin_stop(&self) {
@@ -255,12 +258,18 @@ mod tests {
         }
         let delayed = names
             .iter()
-            .find(|nm| plan.query_fault(server_ip, nm.as_str().as_bytes()).is_some())
+            .find(|nm| {
+                plan.query_fault(server_ip, nm.as_str().as_bytes())
+                    .is_some()
+            })
             .expect("some name is delayed")
             .clone();
         let clean = names
             .iter()
-            .find(|nm| plan.query_fault(server_ip, nm.as_str().as_bytes()).is_none())
+            .find(|nm| {
+                plan.query_fault(server_ip, nm.as_str().as_bytes())
+                    .is_none()
+            })
             .expect("some name is clean")
             .clone();
 
@@ -275,17 +284,102 @@ mod tests {
             .unwrap();
         // The delayed query goes first; the clean answer must overtake it.
         client
-            .send(server_addr, encode(&Message::query(1, delayed, RecordType::A)))
+            .send(
+                server_addr,
+                encode(&Message::query(1, delayed, RecordType::A)),
+            )
             .unwrap();
         client
-            .send(server_addr, encode(&Message::query(2, clean, RecordType::A)))
+            .send(
+                server_addr,
+                encode(&Message::query(2, clean, RecordType::A)),
+            )
             .unwrap();
-        let first = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload)
-            .unwrap();
-        assert_eq!(first.id, 2, "clean answer must not wait behind a delayed one");
-        let second = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload)
-            .unwrap();
+        let first = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload).unwrap();
+        assert_eq!(
+            first.id, 2,
+            "clean answer must not wait behind a delayed one"
+        );
+        let second = decode(&client.recv_timeout(Duration::from_secs(2)).unwrap().payload).unwrap();
         assert_eq!(second.id, 1, "the delayed answer still arrives");
+    }
+
+    #[test]
+    fn burst_of_mixed_delays_is_served_in_due_time_order() {
+        use std::collections::BTreeSet;
+        use webdep_netsim::{FaultKind, FaultPlan};
+        // Every name the plan touches is held back by the same delay, so
+        // due-time order splits the burst in two: all clean answers first,
+        // then the delayed cohort (the due queue's swap_remove may permute
+        // answers sharing a due time, so we assert on the cohorts, not on
+        // intra-cohort order).
+        let server_ip: Ipv4Addr = "192.0.2.53".parse().unwrap();
+        let plan = FaultPlan {
+            delay: Duration::from_millis(400),
+            ..FaultPlan::flaky(17, 1.0, 0.5, vec![FaultKind::Delay])
+        };
+        let mut z = Zone::new(n("example.com"));
+        let mut names = Vec::new();
+        for i in 0..24 {
+            let name = n(&format!("b{i}.example.com"));
+            z.add_a(name.clone(), Ipv4Addr::new(192, 0, 2, 2));
+            names.push(name);
+        }
+        let delayed_ids: BTreeSet<u16> = names
+            .iter()
+            .enumerate()
+            .filter(|(_, nm)| {
+                plan.query_fault(server_ip, nm.as_str().as_bytes())
+                    .is_some()
+            })
+            .map(|(i, _)| i as u16)
+            .collect();
+        let clean_ids: BTreeSet<u16> = (0..names.len() as u16)
+            .filter(|i| !delayed_ids.contains(i))
+            .collect();
+        assert!(
+            !delayed_ids.is_empty() && !clean_ids.is_empty(),
+            "burst must mix delayed and clean queries (got {} delayed)",
+            delayed_ids.len()
+        );
+
+        let net = Network::new(NetConfig::default());
+        let server_ep = net.bind(server_ip, 53, Region::EUROPE).unwrap();
+        let server_addr = server_ep.addr();
+        let server =
+            AuthServer::spawn_with_faults(server_ep, vec![Arc::new(z)], Some(Arc::new(plan)));
+
+        let client = net
+            .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
+            .unwrap();
+        for (i, name) in names.iter().enumerate() {
+            client
+                .send(
+                    server_addr,
+                    encode(&Message::query(i as u16, name.clone(), RecordType::A)),
+                )
+                .unwrap();
+        }
+
+        let mut arrival = Vec::new();
+        for _ in 0..names.len() {
+            let d = client.recv_timeout(Duration::from_secs(3)).unwrap();
+            arrival.push(decode(&d.payload).unwrap().id);
+        }
+        let first: BTreeSet<u16> = arrival[..clean_ids.len()].iter().copied().collect();
+        let rest: BTreeSet<u16> = arrival[clean_ids.len()..].iter().copied().collect();
+        assert_eq!(
+            first, clean_ids,
+            "clean answers must all beat the delayed cohort"
+        );
+        assert_eq!(
+            rest, delayed_ids,
+            "the delayed cohort arrives after, complete"
+        );
+        // No more replies in flight, and the served count matches exactly
+        // the responses the client actually received.
+        assert!(client.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(server.shutdown(), names.len() as u64);
     }
 
     #[test]
@@ -297,8 +391,7 @@ mod tests {
             .unwrap();
         let server_addr = server_ep.addr();
         let plan = FaultPlan::flaky(1, 1.0, 1.0, vec![FaultKind::Drop]);
-        let server =
-            AuthServer::spawn_with_faults(server_ep, vec![zone()], Some(Arc::new(plan)));
+        let server = AuthServer::spawn_with_faults(server_ep, vec![zone()], Some(Arc::new(plan)));
         let client = net
             .bind("10.0.0.1".parse().unwrap(), 4001, Region::EUROPE)
             .unwrap();

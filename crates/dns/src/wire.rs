@@ -294,10 +294,7 @@ fn encode_name<'a>(buf: &mut BytesMut, name: &'a DomainName, offsets: &mut HashM
 
 /// Decodes a wire message.
 pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
-    let mut cur = Cursor {
-        bytes,
-        pos: 0,
-    };
+    let mut cur = Cursor { bytes, pos: 0 };
     let id = cur.u16()?;
     let flags = cur.u16()?;
     let qd = cur.u16()? as usize;
@@ -309,8 +306,8 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
     for _ in 0..qd {
         let name = decode_name(&mut cur)?;
         let qtype_raw = cur.u16()?;
-        let qtype = RecordType::from_code(qtype_raw)
-            .ok_or(WireError::UnsupportedType(qtype_raw))?;
+        let qtype =
+            RecordType::from_code(qtype_raw).ok_or(WireError::UnsupportedType(qtype_raw))?;
         let _class = cur.u16()?;
         questions.push(Question { name, qtype });
     }
@@ -595,6 +592,9 @@ mod tests {
         enc.put_slice(b"abc");
         let decoded = decode(&enc).unwrap();
         assert_eq!(decoded.answers.len(), 1);
-        assert_eq!(decoded.answers[0].data, RecordData::A("1.2.3.4".parse().unwrap()));
+        assert_eq!(
+            decoded.answers[0].data,
+            RecordData::A("1.2.3.4".parse().unwrap())
+        );
     }
 }

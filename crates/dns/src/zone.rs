@@ -111,7 +111,9 @@ impl Zone {
     }
 
     fn name_exists(&self, name: &DomainName) -> bool {
-        self.records.keys().any(|(n, _)| n == name || n.is_within(name))
+        self.records
+            .keys()
+            .any(|(n, _)| n == name || n.is_within(name))
     }
 
     /// Finds the closest enclosing delegation of `name`, if any.
@@ -263,8 +265,11 @@ mod tests {
     #[test]
     fn referral_with_glue() {
         let z = example_zone();
-        let ZoneLookup::Referral { zone, ns_records, glue } =
-            z.lookup(&n("deep.sub.example.com"), RecordType::A)
+        let ZoneLookup::Referral {
+            zone,
+            ns_records,
+            glue,
+        } = z.lookup(&n("deep.sub.example.com"), RecordType::A)
         else {
             panic!("expected referral");
         };

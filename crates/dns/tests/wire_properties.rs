@@ -24,11 +24,7 @@ fn arb_rdata() -> impl Strategy<Value = RecordData> {
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, data)| Record {
-        name,
-        ttl,
-        data,
-    })
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, data)| Record { name, ttl, data })
 }
 
 fn arb_qtype() -> impl Strategy<Value = RecordType> {

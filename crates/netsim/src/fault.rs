@@ -284,7 +284,12 @@ mod tests {
         assert_eq!(out, again);
         // Different seed, different draw.
         let other = FaultPlan::outages(8, 0.3);
-        assert_ne!(out, (0..2000).map(|i| other.server_out(ip(i))).collect::<Vec<_>>());
+        assert_ne!(
+            out,
+            (0..2000)
+                .map(|i| other.server_out(ip(i)))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

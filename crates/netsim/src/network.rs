@@ -226,7 +226,13 @@ impl Network {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = unbounded();
-        map.insert(addr, Bound { sink: Sink::Queue(tx), region });
+        map.insert(
+            addr,
+            Bound {
+                sink: Sink::Queue(tx),
+                region,
+            },
+        );
         Ok(Endpoint {
             addr,
             region,
@@ -239,19 +245,22 @@ impl Network {
     /// Binds one *site* of an anycast address. Multiple sites may share the
     /// same `ip:port`; delivery picks the site with the lowest modelled
     /// latency from the sender's region (ties by bind order).
-    pub fn bind_anycast(&self, ip: Ipv4Addr, port: u16, region: Region) -> Result<Endpoint, NetError> {
+    pub fn bind_anycast(
+        &self,
+        ip: Ipv4Addr,
+        port: u16,
+        region: Region,
+    ) -> Result<Endpoint, NetError> {
         let addr = SockAddr::new(ip, port);
         let shard = self.shard(&addr);
         if shard.unicast.read().contains_key(&addr) {
             return Err(NetError::AddrInUse(addr));
         }
         let (tx, rx) = unbounded();
-        shard
-            .anycast
-            .write()
-            .entry(addr)
-            .or_default()
-            .push(Bound { sink: Sink::Queue(tx), region });
+        shard.anycast.write().entry(addr).or_default().push(Bound {
+            sink: Sink::Queue(tx),
+            region,
+        });
         Ok(Endpoint {
             addr,
             region,
@@ -451,7 +460,8 @@ impl Network {
                 if let Some(reply) = f(&dgram) {
                     // The responder answers from the address it was queried
                     // at, in the region anycast routing selected.
-                    let _ = self.send_from_depth(dgram.dst, dst_region, dgram.src, reply, depth + 1);
+                    let _ =
+                        self.send_from_depth(dgram.dst, dst_region, dgram.src, reply, depth + 1);
                 }
             }
         }
@@ -645,7 +655,10 @@ mod tests {
         let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
         // Loss is silent: send succeeds, nothing arrives.
         b.send(a.addr(), Bytes::from_static(b"x")).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
         let stats = net.stats();
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.delivered, 0);
@@ -697,7 +710,10 @@ mod tests {
         let b = net.bind(ip("10.0.0.2"), 1, Region::ASIA).unwrap();
         // Like loss, the outage is silent: send succeeds, nothing arrives.
         b.send(a.addr(), Bytes::from_static(b"x")).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
         let stats = net.stats();
         assert_eq!(stats.faulted, 1);
         assert_eq!(stats.delivered, 0);
@@ -721,7 +737,9 @@ mod tests {
         let d = client.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(&d.payload[..], b"reply");
         // The forward direction (to the server's service port) stays eaten.
-        client.send(server.addr(), Bytes::from_static(b"q")).unwrap();
+        client
+            .send(server.addr(), Bytes::from_static(b"q"))
+            .unwrap();
         assert_eq!(
             server.recv_timeout(Duration::from_millis(10)),
             Err(NetError::Timeout)

@@ -210,7 +210,8 @@ mod tests {
         let net = Network::new(NetConfig::default());
         let rack = SharedEndpoint::new(&net);
         for i in 1..=5u8 {
-            rack.attach(Ipv4Addr::new(10, 0, 0, i), 53, Region::EUROPE).unwrap();
+            rack.attach(Ipv4Addr::new(10, 0, 0, i), 53, Region::EUROPE)
+                .unwrap();
         }
         assert_eq!(rack.num_attached(), 5);
 
@@ -241,7 +242,8 @@ mod tests {
         let dst = SockAddr::new(ip("10.0.0.7"), 53);
         client.send(dst, Bytes::from_static(b"q")).unwrap();
         let q = rack.recv_timeout(Duration::from_secs(1)).unwrap();
-        rack.send_from(q.dst, q.src, Bytes::from_static(b"a")).unwrap();
+        rack.send_from(q.dst, q.src, Bytes::from_static(b"a"))
+            .unwrap();
         let reply = client.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(reply.src, dst);
     }
@@ -265,8 +267,12 @@ mod tests {
         let net = Network::new(NetConfig::default());
         let rack_eu = SharedEndpoint::new(&net);
         let rack_as = SharedEndpoint::new(&net);
-        rack_eu.attach_anycast(ip("1.1.1.1"), 53, Region::EUROPE).unwrap();
-        rack_as.attach_anycast(ip("1.1.1.1"), 53, Region::ASIA).unwrap();
+        rack_eu
+            .attach_anycast(ip("1.1.1.1"), 53, Region::EUROPE)
+            .unwrap();
+        rack_as
+            .attach_anycast(ip("1.1.1.1"), 53, Region::ASIA)
+            .unwrap();
 
         let client = net.bind(ip("10.9.9.9"), 1, Region::ASIA).unwrap();
         client
@@ -324,8 +330,10 @@ mod tests {
         let tagged = |tag: &'static [u8]| move |_: &Datagram| Some(Bytes::from_static(tag));
         let eu = ResponderSet::new(&net, tagged(b"eu"));
         let asia = ResponderSet::new(&net, tagged(b"as"));
-        eu.attach_anycast(ip("1.1.1.1"), 53, Region::EUROPE).unwrap();
-        asia.attach_anycast(ip("1.1.1.1"), 53, Region::ASIA).unwrap();
+        eu.attach_anycast(ip("1.1.1.1"), 53, Region::EUROPE)
+            .unwrap();
+        asia.attach_anycast(ip("1.1.1.1"), 53, Region::ASIA)
+            .unwrap();
 
         let client = net.bind(ip("10.9.9.9"), 1, Region::ASIA).unwrap();
         client

@@ -28,11 +28,15 @@ pub enum FailureCause {
     UnknownIssuer,
     /// An upstream layer failed, so this layer was never attempted.
     Skipped,
+    /// The measurement infrastructure itself failed — a panic while
+    /// measuring the site, or a site abandoned after repeatedly killing
+    /// workers. Nothing about the *target* is implied.
+    Internal,
 }
 
 impl FailureCause {
     /// Every cause, in taxonomy-table order.
-    pub const ALL: [FailureCause; 8] = [
+    pub const ALL: [FailureCause; 9] = [
         FailureCause::Timeout,
         FailureCause::Unreachable,
         FailureCause::Refused,
@@ -41,6 +45,7 @@ impl FailureCause {
         FailureCause::Malformed,
         FailureCause::UnknownIssuer,
         FailureCause::Skipped,
+        FailureCause::Internal,
     ];
 
     /// Stable snake_case name (taxonomy keys, report rows).
@@ -54,6 +59,39 @@ impl FailureCause {
             FailureCause::Malformed => "malformed",
             FailureCause::UnknownIssuer => "unknown_issuer",
             FailureCause::Skipped => "skipped",
+            FailureCause::Internal => "internal",
+        }
+    }
+
+    /// Inverse of the derived serialization (unit variants serialize as
+    /// their variant name); used by the run-journal reader.
+    pub fn from_variant(s: &str) -> Option<Self> {
+        Some(match s {
+            "Timeout" => FailureCause::Timeout,
+            "Unreachable" => FailureCause::Unreachable,
+            "Refused" => FailureCause::Refused,
+            "NxDomain" => FailureCause::NxDomain,
+            "NoRecords" => FailureCause::NoRecords,
+            "Malformed" => FailureCause::Malformed,
+            "UnknownIssuer" => FailureCause::UnknownIssuer,
+            "Skipped" => FailureCause::Skipped,
+            "Internal" => FailureCause::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The variant name the derived serializer emits for this cause.
+    pub fn variant_name(self) -> &'static str {
+        match self {
+            FailureCause::Timeout => "Timeout",
+            FailureCause::Unreachable => "Unreachable",
+            FailureCause::Refused => "Refused",
+            FailureCause::NxDomain => "NxDomain",
+            FailureCause::NoRecords => "NoRecords",
+            FailureCause::Malformed => "Malformed",
+            FailureCause::UnknownIssuer => "UnknownIssuer",
+            FailureCause::Skipped => "Skipped",
+            FailureCause::Internal => "Internal",
         }
     }
 }
@@ -179,6 +217,19 @@ impl SiteObservation {
         }
     }
 
+    /// An observation for a site whose measurement was lost to the
+    /// measurement infrastructure itself — a panic in the measuring code,
+    /// or a site abandoned after repeatedly killing workers. Every layer
+    /// is marked [`FailureCause::Internal`] with the given detail.
+    pub fn internal_failure(domain: &str, language: &str, detail: &str) -> Self {
+        let mut o = Self::blank(domain, language);
+        o.hosting_error = Some(LayerError::new(FailureCause::Internal, detail));
+        o.dns_error = Some(LayerError::new(FailureCause::Internal, detail));
+        o.ca_error = Some(LayerError::new(FailureCause::Internal, detail));
+        o.derive_error_summary();
+        o
+    }
+
     /// True when every layer was measured successfully.
     pub fn complete(&self) -> bool {
         self.hosting_org.is_some() && self.dns_org.is_some() && self.ca_owner.is_some()
@@ -286,7 +337,10 @@ impl MeasuredDataset {
     }
 
     /// Iterates a country's observations.
-    pub fn country_observations(&self, country_idx: usize) -> impl Iterator<Item = &SiteObservation> {
+    pub fn country_observations(
+        &self,
+        country_idx: usize,
+    ) -> impl Iterator<Item = &SiteObservation> {
         self.toplists[country_idx]
             .iter()
             .map(move |&i| &self.observations[i as usize])

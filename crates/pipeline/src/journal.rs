@@ -1,0 +1,486 @@
+//! The run journal: an append-only JSONL checkpoint of completed site
+//! observations, and the loader that makes crash-resume possible.
+//!
+//! Format: line 1 is a header object
+//! `{"magic":"webdep-run-journal","version":1,"label":…,"sites":N}`;
+//! every following line is one completed record
+//! `{"site":<index>,"obs":<SiteObservation>}`. Records are appended in
+//! completion order (worker-interleaved, *not* site order) — the loader
+//! scatters them back by index. The writer buffers and fsyncs every
+//! [`FSYNC_BATCH`] records, so a crash loses at most one batch of
+//! durability plus possibly a torn final line; the loader tolerates
+//! exactly that (an unparseable *last* line is dropped, an unparseable
+//! middle line is corruption and an error).
+//!
+//! Because per-site measurement is deterministic (see the determinism
+//! contract in [`crate::run`]), a resumed run re-measures only the
+//! missing sites and provably reassembles a byte-identical
+//! [`MeasuredDataset`](crate::dataset::MeasuredDataset).
+
+use crate::dataset::{FailureCause, LayerError, SiteObservation};
+use serde_json::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Journal magic string (header `magic` field).
+pub const MAGIC: &str = "webdep-run-journal";
+/// Journal format version (header `version` field).
+pub const VERSION: u64 = 1;
+/// Records between explicit flush+fsync batches.
+pub const FSYNC_BATCH: usize = 64;
+
+/// Buffered, fsync-batched appender for the run journal.
+///
+/// Writes are line-buffered in userspace and pushed to stable storage
+/// every [`FSYNC_BATCH`] records (and on [`JournalWriter::sync`] / drop),
+/// trading at most one batch of durability for not paying an fsync per
+/// site.
+pub struct JournalWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    pending: usize,
+    written: u64,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal for a run over `sites` sites of the
+    /// world labeled `label`, writing and syncing the header immediately.
+    pub fn create(path: &Path, label: &str, sites: usize) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut w = JournalWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            pending: 0,
+            written: 0,
+        };
+        let header = Value::Object(vec![
+            ("magic".into(), Value::String(MAGIC.into())),
+            ("version".into(), Value::U64(VERSION)),
+            ("label".into(), Value::String(label.into())),
+            ("sites".into(), Value::U64(sites as u64)),
+        ]);
+        writeln!(w.out, "{header}")?;
+        w.out.flush()?;
+        w.out.get_ref().sync_data()?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (resume). The header must
+    /// match `label`/`sites`. A torn final line (crash artifact) is healed
+    /// first by rewriting the recovered records — appending directly after
+    /// a torn line would concatenate onto it and corrupt the journal.
+    pub fn append_existing(path: &Path, label: &str, sites: usize) -> io::Result<Self> {
+        let loaded = load(path)?;
+        if loaded.label != label || loaded.sites != sites {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "journal is for '{}' ({} sites), not '{}' ({} sites)",
+                    loaded.label, loaded.sites, label, sites
+                ),
+            ));
+        }
+        Self::append_loaded(path, &loaded)
+    }
+
+    /// Like [`JournalWriter::append_existing`], but takes the journal's
+    /// already-loaded contents instead of re-parsing the file — the
+    /// resume path loads once for the prefill and hands the same
+    /// [`Journal`] here.
+    pub fn append_loaded(path: &Path, loaded: &Journal) -> io::Result<Self> {
+        if loaded.torn_tail {
+            let mut w = Self::create(path, &loaded.label, loaded.sites)?;
+            for (i, obs) in &loaded.records {
+                w.append(*i, obs)?;
+            }
+            w.sync()?;
+            return Ok(w);
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            pending: 0,
+            written: loaded.records.len() as u64,
+        })
+    }
+
+    /// Appends one completed record; flushes and fsyncs every
+    /// [`FSYNC_BATCH`] records.
+    pub fn append(&mut self, site: usize, obs: &SiteObservation) -> io::Result<()> {
+        let obs_json = serde_json::to_string(obs)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.out, "{{\"site\":{site},\"obs\":{obs_json}}}")?;
+        self.written += 1;
+        self.pending += 1;
+        if self.pending >= FSYNC_BATCH {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs file data.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Records appended through this writer (including any pre-existing
+    /// count passed to [`JournalWriter::append_existing`]).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Best-effort final durability; errors here have no channel.
+        let _ = self.sync();
+    }
+}
+
+/// A loaded journal: header metadata plus the recovered records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// World snapshot label from the header.
+    pub label: String,
+    /// Site count from the header.
+    pub sites: usize,
+    /// Recovered `(site_index, observation)` records, deduplicated
+    /// keep-first, in file order.
+    pub records: Vec<(usize, SiteObservation)>,
+    /// Whether the final line was torn (unparseable) and dropped.
+    pub torn_tail: bool,
+}
+
+impl Journal {
+    /// Scatters the records into a `slots` vector (one `Option` per
+    /// site), returning how many sites were restored.
+    pub fn fill_slots(&self, slots: &mut [Option<SiteObservation>]) -> usize {
+        let mut restored = 0;
+        for (i, obs) in &self.records {
+            if slots[*i].is_none() {
+                slots[*i] = Some(obs.clone());
+                restored += 1;
+            }
+        }
+        restored
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Loads and validates a journal.
+///
+/// Tolerates exactly the crash artifact the writer can produce: a torn
+/// (unparseable or structurally incomplete) *final* line, which is
+/// dropped. Any earlier malformed line, a bad header, or an
+/// out-of-bounds site index is corruption and fails the load. Duplicate
+/// site records (possible when a requeued batch re-measures a site a
+/// dead worker had already journaled) keep the first occurrence.
+pub fn load(path: &Path) -> io::Result<Journal> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+
+    let header_line = lines.next().ok_or_else(|| bad("empty journal"))?;
+    let header: Value =
+        serde_json::from_str(header_line).map_err(|e| bad(format!("bad journal header: {e}")))?;
+    if header["magic"] != MAGIC {
+        return Err(bad("not a run journal (bad magic)"));
+    }
+    if header["version"].as_u64() != Some(VERSION) {
+        return Err(bad(format!(
+            "unsupported journal version {}",
+            header["version"]
+        )));
+    }
+    let label = header["label"]
+        .as_str()
+        .ok_or_else(|| bad("journal header missing label"))?
+        .to_string();
+    let sites = header["sites"]
+        .as_u64()
+        .ok_or_else(|| bad("journal header missing sites"))? as usize;
+
+    let body: Vec<&str> = lines.collect();
+    let mut records = Vec::new();
+    let mut seen = vec![false; sites];
+    let mut torn_tail = false;
+    for (lineno, line) in body.iter().enumerate() {
+        let last = lineno + 1 == body.len();
+        match parse_record(line, sites) {
+            Ok((site, obs)) => {
+                if !seen[site] {
+                    seen[site] = true;
+                    records.push((site, obs));
+                }
+            }
+            Err(e) if last => {
+                // The one artifact a crash mid-append can leave behind.
+                torn_tail = true;
+                let _ = e;
+            }
+            Err(e) => {
+                return Err(bad(format!("corrupt journal line {}: {e}", lineno + 2)));
+            }
+        }
+    }
+    Ok(Journal {
+        label,
+        sites,
+        records,
+        torn_tail,
+    })
+}
+
+fn parse_record(line: &str, sites: usize) -> Result<(usize, SiteObservation), String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let site = v["site"].as_u64().ok_or("missing site index")? as usize;
+    if site >= sites {
+        return Err(format!("site index {site} out of bounds (< {sites})"));
+    }
+    let obs = observation_from_value(&v["obs"])?;
+    Ok((site, obs))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v[key]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match &v[key] {
+        Value::Null => Ok(None),
+        Value::String(s) => Ok(Some(s.clone())),
+        other => Err(format!("field '{key}' is not a string or null: {other}")),
+    }
+}
+
+fn opt_u32(v: &Value, key: &str) -> Result<Option<u32>, String> {
+    match &v[key] {
+        Value::Null => Ok(None),
+        other => other
+            .as_u64()
+            .and_then(|x| u32::try_from(x).ok())
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' is not a u32 or null: {other}")),
+    }
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v[key]
+        .as_bool()
+        .ok_or_else(|| format!("missing bool field '{key}'"))
+}
+
+fn opt_ip(v: &Value, key: &str) -> Result<Option<Ipv4Addr>, String> {
+    match opt_str(v, key)? {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<Ipv4Addr>()
+            .map(Some)
+            .map_err(|_| format!("field '{key}' is not an IPv4 address: {s}")),
+    }
+}
+
+fn opt_layer_error(v: &Value, key: &str) -> Result<Option<LayerError>, String> {
+    match &v[key] {
+        Value::Null => Ok(None),
+        obj @ Value::Object(_) => {
+            let cause_name = req_str(obj, "cause")?;
+            let cause = FailureCause::from_variant(&cause_name)
+                .ok_or_else(|| format!("unknown failure cause '{cause_name}'"))?;
+            Ok(Some(LayerError::new(cause, req_str(obj, "detail")?)))
+        }
+        other => Err(format!("field '{key}' is not a layer error: {other}")),
+    }
+}
+
+/// Reconstructs a [`SiteObservation`] from its serialized [`Value`] tree.
+///
+/// The vendored `serde_json` shim deserializes only into [`Value`], so
+/// the typed reconstruction lives here. This is the exact inverse of the
+/// derived serialization: unit enum variants are variant-name strings,
+/// `Ipv4Addr` is a dotted-quad string, `None` is `null`.
+pub fn observation_from_value(v: &Value) -> Result<SiteObservation, String> {
+    let ns_names = match &v["ns_names"] {
+        Value::Array(items) => items
+            .iter()
+            .map(|it| {
+                it.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("ns_names entry is not a string: {it}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        other => return Err(format!("ns_names is not an array: {other}")),
+    };
+    Ok(SiteObservation {
+        domain: req_str(v, "domain")?,
+        tld: req_str(v, "tld")?,
+        language: req_str(v, "language")?,
+        hosting_ip: opt_ip(v, "hosting_ip")?,
+        hosting_asn: opt_u32(v, "hosting_asn")?,
+        hosting_org: opt_u32(v, "hosting_org")?,
+        hosting_org_country: opt_str(v, "hosting_org_country")?,
+        hosting_ip_country: opt_str(v, "hosting_ip_country")?,
+        hosting_anycast: req_bool(v, "hosting_anycast")?,
+        ns_names,
+        dns_ip: opt_ip(v, "dns_ip")?,
+        dns_asn: opt_u32(v, "dns_asn")?,
+        dns_org: opt_u32(v, "dns_org")?,
+        dns_org_country: opt_str(v, "dns_org_country")?,
+        dns_ip_country: opt_str(v, "dns_ip_country")?,
+        dns_anycast: req_bool(v, "dns_anycast")?,
+        ca_owner: opt_u32(v, "ca_owner")?,
+        ca_owner_country: opt_str(v, "ca_owner_country")?,
+        hosting_error: opt_layer_error(v, "hosting_error")?,
+        dns_error: opt_layer_error(v, "dns_error")?,
+        ca_error: opt_layer_error(v, "ca_error")?,
+        error: opt_str(v, "error")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("webdep-journal-{name}-{}", std::process::id()))
+    }
+
+    fn sample_obs(i: usize) -> SiteObservation {
+        let mut o = SiteObservation::blank(&format!("site{i}.example.com"), "en");
+        o.hosting_ip = Some(Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8));
+        o.hosting_asn = Some(64512 + i as u32);
+        o.hosting_org = Some(7);
+        o.hosting_org_country = Some("US".into());
+        o.hosting_anycast = i.is_multiple_of(2);
+        o.ns_names = vec![format!("ns1.host{i}.net"), format!("ns2.host{i}.net")];
+        if i.is_multiple_of(3) {
+            o.dns_error = Some(LayerError::new(
+                FailureCause::Timeout,
+                "NS: query timed out",
+            ));
+        }
+        o.derive_error_summary();
+        o
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let path = tmp("roundtrip");
+        let mut w = JournalWriter::create(&path, "tiny-v1", 10).unwrap();
+        let original: Vec<SiteObservation> = (0..10).map(sample_obs).collect();
+        // Append out of site order, as workers do.
+        for &i in &[3usize, 0, 7, 1, 9, 2] {
+            w.append(i, &original[i]).unwrap();
+        }
+        drop(w);
+
+        let j = load(&path).unwrap();
+        assert_eq!(j.label, "tiny-v1");
+        assert_eq!(j.sites, 10);
+        assert!(!j.torn_tail);
+        assert_eq!(j.records.len(), 6);
+        for (i, obs) in &j.records {
+            assert_eq!(obs, &original[*i], "site {i} must roundtrip exactly");
+            // Byte-level: re-serialization matches the original bytes.
+            assert_eq!(
+                serde_json::to_string(obs).unwrap(),
+                serde_json::to_string(&original[*i]).unwrap()
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_middle_corruption_fails() {
+        let path = tmp("torn");
+        let mut w = JournalWriter::create(&path, "t", 4).unwrap();
+        w.append(0, &sample_obs(0)).unwrap();
+        w.append(1, &sample_obs(1)).unwrap();
+        drop(w);
+
+        // Simulate a crash mid-append: truncate the final line.
+        let text = fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 40;
+        fs::write(&path, &text[..cut]).unwrap();
+        let j = load(&path).unwrap();
+        assert!(j.torn_tail);
+        assert_eq!(j.records.len(), 1, "torn final record is dropped");
+        assert_eq!(j.records[0].0, 0);
+
+        // The same damage mid-file is corruption, not a torn tail.
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let cut = lines[1].len() - 40;
+        lines[1].truncate(cut);
+        fs::write(&path, lines.join("\n")).unwrap();
+        assert!(load(&path).is_err(), "mid-file corruption must fail");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_validation_rejects_mismatches() {
+        let path = tmp("header");
+        {
+            let _w = JournalWriter::create(&path, "world-a", 5).unwrap();
+        }
+        assert!(JournalWriter::append_existing(&path, "world-b", 5).is_err());
+        assert!(JournalWriter::append_existing(&path, "world-a", 6).is_err());
+        let w = JournalWriter::append_existing(&path, "world-a", 5).unwrap();
+        assert_eq!(w.written(), 0);
+        drop(w);
+
+        fs::write(
+            &path,
+            "{\"magic\":\"nope\",\"version\":1,\"label\":\"x\",\"sites\":1}\n",
+        )
+        .unwrap();
+        assert!(load(&path).is_err(), "bad magic must fail");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicates_keep_first_and_bounds_are_checked() {
+        let path = tmp("dups");
+        let mut w = JournalWriter::create(&path, "t", 3).unwrap();
+        let first = sample_obs(1);
+        let mut second = first.clone();
+        second.hosting_asn = Some(99);
+        w.append(1, &first).unwrap();
+        w.append(1, &second).unwrap();
+        drop(w);
+        let j = load(&path).unwrap();
+        assert_eq!(j.records.len(), 1);
+        assert_eq!(j.records[0].1.hosting_asn, first.hosting_asn);
+
+        let mut slots: Vec<Option<SiteObservation>> = vec![None; 3];
+        assert_eq!(j.fill_slots(&mut slots), 1);
+        assert!(slots[1].is_some() && slots[0].is_none());
+
+        // Out-of-bounds site index in the middle is corruption.
+        let mut w = JournalWriter::append_existing(&path, "t", 3).unwrap();
+        w.append(2, &sample_obs(2)).unwrap();
+        drop(w);
+        let text = fs::read_to_string(&path).unwrap();
+        let bumped = text.replace("{\"site\":2,", "{\"site\":7,");
+        fs::write(&path, format!("{bumped}{{\"site\":0,\"obs\":null}}\n")).unwrap();
+        assert!(load(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+}

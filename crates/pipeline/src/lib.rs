@@ -17,9 +17,16 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod journal;
 pub mod run;
+pub mod supervisor;
 pub mod vantage;
 
 pub use dataset::{FailureCause, FailureTaxonomy, LayerError, MeasuredDataset, SiteObservation};
-pub use run::{measure, measure_with_stats, MeasureStats, PipelineConfig, Scheduling};
+pub use journal::JournalWriter;
+pub use run::{
+    measure, measure_journaled, measure_with_stats, resume_from_journal, MeasureStats,
+    PipelineConfig, Scheduling,
+};
+pub use supervisor::{ChaosPlan, SupervisionStats, SupervisorConfig};
 pub use vantage::resolve_hosting_orgs;

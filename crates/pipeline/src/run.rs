@@ -1,4 +1,5 @@
-//! The measurement run: parallel resolve + scan + enrich.
+//! The measurement run: parallel resolve + scan + enrich, under
+//! supervision.
 //!
 //! Two scheduler/caching knobs govern how the run scales:
 //!
@@ -13,10 +14,31 @@
 //! Both knobs change only *when and where* work happens, never the result:
 //! `measure` returns a byte-identical dataset for any worker count,
 //! scheduling mode, and cache setting.
+//!
+//! On top of the scheduler sits the supervision layer (see
+//! [`crate::supervisor`]): every site is measured under `catch_unwind`
+//! (a panic becomes a [`FailureCause::Internal`] observation, never a
+//! process abort), workers publish heartbeats and hand each completed
+//! observation to a shared collector immediately, and the supervisor
+//! requeues a lost worker's in-flight batch and respawns replacements.
+//! Because per-site measurement is deterministic, a requeued batch
+//! re-measures to identical bytes — worker loss costs wall-clock, not
+//! correctness. [`measure_journaled`] additionally checkpoints every
+//! completed observation to an append-only JSONL journal
+//! ([`crate::journal`]) and [`resume_from_journal`] continues a crashed
+//! run, provably reassembling a byte-identical dataset.
 
 use crate::dataset::{FailureCause, LayerError, MeasuredDataset, SiteObservation};
+use crate::journal::{self, JournalWriter};
+use crate::supervisor::{
+    Batch, ChaosPlan, SupervisionStats, SupervisorConfig, WorkQueue, WorkerSlot,
+};
+use std::any::Any;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use webdep_dns::resolver::{IterativeResolver, ResolveError, ResolverConfig};
 use webdep_dns::shared_cache::SharedDnsCache;
@@ -51,6 +73,12 @@ pub struct PipelineConfig {
     pub scheduling: Scheduling,
     /// Share one delegation/answer cache across all workers.
     pub shared_cache: bool,
+    /// Supervision tuning: watchdog deadline, poison threshold, respawn
+    /// budget.
+    pub supervisor: SupervisorConfig,
+    /// Seeded chaos schedule (worker kills / panics / hangs) for
+    /// resilience tests and benches; `None` injects nothing.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for PipelineConfig {
@@ -62,6 +90,8 @@ impl Default for PipelineConfig {
             scanner: ScannerConfig::default(),
             scheduling: Scheduling::Dynamic,
             shared_cache: true,
+            supervisor: SupervisorConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -83,7 +113,8 @@ pub struct MeasureStats {
     pub local_cache_hits: u64,
     /// Answers/delegations served from the shared cache tier.
     pub shared_cache_hits: u64,
-    /// Per-worker busy time (from spawn to last site finished).
+    /// Per-worker busy time (from spawn to last site finished), including
+    /// workers that were lost mid-run.
     pub worker_busy: Vec<Duration>,
     /// Largest fraction of the wall clock any worker spent idle, i.e. done
     /// but waiting for stragglers. Static sharding drives this up; the
@@ -97,12 +128,14 @@ pub struct MeasureStats {
     pub mismatched_ids: u64,
     /// TLS server flights discarded as malformed, summed over all workers.
     pub malformed_flights: u64,
+    /// Supervision accounting: panics isolated, workers lost/respawned,
+    /// batches requeued, sites poisoned or resumed.
+    pub supervision: SupervisionStats,
 }
 
-/// What one worker brings home: observations tagged with their site index,
-/// plus accounting.
+/// What one worker brings home (observations are handed to the shared
+/// collector per site; only accounting comes back through the handle).
 struct WorkerReport {
-    observations: Vec<(usize, SiteObservation)>,
     busy: Duration,
     wire_queries: u64,
     local_cache_hits: u64,
@@ -110,6 +143,40 @@ struct WorkerReport {
     malformed_datagrams: u64,
     mismatched_ids: u64,
     malformed_flights: u64,
+    panics_isolated: u64,
+}
+
+/// The shared result sink: completed observations scatter here per site,
+/// and the journal (when enabled) records them in the same breath, so a
+/// worker loss can never lose a committed site.
+struct Collector {
+    slots: Vec<Option<SiteObservation>>,
+    journal: Option<JournalWriter>,
+    journal_error: Option<io::Error>,
+}
+
+impl Collector {
+    /// Commits one observation if the site is still unclaimed. Duplicate
+    /// commits (a requeued batch re-measuring a site its dead worker had
+    /// already committed is impossible, but a worker declared hung while
+    /// actually alive can race its replacement) are idempotent: first
+    /// write wins, and determinism makes both writes byte-identical.
+    fn commit(&mut self, site: usize, obs: SiteObservation) -> bool {
+        if self.slots[site].is_some() {
+            return false;
+        }
+        if let Some(j) = self.journal.as_mut() {
+            if let Err(e) = j.append(site, &obs) {
+                // Keep measuring; surface the first journal error at the end.
+                if self.journal_error.is_none() {
+                    self.journal_error = Some(e);
+                }
+                self.journal = None;
+            }
+        }
+        self.slots[site] = Some(obs);
+        true
+    }
 }
 
 /// Measures every site of `world` against its deployment, returning the
@@ -122,111 +189,270 @@ pub fn measure(world: &World, dep: &DeployedWorld, config: &PipelineConfig) -> M
     measure_with_stats(world, dep, config).0
 }
 
-/// Like [`measure`], but also reports throughput and cache accounting.
+/// Like [`measure`], but also reports throughput, cache, and supervision
+/// accounting.
 pub fn measure_with_stats(
     world: &World,
     dep: &DeployedWorld,
     config: &PipelineConfig,
 ) -> (MeasuredDataset, MeasureStats) {
+    let (ds, stats, _journal_err) = run_supervised(world, dep, config, None, None);
+    (ds, stats)
+}
+
+/// Like [`measure_with_stats`], but checkpoints every completed
+/// observation to an append-only JSONL journal at `path` (created,
+/// truncating any previous file). A crashed run can be continued with
+/// [`resume_from_journal`].
+pub fn measure_journaled(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+    path: &Path,
+) -> io::Result<(MeasuredDataset, MeasureStats)> {
+    let writer = JournalWriter::create(path, &world.label, world.sites.len())?;
+    let (ds, stats, journal_err) = run_supervised(world, dep, config, Some(writer), None);
+    match journal_err {
+        Some(e) => Err(e),
+        None => Ok((ds, stats)),
+    }
+}
+
+/// Continues a journaled run: journaled sites are restored verbatim and
+/// skipped, the rest are measured and appended to the same journal.
+///
+/// Because per-site measurement is deterministic, the result is
+/// byte-identical to the uninterrupted run — property-tested in
+/// `tests/supervision.rs` by killing runs at random progress points.
+pub fn resume_from_journal(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+    path: &Path,
+) -> io::Result<(MeasuredDataset, MeasureStats)> {
+    let loaded = journal::load(path)?;
+    if loaded.label != world.label || loaded.sites != world.sites.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "journal is for '{}' ({} sites), not '{}' ({} sites)",
+                loaded.label,
+                loaded.sites,
+                world.label,
+                world.sites.len()
+            ),
+        ));
+    }
+    let writer = JournalWriter::append_loaded(path, &loaded)?;
+    let (ds, stats, journal_err) = run_supervised(world, dep, config, Some(writer), Some(loaded));
+    match journal_err {
+        Some(e) => Err(e),
+        None => Ok((ds, stats)),
+    }
+}
+
+/// The supervised run underneath every public entry point.
+///
+/// The scope's main thread doubles as the supervisor: it scans worker
+/// heartbeats and join handles every `tick`, requeues (or poisons) the
+/// in-flight batch of a lost worker, respawns replacements up to the
+/// budget, and fails leftover sites deterministically if the run would
+/// otherwise deadlock with no workers left.
+fn run_supervised(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+    journal: Option<JournalWriter>,
+    prefill: Option<journal::Journal>,
+) -> (MeasuredDataset, MeasureStats, Option<io::Error>) {
     let n = world.sites.len();
     let workers = config.workers.max(1);
-    let shared = config
-        .shared_cache
-        .then(|| Arc::new(SharedDnsCache::new()));
+    let sup_cfg = config.supervisor.clone();
+    let chaos = config.chaos.clone().unwrap_or_default();
+    let deadline_ms = sup_cfg.site_deadline.as_millis() as u64;
+
+    let mut slots: Vec<Option<SiteObservation>> = (0..n).map(|_| None).collect();
+    let resumed = prefill.map_or(0, |j| j.fill_slots(&mut slots));
+    let done_at_start: Vec<bool> = slots.iter().map(Option::is_some).collect();
+    let completed = AtomicUsize::new(resumed);
+    let collector = Mutex::new(Collector {
+        slots,
+        journal,
+        journal_error: None,
+    });
+
+    let shared = config.shared_cache.then(|| Arc::new(SharedDnsCache::new()));
+    // Static mode assigns one contiguous shard per initial worker up
+    // front, so the queue's fresh cursor is left empty; requeues flow
+    // through it in both modes.
+    let queue = match config.scheduling {
+        Scheduling::Dynamic => WorkQueue::new(n, DYNAMIC_BATCH),
+        Scheduling::Static => WorkQueue::new(0, DYNAMIC_BATCH),
+    };
     let static_chunk = n.div_ceil(workers);
-    let cursor = AtomicUsize::new(0);
 
-    let start = Instant::now();
+    let epoch = Instant::now();
+    let mut sup_stats = SupervisionStats {
+        sites_resumed: resumed as u64,
+        ..SupervisionStats::default()
+    };
+
     let reports: Vec<WorkerReport> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|wi| {
-                let cfg = config.clone();
-                let shared = shared.clone();
-                let cursor = &cursor;
-                scope.spawn(move |_| {
-                    let worker_start = Instant::now();
-                    let resolver_ep = dep.vantage(cfg.vantage);
-                    let scanner_ep = dep.vantage(cfg.vantage);
-                    let mut resolver = match shared {
-                        Some(cache) => IterativeResolver::with_shared_cache(
-                            resolver_ep,
-                            dep.roots.clone(),
-                            cfg.resolver.clone(),
-                            cache,
-                        ),
-                        None => IterativeResolver::new(
-                            resolver_ep,
-                            dep.roots.clone(),
-                            cfg.resolver.clone(),
-                        ),
-                    };
-                    let mut scanner = Scanner::new(scanner_ep, cfg.scanner.clone());
-                    let mut observations: Vec<(usize, SiteObservation)> = Vec::new();
+        let queue = &queue;
+        let collector = &collector;
+        let completed = &completed;
+        let done_at_start: &[bool] = &done_at_start;
+        let chaos = &chaos;
 
-                    // Claim the next batch of site indices, per the mode.
-                    let mut static_done = false;
-                    let mut next_batch = || -> std::ops::Range<usize> {
-                        match cfg.scheduling {
-                            Scheduling::Static => {
-                                // Yield this worker's shard once, then stop.
-                                if static_done {
-                                    return n..n;
-                                }
-                                static_done = true;
-                                let lo = (wi * static_chunk).min(n);
-                                let hi = (lo + static_chunk).min(n);
-                                lo..hi
-                            }
-                            Scheduling::Dynamic => {
-                                let lo = cursor.fetch_add(DYNAMIC_BATCH, Ordering::Relaxed).min(n);
-                                let hi = (lo + DYNAMIC_BATCH).min(n);
-                                lo..hi
-                            }
-                        }
-                    };
-                    loop {
-                        let batch = next_batch();
-                        if batch.is_empty() {
-                            break;
-                        }
-                        for i in batch {
-                            let site = &world.sites[i];
-                            let mut obs = SiteObservation::blank(&site.domain, &site.language);
-                            measure_one(
-                                &mut obs,
-                                &mut resolver,
-                                &mut scanner,
-                                &dep.pfx2as,
-                                &dep.asorg,
-                                &dep.geodb,
-                                &dep.anycast,
-                                &dep.caodb,
-                            );
-                            observations.push((i, obs));
-                        }
-                    }
-
-                    let rstats = resolver.stats();
-                    WorkerReport {
-                        observations,
-                        busy: worker_start.elapsed(),
-                        wire_queries: rstats.wire_queries,
-                        local_cache_hits: rstats.local_cache_hits,
-                        shared_cache_hits: rstats.shared_cache_hits,
-                        malformed_datagrams: rstats.malformed_datagrams,
-                        mismatched_ids: rstats.mismatched_ids,
-                        malformed_flights: scanner.malformed_flights,
-                    }
-                })
+        let spawn_worker = |initial: Option<Batch>, slot: Arc<WorkerSlot>| {
+            let cfg = config.clone();
+            let shared = shared.clone();
+            scope.spawn(move |_| {
+                worker_main(
+                    world,
+                    dep,
+                    &cfg,
+                    shared,
+                    chaos,
+                    queue,
+                    collector,
+                    completed,
+                    done_at_start,
+                    &slot,
+                    epoch,
+                    n,
+                    initial,
+                )
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pipeline workers do not panic"))
-            .collect()
+        };
+
+        let mut worker_slots: Vec<Arc<WorkerSlot>> = Vec::new();
+        let mut handles = Vec::new();
+        let mut lost: Vec<bool> = Vec::new();
+        let mut reports: Vec<WorkerReport> = Vec::new();
+        for wi in 0..workers {
+            let initial = match config.scheduling {
+                Scheduling::Static => {
+                    let lo = (wi * static_chunk).min(n);
+                    let hi = (lo + static_chunk).min(n);
+                    (lo < hi).then(|| Batch::new(lo, hi))
+                }
+                Scheduling::Dynamic => None,
+            };
+            let slot = Arc::new(WorkerSlot::default());
+            slot.heartbeat
+                .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+            worker_slots.push(Arc::clone(&slot));
+            lost.push(false);
+            handles.push(Some(spawn_worker(initial, slot)));
+        }
+
+        let mut respawns = 0usize;
+        while completed.load(Ordering::Acquire) < n {
+            let now_ms = epoch.elapsed().as_millis() as u64;
+            let mut to_spawn = 0usize;
+            for w in 0..handles.len() {
+                if lost[w] {
+                    continue;
+                }
+                let Some(handle) = &handles[w] else { continue };
+                let slot = &worker_slots[w];
+                let finished = handle.is_finished();
+                let in_flight = *slot.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+                // A finished worker with nothing in flight exited cleanly;
+                // an unfinished one with nothing in flight is between
+                // batches. Neither is a loss.
+                if in_flight.is_none() {
+                    continue;
+                }
+                let stale =
+                    now_ms.saturating_sub(slot.heartbeat.load(Ordering::Relaxed)) > deadline_ms;
+                if !finished && !stale {
+                    continue;
+                }
+                // Worker lost: thread died, or hung past the deadline.
+                lost[w] = true;
+                slot.canceled.store(true, Ordering::Relaxed);
+                sup_stats.workers_lost += 1;
+                let taken = slot
+                    .in_flight
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                if let Some(b) = taken.filter(|b| !b.is_empty()) {
+                    if b.poison + 1 >= sup_cfg.poison_threshold {
+                        let detail = format!(
+                            "internal: site batch abandoned after killing {} workers",
+                            b.poison + 1
+                        );
+                        sup_stats.sites_poisoned +=
+                            fail_batch(world, collector, completed, done_at_start, &b, &detail);
+                    } else {
+                        queue.requeue(Batch {
+                            poison: b.poison + 1,
+                            ..b
+                        });
+                        sup_stats.batches_requeued += 1;
+                    }
+                }
+                if finished {
+                    if let Ok(r) = handles[w].take().expect("checked above").join() {
+                        reports.push(r);
+                    }
+                }
+                to_spawn += 1;
+            }
+            for _ in 0..to_spawn {
+                if respawns >= sup_cfg.max_respawns {
+                    break;
+                }
+                respawns += 1;
+                sup_stats.workers_respawned += 1;
+                let slot = Arc::new(WorkerSlot::default());
+                slot.heartbeat
+                    .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                worker_slots.push(Arc::clone(&slot));
+                lost.push(false);
+                handles.push(Some(spawn_worker(None, slot)));
+            }
+            // Deadlock guard: every worker is lost and the respawn budget
+            // is spent, so nothing can drain the queue — fail the
+            // remaining sites deterministically instead of spinning.
+            let any_live = (0..handles.len())
+                .any(|w| !lost[w] && handles[w].as_ref().is_some_and(|h| !h.is_finished()));
+            if !any_live
+                && respawns >= sup_cfg.max_respawns
+                && completed.load(Ordering::Acquire) < n
+            {
+                for b in queue.drain() {
+                    sup_stats.sites_poisoned += fail_batch(
+                        world,
+                        collector,
+                        completed,
+                        done_at_start,
+                        &b,
+                        "internal: no workers remaining",
+                    );
+                }
+                break;
+            }
+            std::thread::sleep(sup_cfg.tick);
+        }
+
+        for slot in &worker_slots {
+            slot.canceled.store(true, Ordering::Relaxed);
+        }
+        for handle in handles.iter_mut() {
+            if let Some(h) = handle.take() {
+                if let Ok(r) = h.join() {
+                    reports.push(r);
+                }
+            }
+        }
+        reports
     })
-    .expect("pipeline scope does not panic");
-    let wall = start.elapsed();
+    .unwrap_or_default();
+    let wall = epoch.elapsed();
 
     let worker_busy: Vec<Duration> = reports.iter().map(|r| r.busy).collect();
     let wire_queries = reports.iter().map(|r| r.wire_queries).sum();
@@ -235,17 +461,32 @@ pub fn measure_with_stats(
     let malformed_datagrams = reports.iter().map(|r| r.malformed_datagrams).sum();
     let mismatched_ids = reports.iter().map(|r| r.mismatched_ids).sum();
     let malformed_flights = reports.iter().map(|r| r.malformed_flights).sum();
+    sup_stats.panics_isolated = reports.iter().map(|r| r.panics_isolated).sum();
 
-    // Scatter worker results back into site order.
-    let mut slots: Vec<Option<SiteObservation>> = (0..n).map(|_| None).collect();
-    for report in reports {
-        for (i, obs) in report.observations {
-            slots[i] = Some(obs);
+    let mut coll = collector.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut journal_error = coll.journal_error.take();
+    if let Some(j) = coll.journal.as_mut() {
+        // Final durability point; an error here is as fatal as a mid-run one.
+        if let Err(e) = j.sync() {
+            journal_error.get_or_insert(e);
         }
     }
-    let observations: Vec<SiteObservation> = slots
+    // Every site is accounted for: committed by a worker, restored from
+    // the journal, or failed by the supervisor's poison/deadlock paths.
+    let observations: Vec<SiteObservation> = coll
+        .slots
         .into_iter()
-        .map(|s| s.expect("every site measured exactly once"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                let site = &world.sites[i];
+                SiteObservation::internal_failure(
+                    &site.domain,
+                    &site.language,
+                    "internal: site never measured",
+                )
+            })
+        })
         .collect();
 
     let peak_idle_fraction = worker_busy
@@ -264,6 +505,7 @@ pub fn measure_with_stats(
         malformed_datagrams,
         mismatched_ids,
         malformed_flights,
+        supervision: sup_stats,
     };
 
     let dataset = MeasuredDataset {
@@ -272,7 +514,198 @@ pub fn measure_with_stats(
         global_top: world.global_top.clone(),
         label: world.label.clone(),
     };
-    (dataset, stats)
+    (dataset, stats, journal_error)
+}
+
+/// Records every not-yet-done site of a batch as an internal failure
+/// (poison policy / no-workers-left path). Returns how many sites this
+/// actually failed (already-committed sites are left untouched).
+fn fail_batch(
+    world: &World,
+    collector: &Mutex<Collector>,
+    completed: &AtomicUsize,
+    done_at_start: &[bool],
+    batch: &Batch,
+    detail: &str,
+) -> u64 {
+    let mut failed = 0;
+    let mut coll = collector.lock().unwrap_or_else(|e| e.into_inner());
+    for (i, &done) in done_at_start
+        .iter()
+        .enumerate()
+        .take(batch.hi)
+        .skip(batch.lo)
+    {
+        if done {
+            continue;
+        }
+        let site = &world.sites[i];
+        let obs = SiteObservation::internal_failure(&site.domain, &site.language, detail);
+        if coll.commit(i, obs) {
+            completed.fetch_add(1, Ordering::AcqRel);
+            failed += 1;
+        }
+    }
+    failed
+}
+
+/// Renders a caught panic payload for the `Internal` failure detail.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+/// One worker thread: claim batches, measure each site under
+/// `catch_unwind`, commit per site, publish heartbeats.
+///
+/// A worker never exits while work could still appear: a requeued batch
+/// from a lost sibling may arrive after the fresh cursor runs dry, so
+/// idle workers poll until the run completes or they are canceled.
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    world: &World,
+    dep: &DeployedWorld,
+    cfg: &PipelineConfig,
+    shared: Option<Arc<SharedDnsCache>>,
+    chaos: &ChaosPlan,
+    queue: &WorkQueue,
+    collector: &Mutex<Collector>,
+    completed: &AtomicUsize,
+    done_at_start: &[bool],
+    slot: &WorkerSlot,
+    epoch: Instant,
+    n: usize,
+    mut initial: Option<Batch>,
+) -> WorkerReport {
+    let worker_start = Instant::now();
+    let resolver_ep = dep.vantage(cfg.vantage);
+    let scanner_ep = dep.vantage(cfg.vantage);
+    let mut resolver = match shared {
+        Some(cache) => IterativeResolver::with_shared_cache(
+            resolver_ep,
+            dep.roots.clone(),
+            cfg.resolver.clone(),
+            cache,
+        ),
+        None => IterativeResolver::new(resolver_ep, dep.roots.clone(), cfg.resolver.clone()),
+    };
+    let mut scanner = Scanner::new(scanner_ep, cfg.scanner.clone());
+    let mut panics_isolated = 0u64;
+
+    let report = |resolver: &IterativeResolver, scanner: &Scanner, panics: u64| {
+        let rstats = resolver.stats();
+        WorkerReport {
+            busy: worker_start.elapsed(),
+            wire_queries: rstats.wire_queries,
+            local_cache_hits: rstats.local_cache_hits,
+            shared_cache_hits: rstats.shared_cache_hits,
+            malformed_datagrams: rstats.malformed_datagrams,
+            mismatched_ids: rstats.mismatched_ids,
+            malformed_flights: scanner.malformed_flights,
+            panics_isolated: panics,
+        }
+    };
+
+    'outer: loop {
+        if slot.is_canceled() || completed.load(Ordering::Acquire) >= n {
+            break;
+        }
+        let batch = initial
+            .take()
+            .or_else(|| queue.claim_requeued())
+            .or_else(|| queue.claim_fresh());
+        let Some(batch) = batch else {
+            // Nothing claimable right now, but a requeue may still arrive.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        slot.heartbeat
+            .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        *slot.in_flight.lock().unwrap_or_else(|e| e.into_inner()) = Some(batch);
+        for (i, &done) in done_at_start
+            .iter()
+            .enumerate()
+            .take(batch.hi)
+            .skip(batch.lo)
+        {
+            if slot.is_canceled() {
+                break 'outer;
+            }
+            slot.heartbeat
+                .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+            if !done {
+                if chaos.kills(i, batch.poison) {
+                    // Simulated worker death: exit with the remainder of
+                    // the batch still in flight for the supervisor to find.
+                    return report(&resolver, &scanner, panics_isolated);
+                }
+                if chaos.hangs(i, batch.poison) {
+                    // Simulated hang: stop heartbeating until the watchdog
+                    // cancels us, then exit like a death.
+                    while !slot.is_canceled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    break 'outer;
+                }
+                let site = &world.sites[i];
+                let measured = catch_unwind(AssertUnwindSafe(|| {
+                    if chaos.panics(i) {
+                        panic!("chaos: injected panic for site {i}");
+                    }
+                    let mut obs = SiteObservation::blank(&site.domain, &site.language);
+                    measure_one(
+                        &mut obs,
+                        &mut resolver,
+                        &mut scanner,
+                        &dep.pfx2as,
+                        &dep.asorg,
+                        &dep.geodb,
+                        &dep.anycast,
+                        &dep.caodb,
+                    );
+                    obs
+                }));
+                let obs = match measured {
+                    Ok(obs) => obs,
+                    Err(payload) => {
+                        panics_isolated += 1;
+                        SiteObservation::internal_failure(
+                            &site.domain,
+                            &site.language,
+                            &format!("panic: {}", panic_message(payload.as_ref())),
+                        )
+                    }
+                };
+                let committed = collector
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .commit(i, obs);
+                if committed {
+                    completed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            // Advance past the committed site so a later loss requeues
+            // only the remainder.
+            if let Some(b) = slot
+                .in_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_mut()
+            {
+                b.lo = i + 1;
+            }
+        }
+        *slot.in_flight.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+    report(&resolver, &scanner, panics_isolated)
 }
 
 /// Maps a resolver error onto the normalized failure taxonomy; `prefix`
@@ -382,9 +815,7 @@ fn measure_one(
                 ));
             }
         }
-        Ok(_) => {
-            obs.dns_error = Some(LayerError::new(FailureCause::NoRecords, "empty NS answer"))
-        }
+        Ok(_) => obs.dns_error = Some(LayerError::new(FailureCause::NoRecords, "empty NS answer")),
         // A zone with no visible NS records is a data gap, not a failure.
         Err(ResolveError::NoData(_)) => {}
         Err(e) => obs.dns_error = Some(resolve_failure("NS", &e)),
@@ -453,7 +884,12 @@ mod tests {
             assert_eq!(obs.hosting_org, Some(site.hosting), "{}", site.domain);
             assert_eq!(obs.dns_org, Some(site.dns), "{}", site.domain);
             assert_eq!(obs.ca_owner, Some(site.ca), "{}", site.domain);
-            assert_eq!(obs.tld, world.universe.tld(site.tld).label, "{}", site.domain);
+            assert_eq!(
+                obs.tld,
+                world.universe.tld(site.tld).label,
+                "{}",
+                site.domain
+            );
             checked += 1;
         }
         assert!(checked > 50);

@@ -52,7 +52,10 @@ fn dataset_identical_across_rack_serving_modes() {
 
     let from_threads = measure(&world, &threaded, &config(4, Scheduling::Dynamic, true));
     let from_inline = measure(&world, &inline, &config(4, Scheduling::Dynamic, true));
-    assert_eq!(from_threads, from_inline, "rack serving mode changed the dataset");
+    assert_eq!(
+        from_threads, from_inline,
+        "rack serving mode changed the dataset"
+    );
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn fast_config(workers: usize) -> PipelineConfig {
         scanner: ScannerConfig {
             timeout: Duration::from_millis(5),
             retries: 0,
+            site_deadline: None,
         },
         ..Default::default()
     }
@@ -146,7 +147,10 @@ fn flaky_majority_terminates_with_matching_taxonomy() {
     let refused = tax.count("hosting", FailureCause::Refused)
         + tax.count("dns", FailureCause::Refused)
         + tax.count("ca", FailureCause::Refused);
-    assert!(refused > 0, "ServFail in the repertoire must show up as refusals");
+    assert!(
+        refused > 0,
+        "ServFail in the repertoire must show up as refusals"
+    );
 }
 
 /// The determinism law under faults: same seed + same plan ⇒ the same

@@ -38,6 +38,7 @@ fn retries_carry_measurement_through_packet_loss() {
             scanner: ScannerConfig {
                 timeout: Duration::from_millis(40),
                 retries: 8,
+                site_deadline: None,
             },
             ..Default::default()
         },

@@ -1,0 +1,270 @@
+//! Supervision, chaos, and crash-resume: a panicking site must cost only
+//! itself, a dying worker must cost only one retry of its in-flight
+//! batch, a hung worker must be caught by the watchdog, and a run resumed
+//! from its journal must reassemble a byte-identical dataset.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use webdep_pipeline::run::measure_with_stats;
+use webdep_pipeline::{
+    measure, measure_journaled, resume_from_journal, ChaosPlan, FailureCause, MeasuredDataset,
+    PipelineConfig, SupervisorConfig,
+};
+use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
+
+fn tiny_world() -> World {
+    let mut cfg = WorldConfig::tiny();
+    // Smaller still: these tests deploy and measure several times.
+    cfg.sites_per_country = 100;
+    cfg.global_pool_size = 300;
+    World::generate(cfg)
+}
+
+fn config(chaos: Option<ChaosPlan>) -> PipelineConfig {
+    PipelineConfig {
+        workers: 4,
+        chaos,
+        ..Default::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("webdep-supervision-{name}-{}", std::process::id()))
+}
+
+/// Byte-level identity, not just `PartialEq`: the journal round-trips
+/// through JSON, so the acceptance bar is the serialized form.
+fn assert_byte_identical(a: &MeasuredDataset, b: &MeasuredDataset, what: &str) {
+    assert_eq!(a, b, "{what}: datasets differ structurally");
+    for (x, y) in a.observations.iter().zip(&b.observations) {
+        assert_eq!(
+            serde_json::to_string(x).unwrap(),
+            serde_json::to_string(y).unwrap(),
+            "{what}: serialized observation differs for {}",
+            x.domain
+        );
+    }
+}
+
+#[test]
+fn injected_panic_is_isolated_to_its_site() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let target = world.sites.len() / 2;
+
+    let clean = measure(&world, &dep, &config(None));
+    let (ds, stats) =
+        measure_with_stats(&world, &dep, &config(Some(ChaosPlan::panic_at(&[target]))));
+
+    assert_eq!(stats.supervision.panics_isolated, 1);
+    assert_eq!(
+        stats.supervision.workers_lost, 0,
+        "a panic must not kill its worker"
+    );
+    for (i, (want, got)) in clean.observations.iter().zip(&ds.observations).enumerate() {
+        if i == target {
+            let e = got
+                .hosting_error
+                .as_ref()
+                .expect("panicked site records a failure");
+            assert_eq!(e.cause, FailureCause::Internal);
+            assert!(
+                e.detail.starts_with("panic:"),
+                "panic payload should surface in the detail: {}",
+                e.detail
+            );
+        } else {
+            assert_eq!(want, got, "site {i} was disturbed by a panic elsewhere");
+        }
+    }
+}
+
+#[test]
+fn worker_death_costs_one_retry_and_zero_bytes() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let target = world.sites.len() / 2;
+
+    let clean = measure(&world, &dep, &config(None));
+    let (ds, stats) =
+        measure_with_stats(&world, &dep, &config(Some(ChaosPlan::kill_at(&[target]))));
+
+    // The kill fires on the first attempt only, so the requeued batch
+    // re-measures cleanly: exactly one loss, one requeue, one respawn.
+    assert_eq!(stats.supervision.workers_lost, 1);
+    assert_eq!(stats.supervision.batches_requeued, 1);
+    assert_eq!(stats.supervision.workers_respawned, 1);
+    assert_eq!(stats.supervision.sites_poisoned, 0);
+    assert_byte_identical(&clean, &ds, "worker death");
+}
+
+#[test]
+fn poisoned_batch_is_failed_not_retried_forever() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let n = world.sites.len();
+    let target = n / 2;
+    // Dynamic batches are 16-aligned; the poisoned site takes down the
+    // rest of its batch (earlier sites were committed before the kill).
+    let batch_hi = ((target / 16 + 1) * 16).min(n);
+
+    let clean = measure(&world, &dep, &config(None));
+    let (ds, stats) =
+        measure_with_stats(&world, &dep, &config(Some(ChaosPlan::poison_at(&[target]))));
+
+    assert_eq!(
+        stats.supervision.workers_lost, 2,
+        "poison threshold is two kills"
+    );
+    assert_eq!(
+        stats.supervision.batches_requeued, 1,
+        "the second kill poisons, not requeues"
+    );
+    assert_eq!(stats.supervision.sites_poisoned, (batch_hi - target) as u64);
+    for (i, (want, got)) in clean.observations.iter().zip(&ds.observations).enumerate() {
+        if (target..batch_hi).contains(&i) {
+            let e = got
+                .hosting_error
+                .as_ref()
+                .expect("poisoned site records a failure");
+            assert_eq!(e.cause, FailureCause::Internal, "site {i}");
+            assert_eq!(
+                got.error.as_deref(),
+                Some("internal: site batch abandoned after killing 2 workers"),
+                "site {i}"
+            );
+        } else {
+            assert_eq!(
+                want, got,
+                "site {i} outside the poisoned batch was disturbed"
+            );
+        }
+    }
+}
+
+#[test]
+fn hung_worker_is_caught_by_the_watchdog() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let target = world.sites.len() / 3;
+
+    let clean = measure(&world, &dep, &config(None));
+    let mut cfg = config(Some(ChaosPlan::hang_at(&[target])));
+    // Short deadline so the stale-heartbeat path (not thread death)
+    // triggers; healthy sites measure in well under this.
+    cfg.supervisor = SupervisorConfig {
+        site_deadline: Duration::from_millis(500),
+        ..SupervisorConfig::default()
+    };
+    let (ds, stats) = measure_with_stats(&world, &dep, &cfg);
+
+    assert!(
+        stats.supervision.workers_lost >= 1,
+        "the watchdog never fired: {:?}",
+        stats.supervision
+    );
+    assert!(stats.supervision.batches_requeued >= 1);
+    assert_eq!(
+        stats.supervision.sites_poisoned, 0,
+        "the hang fires once; the retry succeeds"
+    );
+    assert_byte_identical(&clean, &ds, "hung worker");
+}
+
+#[test]
+fn resume_is_byte_identical_at_three_progress_points() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let n = world.sites.len();
+
+    let clean = measure(&world, &dep, &config(None));
+    let full_path = tmp("full");
+    let (full, _) = measure_journaled(&world, &dep, &config(None), &full_path).unwrap();
+    assert_byte_identical(&clean, &full, "journaled run");
+
+    let text = std::fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), n + 1, "header + one record per site");
+
+    for (point, frac) in [(0, 0.08), (1, 0.5), (2, 0.92)] {
+        let k = ((n as f64) * frac) as usize;
+        // Simulate a run killed after k commits: keep the header and the
+        // first k records, exactly what a crashed process leaves behind.
+        let cut_path = tmp(&format!("cut-{point}"));
+        std::fs::write(&cut_path, format!("{}\n", lines[..=k].join("\n"))).unwrap();
+
+        let (resumed, stats) = resume_from_journal(&world, &dep, &config(None), &cut_path).unwrap();
+        assert_eq!(stats.supervision.sites_resumed, k as u64);
+        assert_byte_identical(&clean, &resumed, &format!("resume from {k}/{n} records"));
+
+        // The healed journal is complete: resuming again measures nothing.
+        let (again, stats2) = resume_from_journal(&world, &dep, &config(None), &cut_path).unwrap();
+        assert_eq!(stats2.supervision.sites_resumed, n as u64);
+        assert_byte_identical(&clean, &again, "second resume (fully journaled)");
+        let _ = std::fs::remove_file(&cut_path);
+    }
+    let _ = std::fs::remove_file(&full_path);
+}
+
+#[test]
+fn a_torn_journal_tail_heals_on_resume() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let n = world.sites.len();
+
+    let clean = measure(&world, &dep, &config(None));
+    let full_path = tmp("torn-full");
+    let (_, _) = measure_journaled(&world, &dep, &config(None), &full_path).unwrap();
+    let text = std::fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // A crash mid-write leaves k whole records and half of record k+1.
+    let k = n / 4;
+    let half = &lines[k + 1][..lines[k + 1].len() / 2];
+    let torn_path = tmp("torn");
+    std::fs::write(&torn_path, format!("{}\n{half}", lines[..=k].join("\n"))).unwrap();
+
+    let (resumed, stats) = resume_from_journal(&world, &dep, &config(None), &torn_path).unwrap();
+    assert_eq!(
+        stats.supervision.sites_resumed, k as u64,
+        "the torn record is dropped"
+    );
+    assert_byte_identical(&clean, &resumed, "resume over a torn tail");
+    let _ = std::fs::remove_file(&torn_path);
+    let _ = std::fs::remove_file(&full_path);
+}
+
+/// The tier-1 chaos smoke: one worker death plus a kill-and-resume cycle
+/// on the smallest world that still exercises batching.
+#[test]
+fn chaos_smoke_one_worker_death_and_resume() {
+    let mut wc = WorldConfig::tiny();
+    wc.sites_per_country = 30;
+    wc.global_pool_size = 100;
+    let world = World::generate(wc);
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let n = world.sites.len();
+    let target = n / 2;
+
+    let clean = measure(&world, &dep, &config(None));
+    let path = tmp("smoke");
+    let (ds, stats) = measure_journaled(
+        &world,
+        &dep,
+        &config(Some(ChaosPlan::kill_at(&[target]))),
+        &path,
+    )
+    .unwrap();
+    assert_eq!(stats.supervision.workers_lost, 1);
+    assert_byte_identical(&clean, &ds, "chaos smoke (journaled, one death)");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let cut = tmp("smoke-cut");
+    std::fs::write(&cut, format!("{}\n", lines[..=n / 2].join("\n"))).unwrap();
+    let (resumed, rstats) = resume_from_journal(&world, &dep, &config(None), &cut).unwrap();
+    assert_eq!(rstats.supervision.sites_resumed, (n / 2) as u64);
+    assert_byte_identical(&clean, &resumed, "chaos smoke resume");
+    let _ = std::fs::remove_file(&cut);
+    let _ = std::fs::remove_file(&path);
+}

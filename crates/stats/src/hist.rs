@@ -118,7 +118,9 @@ mod tests {
         assert_eq!(points[0], (1.0, 1.0 / 3.0));
         assert_eq!(points[2], (3.0, 1.0));
         // Monotone in both coordinates.
-        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
     }
 
     #[test]

@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 5) as f64, (i / 5) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
         let a = kmeans(&pts, 3, 7, 50).unwrap();
         let b = kmeans(&pts, 3, 7, 50).unwrap();
         assert_eq!(a.labels, b.labels);

@@ -347,7 +347,10 @@ mod tests {
             good.validate("other.com", 150),
             Err(ChainError::HostnameMismatch)
         );
-        assert_eq!(good.validate("example.com", 50), Err(ChainError::Expired(0)));
+        assert_eq!(
+            good.validate("example.com", 50),
+            Err(ChainError::Expired(0))
+        );
 
         let other_root = ca(2, "Other Root");
         let broken = CertificateChain {

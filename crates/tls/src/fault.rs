@@ -20,18 +20,15 @@ pub const ALERT_INTERNAL_ERROR: u8 = 80;
 /// prefix, or a garbled flight — and, for [`FaultKind::Delay`], how long
 /// delivery must wait. The delay is never slept here; the serving context
 /// schedules it (see [`FaultedReply`]).
-pub fn apply_tls_fault(
-    plan: &FaultPlan,
-    ip: Ipv4Addr,
-    sni: &str,
-    flight: Bytes,
-) -> FaultedReply {
+pub fn apply_tls_fault(plan: &FaultPlan, ip: Ipv4Addr, sni: &str, flight: Bytes) -> FaultedReply {
     match plan.query_fault(ip, sni.as_bytes()) {
         None => FaultedReply::clean(flight),
         Some(FaultKind::Drop) => FaultedReply::swallowed(),
-        Some(FaultKind::ServFail) => FaultedReply::clean(encode_flight(&[
-            HandshakeMessage::Alert(ALERT_INTERNAL_ERROR),
-        ])),
+        Some(FaultKind::ServFail) => {
+            FaultedReply::clean(encode_flight(&[HandshakeMessage::Alert(
+                ALERT_INTERNAL_ERROR,
+            )]))
+        }
         Some(FaultKind::Truncate) => {
             FaultedReply::clean(Bytes::from(flight[..flight.len() / 2].to_vec()))
         }
@@ -56,7 +53,10 @@ mod tests {
     use crate::handshake::decode_flight;
 
     fn flight() -> Bytes {
-        encode_flight(&[HandshakeMessage::ServerHello { random: 7, cipher: 1 }])
+        encode_flight(&[HandshakeMessage::ServerHello {
+            random: 7,
+            cipher: 1,
+        }])
     }
 
     fn plan_with(kind: FaultKind) -> FaultPlan {

@@ -152,8 +152,7 @@ fn decode_body(ftype: u8, body: &[u8]) -> Result<HandshakeMessage, TlsError> {
         }
         TYPE_CERTIFICATE => {
             let mut pos = 0;
-            let chain =
-                CertificateChain::decode_from(body, &mut pos).ok_or(TlsError::Malformed)?;
+            let chain = CertificateChain::decode_from(body, &mut pos).ok_or(TlsError::Malformed)?;
             if pos != body.len() {
                 return Err(TlsError::Malformed);
             }

@@ -14,6 +14,11 @@ pub struct ScannerConfig {
     pub timeout: Duration,
     /// Retries before reporting a timeout.
     pub retries: u32,
+    /// Total wall-clock cap for one scan across all retries — the TLS
+    /// counterpart of the resolver's `site_deadline`. `None` (default)
+    /// keeps the uncapped retry schedule; expiry surfaces as
+    /// [`ScanError::Timeout`].
+    pub site_deadline: Option<Duration>,
 }
 
 impl Default for ScannerConfig {
@@ -21,6 +26,7 @@ impl Default for ScannerConfig {
         ScannerConfig {
             timeout: Duration::from_millis(250),
             retries: 2,
+            site_deadline: None,
         }
     }
 }
@@ -88,8 +94,23 @@ impl Scanner {
         sni: &str,
     ) -> Result<CertificateChain, ScanError> {
         let dst = SockAddr::new(ip, port);
+        let scan_deadline = self
+            .config
+            .site_deadline
+            .map(|d| std::time::Instant::now() + d);
         for _ in 0..=self.config.retries {
-            self.next_random = self.next_random.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if let Some(overall) = scan_deadline {
+                if overall
+                    .saturating_duration_since(std::time::Instant::now())
+                    .is_zero()
+                {
+                    return Err(ScanError::Timeout);
+                }
+            }
+            self.next_random = self
+                .next_random
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1);
             let random = self.next_random;
             let hello = encode_flight(&[HandshakeMessage::ClientHello {
                 random,
@@ -100,7 +121,12 @@ impl Scanner {
                 Ok(()) => {}
                 Err(e) => return Err(ScanError::Network(e)),
             }
-            let deadline = std::time::Instant::now() + self.config.timeout;
+            // Each attempt waits for its per-handshake timeout, clamped to
+            // whatever remains of the whole-scan budget.
+            let mut deadline = std::time::Instant::now() + self.config.timeout;
+            if let Some(overall) = scan_deadline {
+                deadline = deadline.min(overall);
+            }
             loop {
                 let remaining = deadline.saturating_duration_since(std::time::Instant::now());
                 if remaining.is_zero() {
@@ -173,7 +199,9 @@ mod tests {
     }
 
     fn scanner(net: &Network, config: ScannerConfig) -> Scanner {
-        let ep = net.bind("10.0.0.5".parse().unwrap(), 5001, Region::EUROPE).unwrap();
+        let ep = net
+            .bind("10.0.0.5".parse().unwrap(), 5001, Region::EUROPE)
+            .unwrap();
         Scanner::new(ep, config)
     }
 
@@ -209,6 +237,30 @@ mod tests {
     }
 
     #[test]
+    fn site_deadline_bounds_a_silent_server() {
+        // A bound-but-never-serving endpoint swallows every ClientHello;
+        // without the cap the retry schedule costs (retries+1) x timeout.
+        let net = Network::new(NetConfig::default());
+        let silent_ip: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let _silent = net.bind(silent_ip, 443, Region::EUROPE).unwrap();
+        let mut sc = scanner(
+            &net,
+            ScannerConfig {
+                timeout: Duration::from_millis(200),
+                retries: 20,
+                site_deadline: Some(Duration::from_millis(250)),
+            },
+        );
+        let start = std::time::Instant::now();
+        assert_eq!(sc.scan(silent_ip, "x").unwrap_err(), ScanError::Timeout);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "silent server took {elapsed:?} despite a 250ms scan deadline"
+        );
+    }
+
+    #[test]
     fn retries_through_loss() {
         let net = Network::new(NetConfig {
             loss_rate: 0.4,
@@ -221,6 +273,7 @@ mod tests {
             ScannerConfig {
                 timeout: Duration::from_millis(60),
                 retries: 10,
+                site_deadline: None,
             },
         );
         let chain = sc.scan(ip, "site.example").unwrap();

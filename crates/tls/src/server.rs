@@ -1,9 +1,7 @@
 //! Threaded TLS server answering handshakes from a certificate store.
 
 use crate::cert::CertStore;
-use crate::handshake::{
-    decode_flight, encode_flight, HandshakeMessage, ALERT_UNRECOGNIZED_NAME,
-};
+use crate::handshake::{decode_flight, encode_flight, HandshakeMessage, ALERT_UNRECOGNIZED_NAME};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,7 +30,10 @@ impl TlsServer {
     /// Stops the thread and returns the number of handshakes served.
     pub fn shutdown(mut self) -> u64 {
         self.stop.store(true, Ordering::Relaxed);
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
     }
 }
 
@@ -115,11 +116,15 @@ mod tests {
     #[test]
     fn answers_hello_with_chain() {
         let net = Network::new(NetConfig::default());
-        let ep = net.bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE).unwrap();
+        let ep = net
+            .bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE)
+            .unwrap();
         let server_addr: SockAddr = ep.addr();
         let server = TlsServer::spawn(ep, store());
 
-        let client = net.bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE).unwrap();
+        let client = net
+            .bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE)
+            .unwrap();
         let hello = encode_flight(&[HandshakeMessage::ClientHello {
             random: 7,
             sni: "site.example".into(),
@@ -139,11 +144,15 @@ mod tests {
     #[test]
     fn unknown_sni_gets_alert() {
         let net = Network::new(NetConfig::default());
-        let ep = net.bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE).unwrap();
+        let ep = net
+            .bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE)
+            .unwrap();
         let server_addr = ep.addr();
         let _server = TlsServer::spawn(ep, store());
 
-        let client = net.bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE).unwrap();
+        let client = net
+            .bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE)
+            .unwrap();
         let hello = encode_flight(&[HandshakeMessage::ClientHello {
             random: 7,
             sni: "other.example".into(),
@@ -151,17 +160,26 @@ mod tests {
         client.send(server_addr, hello).unwrap();
         let d = client.recv_timeout(Duration::from_secs(2)).unwrap();
         let frames = decode_flight(&d.payload).unwrap();
-        assert_eq!(frames, vec![HandshakeMessage::Alert(ALERT_UNRECOGNIZED_NAME)]);
+        assert_eq!(
+            frames,
+            vec![HandshakeMessage::Alert(ALERT_UNRECOGNIZED_NAME)]
+        );
     }
 
     #[test]
     fn garbage_ignored() {
         let net = Network::new(NetConfig::default());
-        let ep = net.bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE).unwrap();
+        let ep = net
+            .bind("203.0.113.1".parse().unwrap(), 443, Region::EUROPE)
+            .unwrap();
         let server_addr = ep.addr();
         let _server = TlsServer::spawn(ep, store());
-        let client = net.bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE).unwrap();
-        client.send(server_addr, Bytes::from_static(b"\xFF\xFF")).unwrap();
+        let client = net
+            .bind("10.0.0.5".parse().unwrap(), 5000, Region::EUROPE)
+            .unwrap();
+        client
+            .send(server_addr, Bytes::from_static(b"\xFF\xFF"))
+            .unwrap();
         // Still alive for a real handshake.
         let hello = encode_flight(&[HandshakeMessage::ClientHello {
             random: 1,

@@ -31,12 +31,10 @@ fn arb_cert() -> impl Strategy<Value = Certificate> {
 
 fn arb_message() -> impl Strategy<Value = HandshakeMessage> {
     prop_oneof![
-        (any::<u64>(), "[a-z0-9.-]{1,50}").prop_map(|(random, sni)| {
-            HandshakeMessage::ClientHello { random, sni }
-        }),
-        (any::<u64>(), any::<u16>()).prop_map(|(random, cipher)| {
-            HandshakeMessage::ServerHello { random, cipher }
-        }),
+        (any::<u64>(), "[a-z0-9.-]{1,50}")
+            .prop_map(|(random, sni)| { HandshakeMessage::ClientHello { random, sni } }),
+        (any::<u64>(), any::<u16>())
+            .prop_map(|(random, cipher)| { HandshakeMessage::ServerHello { random, cipher } }),
         prop::collection::vec(arb_cert(), 0..4)
             .prop_map(|certs| HandshakeMessage::Certificate(CertificateChain { certs })),
         any::<u8>().prop_map(HandshakeMessage::Alert),

@@ -128,12 +128,7 @@ pub fn solve_counts(target_s: f64, total: u64, pool_size: usize, head_share: f64
 /// `heads` are the fixed market shares of ranks 1..=k; the Zipf tail is
 /// solved for the remaining score mass. Panics on degenerate input or if
 /// the heads alone overshoot the target.
-pub fn solve_counts_multi(
-    target_s: f64,
-    total: u64,
-    pool_size: usize,
-    heads: &[f64],
-) -> Vec<u64> {
+pub fn solve_counts_multi(target_s: f64, total: u64, pool_size: usize, heads: &[f64]) -> Vec<u64> {
     assert!(total > 0, "need sites");
     assert!(!heads.is_empty(), "need at least one head share");
     assert!(pool_size > heads.len(), "pool must exceed the head count");

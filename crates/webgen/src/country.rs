@@ -179,12 +179,7 @@ mod tests {
         for c in &COUNTRIES {
             for l in Layer::ALL {
                 let s = c.paper_score(l);
-                assert!(
-                    (0.01..0.70).contains(&s),
-                    "{} {}: {s}",
-                    c.code,
-                    l.name()
-                );
+                assert!((0.01..0.70).contains(&s), "{} {}: {s}", c.code, l.name());
             }
         }
     }

@@ -39,7 +39,9 @@ use webdep_dns::server::AuthServer;
 use webdep_dns::wire as dnswire;
 use webdep_dns::zone::Zone;
 use webdep_dns::DNS_PORT;
-use webdep_geodb::{AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable};
+use webdep_geodb::{
+    AnycastSet, AsOrgDb, CaOwner, CaOwnerDb, GeoDb, GeoDbBuilder, OrgRecord, PrefixTable,
+};
 use webdep_netsim::{
     Datagram, Endpoint, FaultPlan, FaultedReply, NetConfig, NetError, Network, Prefix, Region,
     ResponderSet, SharedEndpoint,
@@ -321,9 +323,7 @@ impl RackData {
                     HandshakeMessage::Certificate(chain),
                 ])
             }
-            None => handshake::encode_flight(&[HandshakeMessage::Alert(
-                ALERT_UNRECOGNIZED_NAME,
-            )]),
+            None => handshake::encode_flight(&[HandshakeMessage::Alert(ALERT_UNRECOGNIZED_NAME)]),
         };
         match &self.faults {
             Some(plan) => webdep_tls::apply_tls_fault(plan, dst, sni, flight),
@@ -348,9 +348,7 @@ fn rack_respond(data: &RackData, dgram: &Datagram) -> FaultedReply {
             Ok(query) if !query.is_response => {
                 let resp = data.respond_dns(&query, dgram.src.ip);
                 match &data.faults {
-                    Some(plan) => {
-                        webdep_dns::apply_dns_fault(plan, dgram.dst.ip, &query, &resp)
-                    }
+                    Some(plan) => webdep_dns::apply_dns_fault(plan, dgram.dst.ip, &query, &resp),
                     None => FaultedReply::clean(dnswire::encode(&resp)),
                 }
             }
@@ -368,8 +366,12 @@ const RACK_TICK: Duration = Duration::from_millis(50);
 fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
     // Delayed replies are scheduled, never slept: a rack thread serves many
     // clients, and one latency spike must not head-of-line-block the rest.
-    let mut delayed: Vec<(Instant, webdep_netsim::SockAddr, webdep_netsim::SockAddr, Bytes)> =
-        Vec::new();
+    let mut delayed: Vec<(
+        Instant,
+        webdep_netsim::SockAddr,
+        webdep_netsim::SockAddr,
+        Bytes,
+    )> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let now = Instant::now();
         let mut i = 0;
@@ -392,7 +394,9 @@ fn rack_loop(endpoint: SharedEndpoint, data: RackData, stop: Arc<AtomicBool>) {
             Err(_) => break,
         };
         let reply = rack_respond(&data, &dgram);
-        let Some(payload) = reply.payload else { continue };
+        let Some(payload) = reply.payload else {
+            continue;
+        };
         match reply.delay {
             Some(d) => delayed.push((Instant::now() + d, dgram.dst, dgram.src, payload)),
             None => {
@@ -492,8 +496,7 @@ impl DeployedWorld {
                 vec![home]
             };
             for cont in presence {
-                let prefix = Prefix::new(Ipv4Addr::from(next_p20 << 12), 20)
-                    .expect("aligned /20");
+                let prefix = Prefix::new(Ipv4Addr::from(next_p20 << 12), 20).expect("aligned /20");
                 next_p20 += 1;
                 pfx2as.insert(prefix, p.asn);
                 let geo_country = if p.cdn && cont != home {
@@ -514,11 +517,10 @@ impl DeployedWorld {
                     .collect();
                 pp.pools[cont_index(cont)] = pool;
                 // Nameservers live in the home prefix.
-                if (cont == home || p.anycast)
-                    && pp.ns_addrs.len() < 2 {
-                        pp.ns_addrs.push(prefix.nth(2).expect("/20 has room"));
-                        pp.ns_addrs.push(prefix.nth(3).expect("/20 has room"));
-                    }
+                if (cont == home || p.anycast) && pp.ns_addrs.len() < 2 {
+                    pp.ns_addrs.push(prefix.nth(2).expect("/20 has room"));
+                    pp.ns_addrs.push(prefix.nth(3).expect("/20 has room"));
+                }
             }
             if pp.ns_addrs.is_empty() {
                 // Hosting-only presence still runs its own NS.
@@ -696,8 +698,8 @@ impl DeployedWorld {
                 DelegationTable::new(DomainName::parse("net").expect("tld label"))
             });
             for p in &universe.providers {
-                let slug_domain = DomainName::parse(&format!("{}.net", p.slug()))
-                    .expect("slug names are valid");
+                let slug_domain =
+                    DomainName::parse(&format!("{}.net", p.slug())).expect("slug names are valid");
                 let glue: Vec<(DomainName, Ipv4Addr)> = ns_names[p.id as usize]
                     .iter()
                     .cloned()
@@ -725,9 +727,13 @@ impl DeployedWorld {
             let ip = Ipv4Addr::new(192, 5, (i / 250) as u8, (i % 250 + 1) as u8);
             let label = &universe.tld(tld_id).label;
             let tld_name = DomainName::parse(label).expect("tld label");
-            let ns_host = DomainName::parse(&format!("ns.{label}-registry.net"))
-                .expect("registry host");
-            root_zone.delegate(tld_name, std::slice::from_ref(&ns_host), &[(ns_host.clone(), ip)]);
+            let ns_host =
+                DomainName::parse(&format!("ns.{label}-registry.net")).expect("registry host");
+            root_zone.delegate(
+                tld_name,
+                std::slice::from_ref(&ns_host),
+                &[(ns_host.clone(), ip)],
+            );
             registry_tables[gi % registry_groups].insert(ip, Arc::new(table));
         }
         // Root server.
@@ -751,9 +757,8 @@ impl DeployedWorld {
             }
             let ips: Vec<Ipv4Addr> = tables.keys().copied().collect();
             if config.inline_racks {
-                let set = ResponderSet::new(&network, move |d: &Datagram| {
-                    registry_respond(&tables, d)
-                });
+                let set =
+                    ResponderSet::new(&network, move |d: &Datagram| registry_respond(&tables, d));
                 for ip in ips {
                     set.attach(ip, DNS_PORT, Region::NORTH_AMERICA)
                         .expect("registry address free");
@@ -780,7 +785,11 @@ impl DeployedWorld {
             // Attach every address of every provider on this rack, whatever
             // the attachment target (rack thread queue or inline responder).
             let attach_all = |attach: &dyn Fn(Ipv4Addr, u16, Region) -> Result<(), NetError>,
-                              attach_anycast: &dyn Fn(Ipv4Addr, u16, Region) -> Result<(), NetError>| {
+                              attach_anycast: &dyn Fn(
+                Ipv4Addr,
+                u16,
+                Region,
+            ) -> Result<(), NetError>| {
                 for p in &universe.providers {
                     if rack_of(p.id) != ri {
                         continue;
@@ -795,8 +804,10 @@ impl DeployedWorld {
                                 let _ = attach_anycast(ip, TLS_PORT, region);
                                 let _ = attach_anycast(ip, DNS_PORT, region);
                             } else {
-                                attach(ip, TLS_PORT, region).expect("address plan is collision-free");
-                                attach(ip, DNS_PORT, region).expect("address plan is collision-free");
+                                attach(ip, TLS_PORT, region)
+                                    .expect("address plan is collision-free");
+                                attach(ip, DNS_PORT, region)
+                                    .expect("address plan is collision-free");
                             }
                         }
                     }
@@ -825,17 +836,15 @@ impl DeployedWorld {
                     }
                     reply.payload
                 });
-                attach_all(
-                    &|ip, port, r| set.attach(ip, port, r),
-                    &|ip, port, r| set.attach_anycast(ip, port, r),
-                );
+                attach_all(&|ip, port, r| set.attach(ip, port, r), &|ip, port, r| {
+                    set.attach_anycast(ip, port, r)
+                });
                 responders.push(set);
             } else {
                 let ep = SharedEndpoint::new(&network);
-                attach_all(
-                    &|ip, port, r| ep.attach(ip, port, r),
-                    &|ip, port, r| ep.attach_anycast(ip, port, r),
-                );
+                attach_all(&|ip, port, r| ep.attach(ip, port, r), &|ip, port, r| {
+                    ep.attach_anycast(ip, port, r)
+                });
                 let stop = Arc::new(AtomicBool::new(false));
                 let stop2 = Arc::clone(&stop);
                 let handle = std::thread::spawn(move || rack_loop(ep, data, stop2));
@@ -934,7 +943,8 @@ mod tests {
                 let (asn, _) = dep.pfx2as.lookup(addrs[0]).expect("IP in plan");
                 let org = dep.asorg.org_of_asn(*asn).expect("org known");
                 assert_eq!(
-                    org.org_id, site.hosting,
+                    org.org_id,
+                    site.hosting,
                     "{}: expected {} got {}",
                     site.domain,
                     world.universe.provider(site.hosting).name,
@@ -1084,10 +1094,7 @@ mod tests {
         let mut resolver =
             IterativeResolver::new(vantage, dep.roots.clone(), ResolverConfig::default());
         let err = resolver.resolve_a(&name).unwrap_err();
-        assert!(matches!(
-            err,
-            webdep_dns::resolver::ResolveError::ServFail
-        ));
+        assert!(matches!(err, webdep_dns::resolver::ResolveError::ServFail));
 
         // TLS flights from the hosting rack become fatal alerts.
         let pool = dep.pools[site.hosting as usize]
@@ -1133,10 +1140,7 @@ mod tests {
         let site = &world.sites[world.toplists[3][0] as usize];
         let name = webdep_dns::DomainName::parse(&site.domain).unwrap();
         let err = resolver.resolve_a(&name).unwrap_err();
-        assert!(matches!(
-            err,
-            webdep_dns::resolver::ResolveError::Timeout
-        ));
+        assert!(matches!(err, webdep_dns::resolver::ResolveError::Timeout));
     }
 
     #[test]

@@ -131,10 +131,9 @@ pub fn head_share_for_score(s: f64) -> f64 {
 /// `.com` (Appendix B: Eastern Europe's ccTLD reliance, Germany 44% .de,
 /// Brazil, Japan, Korea, Russia).
 pub const CCTLD_HEADED: &[&str] = &[
-    "CZ", "HU", "PL", "DE", "RU", "BR", "JP", "KR", "SK", "SI", "HR", "RS", "BG", "RO", "LT",
-    "LV", "EE", "FI", "NO", "DK", "SE", "IS", "NL", "AT", "CH", "GR", "UA", "BY", "IT", "ES",
-    "PT", "FR", "BE", "IE", "TR", "IR", "VN", "ID", "AR", "CL", "UY", "MD", "MK", "ME", "BA",
-    "AL", "MT", "LU",
+    "CZ", "HU", "PL", "DE", "RU", "BR", "JP", "KR", "SK", "SI", "HR", "RS", "BG", "RO", "LT", "LV",
+    "EE", "FI", "NO", "DK", "SE", "IS", "NL", "AT", "CH", "GR", "UA", "BY", "IT", "ES", "PT", "FR",
+    "BE", "IE", "TR", "IR", "VN", "ID", "AR", "CL", "UY", "MD", "MK", "ME", "BA", "AL", "MT", "LU",
 ];
 
 /// External ccTLD dependence for the TLD layer: `(country, tld_country,

@@ -87,8 +87,7 @@ pub fn evolve(world: &World) -> World {
         }
 
         // Provider-shift conversions operate on the fresh sites only.
-        let delta_sites =
-            (cloudflare_delta_pts(country) / 100.0 * c_total).round() as i64;
+        let delta_sites = (cloudflare_delta_pts(country) / 100.0 * c_total).round() as i64;
         if delta_sites > 0 {
             // Cloudflare's gains come mostly from *other US providers*
             // (§5.4: overall US reliance does not rise with Cloudflare):
@@ -292,8 +291,12 @@ mod tests {
     #[test]
     fn scores_strongly_correlated_across_snapshots() {
         let (w, e) = pair();
-        let old: Vec<f64> = (0..150).map(|ci| w.achieved_score(ci, Layer::Hosting)).collect();
-        let new: Vec<f64> = (0..150).map(|ci| e.achieved_score(ci, Layer::Hosting)).collect();
+        let old: Vec<f64> = (0..150)
+            .map(|ci| w.achieved_score(ci, Layer::Hosting))
+            .collect();
+        let new: Vec<f64> = (0..150)
+            .map(|ci| e.achieved_score(ci, Layer::Hosting))
+            .collect();
         let c = webdep_stats_free_pearson(&old, &new);
         assert!(c > 0.9, "rho {c}");
     }

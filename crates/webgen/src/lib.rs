@@ -30,8 +30,8 @@ pub mod toplist;
 pub mod universe;
 pub mod world;
 
-pub use deploy::{DeployConfig, DeployedWorld};
 pub use country::{Continent, CountryRecord, Layer};
+pub use deploy::{DeployConfig, DeployedWorld};
 pub use paper_data::{COUNTRIES, NUM_COUNTRIES};
 pub use provider::{CaRecord, Provider, ProviderTier, TldRecord};
 pub use universe::Universe;

@@ -34,12 +34,47 @@ const NAMED_GLOBALS: &[(&str, &str, ProviderTier, bool, bool, bool)] = &[
     ("Amazon", "US", ProviderTier::XlGlobal, true, true, false),
     ("Google", "US", ProviderTier::LargeGlobal, true, true, true),
     ("Akamai", "US", ProviderTier::LargeGlobal, true, true, true),
-    ("Microsoft", "US", ProviderTier::LargeGlobal, true, true, false),
+    (
+        "Microsoft",
+        "US",
+        ProviderTier::LargeGlobal,
+        true,
+        true,
+        false,
+    ),
     ("Fastly", "US", ProviderTier::LargeGlobal, false, true, true),
-    ("GoDaddy", "US", ProviderTier::LargeGlobal, true, false, false),
-    ("Unified Layer", "US", ProviderTier::LargeGlobal, true, false, false),
-    ("OVH", "FR", ProviderTier::LargeGlobalRegional, true, false, false),
-    ("Hetzner", "DE", ProviderTier::LargeGlobalRegional, true, false, false),
+    (
+        "GoDaddy",
+        "US",
+        ProviderTier::LargeGlobal,
+        true,
+        false,
+        false,
+    ),
+    (
+        "Unified Layer",
+        "US",
+        ProviderTier::LargeGlobal,
+        true,
+        false,
+        false,
+    ),
+    (
+        "OVH",
+        "FR",
+        ProviderTier::LargeGlobalRegional,
+        true,
+        false,
+        false,
+    ),
+    (
+        "Hetzner",
+        "DE",
+        ProviderTier::LargeGlobalRegional,
+        true,
+        false,
+        false,
+    ),
 ];
 
 /// Named medium global providers: (name, country, dns).
@@ -93,7 +128,12 @@ const NAMED_REGIONAL: &[(&str, &str, ProviderTier, bool)] = &[
     ("Yandex Cloud", "RU", ProviderTier::LargeRegional, true),
     // Bulgaria / Lithuania (single dominant regional, §5.2).
     ("SuperHosting.BG", "BG", ProviderTier::LargeRegional, true),
-    ("UAB Interneto vizija", "LT", ProviderTier::LargeRegional, true),
+    (
+        "UAB Interneto vizija",
+        "LT",
+        ProviderTier::LargeRegional,
+        true,
+    ),
     // Czechia (insular; used by Slovakia).
     ("WEDOS", "CZ", ProviderTier::LargeRegional, true),
     ("Forpsi", "CZ", ProviderTier::LargeRegional, true),
@@ -194,13 +234,13 @@ impl Universe {
         let mut providers: Vec<Provider> = Vec::new();
         let mut regional_by_country: HashMap<String, Vec<u32>> = HashMap::new();
         let add = |providers: &mut Vec<Provider>,
-                       name: String,
-                       country: &str,
-                       tier: ProviderTier,
-                       dns: bool,
-                       cdn: bool,
-                       anycast: bool,
-                       hosting: bool| {
+                   name: String,
+                   country: &str,
+                   tier: ProviderTier,
+                   dns: bool,
+                   cdn: bool,
+                   anycast: bool,
+                   hosting: bool| {
             let id = providers.len() as u32;
             providers.push(Provider {
                 id,
@@ -326,7 +366,10 @@ impl Universe {
                 false,
                 true,
             );
-            regional_by_country.entry(cc.to_string()).or_default().push(id);
+            regional_by_country
+                .entry(cc.to_string())
+                .or_default()
+                .push(id);
         }
 
         // Synthetic regional tails for each dataset country. Full-scale

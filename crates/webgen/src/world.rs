@@ -222,11 +222,7 @@ fn mix_with_global(
     // assigned shape (head, dependence budgets) survives the rebalance.
     if have > want_total {
         let surplus = have - want_total;
-        let total_slack: u64 = combined
-            .iter()
-            .zip(&floors)
-            .map(|(&c, &f)| c - f)
-            .sum();
+        let total_slack: u64 = combined.iter().zip(&floors).map(|(&c, &f)| c - f).sum();
         debug_assert!(total_slack >= surplus, "floors exceed the site budget");
         let mut cut_left = surplus;
         for i in 0..combined.len() {
@@ -341,7 +337,12 @@ impl World {
             ],
         );
         let s_ca_global = 0.19;
-        let ca_counts = solve_counts(s_ca_global, g, 30, depmap::head_share_for_score(s_ca_global));
+        let ca_counts = solve_counts(
+            s_ca_global,
+            g,
+            30,
+            depmap::head_share_for_score(s_ca_global),
+        );
         // The seven large global CAs (plus the two medium ones) carry ~98%
         // of the web (§7.1); the regional tail is a rounding error in the
         // global pool.
@@ -370,10 +371,7 @@ impl World {
         let ca_assign = assign_identities(
             &ca_counts,
             le,
-            vec![
-                Group::new(0.985, g, big_cas),
-                Group::new(0.015, g, ca_tail),
-            ],
+            vec![Group::new(0.985, g, big_cas), Group::new(0.015, g, ca_tail)],
         );
         // Global sites skew hard to .com — this is why the paper's Figure 12
         // notes the global top list is *not* representative of TLD
@@ -383,7 +381,11 @@ impl World {
         let tld_assign = assign_identities(
             &tld_counts,
             com,
-            vec![Group::new(1.0, g, (0..universe.tlds.len() as u32).collect())],
+            vec![Group::new(
+                1.0,
+                g,
+                (0..universe.tlds.len() as u32).collect(),
+            )],
         );
 
         let mut host_slots = expand_counts(&host_assign);
@@ -422,20 +424,14 @@ impl World {
         }
 
         // The global toplist: pool order is rank order.
-        let global_top: Vec<u32> = (0..config.sites_per_country.min(config.global_pool_size))
-            .collect();
+        let global_top: Vec<u32> =
+            (0..config.sites_per_country.min(config.global_pool_size)).collect();
 
         // ---- Per-country toplists ----
         let mut toplists: Vec<Vec<u32>> = Vec::with_capacity(COUNTRIES.len());
         for (ci, country) in COUNTRIES.iter().enumerate() {
-            let toplist = Self::generate_country(
-                &config,
-                &universe,
-                country,
-                ci,
-                &mut forge,
-                &mut sites,
-            );
+            let toplist =
+                Self::generate_country(&config, &universe, country, ci, &mut forge, &mut sites);
             toplists.push(toplist);
         }
 
@@ -528,12 +524,8 @@ impl World {
                 let mut heads = vec![head_share];
                 heads.extend(pins.iter().map(|&(_, s)| s));
                 owners = pins.iter().map(|&(o, _)| o).collect();
-                counts = crate::calibrate::solve_counts_multi(
-                    target,
-                    c_total,
-                    pool_size.max(8),
-                    &heads,
-                );
+                counts =
+                    crate::calibrate::solve_counts_multi(target, c_total, pool_size.max(8), &heads);
             }
             let assigned = assign_identities_pinned(&counts, head, &owners, groups);
             mix_with_global(target, assigned, picks_tally, n_local)
@@ -573,8 +565,7 @@ impl World {
         }
 
         let head_share_host = depmap::head_share(country, Layer::Hosting);
-        let global_budget =
-            (1.0 - head_share_host - local_share - foreign_budget - 0.04).max(0.05);
+        let global_budget = (1.0 - head_share_host - local_share - foreign_budget - 0.04).max(0.05);
 
         // Hosting.
         let mut host_groups = vec![Group::new(local_share, c_total, local_candidates.clone())];
@@ -589,7 +580,11 @@ impl World {
                     .unwrap_or_default(),
             ));
         }
-        host_groups.push(Group::new(global_budget, c_total, universe.global_hosting.clone()));
+        host_groups.push(Group::new(
+            global_budget,
+            c_total,
+            universe.global_hosting.clone(),
+        ));
         host_groups.push(Group::new(0.04, c_total, filler.clone()));
         let picks_host = {
             let mut m = HashMap::new();
@@ -707,9 +702,7 @@ impl World {
         let mut ca_filler: Vec<u32> = universe
             .cas
             .iter()
-            .filter(|ca| {
-                crate::deploy::continent_of_country(&ca.country) == country.continent
-            })
+            .filter(|ca| crate::deploy::continent_of_country(&ca.country) == country.continent)
             .map(|ca| ca.id)
             .collect();
         if ca_filler.is_empty() {
@@ -801,8 +794,14 @@ impl World {
             m
         };
         let tld_pool = 22 + (h % 16) as usize;
-        let tld_local_counts =
-            assemble(Layer::Tld, tld_head, tld_pins, tld_groups, tld_pool, &picks_tld);
+        let tld_local_counts = assemble(
+            Layer::Tld,
+            tld_head,
+            tld_pins,
+            tld_groups,
+            tld_pool,
+            &picks_tld,
+        );
 
         // ---- Materialize local sites ----
         let pad = |mut slots: Vec<u32>, fallback: u32| -> Vec<u32> {
@@ -870,8 +869,8 @@ impl World {
         let mut gi = 0usize;
         let mut li = 0u32;
         for rank in 0..c_total {
-            let take_global = gi < picks.len()
-                && (li as u64 >= n_local || rank as f64 * f_g >= gi as f64);
+            let take_global =
+                gi < picks.len() && (li as u64 >= n_local || rank as f64 * f_g >= gi as f64);
             if take_global {
                 toplist.push(picks[gi]);
                 gi += 1;
@@ -977,7 +976,13 @@ mod tests {
             if c.code == "JP" {
                 assert_eq!(head, amazon, "JP should be Amazon-headed");
             } else {
-                assert_eq!(head, cf, "{} head {}", c.code, w.universe.provider(head).name);
+                assert_eq!(
+                    head,
+                    cf,
+                    "{} head {}",
+                    c.code,
+                    w.universe.provider(head).name
+                );
             }
         }
     }
@@ -994,7 +999,10 @@ mod tests {
             .map(|&(_, c)| c as f64)
             .sum::<f64>()
             / total as f64;
-        assert!((0.18..0.45).contains(&ru_share), "RU share in TM: {ru_share}");
+        assert!(
+            (0.18..0.45).contains(&ru_share),
+            "RU share in TM: {ru_share}"
+        );
     }
 
     #[test]
@@ -1079,12 +1087,16 @@ mod tests {
             let anchor = w.universe.provider_by_name(provider).unwrap();
             assert_eq!(counts[0].0, cf, "{code} head must stay Cloudflare");
             assert_eq!(
-                counts[1].0, anchor,
+                counts[1].0,
+                anchor,
                 "{code} rank 2 must be {provider}, got {}",
                 w.universe.provider(counts[1].0).name
             );
             let share = counts[1].1 as f64 / total as f64;
-            assert!((0.10..0.30).contains(&share), "{code} runner-up share {share}");
+            assert!(
+                (0.10..0.30).contains(&share),
+                "{code} runner-up share {share}"
+            );
         }
     }
 
@@ -1101,7 +1113,10 @@ mod tests {
                 .find(|&&(id, _)| id == asseco)
                 .map(|&(_, c)| c as f64 / total as f64)
                 .unwrap_or(0.0);
-            assert!((0.08..0.30).contains(&share), "{code}: Asseco share {share}");
+            assert!(
+                (0.08..0.30).contains(&share),
+                "{code}: Asseco share {share}"
+            );
         }
     }
 

@@ -30,7 +30,12 @@ fn main() {
 
     println!("\n== Largest non-US foreign dependences (hosting, > 8%) ==");
     for case in foreign_dependence_cases(&ctx, Layer::Hosting, 0.08) {
-        println!("  {} -> {}: {:.1}%", case.country, case.on, 100.0 * case.share);
+        println!(
+            "  {} -> {}: {:.1}%",
+            case.country,
+            case.on,
+            100.0 * case.share
+        );
     }
 
     println!("\n== The named §5.3.3 patterns ==");
@@ -72,7 +77,10 @@ fn main() {
 
     println!("\n== Where does Slovakia's web live? ==");
     let sk = World::country_index("SK").unwrap();
-    for (cc, share) in dependence_shares(&ctx, sk, Layer::Hosting).into_iter().take(6) {
+    for (cc, share) in dependence_shares(&ctx, sk, Layer::Hosting)
+        .into_iter()
+        .take(6)
+    {
         println!("  {cc}: {:.1}%", 100.0 * share);
     }
 }

@@ -46,11 +46,24 @@ fn main() {
 
     let t1 = Instant::now();
     let dep = DeployedWorld::deploy(&world, DeployConfig::default());
-    println!("deployed: {} rack threads ({:?})", dep.num_racks(), t1.elapsed());
+    println!(
+        "deployed: {} rack threads ({:?})",
+        dep.num_racks(),
+        t1.elapsed()
+    );
 
     let t2 = Instant::now();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
-    let ds = measure(&world, &dep, &PipelineConfig { workers, ..Default::default() });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let ds = measure(
+        &world,
+        &dep,
+        &PipelineConfig {
+            workers,
+            ..Default::default()
+        },
+    );
     println!(
         "measured: {} observations, success rate {:.2}% ({:?})",
         ds.observations.len(),
@@ -62,7 +75,14 @@ fn main() {
     let t3 = Instant::now();
     let world25 = evolve(&world);
     let dep25 = DeployedWorld::deploy(&world25, DeployConfig::default());
-    let ds25 = measure(&world25, &dep25, &PipelineConfig { workers, ..Default::default() });
+    let ds25 = measure(
+        &world25,
+        &dep25,
+        &PipelineConfig {
+            workers,
+            ..Default::default()
+        },
+    );
     println!("2025 snapshot measured ({:?})", t3.elapsed());
 
     let ctx = AnalysisCtx::new(&world, &ds);

@@ -26,7 +26,10 @@ fn main() {
         &AnalysisCtx::new(&world25, &ds25),
     );
 
-    println!("== §5.4 longitudinal comparison ({} -> {}) ==", ds23.label, ds25.label);
+    println!(
+        "== §5.4 longitudinal comparison ({} -> {}) ==",
+        ds23.label, ds25.label
+    );
     println!(
         "score correlation rho = {:.3}  (paper: 0.98)",
         report.score_correlation.map(|c| c.rho).unwrap_or(f64::NAN)
@@ -35,7 +38,10 @@ fn main() {
         "mean Cloudflare delta: {:+.1} pts  (paper: +3.8)",
         report.mean_cloudflare_delta_pts
     );
-    println!("mean toplist Jaccard: {:.2}  (paper: ~0.37)", report.mean_jaccard);
+    println!(
+        "mean toplist Jaccard: {:.2}  (paper: ~0.37)",
+        report.mean_jaccard
+    );
     println!(
         "countries with reduced US reliance: {} / {}  (paper: 56/150)",
         report.us_reliance_decreased,
@@ -44,7 +50,11 @@ fn main() {
 
     println!("\nlargest Cloudflare increases:");
     let mut by_cf = report.deltas.clone();
-    by_cf.sort_by(|a, b| b.cloudflare_delta_pts.partial_cmp(&a.cloudflare_delta_pts).unwrap());
+    by_cf.sort_by(|a, b| {
+        b.cloudflare_delta_pts
+            .partial_cmp(&a.cloudflare_delta_pts)
+            .unwrap()
+    });
     for d in by_cf.iter().take(5) {
         println!(
             "  {}: {:+.1} pts (S {:.4} -> {:.4}, Jaccard {:.2})",

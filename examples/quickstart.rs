@@ -63,7 +63,10 @@ fn main() {
     regional_usage[0] = 18.0;
     regional_usage[1] = 9.0;
     let regional = UsageCurve::new(regional_usage);
-    for (name, c) in [("global provider", &global), ("regional provider", &regional)] {
+    for (name, c) in [
+        ("global provider", &global),
+        ("regional provider", &regional),
+    ] {
         println!(
             "  {name}: U = {:.0}, E = {:.0}, E_R = {:.2}",
             c.usage(),
@@ -74,9 +77,18 @@ fn main() {
 
     // --- Insularity --------------------------------------------------------
     let rows = vec![
-        InsularityInput { provider_country: "US", websites: 83 },
-        InsularityInput { provider_country: "DE", websites: 11 },
-        InsularityInput { provider_country: "FR", websites: 6 },
+        InsularityInput {
+            provider_country: "US",
+            websites: 83,
+        },
+        InsularityInput {
+            provider_country: "DE",
+            websites: 11,
+        },
+        InsularityInput {
+            provider_country: "FR",
+            websites: 6,
+        },
     ];
     println!("\n== Insularity ==");
     println!(

@@ -5,11 +5,19 @@
 //! webdep country DE [tiny|small]   # one country's full dependence profile
 //! webdep tables [tiny|small]       # the four layer tables
 //! webdep experiments [tiny|small]  # the paper-vs-measured suite
+//! webdep measure [tiny|small] --journal run.jsonl   # checkpointed run
+//! webdep measure [tiny|small] --resume run.jsonl    # continue after a crash
 //! ```
 //!
 //! The heavier subcommands generate, deploy, and measure a synthetic world
-//! (seconds at `tiny`, ~1 minute at `small`).
+//! (seconds at `tiny`, ~1 minute at `small`). `measure` runs just the
+//! measurement pipeline and prints its supervision/throughput accounting;
+//! with `--journal` every completed site is checkpointed to an append-only
+//! JSONL file, and `--resume` continues an interrupted journaled run,
+//! re-measuring only the missing sites (the reassembled dataset is
+//! byte-identical to an uninterrupted run).
 
+use std::path::Path;
 use webdep::analysis::centralization::layer_table;
 use webdep::analysis::insularity::{dependence_shares, insularity_table};
 use webdep::analysis::report;
@@ -17,12 +25,15 @@ use webdep::analysis::{AnalysisCtx, ExperimentSuite};
 use webdep::core::centralization::{centralization_score, hhi, ConcentrationBand};
 use webdep::core::dist::CountDist;
 use webdep::core::topn::top_n_share;
-use webdep::pipeline::{measure, MeasuredDataset, PipelineConfig};
+use webdep::pipeline::{
+    measure, measure_journaled, measure_with_stats, resume_from_journal, MeasuredDataset,
+    PipelineConfig,
+};
 use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]"
+        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]"
     );
     std::process::exit(2);
 }
@@ -98,8 +109,7 @@ fn cmd_country(code: &str, scale: Option<&str>) {
             continue;
         };
         let s = centralization_score(&dist);
-        let ins = webdep::analysis::insularity::country_insularity(&ctx, ci, layer)
-            .unwrap_or(0.0);
+        let ins = webdep::analysis::insularity::country_insularity(&ctx, ci, layer).unwrap_or(0.0);
         println!(
             "\n[{:<7}] S = {s:.4} (paper {:.4})  insularity = {:.1}%  providers = {}",
             layer.name(),
@@ -117,7 +127,10 @@ fn cmd_country(code: &str, scale: Option<&str>) {
         }
     }
     println!("\nDependence by provider country (hosting):");
-    for (cc, share) in dependence_shares(&ctx, ci, Layer::Hosting).into_iter().take(6) {
+    for (cc, share) in dependence_shares(&ctx, ci, Layer::Hosting)
+        .into_iter()
+        .take(6)
+    {
         println!("    {cc}: {:.1}%", 100.0 * share);
     }
 }
@@ -131,6 +144,70 @@ fn cmd_tables(scale: Option<&str>) {
     }
     let ins = insularity_table(&ctx, Layer::Hosting);
     println!("{}", report::insularity_markdown(&ins, 10));
+}
+
+fn cmd_measure(args: &[String]) {
+    let mut scale: Option<&str> = None;
+    let mut journal: Option<&str> = None;
+    let mut resume: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" | "--resume" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("{} needs a path", args[i]);
+                    std::process::exit(2);
+                };
+                if args[i] == "--journal" {
+                    journal = Some(path.as_str());
+                } else {
+                    resume = Some(path.as_str());
+                }
+                i += 2;
+            }
+            s if !s.starts_with("--") && scale.is_none() => {
+                scale = Some(s);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown measure argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if journal.is_some() && resume.is_some() {
+        eprintln!("--journal starts a fresh checkpointed run, --resume continues one; pick one");
+        std::process::exit(2);
+    }
+
+    let world = World::generate(scale_config(scale));
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let config = PipelineConfig::default();
+    eprintln!("measuring {} sites ({})...", world.sites.len(), world.label);
+    let run = match (journal, resume) {
+        (Some(p), None) => measure_journaled(&world, &dep, &config, Path::new(p)),
+        (None, Some(p)) => resume_from_journal(&world, &dep, &config, Path::new(p)),
+        _ => Ok(measure_with_stats(&world, &dep, &config)),
+    };
+    let (ds, stats) = run.unwrap_or_else(|e| {
+        eprintln!("journal error: {e}");
+        std::process::exit(1);
+    });
+
+    let sup = &stats.supervision;
+    println!("sites            = {}", ds.observations.len());
+    println!("success rate     = {:.4}", ds.success_rate());
+    println!("wall             = {} ms", stats.wall.as_millis());
+    println!("sites/sec        = {:.0}", stats.sites_per_sec);
+    println!("wire queries     = {}", stats.wire_queries);
+    println!("sites resumed    = {}", sup.sites_resumed);
+    println!("panics isolated  = {}", sup.panics_isolated);
+    println!("workers lost     = {}", sup.workers_lost);
+    println!("batches requeued = {}", sup.batches_requeued);
+    println!("sites poisoned   = {}", sup.sites_poisoned);
+    if let Some(p) = journal.or(resume) {
+        println!("journal          = {p}");
+    }
 }
 
 fn cmd_experiments(scale: Option<&str>) {
@@ -153,6 +230,7 @@ fn main() {
         }
         Some("tables") => cmd_tables(args.get(1).map(String::as_str)),
         Some("experiments") => cmd_experiments(args.get(1).map(String::as_str)),
+        Some("measure") => cmd_measure(&args[1..]),
         _ => usage(),
     }
 }

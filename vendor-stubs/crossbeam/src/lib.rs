@@ -153,6 +153,11 @@ pub mod thread {
         pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
             self.0.join()
         }
+
+        /// Whether the thread has finished running (non-blocking).
+        pub fn is_finished(&self) -> bool {
+            self.0.is_finished()
+        }
     }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
