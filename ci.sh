@@ -24,4 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+# Streaming-dataset smoke: every scale phase (equivalence certification,
+# resident, streaming) at toy sizes — seconds, not the full 5M-site run.
+echo "==> bench-snapshot scale --smoke"
+cargo run --release -q -p webdep-bench --bin bench-snapshot -- scale --smoke
+
 echo "ci: all gates green"

@@ -6,7 +6,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use webdep_core::CountDist;
 use webdep_pipeline::{MeasuredDataset, SiteObservation};
-use webdep_stats::{bootstrap_ci_indexed, BootstrapCi};
+use webdep_stats::{
+    bootstrap_ci_indexed, bootstrap_ci_indexed_scratch, BootstrapCi, BootstrapScratch, Resample,
+};
 use webdep_webgen::{Layer, World, COUNTRIES};
 
 /// Joins a [`MeasuredDataset`] with the [`World`]'s entity metadata.
@@ -65,6 +67,29 @@ impl<'a> AnalysisCtx<'a> {
             ds,
             tld_ids,
             cube: None,
+        }
+    }
+
+    /// Builds a context around a cube that was constructed elsewhere —
+    /// the streaming path, where a [`crate::cube::CubeBuilder`] folded
+    /// chunks as they were read and no resident observation vector exists.
+    ///
+    /// `ds` may be *hollow* (empty `observations`) as long as its toplists
+    /// are populated; every cube-backed accessor works, but accessors that
+    /// read raw observations (and the legacy fallbacks) must not be used
+    /// against a hollow dataset.
+    pub fn with_cube(world: &'a World, ds: &'a MeasuredDataset, cube: DependenceCube) -> Self {
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        AnalysisCtx {
+            world,
+            ds,
+            tld_ids,
+            cube: Some(cube),
         }
     }
 
@@ -292,42 +317,40 @@ impl<'a> AnalysisCtx<'a> {
         };
         let lc = cube.layer(layer);
         let labels = lc.site_labels(country_idx);
-        let n_owners = lc.owners().len();
-        thread_local! {
-            static SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
-        }
         bootstrap_ci_indexed(
             labels,
-            |rs| {
-                SCRATCH.with(|cell| {
-                    let mut scratch = cell.borrow_mut();
-                    if scratch.len() < n_owners {
-                        scratch.resize(n_owners, 0);
-                    }
-                    let mut total = 0u64;
-                    for &l in rs.iter() {
-                        scratch[l as usize] += 1;
-                        total += 1;
-                    }
-                    let c = total as f64;
-                    // Second pass over the drawn labels computes Σ(a/C)²
-                    // while zeroing every touched slot, so the scratch row
-                    // is clean for the next replicate without a memset.
-                    let mut hhi = 0.0;
-                    for &l in rs.iter() {
-                        let a = scratch[l as usize];
-                        if a != 0 {
-                            let share = a as f64 / c;
-                            hhi += share * share;
-                            scratch[l as usize] = 0;
-                        }
-                    }
-                    hhi - 1.0 / c
-                })
-            },
+            label_score_statistic(lc.owners().len()),
             replicates,
             level,
             seed,
+        )
+    }
+
+    /// [`AnalysisCtx::score_ci`] with caller-provided bootstrap scratch:
+    /// the serial, zero-steady-state-allocation variant for batched
+    /// per-country-per-layer CI sweeps (one scratch reused across all 150
+    /// countries instead of fresh index/statistic buffers per country).
+    /// Identical results — both variants draw the same per-replicate index
+    /// streams. Cube-backed contexts only.
+    pub fn score_ci_scratch(
+        &self,
+        country_idx: usize,
+        layer: Layer,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+        scratch: &mut BootstrapScratch,
+    ) -> Option<BootstrapCi> {
+        let cube = self.cube()?;
+        let lc = cube.layer(layer);
+        let labels = lc.site_labels(country_idx);
+        bootstrap_ci_indexed_scratch(
+            labels,
+            label_score_statistic(lc.owners().len()),
+            replicates,
+            level,
+            seed,
+            scratch,
         )
     }
 
@@ -346,6 +369,40 @@ impl<'a> AnalysisCtx<'a> {
             return 0.0;
         }
         self.country_total(country_idx, layer) as f64 / expected as f64
+    }
+}
+
+/// The zero-alloc replicate statistic over dense cube labels: tally into a
+/// thread-local scratch row, compute `Σ(a/C)² − 1/C`, and zero every
+/// touched slot on the way out so the row is clean for the next replicate
+/// without a memset.
+fn label_score_statistic(n_owners: usize) -> impl Fn(&Resample<'_, u32>) -> f64 {
+    thread_local! {
+        static SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+    move |rs| {
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            if scratch.len() < n_owners {
+                scratch.resize(n_owners, 0);
+            }
+            let mut total = 0u64;
+            for &l in rs.iter() {
+                scratch[l as usize] += 1;
+                total += 1;
+            }
+            let c = total as f64;
+            let mut hhi = 0.0;
+            for &l in rs.iter() {
+                let a = scratch[l as usize];
+                if a != 0 {
+                    let share = a as f64 / c;
+                    hhi += share * share;
+                    scratch[l as usize] = 0;
+                }
+            }
+            hhi - 1.0 / c
+        })
     }
 }
 
@@ -458,6 +515,25 @@ mod tests {
             assert!((a.point - b.point).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
             assert!((a.lo - b.lo).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
             assert!((a.hi - b.hi).abs() < 1e-9, "{code}: {a:?} vs {b:?}");
+        }
+    }
+
+    /// The scratch variant draws the same index streams serially; the
+    /// intervals must be bit-identical, and the scratch must be safely
+    /// reusable across countries and layers.
+    #[test]
+    fn score_ci_scratch_is_identical_and_reusable() {
+        let c = ctx();
+        let mut scratch = webdep_stats::BootstrapScratch::new();
+        for code in ["TH", "US", "IR"] {
+            let i = World::country_index(code).unwrap();
+            for layer in [Layer::Hosting, Layer::Dns, Layer::Ca] {
+                let a = c.score_ci(i, layer, 100, 0.95, 7).unwrap();
+                let b = c
+                    .score_ci_scratch(i, layer, 100, 0.95, 7, &mut scratch)
+                    .unwrap();
+                assert_eq!(a, b, "{code} {layer:?}");
+            }
         }
     }
 

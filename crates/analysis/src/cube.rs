@@ -28,7 +28,8 @@
 
 use std::collections::HashMap;
 use webdep_core::CountDist;
-use webdep_pipeline::MeasuredDataset;
+use webdep_pipeline::store::DecodedChunk;
+use webdep_pipeline::{MeasuredDataset, SiteObservation};
 use webdep_stats::{par::default_threads, par_map_indices};
 use webdep_webgen::{Layer, World, COUNTRIES};
 
@@ -136,30 +137,108 @@ impl DependenceCube {
         &self.layers[layer.index()]
     }
 
-    /// Builds the cube from a measured dataset in one parallel pass.
+    /// Builds the cube from a measured dataset.
     ///
     /// `tld_ids` is the observation-TLD interning table (label → universe
     /// TLD id); the caller already has it, so the cube reuses it rather
-    /// than rebuilding.
+    /// than rebuilding. Internally this folds every observation through a
+    /// [`CubeBuilder`] — the same single code path the streaming pipeline
+    /// uses — so the resident and incremental constructions cannot drift.
     pub fn build(world: &World, ds: &MeasuredDataset, tld_ids: &HashMap<String, u32>) -> Self {
+        let mut b = CubeBuilder::new(ds.observations.len());
+        for (i, obs) in ds.observations.iter().enumerate() {
+            b.fold_observation(i, obs, tld_ids);
+        }
+        b.finish(world, &ds.toplists, &ds.global_top)
+    }
+}
+
+/// Incremental [`DependenceCube`] construction for the streaming pipeline:
+/// observations fold in one at a time (or a decoded chunk at a time), in
+/// any order, and only a per-site `u32` owner label per layer stays
+/// resident — 16 bytes per site instead of a whole [`SiteObservation`].
+///
+/// [`CubeBuilder::finish`] then walks the toplists through the label
+/// arrays and assembles exactly what [`DependenceCube::build`] produces;
+/// `build` itself is implemented on top of this builder, so equivalence is
+/// structural, not merely tested.
+pub struct CubeBuilder {
+    /// Per layer (in [`Layer::ALL`] order), the owner world-id of each
+    /// site, [`UNOBSERVED`] where the layer failed or the site is unfolded.
+    owner_of: [Vec<u32>; 4],
+}
+
+impl CubeBuilder {
+    /// A builder for a world of `sites` sites, all initially unobserved.
+    pub fn new(sites: usize) -> Self {
+        CubeBuilder {
+            owner_of: std::array::from_fn(|_| vec![UNOBSERVED; sites]),
+        }
+    }
+
+    /// Folds one observation: records the site's owner world-id at each
+    /// layer. Idempotent and order-independent (the slot is simply
+    /// overwritten with the same deterministic value).
+    pub fn fold_observation(
+        &mut self,
+        site: usize,
+        obs: &SiteObservation,
+        tld_ids: &HashMap<String, u32>,
+    ) {
+        let owners = [
+            obs.hosting_org,
+            obs.dns_org,
+            obs.ca_owner,
+            tld_ids.get(&obs.tld).copied(),
+        ];
+        for (li, o) in owners.into_iter().enumerate() {
+            self.owner_of[li][site] = o.unwrap_or(UNOBSERVED);
+        }
+    }
+
+    /// Folds a decoded chunk straight from the columnar store — no
+    /// [`SiteObservation`] materialization. Each distinct chunk-local TLD
+    /// string resolves through `tld_ids` once.
+    pub fn fold_chunk(&mut self, chunk: &DecodedChunk, tld_ids: &HashMap<String, u32>) {
+        let mut tld_cache: HashMap<u32, u32> = HashMap::new();
+        for r in 0..chunk.rows {
+            let site = chunk.lo + r;
+            self.owner_of[Layer::Hosting.index()][site] =
+                chunk.hosting_org[r].unwrap_or(UNOBSERVED);
+            self.owner_of[Layer::Dns.index()][site] = chunk.dns_org[r].unwrap_or(UNOBSERVED);
+            self.owner_of[Layer::Ca.index()][site] = chunk.ca_owner[r].unwrap_or(UNOBSERVED);
+            let t = *tld_cache.entry(chunk.tld[r]).or_insert_with(|| {
+                tld_ids
+                    .get(chunk.str_of(chunk.tld[r]))
+                    .copied()
+                    .unwrap_or(UNOBSERVED)
+            });
+            self.owner_of[Layer::Tld.index()][site] = t;
+        }
+    }
+
+    /// Assembles the cube: walks each toplist (and the global top) through
+    /// the per-site label arrays — restoring toplist order regardless of
+    /// fold order — then builds the dense matrices and sorted views.
+    pub fn finish(
+        self,
+        world: &World,
+        toplists: &[Vec<u32>],
+        global_top: &[u32],
+    ) -> DependenceCube {
         let n_countries = COUNTRIES.len();
         let threads = default_threads();
 
-        // Pass 1 (parallel over countries): resolve each measured site to
-        // its owner world-id per layer, in toplist order. TLD labels are
-        // interned here, once per observation.
+        // Pass 1 (parallel over countries): gather each toplist's observed
+        // owner world-ids per layer, in toplist order.
+        let owner_of = &self.owner_of;
         let resolve = |ci: usize| -> [Vec<u32>; 4] {
             let mut out: [Vec<u32>; 4] = Default::default();
-            for obs in ds.country_observations(ci) {
-                for layer in Layer::ALL {
-                    let owner = match layer {
-                        Layer::Hosting => obs.hosting_org,
-                        Layer::Dns => obs.dns_org,
-                        Layer::Ca => obs.ca_owner,
-                        Layer::Tld => tld_ids.get(&obs.tld).copied(),
-                    };
-                    if let Some(o) = owner {
-                        out[layer.index()].push(o);
+            for &oi in &toplists[ci] {
+                for (li, col) in owner_of.iter().enumerate() {
+                    let o = col[oi as usize];
+                    if o != UNOBSERVED {
+                        out[li].push(o);
                     }
                 }
             }
@@ -169,17 +248,11 @@ impl DependenceCube {
 
         // The global top list, resolved the same way (serial: one list).
         let mut global: [Vec<u32>; 4] = Default::default();
-        for &oi in &ds.global_top {
-            let obs = &ds.observations[oi as usize];
-            for layer in Layer::ALL {
-                let owner = match layer {
-                    Layer::Hosting => obs.hosting_org,
-                    Layer::Dns => obs.dns_org,
-                    Layer::Ca => obs.ca_owner,
-                    Layer::Tld => tld_ids.get(&obs.tld).copied(),
-                };
-                if let Some(o) = owner {
-                    global[layer.index()].push(o);
+        for &oi in global_top {
+            for (li, col) in owner_of.iter().enumerate() {
+                let o = col[oi as usize];
+                if o != UNOBSERVED {
+                    global[li].push(o);
                 }
             }
         }
@@ -384,6 +457,46 @@ mod tests {
             let unobserved = u32::MAX - 1;
             assert_eq!(cube.owner_share(0, layer, unobserved), 0.0);
             assert_eq!(legacy.owner_share(0, layer, unobserved), 0.0);
+        }
+    }
+
+    /// Folding observations one at a time, in reverse order, must produce
+    /// the exact cube the batch build does: the builder records per-site
+    /// labels, so fold order cannot matter. This is the streaming path's
+    /// core equivalence claim.
+    #[test]
+    fn incremental_fold_is_order_independent() {
+        use super::{CubeBuilder, DependenceCube};
+        use std::collections::HashMap;
+
+        let (world, ds) = crate::ctx::testutil::fixture();
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        let mut b = CubeBuilder::new(ds.observations.len());
+        for (i, obs) in ds.observations.iter().enumerate().rev() {
+            b.fold_observation(i, obs, &tld_ids);
+        }
+        let inc = b.finish(world, &ds.toplists, &ds.global_top);
+        let batch = DependenceCube::build(world, ds, &tld_ids);
+        for layer in Layer::ALL {
+            let (a, b) = (inc.layer(layer), batch.layer(layer));
+            assert_eq!(a.owners(), b.owners(), "{layer:?}");
+            assert_eq!(a.global_sorted(), b.global_sorted(), "{layer:?}");
+            for ci in 0..COUNTRIES.len() {
+                assert_eq!(a.row(ci), b.row(ci), "{layer:?} {ci}");
+                assert_eq!(a.total(ci), b.total(ci), "{layer:?} {ci}");
+                assert_eq!(a.sorted_counts(ci), b.sorted_counts(ci), "{layer:?} {ci}");
+                assert_eq!(a.site_labels(ci), b.site_labels(ci), "{layer:?} {ci}");
+                assert_eq!(
+                    a.dist(ci).map(|d| d.counts().to_vec()),
+                    b.dist(ci).map(|d| d.counts().to_vec()),
+                    "{layer:?} {ci}"
+                );
+            }
         }
     }
 

@@ -194,15 +194,17 @@ impl ExperimentSuite {
         // Bootstrap 95% CIs on every per-country hosting score (the
         // paper's scores are point estimates over a sampled toplist; the
         // reproduction quantifies that sampling noise). 500 replicates per
-        // country resample the per-site owner labels.
+        // country resample the per-site owner labels, all through one
+        // reused scratch — the batched kernel path.
+        let mut scratch = webdep_stats::BootstrapScratch::new();
         let cis: Vec<_> = (0..COUNTRIES.len())
-            .filter_map(|ci| ctx.score_ci(ci, Layer::Hosting, 500, 0.95, 42))
+            .filter_map(|ci| ctx.score_ci_scratch(ci, Layer::Hosting, 500, 0.95, 42, &mut scratch))
             .collect();
         let max_width = cis.iter().map(|c| c.width()).fold(0.0, f64::max);
-        let th_ci =
-            World::country_index("TH").and_then(|i| ctx.score_ci(i, Layer::Hosting, 500, 0.95, 42));
-        let ir_ci =
-            World::country_index("IR").and_then(|i| ctx.score_ci(i, Layer::Hosting, 500, 0.95, 42));
+        let th_ci = World::country_index("TH")
+            .and_then(|i| ctx.score_ci_scratch(i, Layer::Hosting, 500, 0.95, 42, &mut scratch));
+        let ir_ci = World::country_index("IR")
+            .and_then(|i| ctx.score_ci_scratch(i, Layer::Hosting, 500, 0.95, 42, &mut scratch));
         let separated = match (&th_ci, &ir_ci) {
             (Some(th), Some(ir)) => th.lo > ir.hi,
             _ => false,

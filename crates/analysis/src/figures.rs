@@ -6,10 +6,11 @@
 use crate::ctx::AnalysisCtx;
 use serde::Serialize;
 use webdep_core::centralization::{centralization_score, centralization_score_counts_ref};
-use webdep_core::emd::emd_to_decentralized_via_transport;
+use webdep_core::emd::emd_to_decentralized_via_transport_with;
 use webdep_core::regionalization::UsageCurve;
 use webdep_core::topn::{provider_rank_curve, top_n_share};
 use webdep_core::CountDist;
+use webdep_core::EmdWorkspace;
 use webdep_stats::hist::Histogram;
 use webdep_webgen::calibrate::solve_counts;
 use webdep_webgen::{Layer, World};
@@ -61,8 +62,9 @@ pub fn fig2_emd_example() -> Fig2EmdExample {
     let s_b = centralization_score_counts_ref(&b).expect("non-empty");
     let dist_a = CountDist::from_counts(a.clone()).expect("non-empty");
     let dist_b = CountDist::from_counts(b.clone()).expect("non-empty");
-    let t_a = emd_to_decentralized_via_transport(&dist_a).expect("solvable");
-    let t_b = emd_to_decentralized_via_transport(&dist_b).expect("solvable");
+    let mut ws = EmdWorkspace::new();
+    let t_a = emd_to_decentralized_via_transport_with(&dist_a, &mut ws).expect("solvable");
+    let t_b = emd_to_decentralized_via_transport_with(&dist_b, &mut ws).expect("solvable");
     Fig2EmdExample {
         country_a: (a, s_a),
         country_b: (b, s_b),

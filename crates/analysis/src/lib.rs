@@ -57,5 +57,5 @@ pub mod vantage;
 
 pub use coverage::{coverage_model, CoverageModel, LayerCoverage};
 pub use ctx::AnalysisCtx;
-pub use cube::DependenceCube;
+pub use cube::{CubeBuilder, DependenceCube};
 pub use experiments::{ExperimentResult, ExperimentSuite};

@@ -151,6 +151,9 @@ pub struct AnalysisSnapshot {
     pub suite_speedup: f64,
     /// Affinity-propagation sweep, serial vs parallel.
     pub affinity: AffinityTiming,
+    /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
+    /// assembled (bytes; 0 off-Linux).
+    pub peak_rss_bytes: u64,
 }
 
 /// Generates, deploys, and measures a world at `config` scale, then times
@@ -185,5 +188,6 @@ pub fn analysis_snapshot(
         before,
         after,
         affinity: time_affinity(affinity_points, threads.max(2)),
+        peak_rss_bytes: crate::peak_rss_bytes(),
     }
 }

@@ -22,9 +22,15 @@
 //! time-to-complete and observation loss under N injected worker deaths,
 //! and the crash-resume cycle's wall cost and byte-identity.
 //!
+//! `BENCH_scale.json`: the dataset path at scale — the streaming chunk
+//! store vs the resident observation vector at paper (~588K sites) and
+//! beyond-paper (~5M sites) scale, with per-phase peak RSS measured in
+//! dedicated subprocesses and the streaming path certified identical to
+//! the resident path at a dual-feasible size.
+//!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
-//! (optionally `-- pipeline`, `-- analysis`, `-- faults`, or
-//! `-- resilience` for just one snapshot).
+//! (optionally `-- pipeline`, `-- analysis`, `-- faults`,
+//! `-- resilience`, or `-- scale [--smoke]` for just one snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -56,6 +62,7 @@ struct Snapshot {
     after: ModeSnapshot,
     speedup: f64,
     wire_query_reduction: f64,
+    peak_rss_bytes: u64,
 }
 
 fn mode_snapshot(
@@ -169,6 +176,7 @@ fn pipeline_snapshot() {
         wire_query_reduction: round3(1.0 - after.wire_queries as f64 / before.wire_queries as f64),
         before: mode_snapshot(Scheduling::Static, false, false, false, &before),
         after: mode_snapshot(Scheduling::Dynamic, true, true, true, &after),
+        peak_rss_bytes: webdep_bench::peak_rss_bytes(),
     };
 
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
@@ -232,22 +240,70 @@ fn resilience_snapshot() {
     );
 }
 
+fn scale_snapshot(smoke: bool) {
+    eprintln!(
+        "scale: streaming vs resident dataset path ({})...",
+        if smoke {
+            "smoke sizes"
+        } else {
+            "paper and beyond-paper sizes"
+        }
+    );
+    let exe = std::env::current_exe().expect("current exe");
+    let snapshot = webdep_bench::scale::scale_snapshot(&exe, smoke, |line| eprintln!("  {line}"));
+    if smoke {
+        // The smoke gate certifies equivalence and exercises every phase,
+        // but its timings are meaningless — leave the full-run snapshot
+        // file alone.
+        eprintln!(
+            "scale smoke OK (identical over {} sites, rss ratio {:.3})",
+            snapshot.equivalence.sites, snapshot.rss_ratio_streaming_vs_scaled_resident
+        );
+        return;
+    }
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_scale.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_scale.json");
+    let big = snapshot.rows.last().expect("rows");
+    eprintln!(
+        "wrote {} ({} sites streamed at {:.0} sites/s, peak RSS {} MB, rss ratio {:.3})",
+        out.display(),
+        big.sites,
+        big.sites_per_sec,
+        big.peak_rss_bytes >> 20,
+        snapshot.rss_ratio_streaming_vs_scaled_resident
+    );
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match which.as_str() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    match which {
         "pipeline" => pipeline_snapshot(),
         "analysis" => analysis_snapshot(),
         "faults" => faults_snapshot(),
         "resilience" => resilience_snapshot(),
+        "scale" => scale_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
+        // Hidden: one scale phase in a child process, so each phase's
+        // VmHWM is its own (see webdep_bench::scale).
+        "scale-phase" => {
+            let phase = args.get(2).expect("scale-phase <phase> <spc>");
+            let spc: u32 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .expect("scale-phase <phase> <spc>");
+            println!("{}", webdep_bench::scale::run_phase(phase, spc));
+        }
         "all" => {
             pipeline_snapshot();
             analysis_snapshot();
             faults_snapshot();
             resilience_snapshot();
+            scale_snapshot(false);
         }
         other => {
             eprintln!(
-                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | all)"
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | all)"
             );
             std::process::exit(2);
         }

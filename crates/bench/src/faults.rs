@@ -157,6 +157,9 @@ pub struct FaultsSnapshot {
     pub baseline: BaselineSnapshot,
     /// The sweep, in `kind`-major order.
     pub runs: Vec<FaultRunSnapshot>,
+    /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
+    /// assembled (bytes; 0 off-Linux).
+    pub peak_rss_bytes: u64,
 }
 
 /// World for the sweep: smaller than the pipeline bench's `tiny` so nine
@@ -412,6 +415,7 @@ pub fn faults_snapshot(workers: usize, mut progress: impl FnMut(&str)) -> Faults
         zero_fault_identical,
         baseline,
         runs,
+        peak_rss_bytes: crate::peak_rss_bytes(),
     }
 }
 

@@ -12,6 +12,26 @@ use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 pub mod analysis;
 pub mod faults;
 pub mod resilience;
+pub mod scale;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where `/proc` is unavailable (non-Linux).
+///
+/// The high-water mark is monotonic for the life of the process, so a
+/// bench that wants per-phase peaks must run each phase in its own
+/// subprocess (see [`scale`]).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb = rest.trim().trim_end_matches("kB").trim();
+            return kb.parse::<u64>().unwrap_or(0) * 1024;
+        }
+    }
+    0
+}
 
 /// The shared (world, dataset) fixture at tiny scale.
 pub fn fixture() -> &'static (World, MeasuredDataset) {

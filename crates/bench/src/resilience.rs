@@ -91,6 +91,9 @@ pub struct ResilienceSnapshot {
     pub deaths: Vec<DeathRun>,
     /// The crash-resume cycle.
     pub resume: ResumeRun,
+    /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
+    /// assembled (bytes; 0 off-Linux).
+    pub peak_rss_bytes: u64,
 }
 
 /// World for the resilience runs: same reduced scale as the fault sweep,
@@ -260,6 +263,7 @@ pub fn resilience_snapshot_with(
         },
         deaths,
         resume,
+        peak_rss_bytes: crate::peak_rss_bytes(),
     }
 }
 

@@ -66,8 +66,17 @@ impl CountDist {
 
     /// Market share of each provider (`a_i / C`), nonincreasing.
     pub fn shares(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.shares_into(&mut out);
+        out
+    }
+
+    /// [`CountDist::shares`] into a caller-provided buffer (cleared first),
+    /// for hot loops that must not allocate per distribution.
+    pub fn shares_into(&self, out: &mut Vec<f64>) {
         let c = self.total as f64;
-        self.counts.iter().map(|&a| a as f64 / c).collect()
+        out.clear();
+        out.extend(self.counts.iter().map(|&a| a as f64 / c));
     }
 
     /// Share of the single largest provider.

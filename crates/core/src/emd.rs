@@ -19,7 +19,7 @@
 
 use crate::dist::CountDist;
 use crate::error::MetricError;
-use crate::transport::min_cost_transport;
+use crate::transport::{min_cost_transport_with, TransportWorkspace};
 
 /// The fully decentralized reference distribution for a dataset of `C`
 /// websites: `C` providers with one website each.
@@ -73,6 +73,38 @@ pub fn emd_to_decentralized(dist: &CountDist) -> f64 {
     crate::centralization::centralization_score(dist)
 }
 
+/// The closed-form EMD over a raw count row, fused into a single pass in
+/// the style of
+/// [`crate::centralization::centralization_score_counts_ref`]: no
+/// [`CountDist`] construction, no sort (the closed form is
+/// order-independent), no allocation. Zero counts are skipped; returns
+/// `None` when nothing is positive.
+///
+/// This is the kernel the batched per-country analysis loop calls against
+/// dense cube rows at scale.
+pub fn emd_to_decentralized_counts_ref(counts: &[u64]) -> Option<f64> {
+    crate::centralization::centralization_score_counts_ref(counts)
+}
+
+/// Reusable scratch for the transport-evaluated EMD paths: share/mass
+/// vectors plus the solver's graph buffers. One workspace serves any
+/// mix of [`emd_to_decentralized_via_transport_with`] and
+/// [`emd_between_with`] calls; buffers are cleared, never shrunk.
+#[derive(Debug, Default)]
+pub struct EmdWorkspace {
+    supply: Vec<f64>,
+    reference: Vec<f64>,
+    shares_b: Vec<f64>,
+    transport: TransportWorkspace,
+}
+
+impl EmdWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// EMD from `dist` to the matched reference, evaluated through the generic
 /// transportation solver instead of the closed form.
 ///
@@ -81,13 +113,28 @@ pub fn emd_to_decentralized(dist: &CountDist) -> f64 {
 /// function agree to within float tolerance — asserted by tests and the
 /// `appA_emd_equivalence` bench.
 pub fn emd_to_decentralized_via_transport(dist: &CountDist) -> Result<f64, MetricError> {
+    emd_to_decentralized_via_transport_with(dist, &mut EmdWorkspace::new())
+}
+
+/// [`emd_to_decentralized_via_transport`] with caller-provided scratch:
+/// per-country-per-layer loops reuse `ws` instead of building three fresh
+/// `Vec`s and a solver graph per call. Results are identical.
+pub fn emd_to_decentralized_via_transport_with(
+    dist: &CountDist,
+    ws: &mut EmdWorkspace,
+) -> Result<f64, MetricError> {
     let total = dist.total();
-    let supply: Vec<f64> = dist.counts().iter().map(|&a| a as f64).collect();
-    let reference = DecentralizedReference::matching(dist).mass_vector();
-    let counts = dist.counts().to_vec();
-    let work = min_cost_transport(&supply, &reference, |i, _j| {
-        ground_distance(counts[i], total)
-    })?;
+    let counts = dist.counts();
+    ws.supply.clear();
+    ws.supply.extend(counts.iter().map(|&a| a as f64));
+    ws.reference.clear();
+    ws.reference.resize(total as usize, 1.0);
+    let work = min_cost_transport_with(
+        &ws.supply,
+        &ws.reference,
+        |i, _j| ground_distance(counts[i], total),
+        &mut ws.transport,
+    )?;
     // Normalize by total flow (== C), per Appendix A.
     Ok(work / total as f64)
 }
@@ -103,9 +150,24 @@ pub fn emd_between<F>(a: &CountDist, b: &CountDist, ground: F) -> Result<f64, Me
 where
     F: Fn(usize, usize) -> f64,
 {
-    let sa = a.shares();
-    let sb = b.shares();
-    min_cost_transport(&sa, &sb, ground)
+    emd_between_with(a, b, ground, &mut EmdWorkspace::new())
+}
+
+/// [`emd_between`] with caller-provided scratch: the share vectors and the
+/// solver graph live in `ws` and are reused across calls. Results are
+/// identical to the allocating entry point.
+pub fn emd_between_with<F>(
+    a: &CountDist,
+    b: &CountDist,
+    ground: F,
+    ws: &mut EmdWorkspace,
+) -> Result<f64, MetricError>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    a.shares_into(&mut ws.supply);
+    b.shares_into(&mut ws.shares_b);
+    min_cost_transport_with(&ws.supply, &ws.shares_b, ground, &mut ws.transport)
 }
 
 #[cfg(test)]
@@ -171,6 +233,50 @@ mod tests {
         let ab = emd_between(&a, &b, g_ab).unwrap();
         let ba = emd_between(&b, &a, g_ba).unwrap();
         assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn counts_ref_kernel_matches_closed_form() {
+        for counts in [
+            vec![5u64],
+            vec![1, 1, 1, 1],
+            vec![10, 5, 3, 1, 1],
+            vec![0, 7, 0, 7, 7],
+            vec![20, 1, 1, 1, 1, 1],
+        ] {
+            let via_dist = CountDist::from_counts(counts.clone())
+                .map(|d| emd_to_decentralized(&d))
+                .unwrap();
+            let kernel = emd_to_decentralized_counts_ref(&counts).unwrap();
+            // Same closed form; only f64 summation order differs (the
+            // kernel skips the sort).
+            assert!(
+                (kernel - via_dist).abs() < 1e-12,
+                "counts {counts:?}: {kernel} vs {via_dist}"
+            );
+        }
+        assert_eq!(emd_to_decentralized_counts_ref(&[]), None);
+        assert_eq!(emd_to_decentralized_counts_ref(&[0, 0]), None);
+    }
+
+    #[test]
+    fn workspace_variants_match_allocating_paths() {
+        let mut ws = EmdWorkspace::new();
+        for counts in [vec![5u64], vec![10, 5, 3, 1, 1], vec![7, 7, 7]] {
+            let dist = d(&counts);
+            assert_eq!(
+                emd_to_decentralized_via_transport(&dist).unwrap(),
+                emd_to_decentralized_via_transport_with(&dist, &mut ws).unwrap(),
+                "counts {counts:?}"
+            );
+        }
+        let a = d(&[6, 3, 1]);
+        let b = d(&[4, 4, 2]);
+        let ground = |i: usize, j: usize| (i as f64 - j as f64).abs() * 0.1;
+        assert_eq!(
+            emd_between(&a, &b, ground).unwrap(),
+            emd_between_with(&a, &b, ground, &mut ws).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Deterministic string interning: the id layer under the streaming
+//! dataset.
+//!
+//! At million-site scale the hot structs cannot afford an owned `String`
+//! per field; the chunked store, the incremental cube fold, and the
+//! journal reader all speak dense `u32` ids instead. An [`Interner`]
+//! assigns ids in **first-intern order**, so two passes that intern the
+//! same strings in the same order produce the same ids — the property the
+//! on-disk chunk format's byte-determinism rests on (chunks intern their
+//! strings in row order, which is site order, which is worker-count
+//! independent).
+//!
+//! Pre-seeding with [`Interner::from_labels`] lets a table's ids coincide
+//! with an existing id space (e.g. universe TLD ids, which are positions
+//! in the universe's TLD table), so no translation layer is needed at the
+//! analysis boundary.
+
+use std::collections::HashMap;
+
+/// An insertion-ordered string → `u32` table with reverse lookup.
+///
+/// Ids are dense (`0..len()`) and assigned in first-intern order;
+/// interning an already-known string returns its existing id. The table
+/// never forgets.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table with room for `cap` strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Interner {
+            strings: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// A table pre-seeded from `labels` in order, so `labels[i]` gets id
+    /// `i`. Duplicate labels keep their first id.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for l in labels {
+            t.intern(l.as_ref());
+        }
+        t
+    }
+
+    /// The id of `s`, interning it if new.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// The id of `s`, if already interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind an id. Panics on an unknown id.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// The string behind an id, if known.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_first_intern_order() {
+        let mut t = Interner::new();
+        assert_eq!(t.intern("com"), 0);
+        assert_eq!(t.intern("net"), 1);
+        assert_eq!(t.intern("com"), 0, "re-intern keeps the id");
+        assert_eq!(t.intern("org"), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.resolve(1), "net");
+        assert_eq!(t.get("org"), Some(2));
+        assert_eq!(t.get("io"), None);
+        assert_eq!(t.try_resolve(9), None);
+    }
+
+    #[test]
+    fn same_sequence_same_ids() {
+        let words = ["a", "b", "a", "c", "b", "d"];
+        let mut x = Interner::new();
+        let mut y = Interner::with_capacity(4);
+        let ix: Vec<u32> = words.iter().map(|w| x.intern(w)).collect();
+        let iy: Vec<u32> = words.iter().map(|w| y.intern(w)).collect();
+        assert_eq!(ix, iy);
+        assert!(x.iter().eq(y.iter()));
+    }
+
+    #[test]
+    fn from_labels_matches_positions() {
+        let t = Interner::from_labels(["com", "net", "org"]);
+        assert_eq!(t.get("com"), Some(0));
+        assert_eq!(t.get("net"), Some(1));
+        assert_eq!(t.get("org"), Some(2));
+        assert!(!t.is_empty());
+    }
+}

@@ -54,6 +54,7 @@ pub mod emd;
 pub mod error;
 pub mod fdiv;
 pub mod insularity;
+pub mod intern;
 pub mod regionalization;
 pub mod topn;
 pub mod transport;
@@ -63,7 +64,10 @@ pub use centralization::{
     centralization_score, centralization_score_counts_ref, hhi, ConcentrationBand,
 };
 pub use dist::CountDist;
+pub use emd::{emd_to_decentralized_counts_ref, EmdWorkspace};
 pub use error::MetricError;
+pub use intern::Interner;
+pub use transport::TransportWorkspace;
 
 /// Convenience re-exports for the common entry points.
 pub mod prelude {

@@ -19,24 +19,43 @@ use crate::error::MetricError;
 /// Mass below which a residual capacity is considered zero.
 const EPS: f64 = 1e-9;
 
+#[derive(Debug)]
 struct Edge {
     to: usize,
     cap: f64,
     cost: f64,
 }
 
-/// Residual-graph min-cost max-flow over f64 capacities.
-struct McmfGraph {
+/// Reusable residual-graph buffers for repeated transport solves.
+///
+/// [`min_cost_transport`] builds a fresh graph per call — four `Vec`s
+/// every time. Hot loops (per-country, per-layer EMD evaluation) pass one
+/// of these to [`min_cost_transport_with`] instead; buffers are cleared,
+/// never shrunk, so a steady-state caller allocates nothing.
+#[derive(Debug, Default)]
+pub struct TransportWorkspace {
+    nodes: usize,
     edges: Vec<Edge>,
     adj: Vec<Vec<usize>>,
+    dist: Vec<f64>,
+    prev_edge: Vec<usize>,
 }
 
-impl McmfGraph {
-    fn new(nodes: usize) -> Self {
-        McmfGraph {
-            edges: Vec::new(),
-            adj: vec![Vec::new(); nodes],
+impl TransportWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, nodes: usize) {
+        self.edges.clear();
+        if self.adj.len() < nodes {
+            self.adj.resize_with(nodes, Vec::new);
         }
+        for a in self.adj.iter_mut().take(nodes) {
+            a.clear();
+        }
+        self.nodes = nodes;
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) {
@@ -53,12 +72,16 @@ impl McmfGraph {
     /// Runs successive shortest paths from `source` to `sink`; returns the
     /// total cost of the maximum flow.
     fn run(&mut self, source: usize, sink: usize) -> f64 {
-        let n = self.adj.len();
+        let n = self.nodes;
         let mut total_cost = 0.0;
         loop {
-            // Bellman-Ford.
-            let mut dist = vec![f64::INFINITY; n];
-            let mut prev_edge = vec![usize::MAX; n];
+            // Bellman-Ford over reused distance/predecessor buffers.
+            self.dist.clear();
+            self.dist.resize(n, f64::INFINITY);
+            self.prev_edge.clear();
+            self.prev_edge.resize(n, usize::MAX);
+            let dist = &mut self.dist;
+            let prev_edge = &mut self.prev_edge;
             dist[source] = 0.0;
             for _ in 0..n {
                 let mut changed = false;
@@ -80,6 +103,7 @@ impl McmfGraph {
             if !dist[sink].is_finite() {
                 break;
             }
+            let prev_edge = &self.prev_edge;
             // Bottleneck along the path.
             let mut bottleneck = f64::INFINITY;
             let mut v = sink;
@@ -116,6 +140,22 @@ pub fn min_cost_transport<F>(supply: &[f64], demand: &[f64], ground: F) -> Resul
 where
     F: Fn(usize, usize) -> f64,
 {
+    let mut ws = TransportWorkspace::new();
+    min_cost_transport_with(supply, demand, ground, &mut ws)
+}
+
+/// [`min_cost_transport`] with caller-provided scratch: repeated solves
+/// reuse `ws`'s graph and search buffers instead of allocating per call.
+/// Results are identical to the allocating entry point.
+pub fn min_cost_transport_with<F>(
+    supply: &[f64],
+    demand: &[f64],
+    ground: F,
+    ws: &mut TransportWorkspace,
+) -> Result<f64, MetricError>
+where
+    F: Fn(usize, usize) -> f64,
+{
     validate(supply)?;
     validate(demand)?;
     let s_total: f64 = supply.iter().sum();
@@ -132,15 +172,15 @@ where
     // Node layout: 0 = source, 1..=n supplies, n+1..=n+m demands, n+m+1 = sink.
     let source = 0;
     let sink = n + m + 1;
-    let mut g = McmfGraph::new(n + m + 2);
+    ws.reset(n + m + 2);
     for (i, &s) in supply.iter().enumerate() {
         if s > 0.0 {
-            g.add_edge(source, 1 + i, s, 0.0);
+            ws.add_edge(source, 1 + i, s, 0.0);
         }
     }
     for (j, &d) in demand.iter().enumerate() {
         if d > 0.0 {
-            g.add_edge(1 + n + j, sink, d, 0.0);
+            ws.add_edge(1 + n + j, sink, d, 0.0);
         }
     }
     for (i, &s_i) in supply.iter().enumerate() {
@@ -157,10 +197,10 @@ where
                     "ground distance d({i},{j}) = {c}"
                 )));
             }
-            g.add_edge(1 + i, 1 + n + j, f64::INFINITY, c);
+            ws.add_edge(1 + i, 1 + n + j, f64::INFINITY, c);
         }
     }
-    Ok(g.run(source, sink))
+    Ok(ws.run(source, sink))
 }
 
 /// 1-D Wasserstein-1 distance between two histograms over the same ordered
@@ -251,6 +291,22 @@ mod tests {
         let cost = [[1.0, 1.0], [1.0, 10.0]];
         let w = min_cost_transport(&[1.0, 1.0], &[1.0, 1.0], |i, j| cost[i][j]).unwrap();
         assert!((w - 2.0).abs() < 1e-9, "{w}");
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_solves() {
+        let cases: [(&[f64], &[f64]); 3] = [
+            (&[2.0, 0.0], &[1.0, 1.0]),
+            (&[1.0, 1.0], &[1.0, 1.0]),
+            (&[3.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 1.0, 1.0]),
+        ];
+        let mut ws = TransportWorkspace::new();
+        for (s, d) in cases {
+            let ground = |i: usize, j: usize| (i as f64 - j as f64).abs() * 3.0;
+            let fresh = min_cost_transport(s, d, ground).unwrap();
+            let reused = min_cost_transport_with(s, d, ground, &mut ws).unwrap();
+            assert_eq!(fresh, reused, "{s:?} -> {d:?}");
+        }
     }
 
     #[test]

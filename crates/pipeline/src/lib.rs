@@ -19,14 +19,16 @@
 pub mod dataset;
 pub mod journal;
 pub mod run;
+pub mod store;
 pub mod supervisor;
 pub mod vantage;
 
 pub use dataset::{FailureCause, FailureTaxonomy, LayerError, MeasuredDataset, SiteObservation};
 pub use journal::JournalWriter;
 pub use run::{
-    measure, measure_journaled, measure_with_stats, resume_from_journal, MeasureStats,
-    PipelineConfig, Scheduling,
+    measure, measure_journaled, measure_streamed, measure_with_stats, resume_from_journal,
+    resume_streamed, MeasureStats, PipelineConfig, Scheduling,
 };
+pub use store::{ChunkStore, ChunkStoreWriter, DecodedChunk, DEFAULT_CHUNK_SITES};
 pub use supervisor::{ChaosPlan, SupervisionStats, SupervisorConfig};
 pub use vantage::resolve_hosting_orgs;

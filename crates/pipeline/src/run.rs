@@ -30,6 +30,7 @@
 
 use crate::dataset::{FailureCause, LayerError, MeasuredDataset, SiteObservation};
 use crate::journal::{self, JournalWriter};
+use crate::store::{ChunkStoreWriter, DEFAULT_CHUNK_SITES};
 use crate::supervisor::{
     Batch, ChaosPlan, SupervisionStats, SupervisorConfig, WorkQueue, WorkerSlot,
 };
@@ -146,11 +147,40 @@ struct WorkerReport {
     panics_isolated: u64,
 }
 
+/// Where committed observations land.
+///
+/// The resident sink is the original in-memory path: one slot per site,
+/// assembled into a [`MeasuredDataset`] when the run ends. The streaming
+/// sink instead hands each observation to the chunked columnar store
+/// ([`crate::store`]) and *drops it* — peak memory is bounded by the
+/// scheduler's batch spread, not the world size, which is what lets
+/// million-site runs fit in a laptop's RAM.
+enum Sink {
+    /// One in-memory slot per site.
+    Resident(Vec<Option<SiteObservation>>),
+    /// Observations flow into the chunk store; only a done-bitmap stays
+    /// resident.
+    Streaming {
+        done: Vec<bool>,
+        store: ChunkStoreWriter,
+        store_error: Option<io::Error>,
+    },
+}
+
+impl Sink {
+    fn is_done(&self, site: usize) -> bool {
+        match self {
+            Sink::Resident(slots) => slots[site].is_some(),
+            Sink::Streaming { done, .. } => done[site],
+        }
+    }
+}
+
 /// The shared result sink: completed observations scatter here per site,
 /// and the journal (when enabled) records them in the same breath, so a
 /// worker loss can never lose a committed site.
 struct Collector {
-    slots: Vec<Option<SiteObservation>>,
+    sink: Sink,
     journal: Option<JournalWriter>,
     journal_error: Option<io::Error>,
 }
@@ -162,7 +192,7 @@ impl Collector {
     /// actually alive can race its replacement) are idempotent: first
     /// write wins, and determinism makes both writes byte-identical.
     fn commit(&mut self, site: usize, obs: SiteObservation) -> bool {
-        if self.slots[site].is_some() {
+        if self.sink.is_done(site) {
             return false;
         }
         if let Some(j) = self.journal.as_mut() {
@@ -174,7 +204,23 @@ impl Collector {
                 self.journal = None;
             }
         }
-        self.slots[site] = Some(obs);
+        match &mut self.sink {
+            Sink::Resident(slots) => slots[site] = Some(obs),
+            Sink::Streaming {
+                done,
+                store,
+                store_error,
+            } => {
+                done[site] = true;
+                // Keep measuring past a store error (same policy as the
+                // journal): the run completes, the first error surfaces.
+                if store_error.is_none() {
+                    if let Err(e) = store.commit(site, &obs) {
+                        *store_error = Some(e);
+                    }
+                }
+            }
+        }
         true
     }
 }
@@ -196,8 +242,9 @@ pub fn measure_with_stats(
     dep: &DeployedWorld,
     config: &PipelineConfig,
 ) -> (MeasuredDataset, MeasureStats) {
-    let (ds, stats, _journal_err) = run_supervised(world, dep, config, None, None);
-    (ds, stats)
+    let sink = Sink::Resident((0..world.sites.len()).map(|_| None).collect());
+    let (sink, stats, _journal_err) = run_supervised(world, dep, config, None, sink, 0);
+    (assemble_resident(world, sink), stats)
 }
 
 /// Like [`measure_with_stats`], but checkpoints every completed
@@ -211,10 +258,11 @@ pub fn measure_journaled(
     path: &Path,
 ) -> io::Result<(MeasuredDataset, MeasureStats)> {
     let writer = JournalWriter::create(path, &world.label, world.sites.len())?;
-    let (ds, stats, journal_err) = run_supervised(world, dep, config, Some(writer), None);
+    let sink = Sink::Resident((0..world.sites.len()).map(|_| None).collect());
+    let (sink, stats, journal_err) = run_supervised(world, dep, config, Some(writer), sink, 0);
     match journal_err {
         Some(e) => Err(e),
-        None => Ok((ds, stats)),
+        None => Ok((assemble_resident(world, sink), stats)),
     }
 }
 
@@ -244,11 +292,132 @@ pub fn resume_from_journal(
         ));
     }
     let writer = JournalWriter::append_loaded(path, &loaded)?;
-    let (ds, stats, journal_err) = run_supervised(world, dep, config, Some(writer), Some(loaded));
+    let mut slots: Vec<Option<SiteObservation>> = (0..world.sites.len()).map(|_| None).collect();
+    let resumed = loaded.fill_slots(&mut slots);
+    let (sink, stats, journal_err) = run_supervised(
+        world,
+        dep,
+        config,
+        Some(writer),
+        Sink::Resident(slots),
+        resumed,
+    );
     match journal_err {
         Some(e) => Err(e),
-        None => Ok((ds, stats)),
+        None => Ok((assemble_resident(world, sink), stats)),
     }
+}
+
+/// Like [`measure_with_stats`], but observations stream into a chunked
+/// columnar store ([`crate::store`]) at `store_dir` instead of
+/// accumulating in memory: each completed site is committed to its chunk
+/// and dropped, so peak RSS is bounded by the scheduler's batch spread,
+/// not the world size. The store is certified byte-identical to the
+/// resident path's dataset (same determinism contract), and
+/// `journal_path` optionally checkpoints the run for [`resume_streamed`].
+pub fn measure_streamed(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+    store_dir: &Path,
+    journal_path: Option<&Path>,
+) -> io::Result<MeasureStats> {
+    let n = world.sites.len();
+    let store = ChunkStoreWriter::create(store_dir, &world.label, n, DEFAULT_CHUNK_SITES)?;
+    let journal = journal_path
+        .map(|p| JournalWriter::create(p, &world.label, n))
+        .transpose()?;
+    let sink = Sink::Streaming {
+        done: vec![false; n],
+        store,
+        store_error: None,
+    };
+    let (sink, stats, journal_err) = run_supervised(world, dep, config, journal, sink, 0);
+    finish_streaming(world, sink, journal_err, stats)
+}
+
+/// Continues a crashed [`measure_streamed`] run.
+///
+/// Three tiers of recovery compose here: chunks already durable on disk
+/// keep their sites wholesale (no re-measurement, no journal needed);
+/// sites journaled but caught in a torn or never-flushed chunk are
+/// re-committed into the writer, healing the chunk to identical bytes;
+/// everything else is re-measured. The finished store is byte-identical
+/// to an uninterrupted run's.
+pub fn resume_streamed(
+    world: &World,
+    dep: &DeployedWorld,
+    config: &PipelineConfig,
+    store_dir: &Path,
+    journal_path: &Path,
+) -> io::Result<MeasureStats> {
+    let n = world.sites.len();
+    let loaded = journal::load(journal_path)?;
+    if loaded.label != world.label || loaded.sites != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "journal is for '{}' ({} sites), not '{}' ({} sites)",
+                loaded.label, loaded.sites, world.label, n
+            ),
+        ));
+    }
+    let mut store = ChunkStoreWriter::resume(store_dir, &world.label, n, DEFAULT_CHUNK_SITES)?;
+    let mut done: Vec<bool> = (0..n).map(|i| store.site_durable(i)).collect();
+    for (i, obs) in &loaded.records {
+        if !done[*i] {
+            store.commit(*i, obs)?;
+            done[*i] = true;
+        }
+    }
+    let resumed = done.iter().filter(|&&d| d).count();
+    let writer = JournalWriter::append_loaded(journal_path, &loaded)?;
+    let sink = Sink::Streaming {
+        done,
+        store,
+        store_error: None,
+    };
+    let (sink, stats, journal_err) =
+        run_supervised(world, dep, config, Some(writer), sink, resumed);
+    finish_streaming(world, sink, journal_err, stats)
+}
+
+/// Shared tail of the streaming entry points: surface errors, fill any
+/// never-measured site with the same deterministic internal failure the
+/// resident assembly uses, and finalize the store.
+fn finish_streaming(
+    world: &World,
+    sink: Sink,
+    journal_err: Option<io::Error>,
+    stats: MeasureStats,
+) -> io::Result<MeasureStats> {
+    let Sink::Streaming {
+        done,
+        mut store,
+        store_error,
+    } = sink
+    else {
+        unreachable!("streaming entry points build a streaming sink")
+    };
+    if let Some(e) = store_error {
+        return Err(e);
+    }
+    if let Some(e) = journal_err {
+        return Err(e);
+    }
+    for (i, was_done) in done.iter().enumerate() {
+        if !was_done {
+            let site = &world.sites[i];
+            let obs = SiteObservation::internal_failure(
+                &site.domain,
+                &site.language,
+                "internal: site never measured",
+            );
+            store.commit(i, &obs)?;
+        }
+    }
+    store.finish()?;
+    Ok(stats)
 }
 
 /// The supervised run underneath every public entry point.
@@ -263,20 +432,19 @@ fn run_supervised(
     dep: &DeployedWorld,
     config: &PipelineConfig,
     journal: Option<JournalWriter>,
-    prefill: Option<journal::Journal>,
-) -> (MeasuredDataset, MeasureStats, Option<io::Error>) {
+    sink: Sink,
+    resumed: usize,
+) -> (Sink, MeasureStats, Option<io::Error>) {
     let n = world.sites.len();
     let workers = config.workers.max(1);
     let sup_cfg = config.supervisor.clone();
     let chaos = config.chaos.clone().unwrap_or_default();
     let deadline_ms = sup_cfg.site_deadline.as_millis() as u64;
 
-    let mut slots: Vec<Option<SiteObservation>> = (0..n).map(|_| None).collect();
-    let resumed = prefill.map_or(0, |j| j.fill_slots(&mut slots));
-    let done_at_start: Vec<bool> = slots.iter().map(Option::is_some).collect();
+    let done_at_start: Vec<bool> = (0..n).map(|i| sink.is_done(i)).collect();
     let completed = AtomicUsize::new(resumed);
     let collector = Mutex::new(Collector {
-        slots,
+        sink,
         journal,
         journal_error: None,
     });
@@ -471,23 +639,6 @@ fn run_supervised(
             journal_error.get_or_insert(e);
         }
     }
-    // Every site is accounted for: committed by a worker, restored from
-    // the journal, or failed by the supervisor's poison/deadlock paths.
-    let observations: Vec<SiteObservation> = coll
-        .slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            s.unwrap_or_else(|| {
-                let site = &world.sites[i];
-                SiteObservation::internal_failure(
-                    &site.domain,
-                    &site.language,
-                    "internal: site never measured",
-                )
-            })
-        })
-        .collect();
 
     let peak_idle_fraction = worker_busy
         .iter()
@@ -507,14 +658,37 @@ fn run_supervised(
         malformed_flights,
         supervision: sup_stats,
     };
+    (coll.sink, stats, journal_error)
+}
 
-    let dataset = MeasuredDataset {
+/// Assembles the resident sink's slots into the final dataset. Every site
+/// is accounted for: committed by a worker, restored from the journal, or
+/// failed by the supervisor's poison/deadlock paths — and any slot still
+/// empty becomes a deterministic internal failure.
+fn assemble_resident(world: &World, sink: Sink) -> MeasuredDataset {
+    let Sink::Resident(slots) = sink else {
+        unreachable!("resident entry points build a resident sink")
+    };
+    let observations: Vec<SiteObservation> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                let site = &world.sites[i];
+                SiteObservation::internal_failure(
+                    &site.domain,
+                    &site.language,
+                    "internal: site never measured",
+                )
+            })
+        })
+        .collect();
+    MeasuredDataset {
         observations,
         toplists: world.toplists.clone(),
         global_top: world.global_top.clone(),
         label: world.label.clone(),
-    };
-    (dataset, stats, journal_error)
+    }
 }
 
 /// Records every not-yet-done site of a batch as an internal failure

@@ -1,0 +1,954 @@
+//! The chunked, columnar on-disk dataset: `MeasuredDataset` without the
+//! resident `Vec<SiteObservation>`.
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store/
+//!   manifest.json        {"magic":"webdep-chunk-store","version":1,
+//!                         "label":…,"sites":N,"chunk_sites":K}
+//!   chunk-000000.col     sites [0, K)
+//!   chunk-000001.col     sites [K, 2K)
+//!   …                    (final chunk holds the remainder)
+//! ```
+//!
+//! Each chunk file is self-contained and columnar (little-endian):
+//!
+//! ```text
+//! magic "WDCHUNK1" · chunk_index u32 · lo u32 · rows u32
+//! string table: count u32, then len u32 + UTF-8 bytes per string
+//! columns, each over all rows of the chunk:
+//!   domain/tld/language        rows × u32 string id
+//!   hosting_ip                 presence bitmap + u32 per present row
+//!   hosting_asn/org            presence bitmap + u32 per present row
+//!   hosting_{org,ip}_country   presence bitmap + string id per present row
+//!   hosting_anycast            bitmap
+//!   ns_names                   rows × u16 count, then the string ids
+//!   dns_* columns              same shapes as hosting
+//!   ca_owner / ca_owner_country  presence bitmap + values
+//!   hosting/dns/ca_error       presence bitmap + (cause u8, detail id u32)
+//!   error summary              presence bitmap + string id per present row
+//! checksum u64 (FNV-1a over everything above)
+//! ```
+//!
+//! Strings are interned **per chunk** through [`webdep_core::Interner`], in
+//! row order — site order, not commit order — so the encoded bytes are a
+//! pure function of the chunk's observations. Combined with the pipeline's
+//! determinism contract, the whole store is byte-identical across worker
+//! counts, scheduling modes, and crash-resume (tested in
+//! `tests/determinism.rs` and `tests/supervision.rs`).
+//!
+//! Durability mirrors the journal's: a chunk file is written and fsynced
+//! once, when its last site commits; the checksum turns a torn write into
+//! [`ChunkState::Corrupt`], which resume heals by re-encoding the chunk
+//! from journal records. The writer holds only *partial* chunks in memory
+//! (bounded by the scheduler's batch spread), which is what makes
+//! million-site runs memory-bounded end to end.
+
+use crate::dataset::{FailureCause, LayerError, MeasuredDataset, SiteObservation};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use webdep_core::Interner;
+
+/// Manifest magic string.
+pub const STORE_MAGIC: &str = "webdep-chunk-store";
+/// Store format version.
+pub const STORE_VERSION: u64 = 1;
+/// Sites per chunk unless the caller chooses otherwise: small enough that
+/// partial chunks stay cheap, large enough that a million-site store is a
+/// few hundred files.
+pub const DEFAULT_CHUNK_SITES: usize = 4096;
+/// Chunk file magic.
+const CHUNK_MAGIC: [u8; 8] = *b"WDCHUNK1";
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.json")
+}
+
+fn chunk_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("chunk-{index:06}.col"))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a 64 over a byte slice — the chunk integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn cause_index(c: FailureCause) -> u8 {
+    FailureCause::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("cause in ALL") as u8
+}
+
+fn cause_from_index(i: u8) -> Result<FailureCause, String> {
+    FailureCause::ALL
+        .get(i as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown failure cause index {i}"))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// LSB-first presence bitmap over the rows.
+    fn bitmap<T, F: Fn(&T) -> bool>(&mut self, rows: &[T], present: F) {
+        let mut byte = 0u8;
+        for (r, row) in rows.iter().enumerate() {
+            if present(row) {
+                byte |= 1 << (r % 8);
+            }
+            if r % 8 == 7 {
+                self.u8(byte);
+                byte = 0;
+            }
+        }
+        if !rows.len().is_multiple_of(8) {
+            self.u8(byte);
+        }
+    }
+}
+
+/// Encodes one complete chunk (rows in site order) to its file bytes.
+fn encode_chunk(chunk_index: usize, lo: usize, rows: &[SiteObservation]) -> Vec<u8> {
+    // Intern every string in row order; ids are then independent of the
+    // order in which sites committed.
+    let mut strings = Interner::new();
+    for obs in rows {
+        strings.intern(&obs.domain);
+        strings.intern(&obs.tld);
+        strings.intern(&obs.language);
+        for c in [&obs.hosting_org_country, &obs.hosting_ip_country]
+            .into_iter()
+            .flatten()
+        {
+            strings.intern(c);
+        }
+        for n in &obs.ns_names {
+            strings.intern(n);
+        }
+        for c in [
+            &obs.dns_org_country,
+            &obs.dns_ip_country,
+            &obs.ca_owner_country,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            strings.intern(c);
+        }
+        for e in [&obs.hosting_error, &obs.dns_error, &obs.ca_error]
+            .into_iter()
+            .flatten()
+        {
+            strings.intern(&e.detail);
+        }
+        if let Some(e) = &obs.error {
+            strings.intern(e);
+        }
+    }
+
+    let mut e = Enc { buf: Vec::new() };
+    e.buf.extend_from_slice(&CHUNK_MAGIC);
+    e.u32(chunk_index as u32);
+    e.u32(lo as u32);
+    e.u32(rows.len() as u32);
+    e.u32(strings.len() as u32);
+    for s in strings.iter() {
+        e.u32(s.len() as u32);
+        e.buf.extend_from_slice(s.as_bytes());
+    }
+    let id = |s: &str| strings.get(s).expect("interned above");
+
+    for obs in rows {
+        e.u32(id(&obs.domain));
+    }
+    for obs in rows {
+        e.u32(id(&obs.tld));
+    }
+    for obs in rows {
+        e.u32(id(&obs.language));
+    }
+
+    // Option<T> columns: presence bitmap, then one value per present row.
+    macro_rules! opt_col {
+        ($field:ident, $emit:expr) => {{
+            e.bitmap(rows, |o| o.$field.is_some());
+            for obs in rows {
+                if let Some(v) = &obs.$field {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($emit)(&mut e, v);
+                }
+            }
+        }};
+    }
+    let emit_ip = |e: &mut Enc, ip: &Ipv4Addr| e.u32(u32::from(*ip));
+    let emit_u32 = |e: &mut Enc, v: &u32| e.u32(*v);
+    let emit_str = |e: &mut Enc, s: &String| e.u32(id(s));
+    let emit_err = |e: &mut Enc, err: &LayerError| {
+        e.u8(cause_index(err.cause));
+        e.u32(id(&err.detail));
+    };
+
+    opt_col!(hosting_ip, emit_ip);
+    opt_col!(hosting_asn, emit_u32);
+    opt_col!(hosting_org, emit_u32);
+    opt_col!(hosting_org_country, emit_str);
+    opt_col!(hosting_ip_country, emit_str);
+    e.bitmap(rows, |o| o.hosting_anycast);
+
+    for obs in rows {
+        e.u16(obs.ns_names.len() as u16);
+    }
+    for obs in rows {
+        for n in &obs.ns_names {
+            e.u32(id(n));
+        }
+    }
+
+    opt_col!(dns_ip, emit_ip);
+    opt_col!(dns_asn, emit_u32);
+    opt_col!(dns_org, emit_u32);
+    opt_col!(dns_org_country, emit_str);
+    opt_col!(dns_ip_country, emit_str);
+    e.bitmap(rows, |o| o.dns_anycast);
+
+    opt_col!(ca_owner, emit_u32);
+    opt_col!(ca_owner_country, emit_str);
+
+    opt_col!(hosting_error, emit_err);
+    opt_col!(dns_error, emit_err);
+    opt_col!(ca_error, emit_err);
+    opt_col!(error, emit_str);
+
+    let sum = fnv1a(&e.buf);
+    e.u64(sum);
+    e.buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or("chunk truncated")?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn bitmap(&mut self, rows: usize) -> Result<Vec<bool>, String> {
+        let bytes = self.take(rows.div_ceil(8))?;
+        Ok((0..rows)
+            .map(|r| bytes[r / 8] & (1 << (r % 8)) != 0)
+            .collect())
+    }
+}
+
+/// One decoded chunk: columnar access plus per-row observation
+/// reconstruction. String-valued columns hold ids into [`DecodedChunk::str_of`].
+pub struct DecodedChunk {
+    /// First site index the chunk covers.
+    pub lo: usize,
+    /// Rows in the chunk (`lo..lo + rows` in site order).
+    pub rows: usize,
+    strings: Vec<String>,
+    domain: Vec<u32>,
+    /// TLD string id per row.
+    pub tld: Vec<u32>,
+    language: Vec<u32>,
+    hosting_ip: Vec<Option<Ipv4Addr>>,
+    hosting_asn: Vec<Option<u32>>,
+    /// Hosting org world id per row (`None` = layer failed).
+    pub hosting_org: Vec<Option<u32>>,
+    hosting_org_country: Vec<Option<u32>>,
+    hosting_ip_country: Vec<Option<u32>>,
+    hosting_anycast: Vec<bool>,
+    ns_off: Vec<u32>,
+    ns_ids: Vec<u32>,
+    dns_ip: Vec<Option<Ipv4Addr>>,
+    dns_asn: Vec<Option<u32>>,
+    /// DNS org world id per row.
+    pub dns_org: Vec<Option<u32>>,
+    dns_org_country: Vec<Option<u32>>,
+    dns_ip_country: Vec<Option<u32>>,
+    dns_anycast: Vec<bool>,
+    /// CA owner world id per row.
+    pub ca_owner: Vec<Option<u32>>,
+    ca_owner_country: Vec<Option<u32>>,
+    hosting_error: Vec<Option<(FailureCause, u32)>>,
+    dns_error: Vec<Option<(FailureCause, u32)>>,
+    ca_error: Vec<Option<(FailureCause, u32)>>,
+    error: Vec<Option<u32>>,
+}
+
+impl DecodedChunk {
+    /// The string behind a chunk-local id.
+    pub fn str_of(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Reconstructs row `r` as a full [`SiteObservation`] — the exact
+    /// observation that was committed (round-trip tested).
+    pub fn observation(&self, r: usize) -> SiteObservation {
+        let s = |id: u32| self.strings[id as usize].clone();
+        let os = |v: &Option<u32>| v.map(s);
+        let err = |v: &Option<(FailureCause, u32)>| {
+            v.map(|(cause, detail)| LayerError::new(cause, s(detail)))
+        };
+        SiteObservation {
+            domain: s(self.domain[r]),
+            tld: s(self.tld[r]),
+            language: s(self.language[r]),
+            hosting_ip: self.hosting_ip[r],
+            hosting_asn: self.hosting_asn[r],
+            hosting_org: self.hosting_org[r],
+            hosting_org_country: os(&self.hosting_org_country[r]),
+            hosting_ip_country: os(&self.hosting_ip_country[r]),
+            hosting_anycast: self.hosting_anycast[r],
+            ns_names: self.ns_ids[self.ns_off[r] as usize..self.ns_off[r + 1] as usize]
+                .iter()
+                .map(|&i| s(i))
+                .collect(),
+            dns_ip: self.dns_ip[r],
+            dns_asn: self.dns_asn[r],
+            dns_org: self.dns_org[r],
+            dns_org_country: os(&self.dns_org_country[r]),
+            dns_ip_country: os(&self.dns_ip_country[r]),
+            dns_anycast: self.dns_anycast[r],
+            ca_owner: self.ca_owner[r],
+            ca_owner_country: os(&self.ca_owner_country[r]),
+            hosting_error: err(&self.hosting_error[r]),
+            dns_error: err(&self.dns_error[r]),
+            ca_error: err(&self.ca_error[r]),
+            error: os(&self.error[r]),
+        }
+    }
+}
+
+fn decode_chunk(
+    bytes: &[u8],
+    expect_index: usize,
+    expect_lo: usize,
+    expect_rows: usize,
+) -> Result<DecodedChunk, String> {
+    if bytes.len() < CHUNK_MAGIC.len() + 8 {
+        return Err("chunk too short".into());
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a(body) != sum {
+        return Err("chunk checksum mismatch".into());
+    }
+    let mut d = Dec { buf: body, pos: 0 };
+    if d.take(8)? != CHUNK_MAGIC {
+        return Err("bad chunk magic".into());
+    }
+    let index = d.u32()? as usize;
+    let lo = d.u32()? as usize;
+    let rows = d.u32()? as usize;
+    if index != expect_index || lo != expect_lo || rows != expect_rows {
+        return Err(format!(
+            "chunk header (index {index}, lo {lo}, rows {rows}) does not match \
+             manifest (index {expect_index}, lo {expect_lo}, rows {expect_rows})"
+        ));
+    }
+    let n_strings = d.u32()? as usize;
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let len = d.u32()? as usize;
+        let s = std::str::from_utf8(d.take(len)?).map_err(|e| e.to_string())?;
+        strings.push(s.to_string());
+    }
+    let sid = |id: u32| -> Result<u32, String> {
+        if (id as usize) < n_strings {
+            Ok(id)
+        } else {
+            Err(format!("string id {id} out of range (< {n_strings})"))
+        }
+    };
+
+    let str_col =
+        |d: &mut Dec| -> Result<Vec<u32>, String> { (0..rows).map(|_| sid(d.u32()?)).collect() };
+    let domain = str_col(&mut d)?;
+    let tld = str_col(&mut d)?;
+    let language = str_col(&mut d)?;
+
+    fn opt_col<T, F: FnMut(&mut Dec) -> Result<T, String>>(
+        d: &mut Dec,
+        rows: usize,
+        mut read: F,
+    ) -> Result<Vec<Option<T>>, String> {
+        let present = d.bitmap(rows)?;
+        present
+            .into_iter()
+            .map(|p| if p { read(d).map(Some) } else { Ok(None) })
+            .collect()
+    }
+    let read_ip = |d: &mut Dec| Ok(Ipv4Addr::from(d.u32()?));
+    let read_u32 = |d: &mut Dec| d.u32();
+    let read_sid = |d: &mut Dec| sid(d.u32()?);
+    let read_err = |d: &mut Dec| -> Result<(FailureCause, u32), String> {
+        let cause = cause_from_index(d.u8()?)?;
+        Ok((cause, sid(d.u32()?)?))
+    };
+
+    let hosting_ip = opt_col(&mut d, rows, read_ip)?;
+    let hosting_asn = opt_col(&mut d, rows, read_u32)?;
+    let hosting_org = opt_col(&mut d, rows, read_u32)?;
+    let hosting_org_country = opt_col(&mut d, rows, read_sid)?;
+    let hosting_ip_country = opt_col(&mut d, rows, read_sid)?;
+    let hosting_anycast = d.bitmap(rows)?;
+
+    let mut ns_off = Vec::with_capacity(rows + 1);
+    ns_off.push(0u32);
+    let mut total_ns = 0u32;
+    for _ in 0..rows {
+        total_ns += d.u16()? as u32;
+        ns_off.push(total_ns);
+    }
+    let ns_ids: Vec<u32> = (0..total_ns)
+        .map(|_| sid(d.u32()?))
+        .collect::<Result<_, _>>()?;
+
+    let dns_ip = opt_col(&mut d, rows, read_ip)?;
+    let dns_asn = opt_col(&mut d, rows, read_u32)?;
+    let dns_org = opt_col(&mut d, rows, read_u32)?;
+    let dns_org_country = opt_col(&mut d, rows, read_sid)?;
+    let dns_ip_country = opt_col(&mut d, rows, read_sid)?;
+    let dns_anycast = d.bitmap(rows)?;
+
+    let ca_owner = opt_col(&mut d, rows, read_u32)?;
+    let ca_owner_country = opt_col(&mut d, rows, read_sid)?;
+
+    let hosting_error = opt_col(&mut d, rows, read_err)?;
+    let dns_error = opt_col(&mut d, rows, read_err)?;
+    let ca_error = opt_col(&mut d, rows, read_err)?;
+    let error = opt_col(&mut d, rows, read_sid)?;
+
+    if d.pos != body.len() {
+        return Err(format!(
+            "trailing bytes in chunk: {} of {}",
+            body.len() - d.pos,
+            body.len()
+        ));
+    }
+    Ok(DecodedChunk {
+        lo,
+        rows,
+        strings,
+        domain,
+        tld,
+        language,
+        hosting_ip,
+        hosting_asn,
+        hosting_org,
+        hosting_org_country,
+        hosting_ip_country,
+        hosting_anycast,
+        ns_off,
+        ns_ids,
+        dns_ip,
+        dns_asn,
+        dns_org,
+        dns_org_country,
+        dns_ip_country,
+        dns_anycast,
+        ca_owner,
+        ca_owner_country,
+        hosting_error,
+        dns_error,
+        ca_error,
+        error,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+/// One not-yet-complete chunk's rows, held in memory until the last site
+/// commits.
+struct PartialChunk {
+    filled: usize,
+    rows: Vec<Option<SiteObservation>>,
+}
+
+/// Streaming chunk-store writer: sites commit in any order; a chunk file
+/// is encoded, written, and fsynced the moment its last site lands.
+pub struct ChunkStoreWriter {
+    dir: PathBuf,
+    sites: usize,
+    chunk_sites: usize,
+    pending: HashMap<usize, PartialChunk>,
+    written: Vec<bool>,
+    bytes_written: u64,
+}
+
+impl ChunkStoreWriter {
+    /// Creates (or resets) a store directory for a run over `sites` sites,
+    /// writing and syncing the manifest and deleting any stale chunk files.
+    pub fn create(dir: &Path, label: &str, sites: usize, chunk_sites: usize) -> io::Result<Self> {
+        assert!(chunk_sites > 0, "chunk_sites must be positive");
+        std::fs::create_dir_all(dir)?;
+        let chunks = sites.div_ceil(chunk_sites);
+        // Stale chunks from a previous run must not masquerade as data.
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("chunk-") && name.ends_with(".col") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        let manifest = Value::Object(vec![
+            ("magic".into(), Value::String(STORE_MAGIC.into())),
+            ("version".into(), Value::U64(STORE_VERSION)),
+            ("label".into(), Value::String(label.into())),
+            ("sites".into(), Value::U64(sites as u64)),
+            ("chunk_sites".into(), Value::U64(chunk_sites as u64)),
+        ]);
+        let mut f = File::create(manifest_path(dir))?;
+        writeln!(f, "{manifest}")?;
+        f.sync_data()?;
+        Ok(ChunkStoreWriter {
+            dir: dir.to_path_buf(),
+            sites,
+            chunk_sites,
+            pending: HashMap::new(),
+            written: vec![false; chunks],
+            bytes_written: 0,
+        })
+    }
+
+    /// Reopens an existing store for resume: the manifest must match, valid
+    /// chunk files are kept (their sites need no re-measurement), and
+    /// corrupt ones — the torn-write crash artifact — are deleted so they
+    /// can be healed from the journal. Falls back to [`Self::create`] when
+    /// no manifest exists (a crash before the store was set up).
+    pub fn resume(dir: &Path, label: &str, sites: usize, chunk_sites: usize) -> io::Result<Self> {
+        if !manifest_path(dir).exists() {
+            return Self::create(dir, label, sites, chunk_sites);
+        }
+        let store = ChunkStore::open(dir)?;
+        if store.label != label || store.sites != sites || store.chunk_sites != chunk_sites {
+            return Err(bad(format!(
+                "store is for '{}' ({} sites, chunk {}), not '{}' ({} sites, chunk {})",
+                store.label, store.sites, store.chunk_sites, label, sites, chunk_sites
+            )));
+        }
+        let chunks = store.num_chunks();
+        let mut written = vec![false; chunks];
+        for (c, w) in written.iter_mut().enumerate() {
+            match store.chunk_state(c) {
+                ChunkState::Valid => *w = true,
+                ChunkState::Missing => {}
+                ChunkState::Corrupt(_) => std::fs::remove_file(chunk_path(dir, c))?,
+            }
+        }
+        Ok(ChunkStoreWriter {
+            dir: dir.to_path_buf(),
+            sites,
+            chunk_sites,
+            pending: HashMap::new(),
+            written,
+            bytes_written: 0,
+        })
+    }
+
+    fn chunk_of(&self, site: usize) -> usize {
+        site / self.chunk_sites
+    }
+
+    fn chunk_lo(&self, chunk: usize) -> usize {
+        chunk * self.chunk_sites
+    }
+
+    fn chunk_rows(&self, chunk: usize) -> usize {
+        (self.sites - self.chunk_lo(chunk)).min(self.chunk_sites)
+    }
+
+    /// Whether a chunk has been durably written.
+    pub fn chunk_written(&self, chunk: usize) -> bool {
+        self.written[chunk]
+    }
+
+    /// Whether a site's chunk has been durably written.
+    pub fn site_durable(&self, site: usize) -> bool {
+        self.written[self.chunk_of(site)]
+    }
+
+    /// Total chunk-file bytes written by this writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Commits one observation. Returns `Ok(false)` when the site was
+    /// already committed (or its chunk already on disk) — idempotent, like
+    /// the collector's first-write-wins rule. Flushes the chunk when it
+    /// completes.
+    pub fn commit(&mut self, site: usize, obs: &SiteObservation) -> io::Result<bool> {
+        assert!(site < self.sites, "site {site} out of range");
+        let c = self.chunk_of(site);
+        if self.written[c] {
+            return Ok(false);
+        }
+        let rows = self.chunk_rows(c);
+        let lo = self.chunk_lo(c);
+        let partial = self.pending.entry(c).or_insert_with(|| PartialChunk {
+            filled: 0,
+            rows: (0..rows).map(|_| None).collect(),
+        });
+        let slot = &mut partial.rows[site - lo];
+        if slot.is_some() {
+            return Ok(false);
+        }
+        *slot = Some(obs.clone());
+        partial.filled += 1;
+        if partial.filled == rows {
+            let partial = self.pending.remove(&c).expect("just inserted");
+            let full: Vec<SiteObservation> = partial
+                .rows
+                .into_iter()
+                .map(|r| r.expect("chunk complete"))
+                .collect();
+            let bytes = encode_chunk(c, self.chunk_lo(c), &full);
+            let path = chunk_path(&self.dir, c);
+            let mut f = File::create(&path)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+            self.bytes_written += bytes.len() as u64;
+            self.written[c] = true;
+        }
+        Ok(true)
+    }
+
+    /// Finalizes the store: every chunk must be on disk (an incomplete
+    /// chunk means sites went unmeasured — an error, not a shrug), then the
+    /// directory entry list is fsynced.
+    pub fn finish(self) -> io::Result<()> {
+        if let Some(missing) = self.written.iter().position(|&w| !w) {
+            return Err(bad(format!(
+                "store incomplete: chunk {missing} never finished ({} sites pending)",
+                self.pending
+                    .values()
+                    .map(|p| p.rows.len() - p.filled)
+                    .sum::<usize>()
+            )));
+        }
+        // Make the directory entries themselves durable.
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Validation result for one chunk file.
+#[derive(Debug)]
+pub enum ChunkState {
+    /// Present and checksum-clean.
+    Valid,
+    /// File absent.
+    Missing,
+    /// Present but unreadable/torn; the message says why.
+    Corrupt(String),
+}
+
+/// Read side of a chunk store.
+pub struct ChunkStore {
+    dir: PathBuf,
+    /// World label from the manifest.
+    pub label: String,
+    /// Site count from the manifest.
+    pub sites: usize,
+    /// Chunk size from the manifest.
+    pub chunk_sites: usize,
+}
+
+impl ChunkStore {
+    /// Opens a store directory, validating the manifest.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let mut text = String::new();
+        File::open(manifest_path(dir))?.read_to_string(&mut text)?;
+        let m: Value = serde_json::from_str(text.trim())
+            .map_err(|e| bad(format!("bad store manifest: {e}")))?;
+        if m["magic"] != STORE_MAGIC {
+            return Err(bad("not a chunk store (bad magic)"));
+        }
+        if m["version"].as_u64() != Some(STORE_VERSION) {
+            return Err(bad(format!("unsupported store version {}", m["version"])));
+        }
+        let label = m["label"]
+            .as_str()
+            .ok_or_else(|| bad("manifest missing label"))?
+            .to_string();
+        let sites = m["sites"]
+            .as_u64()
+            .ok_or_else(|| bad("manifest missing sites"))? as usize;
+        let chunk_sites = m["chunk_sites"]
+            .as_u64()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| bad("manifest missing chunk_sites"))? as usize;
+        Ok(ChunkStore {
+            dir: dir.to_path_buf(),
+            label,
+            sites,
+            chunk_sites,
+        })
+    }
+
+    /// Number of chunks the manifest implies.
+    pub fn num_chunks(&self) -> usize {
+        self.sites.div_ceil(self.chunk_sites)
+    }
+
+    /// Rows in chunk `c`.
+    pub fn chunk_rows(&self, c: usize) -> usize {
+        (self.sites - c * self.chunk_sites).min(self.chunk_sites)
+    }
+
+    /// Validates chunk `c` without keeping its data.
+    pub fn chunk_state(&self, c: usize) -> ChunkState {
+        match self.read_chunk(c) {
+            Ok(_) => ChunkState::Valid,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => ChunkState::Missing,
+            Err(e) => ChunkState::Corrupt(e.to_string()),
+        }
+    }
+
+    /// Reads and decodes chunk `c`.
+    pub fn read_chunk(&self, c: usize) -> io::Result<DecodedChunk> {
+        let mut bytes = Vec::new();
+        File::open(chunk_path(&self.dir, c))?.read_to_end(&mut bytes)?;
+        decode_chunk(&bytes, c, c * self.chunk_sites, self.chunk_rows(c))
+            .map_err(|e| bad(format!("chunk {c}: {e}")))
+    }
+
+    /// Materializes the full [`MeasuredDataset`] — the dual-feasible-size
+    /// path used to certify streaming/resident equivalence. Toplists come
+    /// from the world, exactly as the resident pipeline copies them.
+    pub fn load_dataset(&self, world: &webdep_webgen::World) -> io::Result<MeasuredDataset> {
+        if world.label != self.label || world.sites.len() != self.sites {
+            return Err(bad(format!(
+                "store is for '{}' ({} sites), not '{}' ({} sites)",
+                self.label,
+                self.sites,
+                world.label,
+                world.sites.len()
+            )));
+        }
+        let mut observations = Vec::with_capacity(self.sites);
+        for c in 0..self.num_chunks() {
+            let chunk = self.read_chunk(c)?;
+            for r in 0..chunk.rows {
+                observations.push(chunk.observation(r));
+            }
+        }
+        Ok(MeasuredDataset {
+            observations,
+            toplists: world.toplists.clone(),
+            global_top: world.global_top.clone(),
+            label: world.label.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{FailureCause, LayerError};
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("webdep-store-{name}-{}", std::process::id()))
+    }
+
+    fn sample_obs(i: usize) -> SiteObservation {
+        let mut o = SiteObservation::blank(&format!("site{i}.example.com"), "en");
+        if !i.is_multiple_of(7) {
+            o.hosting_ip = Some(Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8));
+            o.hosting_asn = Some(64512 + (i % 37) as u32);
+            o.hosting_org = Some((i % 11) as u32);
+            o.hosting_org_country = Some(if i.is_multiple_of(2) { "US" } else { "DE" }.into());
+            o.hosting_ip_country = Some("NL".into());
+            o.hosting_anycast = i.is_multiple_of(3);
+            o.ns_names = vec![
+                format!("ns1.prov{}.net", i % 5),
+                format!("ns2.prov{}.net", i % 5),
+            ];
+            o.dns_ip = Some(Ipv4Addr::new(192, 0, 2, (i % 256) as u8));
+            o.dns_org = Some((i % 9) as u32);
+            o.ca_owner = Some((i % 4) as u32);
+            o.ca_owner_country = Some("US".into());
+        } else {
+            o.hosting_error = Some(LayerError::new(FailureCause::Timeout, "A: query timed out"));
+            o.ca_error = Some(LayerError::new(
+                FailureCause::Skipped,
+                "no serving IP to scan",
+            ));
+        }
+        o.derive_error_summary();
+        o
+    }
+
+    fn write_store(dir: &Path, n: usize, chunk: usize) -> Vec<SiteObservation> {
+        let all: Vec<SiteObservation> = (0..n).map(sample_obs).collect();
+        let mut w = ChunkStoreWriter::create(dir, "t-v1", n, chunk).unwrap();
+        // Commit in a scrambled order to prove site-order encoding.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.reverse();
+        order.swap(0, n / 2);
+        for &i in &order {
+            assert!(w.commit(i, &all[i]).unwrap());
+        }
+        assert!(
+            !w.commit(0, &all[0]).unwrap(),
+            "duplicate commit is a no-op"
+        );
+        w.finish().unwrap();
+        all
+    }
+
+    #[test]
+    fn roundtrip_is_exact_and_commit_order_free() {
+        let dir = tmp("roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let n = 100;
+        let all = write_store(&dir, n, 16);
+
+        let store = ChunkStore::open(&dir).unwrap();
+        assert_eq!(store.sites, n);
+        assert_eq!(store.num_chunks(), 7);
+        assert_eq!(store.chunk_rows(6), 4);
+        let mut seen = 0;
+        for c in 0..store.num_chunks() {
+            let chunk = store.read_chunk(c).unwrap();
+            for r in 0..chunk.rows {
+                let obs = chunk.observation(r);
+                assert_eq!(obs, all[chunk.lo + r], "site {}", chunk.lo + r);
+                // Byte-level: same serialized form as the original.
+                assert_eq!(
+                    serde_json::to_string(&obs).unwrap(),
+                    serde_json::to_string(&all[chunk.lo + r]).unwrap()
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n);
+
+        // Chunk bytes are a pure function of the rows: commit in site
+        // order into a second store and compare files.
+        let dir2 = tmp("roundtrip2");
+        let _ = fs::remove_dir_all(&dir2);
+        let mut w = ChunkStoreWriter::create(&dir2, "t-v1", n, 16).unwrap();
+        for (i, obs) in all.iter().enumerate() {
+            w.commit(i, obs).unwrap();
+        }
+        w.finish().unwrap();
+        for c in 0..7 {
+            assert_eq!(
+                fs::read(dir.join(format!("chunk-{c:06}.col"))).unwrap(),
+                fs::read(dir2.join(format!("chunk-{c:06}.col"))).unwrap(),
+                "chunk {c} bytes differ by commit order"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn torn_chunk_detected_and_resume_heals() {
+        let dir = tmp("torn");
+        let _ = fs::remove_dir_all(&dir);
+        let n = 40;
+        let all = write_store(&dir, n, 16);
+
+        // Tear the final chunk mid-write.
+        let victim = dir.join("chunk-000002.col");
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 11]).unwrap();
+        let store = ChunkStore::open(&dir).unwrap();
+        assert!(matches!(store.chunk_state(0), ChunkState::Valid));
+        assert!(matches!(store.chunk_state(2), ChunkState::Corrupt(_)));
+
+        // Resume keeps the valid chunks and deletes the torn one…
+        let mut w = ChunkStoreWriter::resume(&dir, "t-v1", n, 16).unwrap();
+        assert!(w.chunk_written(0) && w.chunk_written(1) && !w.chunk_written(2));
+        assert!(!victim.exists(), "torn chunk deleted for healing");
+        assert!(w.site_durable(0) && !w.site_durable(33));
+        // …and re-committing the tail heals it to identical bytes.
+        for (i, obs) in all.iter().enumerate().skip(32) {
+            w.commit(i, obs).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(
+            fs::read(&victim).unwrap(),
+            bytes,
+            "healed chunk is byte-identical"
+        );
+
+        // A mismatched manifest refuses to resume.
+        assert!(ChunkStoreWriter::resume(&dir, "other", n, 16).is_err());
+        assert!(ChunkStoreWriter::resume(&dir, "t-v1", n + 1, 16).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finish_rejects_incomplete_store() {
+        let dir = tmp("incomplete");
+        let _ = fs::remove_dir_all(&dir);
+        let mut w = ChunkStoreWriter::create(&dir, "t-v1", 10, 4).unwrap();
+        w.commit(0, &sample_obs(0)).unwrap();
+        assert!(w.finish().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -3,12 +3,12 @@
 //! batch, a hung worker must be caught by the watchdog, and a run resumed
 //! from its journal must reassemble a byte-identical dataset.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 use webdep_pipeline::run::measure_with_stats;
 use webdep_pipeline::{
-    measure, measure_journaled, resume_from_journal, ChaosPlan, FailureCause, MeasuredDataset,
-    PipelineConfig, SupervisorConfig,
+    measure, measure_journaled, measure_streamed, resume_from_journal, resume_streamed, ChaosPlan,
+    ChunkStore, FailureCause, MeasuredDataset, PipelineConfig, SupervisorConfig,
 };
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
@@ -267,4 +267,95 @@ fn chaos_smoke_one_worker_death_and_resume() {
     assert_byte_identical(&clean, &resumed, "chaos smoke resume");
     let _ = std::fs::remove_file(&cut);
     let _ = std::fs::remove_file(&path);
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// A journaled streamed run killed mid-chunk: the crash scene keeps the
+/// durable chunks, tears one chunk file mid-write, loses the final chunk
+/// entirely, and cuts the journal at 60%. Resuming over the chunk store
+/// must compose all three recovery tiers — durable chunks wholesale,
+/// journal records healing the torn/missing chunks, re-measurement for
+/// the rest — and reload byte-identical to an uninterrupted run.
+#[test]
+fn a_killed_streamed_run_heals_over_the_chunk_store() {
+    let world = tiny_world();
+    let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+    let n = world.sites.len();
+    let clean = measure(&world, &dep, &config(None));
+
+    // Uninterrupted streamed reference: store reloads byte-identical.
+    let store_full = tmp("stream-full-store");
+    let journal_full = tmp("stream-full-journal");
+    measure_streamed(
+        &world,
+        &dep,
+        &config(None),
+        &store_full,
+        Some(&journal_full),
+    )
+    .unwrap();
+    let full = ChunkStore::open(&store_full)
+        .unwrap()
+        .load_dataset(&world)
+        .unwrap();
+    assert_byte_identical(&clean, &full, "uninterrupted streamed run");
+
+    // The crash scene.
+    let store_cut = tmp("stream-cut-store");
+    let _ = std::fs::remove_dir_all(&store_cut);
+    copy_dir(&store_full, &store_cut);
+    let mut chunks: Vec<PathBuf> = std::fs::read_dir(&store_cut)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "col"))
+        .collect();
+    chunks.sort();
+    assert!(chunks.len() >= 3, "need ≥3 chunks, got {}", chunks.len());
+    std::fs::remove_file(chunks.last().unwrap()).unwrap();
+    let torn = std::fs::read(&chunks[0]).unwrap();
+    std::fs::write(&chunks[0], &torn[..torn.len() - 7]).unwrap();
+
+    let text = std::fs::read_to_string(&journal_full).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let k = n * 6 / 10;
+    let journal_cut = tmp("stream-cut-journal");
+    std::fs::write(&journal_cut, format!("{}\n", lines[..=k].join("\n"))).unwrap();
+
+    let stats = resume_streamed(&world, &dep, &config(None), &store_cut, &journal_cut).unwrap();
+    let resumed = stats.supervision.sites_resumed;
+    assert!(
+        resumed > 0 && resumed < n as u64,
+        "expected partial recovery, resumed {resumed}/{n}"
+    );
+    let healed = ChunkStore::open(&store_cut)
+        .unwrap()
+        .load_dataset(&world)
+        .unwrap();
+    assert_byte_identical(&clean, &healed, "resume over a torn chunk store");
+
+    // Every chunk file healed to the uninterrupted run's exact bytes.
+    for chunk in &chunks {
+        let name = chunk.file_name().unwrap();
+        assert_eq!(
+            std::fs::read(chunk).unwrap(),
+            std::fs::read(store_full.join(name)).unwrap(),
+            "chunk {name:?} differs from the uninterrupted run"
+        );
+    }
+
+    // The store is complete now: a second resume re-measures nothing.
+    let stats2 = resume_streamed(&world, &dep, &config(None), &store_cut, &journal_cut).unwrap();
+    assert_eq!(stats2.supervision.sites_resumed, n as u64);
+
+    let _ = std::fs::remove_dir_all(&store_full);
+    let _ = std::fs::remove_dir_all(&store_cut);
+    let _ = std::fs::remove_file(&journal_full);
+    let _ = std::fs::remove_file(&journal_cut);
 }

@@ -115,17 +115,7 @@ fn draw_indices(stream: &mut IndexStream, n: usize, idx: &mut Vec<u32>) {
 }
 
 fn percentile_interval(point: f64, mut stats: Vec<f64>, level: f64) -> BootstrapCi {
-    let replicates = stats.len();
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
-    let alpha = (1.0 - level) / 2.0;
-    let idx =
-        |q: f64| -> usize { ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1) };
-    BootstrapCi {
-        point,
-        lo: stats[idx(alpha)],
-        hi: stats[idx(1.0 - alpha)],
-        replicates,
-    }
+    percentile_interval_slice(point, &mut stats, level)
 }
 
 fn valid(n_items: usize, replicates: usize, level: f64) -> bool {
@@ -221,6 +211,76 @@ pub fn bootstrap_ci_indexed<T: Sync, F: Fn(&Resample<'_, T>) -> f64 + Sync>(
     Some(percentile_interval(point, stats, level))
 }
 
+/// Reusable scratch for [`bootstrap_ci_indexed_scratch`]: the index
+/// buffer, the replicate statistics, and the identity permutation all live
+/// here, so a per-country CI loop allocates nothing after its first call.
+#[derive(Debug, Default)]
+pub struct BootstrapScratch {
+    idx: Vec<u32>,
+    stats: Vec<f64>,
+    identity: Vec<u32>,
+}
+
+impl BootstrapScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`bootstrap_ci_indexed`] with caller-provided scratch, run serially on
+/// the calling thread.
+///
+/// Draws the same per-replicate index streams as the parallel entry points
+/// (replicate `r` is always seeded by `mix(seed, r)`), and the percentile
+/// sort is order-independent, so for a given statistic the interval is
+/// **identical** to [`bootstrap_ci_indexed`]'s. Use this inside loops that
+/// are already parallel at a coarser grain (e.g. one CI per country): the
+/// coarse loop keeps the cores busy and each call stays allocation-free.
+pub fn bootstrap_ci_indexed_scratch<T, F: Fn(&Resample<'_, T>) -> f64>(
+    items: &[T],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+) -> Option<BootstrapCi> {
+    if !valid(items.len(), replicates, level) {
+        return None;
+    }
+    let n = items.len();
+    scratch.identity.clear();
+    scratch.identity.extend(0..n as u32);
+    let point = statistic(&Resample {
+        items,
+        idx: &scratch.identity,
+    });
+    scratch.stats.clear();
+    for r in 0..replicates {
+        let mut stream = IndexStream::new(replicate_seed(seed, r as u64));
+        draw_indices(&mut stream, n, &mut scratch.idx);
+        scratch.stats.push(statistic(&Resample {
+            items,
+            idx: &scratch.idx,
+        }));
+    }
+    Some(percentile_interval_slice(point, &mut scratch.stats, level))
+}
+
+fn percentile_interval_slice(point: f64, stats: &mut [f64], level: f64) -> BootstrapCi {
+    let replicates = stats.len();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx =
+        |q: f64| -> usize { ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1) };
+    BootstrapCi {
+        point,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        replicates,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +321,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cloned, indexed);
+    }
+
+    /// The scratch variant must be bit-identical to the parallel indexed
+    /// path: same index streams per replicate, order-independent sort.
+    #[test]
+    fn scratch_variant_is_identical_to_indexed() {
+        let data: Vec<f64> = (0..90).map(|i| ((i * 13) % 23) as f64).collect();
+        let stat = |rs: &Resample<'_, f64>| rs.iter().sum::<f64>() / rs.len() as f64;
+        let mut scratch = BootstrapScratch::new();
+        for seed in [1u64, 7, 42] {
+            let parallel = bootstrap_ci_indexed(&data, stat, 250, 0.95, seed).unwrap();
+            let serial =
+                bootstrap_ci_indexed_scratch(&data, stat, 250, 0.95, seed, &mut scratch).unwrap();
+            assert_eq!(parallel, serial, "seed {seed}");
+        }
+        assert!(
+            bootstrap_ci_indexed_scratch(&data, stat, 0, 0.95, 0, &mut scratch).is_none(),
+            "degenerate inputs still rejected"
+        );
     }
 
     #[test]

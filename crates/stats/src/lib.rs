@@ -34,7 +34,10 @@ pub mod scale;
 pub mod special;
 
 pub use affinity::{affinity_propagation, AffinityConfig, Clustering};
-pub use bootstrap::{bootstrap_ci, bootstrap_ci_indexed, BootstrapCi, Resample};
+pub use bootstrap::{
+    bootstrap_ci, bootstrap_ci_indexed, bootstrap_ci_indexed_scratch, BootstrapCi,
+    BootstrapScratch, Resample,
+};
 pub use corr::{pearson, spearman, Correlation, CorrelationStrength};
 pub use describe::Summary;
 pub use jaccard::jaccard_index;
