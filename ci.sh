@@ -29,4 +29,11 @@ cargo fmt --all -- --check
 echo "==> bench-snapshot scale --smoke"
 cargo run --release -q -p webdep-bench --bin bench-snapshot -- scale --smoke
 
+# Query-service smoke: start the server on an ephemeral port, sweep the
+# full query catalog, spot-check served JSON against a directly-built
+# AnalysisCtx, and publish two epochs under load. Fails on any non-2xx,
+# any served/one-shot mismatch, or any mixed-epoch response.
+echo "==> bench-snapshot serve --smoke"
+cargo run --release -q -p webdep-bench --bin bench-snapshot -- serve --smoke
+
 echo "ci: all gates green"

@@ -29,7 +29,26 @@ pub struct AnalysisCtx<'a> {
     /// The measured dataset under analysis.
     pub ds: &'a MeasuredDataset,
     tld_ids: HashMap<String, u32>,
-    cube: Option<DependenceCube>,
+    cube: CubeSlot<'a>,
+}
+
+/// How a context holds its cube: owned (the one-shot paths), borrowed (a
+/// long-lived snapshot shared across many short-lived contexts, as in
+/// `webdep serve`), or absent (the legacy tally-on-demand baseline).
+enum CubeSlot<'a> {
+    None,
+    Owned(Box<DependenceCube>),
+    Borrowed(&'a DependenceCube),
+}
+
+impl CubeSlot<'_> {
+    fn get(&self) -> Option<&DependenceCube> {
+        match self {
+            CubeSlot::None => None,
+            CubeSlot::Owned(c) => Some(c),
+            CubeSlot::Borrowed(c) => Some(c),
+        }
+    }
 }
 
 impl<'a> AnalysisCtx<'a> {
@@ -46,7 +65,7 @@ impl<'a> AnalysisCtx<'a> {
             world,
             ds,
             tld_ids,
-            cube: Some(cube),
+            cube: CubeSlot::Owned(Box::new(cube)),
         }
     }
 
@@ -66,7 +85,7 @@ impl<'a> AnalysisCtx<'a> {
             world,
             ds,
             tld_ids,
-            cube: None,
+            cube: CubeSlot::None,
         }
     }
 
@@ -89,13 +108,37 @@ impl<'a> AnalysisCtx<'a> {
             world,
             ds,
             tld_ids,
-            cube: Some(cube),
+            cube: CubeSlot::Owned(Box::new(cube)),
+        }
+    }
+
+    /// Builds a context that *borrows* a cube owned elsewhere — the serving
+    /// path, where one immutable epoch snapshot is shared by many
+    /// concurrent readers and each request builds a throwaway context
+    /// without copying the cube. Same hollow-dataset caveats as
+    /// [`AnalysisCtx::with_cube`].
+    pub fn with_cube_ref(
+        world: &'a World,
+        ds: &'a MeasuredDataset,
+        cube: &'a DependenceCube,
+    ) -> Self {
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        AnalysisCtx {
+            world,
+            ds,
+            tld_ids,
+            cube: CubeSlot::Borrowed(cube),
         }
     }
 
     /// The dependence cube, when this context was built with one.
     pub fn cube(&self) -> Option<&DependenceCube> {
-        self.cube.as_ref()
+        self.cube.get()
     }
 
     /// The measured owner of an observation at a layer, if that layer
@@ -146,7 +189,7 @@ impl<'a> AnalysisCtx<'a> {
     /// (count descending, owner id ascending). Borrowed straight from the
     /// cube; only the legacy baseline allocates.
     pub fn country_counts(&self, country_idx: usize, layer: Layer) -> Cow<'_, [(u32, u64)]> {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => Cow::Borrowed(cube.layer(layer).sorted_counts(country_idx)),
             None => Cow::Owned(self.tally_counts(country_idx, layer)),
         }
@@ -154,7 +197,7 @@ impl<'a> AnalysisCtx<'a> {
 
     /// The country's measured distribution as a [`CountDist`].
     pub fn country_dist(&self, country_idx: usize, layer: Layer) -> Option<Cow<'_, CountDist>> {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => cube.layer(layer).dist(country_idx).map(Cow::Borrowed),
             None => {
                 let counts: Vec<u64> = self
@@ -169,7 +212,7 @@ impl<'a> AnalysisCtx<'a> {
 
     /// Total measured sites for a country's layer.
     pub fn country_total(&self, country_idx: usize, layer: Layer) -> u64 {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => cube.layer(layer).total(country_idx),
             None => self
                 .tally_counts(country_idx, layer)
@@ -185,7 +228,7 @@ impl<'a> AnalysisCtx<'a> {
     /// total). The legacy baseline re-tallies the country — the quadratic
     /// path this PR removed from production.
     pub fn owner_share(&self, country_idx: usize, layer: Layer, owner: u32) -> f64 {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => {
                 let lc = cube.layer(layer);
                 let total = lc.total(country_idx);
@@ -212,7 +255,7 @@ impl<'a> AnalysisCtx<'a> {
     /// The global-top tally for a layer, largest first (Figure 12's
     /// marker distribution).
     pub fn global_counts(&self, layer: Layer) -> Cow<'_, [(u32, u64)]> {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => Cow::Borrowed(cube.layer(layer).global_sorted()),
             None => {
                 let mut tally: HashMap<u32, u64> = HashMap::new();
@@ -231,7 +274,7 @@ impl<'a> AnalysisCtx<'a> {
 
     /// The global-top distribution for a layer.
     pub fn global_dist(&self, layer: Layer) -> Option<Cow<'_, CountDist>> {
-        match &self.cube {
+        match self.cube.get() {
             Some(cube) => cube.layer(layer).global_dist().map(Cow::Borrowed),
             None => {
                 let counts: Vec<u64> = self.global_counts(layer).iter().map(|&(_, c)| c).collect();

@@ -28,9 +28,16 @@
 //! dedicated subprocesses and the streaming path certified identical to
 //! the resident path at a dual-feasible size.
 //!
+//! `BENCH_serve.json`: the resident query service — a cold sweep of the
+//! full query catalog at concurrency 1, warm-cache closed-loop levels at
+//! 4/16/64 clients, the cold-vs-cached single-query pair, and an epoch
+//! swap published under load with zero failed and zero mixed-epoch
+//! responses.
+//!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
 //! (optionally `-- pipeline`, `-- analysis`, `-- faults`,
-//! `-- resilience`, or `-- scale [--smoke]` for just one snapshot).
+//! `-- resilience`, `-- scale [--smoke]`, or `-- serve [--smoke]` for
+//! just one snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -275,6 +282,39 @@ fn scale_snapshot(smoke: bool) {
     );
 }
 
+fn serve_snapshot(smoke: bool) {
+    eprintln!(
+        "serve: closed-loop load against the resident query service ({})...",
+        if smoke { "smoke sizes" } else { "full sizes" }
+    );
+    let snapshot = webdep_bench::serve::serve_snapshot(smoke, |line| eprintln!("  {line}"));
+    if smoke {
+        // Same convention as the scale gate: smoke certifies every phase
+        // and invariant but its timings are meaningless on a loaded CI
+        // box — leave the full-run snapshot file alone.
+        eprintln!(
+            "serve smoke OK ({} queries, swap over epochs {:?}, cached speedup {:.1}x)",
+            snapshot.distinct_queries,
+            snapshot.swap.epochs_observed,
+            snapshot.cold_vs_cached.speedup
+        );
+        return;
+    }
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_serve.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_serve.json");
+    let top = snapshot.levels.last().expect("levels");
+    eprintln!(
+        "wrote {} (cold p50 {} µs, c={} p99 {} µs, {} rps warm, cached speedup {:.1}x)",
+        out.display(),
+        snapshot.levels[0].p50_us,
+        top.concurrency,
+        top.p99_us,
+        top.rps,
+        snapshot.cold_vs_cached.speedup
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -284,6 +324,7 @@ fn main() {
         "faults" => faults_snapshot(),
         "resilience" => resilience_snapshot(),
         "scale" => scale_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
+        "serve" => serve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         // Hidden: one scale phase in a child process, so each phase's
         // VmHWM is its own (see webdep_bench::scale).
         "scale-phase" => {
@@ -300,10 +341,11 @@ fn main() {
             faults_snapshot();
             resilience_snapshot();
             scale_snapshot(false);
+            serve_snapshot(false);
         }
         other => {
             eprintln!(
-                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | all)"
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | all)"
             );
             std::process::exit(2);
         }

@@ -13,6 +13,7 @@ pub mod analysis;
 pub mod faults;
 pub mod resilience;
 pub mod scale;
+pub mod serve;
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or 0 where `/proc` is unavailable (non-Linux).

@@ -336,6 +336,17 @@ impl DecodedChunk {
         &self.strings[id as usize]
     }
 
+    /// Per-row layer failure causes `(hosting, dns, ca)` without
+    /// materializing a full observation — the streaming taxonomy fold
+    /// (`webdep serve --store`) reads only these columns.
+    pub fn failure_causes(&self, r: usize) -> [Option<FailureCause>; 3] {
+        [
+            self.hosting_error[r].map(|(c, _)| c),
+            self.dns_error[r].map(|(c, _)| c),
+            self.ca_error[r].map(|(c, _)| c),
+        ]
+    }
+
     /// Reconstructs row `r` as a full [`SiteObservation`] — the exact
     /// observation that was committed (round-trip tested).
     pub fn observation(&self, r: usize) -> SiteObservation {

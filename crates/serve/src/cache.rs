@@ -1,0 +1,232 @@
+//! Bounded, epoch-aware response cache.
+//!
+//! Keys are `(epoch, canonical query key)` so entries built against an old
+//! snapshot can never satisfy a request routed to a newer one: after a
+//! publish, lookups carry the new epoch and simply miss.  Stale entries are
+//! additionally purged eagerly via [`ResponseCache::purge_older`] so the
+//! capacity budget is not wasted on unreachable epochs.
+//!
+//! The cache is sharded by key hash; each shard is an independent
+//! `Mutex<HashMap>` plus a FIFO eviction queue, so concurrent readers on
+//! different keys rarely contend on the same lock.  Values are
+//! `Arc<Vec<u8>>` rendered response bodies — a hit clones the `Arc`, never
+//! the bytes.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// Counters describing cache effectiveness since startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to render the response.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Entries dropped because their epoch was superseded.
+    pub stale_purged: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+struct Shard {
+    map: HashMap<(u64, String), Arc<Vec<u8>>>,
+    fifo: VecDeque<(u64, String)>,
+}
+
+/// Sharded `(epoch, canonical key) → rendered body` cache with FIFO
+/// eviction and a global capacity bound.
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stale_purged: AtomicU64,
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity` entries (rounded up to a
+    /// multiple of the shard count; minimum one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        ResponseCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        fifo: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_purged: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, epoch: u64, key: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        epoch.hash(&mut h);
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Looks up a rendered body, counting a hit or a miss.
+    pub fn get(&self, epoch: u64, key: &str) -> Option<Arc<Vec<u8>>> {
+        let shard = &self.shards[self.shard_of(epoch, key)];
+        let guard = shard.lock().expect("cache shard poisoned");
+        let found = guard.map.get(&(epoch, key.to_string())).map(Arc::clone);
+        drop(guard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts a rendered body, evicting the oldest entry in the shard if
+    /// the shard is at capacity. Re-inserting an existing key is a no-op.
+    pub fn insert(&self, epoch: u64, key: &str, body: Arc<Vec<u8>>) {
+        let shard = &self.shards[self.shard_of(epoch, key)];
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        let owned = (epoch, key.to_string());
+        if guard.map.contains_key(&owned) {
+            return;
+        }
+        while guard.map.len() >= self.capacity_per_shard {
+            match guard.fifo.pop_front() {
+                Some(oldest) => {
+                    if guard.map.remove(&oldest).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        guard.fifo.push_back(owned.clone());
+        guard.map.insert(owned, body);
+    }
+
+    /// Drops every entry whose epoch is older than `epoch`. Called on
+    /// publish so superseded bodies release their memory immediately.
+    pub fn purge_older(&self, epoch: u64) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            let before = guard.map.len();
+            guard.map.retain(|(e, _), _| *e >= epoch);
+            guard.fifo.retain(|(e, _)| *e >= epoch);
+            let dropped = (before - guard.map.len()) as u64;
+            if dropped > 0 {
+                self.stale_purged.fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            guard.map.clear();
+            guard.fifo.clear();
+        }
+    }
+
+    /// Current counters and resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        let len = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_purged: self.stale_purged.load(Ordering::Relaxed),
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = ResponseCache::new(64);
+        assert!(cache.get(1, "a").is_none());
+        cache.insert(1, "a", body("x"));
+        assert_eq!(cache.get(1, "a").unwrap().as_slice(), b"x");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let cache = ResponseCache::new(64);
+        cache.insert(1, "a", body("old"));
+        assert!(cache.get(2, "a").is_none(), "new epoch must miss");
+        assert_eq!(cache.get(1, "a").unwrap().as_slice(), b"old");
+    }
+
+    #[test]
+    fn purge_older_drops_stale_epochs_only() {
+        let cache = ResponseCache::new(64);
+        cache.insert(1, "a", body("old"));
+        cache.insert(2, "a", body("new"));
+        cache.purge_older(2);
+        assert!(cache.get(1, "a").is_none());
+        assert_eq!(cache.get(2, "a").unwrap().as_slice(), b"new");
+        assert_eq!(cache.stats().stale_purged, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_fifo_eviction() {
+        let cache = ResponseCache::new(16); // 1 entry per shard
+        for i in 0..200 {
+            cache.insert(1, &format!("k{i}"), body("v"));
+        }
+        let stats = cache.stats();
+        assert!(stats.len <= 16, "len {} exceeds capacity", stats.len);
+        assert!(stats.evictions >= 200 - 16);
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_first_body() {
+        let cache = ResponseCache::new(64);
+        cache.insert(1, "a", body("first"));
+        cache.insert(1, "a", body("second"));
+        assert_eq!(cache.get(1, "a").unwrap().as_slice(), b"first");
+        assert_eq!(cache.stats().len, 1);
+    }
+}

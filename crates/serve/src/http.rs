@@ -1,0 +1,493 @@
+//! A deliberately small HTTP/1.1 head parser and response writer.
+//!
+//! The service speaks exactly the subset the query API needs: `GET` with a
+//! path and query string, persistent connections, and fixed-length
+//! responses. Everything else is rejected with a precise status code
+//! rather than parsed generously: the parser runs on bytes straight off
+//! the wire, so its contract is *never panic, never overread, always
+//! terminate* — property-tested against arbitrary byte garbage.
+//!
+//! Limits are explicit and enforced while bytes accumulate, not after:
+//! a head larger than [`Limits::max_head_bytes`] is answered with `413`
+//! the moment the cap is crossed, so a hostile peer cannot grow buffers
+//! unboundedly, and a peer that trickles bytes forever runs into the
+//! per-request read deadline in the connection loop instead of pinning a
+//! worker.
+
+/// Parser and connection limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request head (request line + headers + CRLFCRLF).
+    pub max_head_bytes: usize,
+    /// Maximum bytes of the request target (path + query).
+    pub max_target_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Wall-clock budget for reading one complete request head.
+    pub read_deadline: std::time::Duration,
+    /// How long an idle keep-alive connection is held open.
+    pub idle_timeout: std::time::Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_target_bytes: 2 * 1024,
+            max_headers: 64,
+            read_deadline: std::time::Duration::from_secs(5),
+            idle_timeout: std::time::Duration::from_secs(15),
+        }
+    }
+}
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `HEAD`, ...), uppercase by wire convention.
+    pub method: String,
+    /// Decoded path component, e.g. `/v1/score/US`.
+    pub path: String,
+    /// Decoded query parameters in wire order.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request head was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request (bad request line, header, encoding).
+    Malformed(&'static str),
+    /// Head, target, or header count over the configured limit.
+    TooLarge(&'static str),
+    /// Syntactically fine, but a method the service does not implement.
+    MethodNotAllowed,
+    /// An HTTP version other than 1.0/1.1.
+    VersionNotSupported,
+    /// The request carries a body (the query API is read-only).
+    BodyNotAllowed,
+}
+
+impl HttpError {
+    /// The status code this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::MethodNotAllowed => 405,
+            HttpError::VersionNotSupported => 505,
+            HttpError::BodyNotAllowed => 413,
+        }
+    }
+
+    /// A short human-readable reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(why) => why,
+            HttpError::TooLarge(why) => why,
+            HttpError::MethodNotAllowed => "only GET is supported",
+            HttpError::VersionNotSupported => "only HTTP/1.0 and HTTP/1.1 are supported",
+            HttpError::BodyNotAllowed => "request bodies are not accepted",
+        }
+    }
+}
+
+/// Outcome of attempting to parse a (possibly still incomplete) head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A complete head; `consumed` bytes of the buffer were used.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer consumed by this head.
+        consumed: usize,
+    },
+    /// No complete head yet — read more bytes (caller enforces deadline).
+    Partial,
+    /// The bytes can never become a valid request.
+    Error(HttpError),
+}
+
+/// Attempts to parse one request head from the front of `buf`.
+///
+/// Total function over arbitrary bytes: returns `Partial` until the
+/// `\r\n\r\n` terminator is present (or the head limit is crossed, which
+/// is an error even before the terminator arrives), and never panics or
+/// reads past `buf`.
+pub fn parse_head(buf: &[u8], limits: &Limits) -> ParseOutcome {
+    // Find the head terminator within the cap. Scanning is bounded by the
+    // cap, so a gigantic buffer of garbage costs O(max_head_bytes).
+    let window = &buf[..buf.len().min(limits.max_head_bytes)];
+    let Some(head_end) = find_crlfcrlf(window) else {
+        if buf.len() >= limits.max_head_bytes {
+            return ParseOutcome::Error(HttpError::TooLarge("request head over limit"));
+        }
+        // An early NUL or bare LF-LF is never valid HTTP; fail fast instead
+        // of waiting out the deadline.
+        if window.contains(&0) {
+            return ParseOutcome::Error(HttpError::Malformed("NUL byte in request head"));
+        }
+        return ParseOutcome::Partial;
+    };
+    let head = &window[..head_end];
+    let consumed = head_end + 4;
+
+    let Ok(text) = std::str::from_utf8(head) else {
+        return ParseOutcome::Error(HttpError::Malformed("request head is not UTF-8"));
+    };
+    let mut lines = text.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return ParseOutcome::Error(HttpError::Malformed("empty request head"));
+    };
+
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Error(HttpError::Malformed(
+            "request line is not METHOD SP TARGET SP VERSION",
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseOutcome::Error(HttpError::Malformed("bad method token"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return ParseOutcome::Error(HttpError::VersionNotSupported),
+        _ => return ParseOutcome::Error(HttpError::Malformed("bad HTTP version token")),
+    };
+    if target.len() > limits.max_target_bytes {
+        return ParseOutcome::Error(HttpError::TooLarge("request target over limit"));
+    }
+    if !target.starts_with('/') {
+        return ParseOutcome::Error(HttpError::Malformed("target must be origin-form"));
+    }
+
+    // Headers: we only interpret Connection, Content-Length, and
+    // Transfer-Encoding; everything else just has to be well-formed.
+    let mut keep_alive = http11;
+    let mut n_headers = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            return ParseOutcome::Error(HttpError::Malformed("empty header line"));
+        }
+        n_headers += 1;
+        if n_headers > limits.max_headers {
+            return ParseOutcome::Error(HttpError::TooLarge("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Error(HttpError::Malformed("header line without colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return ParseOutcome::Error(HttpError::Malformed("bad header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<u64>() {
+                Ok(0) => {}
+                Ok(_) => return ParseOutcome::Error(HttpError::BodyNotAllowed),
+                Err(_) => return ParseOutcome::Error(HttpError::Malformed("bad Content-Length")),
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return ParseOutcome::Error(HttpError::BodyNotAllowed);
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let Some(path) = percent_decode(raw_path) else {
+        return ParseOutcome::Error(HttpError::Malformed("bad percent-encoding in path"));
+    };
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
+                return ParseOutcome::Error(HttpError::Malformed("bad percent-encoding in query"));
+            };
+            query.push((k, v));
+        }
+    }
+
+    if method != "GET" {
+        // Parsed fine; refused by policy. Reported after syntax checks so
+        // garbage is 400, a well-formed POST is 405.
+        return ParseOutcome::Error(HttpError::MethodNotAllowed);
+    }
+
+    ParseOutcome::Complete {
+        request: Request {
+            method: method.to_string(),
+            path,
+            query,
+            keep_alive,
+        },
+        consumed,
+    }
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes and `+` (as space, query convention). Returns
+/// `None` on truncated or non-hex escapes or non-UTF-8 results.
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') && !s.contains('+') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16))?;
+                let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16))?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Renders a full response (status line, headers, body) into one buffer,
+/// ready for a single `write_all`.
+pub fn render_response(status: u16, body: &[u8], epoch: Option<u64>, keep_alive: bool) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    };
+    let mut out = Vec::with_capacity(body.len() + 160);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    if let Some(e) = epoch {
+        out.extend_from_slice(format!("X-Webdep-Epoch: {e}\r\n").as_bytes());
+    }
+    out.extend_from_slice(if keep_alive {
+        b"Connection: keep-alive\r\n"
+    } else {
+        b"Connection: close\r\n"
+    });
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// The JSON body used for every error response.
+pub fn error_body(status: u16, reason: &str) -> Vec<u8> {
+    let v = serde_json::Value::Object(vec![
+        ("error".into(), serde_json::Value::U64(status as u64)),
+        ("reason".into(), serde_json::Value::String(reason.into())),
+    ]);
+    v.to_string().into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parse(raw: &[u8]) -> ParseOutcome {
+        parse_head(raw, &Limits::default())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let ParseOutcome::Complete { request, consumed } =
+            parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        else {
+            panic!("expected complete")
+        };
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.keep_alive);
+        assert_eq!(consumed, 34);
+    }
+
+    #[test]
+    fn parses_query_and_decodes() {
+        let ParseOutcome::Complete { request, .. } =
+            parse(b"GET /v1/score/US?layer=hosting&n=5&x=a%20b HTTP/1.1\r\n\r\n")
+        else {
+            panic!("expected complete")
+        };
+        assert_eq!(request.path, "/v1/score/US");
+        assert_eq!(request.param("layer"), Some("hosting"));
+        assert_eq!(request.param("n"), Some("5"));
+        assert_eq!(request.param("x"), Some("a b"));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let ParseOutcome::Complete { request, .. } = parse(b"GET / HTTP/1.0\r\n\r\n") else {
+            panic!("expected complete")
+        };
+        assert!(!request.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let ParseOutcome::Complete { request, .. } =
+            parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        else {
+            panic!("expected complete")
+        };
+        assert!(!request.keep_alive);
+    }
+
+    #[test]
+    fn partial_until_terminator() {
+        assert_eq!(parse(b"GET / HTTP/1.1\r\nHost: x"), ParseOutcome::Partial);
+        assert_eq!(parse(b""), ParseOutcome::Partial);
+    }
+
+    #[test]
+    fn rejects_post_with_405_and_body_with_413() {
+        assert_eq!(
+            parse(b"POST /v1/x HTTP/1.1\r\n\r\n"),
+            ParseOutcome::Error(HttpError::MethodNotAllowed)
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n"),
+            ParseOutcome::Error(HttpError::BodyNotAllowed)
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseOutcome::Error(HttpError::BodyNotAllowed)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_head_mid_stream() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let raw = [b'A'; 80];
+        assert_eq!(
+            parse_head(&raw, &limits),
+            ParseOutcome::Error(HttpError::TooLarge("request head over limit"))
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_target() {
+        let limits = Limits {
+            max_target_bytes: 16,
+            ..Limits::default()
+        };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
+        assert_eq!(
+            parse_head(raw.as_bytes(), &limits),
+            ParseOutcome::Error(HttpError::TooLarge("request target over limit"))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_400() {
+        for raw in [
+            &b"\x00\x01\x02\x03"[..],
+            b"lowercase / HTTP/1.1\r\n\r\n",
+            b"GET /a b HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/9.9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-line\r\n\r\n",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+        ] {
+            match parse(raw) {
+                ParseOutcome::Error(e) => {
+                    assert!(e.status() == 400 || e.status() == 505, "{raw:?} -> {e:?}")
+                }
+                other => panic!("{raw:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_heads_consume_exactly_one() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Complete { request, consumed } = parse(raw) else {
+            panic!("expected complete")
+        };
+        assert_eq!(request.path, "/a");
+        let ParseOutcome::Complete { request, .. } = parse(&raw[consumed..]) else {
+            panic!("expected complete")
+        };
+        assert_eq!(request.path, "/b");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The parser is total over arbitrary byte garbage: it never
+        /// panics, and a Complete outcome never claims more bytes than the
+        /// buffer holds.
+        #[test]
+        fn parser_is_total_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..512)) {
+            let limits = Limits { max_head_bytes: 256, ..Limits::default() };
+            match parse_head(&raw, &limits) {
+                ParseOutcome::Complete { consumed, .. } => prop_assert!(consumed <= raw.len()),
+                ParseOutcome::Partial => prop_assert!(raw.len() < limits.max_head_bytes),
+                ParseOutcome::Error(_) => {}
+            }
+        }
+
+        /// Structured-ish garbage: random method-ish tokens and targets
+        /// with an HTTP tail. Must never panic; outcomes must be one of
+        /// the three variants with sane invariants.
+        #[test]
+        fn parser_is_total_on_structured_garbage(
+            method in prop::string::string_regex("[A-Za-z]{0,8}").unwrap(),
+            target in prop::string::string_regex("[ -~]{0,64}").unwrap(),
+            tail in prop::string::string_regex("[ -~]{0,32}").unwrap(),
+        ) {
+            let raw = format!("{method} {target} HTTP/1.1\r\n{tail}\r\n\r\n");
+            match parse_head(raw.as_bytes(), &Limits::default()) {
+                ParseOutcome::Complete { request, consumed } => {
+                    prop_assert!(consumed <= raw.len());
+                    prop_assert_eq!(request.method, method.to_uppercase());
+                }
+                ParseOutcome::Partial | ParseOutcome::Error(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The listener, worker pool, and connection loop.
+//!
+//! Thread model: one acceptor thread polls a non-blocking
+//! `TcpListener` (sleeping ~1 ms between empty polls so the shutdown flag
+//! is observed promptly) and hands accepted connections to a fixed pool of
+//! worker threads over an MPMC channel. A worker owns a connection for its
+//! whole keep-alive lifetime — so the pool size bounds concurrent
+//! *connections*, not just concurrent requests; size the pool at or above
+//! the expected client concurrency.
+//!
+//! Graceful shutdown: [`ServerHandle::shutdown`] sets a flag and joins.
+//! The acceptor stops accepting and drops its channel sender; workers
+//! finish the request in flight, answer it, close their connections
+//! (`Connection: close`), drain any connections still queued, and exit.
+//! Nothing in flight is dropped.
+
+use crate::cache::{CacheStats, ResponseCache};
+use crate::http::{error_body, parse_head, render_response, Limits, ParseOutcome};
+use crate::routes;
+use crate::snapshot::{CubeSnapshot, SnapshotCell};
+use crossbeam::channel::{self, RecvTimeoutError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (= maximum concurrent connections).
+    pub workers: usize,
+    /// Parser and connection limits.
+    pub limits: Limits,
+    /// Response-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            limits: Limits::default(),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Monotonic request counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests answered with 2xx.
+    pub ok: AtomicU64,
+    /// Requests answered with 4xx/5xx (parse errors included).
+    pub errors: AtomicU64,
+    /// Requests answered with 408 after the read deadline.
+    pub timeouts: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered with 2xx.
+    pub ok: u64,
+    /// Requests answered with 4xx/5xx.
+    pub errors: u64,
+    /// Requests answered with 408.
+    pub timeouts: u64,
+}
+
+struct Shared {
+    cell: SnapshotCell,
+    cache: ResponseCache,
+    limits: Limits,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// A running server: the bound address plus control-plane methods.
+/// Dropping the handle without calling [`ServerHandle::shutdown`] leaks
+/// the threads (they keep serving); tests and the CLI always shut down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds, spawns the pool, and starts serving `initial`.
+pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result<ServerHandle> {
+    let addr =
+        config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad bind address")
+        })?;
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        cell: SnapshotCell::new(initial),
+        cache: ResponseCache::new(config.cache_capacity),
+        limits: config.limits,
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (tx, rx) = channel::unbounded::<TcpStream>();
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("webdep-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("webdep-serve-acceptor".to_string())
+            .spawn(move || {
+                // `tx` moves in here; dropping it on exit disconnects the
+                // workers once the queue drains.
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound socket address (the ephemeral port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The currently-published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Publishes a new snapshot and purges stale-epoch cache entries.
+    /// Returns the new epoch.
+    pub fn publish(&self, next: Arc<CubeSnapshot>) -> u64 {
+        let epoch = self.shared.cell.publish(next);
+        self.shared.cache.purge_older(epoch);
+        epoch
+    }
+
+    /// Response-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            connections: s.connections.load(Ordering::Relaxed),
+            ok: s.ok.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests shutdown without blocking (idempotent); pair with
+    /// [`ServerHandle::shutdown`] to join.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish and queued connections drain, then join all threads.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &Shared) {
+    // Per-worker snapshot cache: revalidated by one atomic epoch load per
+    // request, dropped on idle ticks once the epoch moves so a drained
+    // old snapshot is actually freed (the swap test watches a Weak).
+    let mut snap_cache: Option<Arc<CubeSnapshot>> = None;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(stream) => serve_connection(stream, shared, &mut snap_cache),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(snap) = &snap_cache {
+                    if snap.epoch != shared.cell.epoch() {
+                        snap_cache = None;
+                    }
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // Drain anything still queued, then exit.
+                    while let Ok(stream) = rx.try_recv() {
+                        serve_connection(stream, shared, &mut snap_cache);
+                    }
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Owns one connection until it closes: reads heads in 250 ms ticks (so
+/// deadlines and shutdown are checked even while a peer stalls), answers
+/// each complete head, and drains pipelined bytes via the consumed offset.
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    snap_cache: &mut Option<Arc<CubeSnapshot>>,
+) {
+    let limits = &shared.limits;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Set when the current head's first byte arrived (read deadline);
+    // None while idle between keep-alive requests (idle timeout).
+    let mut head_started: Option<Instant> = None;
+    let mut idle_since = Instant::now();
+    loop {
+        match parse_head(&buf, limits) {
+            ParseOutcome::Complete { request, consumed } => {
+                buf.drain(..consumed);
+                head_started = if buf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                idle_since = Instant::now();
+                let snap = shared.cell.load_cached(snap_cache);
+                let routed = routes::handle(&request, &snap, &shared.cache);
+                if routed.status < 400 {
+                    shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                // On shutdown, answer what we have and close.
+                let keep = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+                let resp = render_response(routed.status, &routed.body, Some(snap.epoch), keep);
+                if stream.write_all(&resp).is_err() || !keep {
+                    return;
+                }
+            }
+            ParseOutcome::Error(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp =
+                    render_response(e.status(), &error_body(e.status(), e.reason()), None, false);
+                let _ = stream.write_all(&resp);
+                return;
+            }
+            ParseOutcome::Partial => match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => {
+                    if buf.is_empty() {
+                        head_started = Some(Instant::now());
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    match head_started {
+                        Some(t0) if t0.elapsed() >= limits.read_deadline => {
+                            // A peer trickling a head: answer 408, close.
+                            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            let resp = render_response(
+                                408,
+                                &error_body(408, "request head not received in time"),
+                                None,
+                                false,
+                            );
+                            let _ = stream.write_all(&resp);
+                            return;
+                        }
+                        None if idle_since.elapsed() >= limits.idle_timeout
+                            || shared.shutdown.load(Ordering::Acquire) =>
+                        {
+                            // Idle keep-alive connection: close silently.
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                Err(_) => return,
+            },
+        }
+    }
+}
+
+/// SIGINT support for the CLI, kept libc-free: a direct `signal(2)`
+/// binding storing into a process-global flag. Only the `webdep serve`
+/// subcommand installs it; library users and tests never touch process
+/// signal state.
+pub mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        INTERRUPTED.store(true, Ordering::Release);
+    }
+
+    /// Installs the SIGINT handler. Returns `false` if the kernel refused.
+    pub fn install_sigint() -> bool {
+        #[allow(unsafe_code)]
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+            }
+            signal(SIGINT, on_sigint) != -1
+        }
+    }
+
+    /// Whether SIGINT has been received since install.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,200 @@
+//! Epoch-versioned immutable snapshots and their RwLock-free publication
+//! cell.
+//!
+//! A [`CubeSnapshot`] bundles everything a request needs to answer a query
+//! — the world, a (possibly hollow) dataset, the [`DependenceCube`], and
+//! the failure taxonomy — behind a single `Arc`. Snapshots are immutable
+//! after construction; re-measurement builds a *new* snapshot off-thread
+//! and publishes it through [`SnapshotCell`], so readers never block on a
+//! writer and a publish landing mid-traffic can never tear a response.
+//!
+//! [`SnapshotCell`] is the ArcSwap idiom over std primitives: the current
+//! `Arc<CubeSnapshot>` lives under a `Mutex` that is only locked to clone
+//! the `Arc` (a few ns) or to swap it, while a separate `AtomicU64` epoch
+//! lets workers validate a thread-local cached `Arc` with one atomic load
+//! on the hot path — zero lock acquisitions for cache-warm workers until
+//! an epoch actually changes.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use webdep_analysis::{AnalysisCtx, CubeBuilder, DependenceCube};
+use webdep_pipeline::{ChunkStore, FailureTaxonomy, MeasuredDataset};
+use webdep_webgen::World;
+
+/// One immutable epoch of serving state.
+pub struct CubeSnapshot {
+    /// Monotonic version; every response body and `X-Webdep-Epoch` header
+    /// carries it.
+    pub epoch: u64,
+    /// The generating world (entity metadata, toplists).
+    pub world: Arc<World>,
+    /// The dataset — hollow (no resident observations) when loaded from a
+    /// chunked store.
+    pub dataset: MeasuredDataset,
+    /// The columnar cube every query reads.
+    pub cube: DependenceCube,
+    /// Failure taxonomy folded at snapshot build time (the hollow dataset
+    /// cannot derive it on demand).
+    pub taxonomy: FailureTaxonomy,
+    /// Whether raw observations are resident in `dataset`.
+    pub resident: bool,
+}
+
+fn tld_ids(world: &World) -> HashMap<String, u32> {
+    world
+        .universe
+        .tlds
+        .iter()
+        .map(|t| (t.label.clone(), t.id))
+        .collect()
+}
+
+impl CubeSnapshot {
+    /// Builds a snapshot from a resident dataset (a fresh measurement or a
+    /// journal resume).
+    pub fn from_dataset(epoch: u64, world: Arc<World>, dataset: MeasuredDataset) -> Self {
+        let ids = tld_ids(&world);
+        let cube = DependenceCube::build(&world, &dataset, &ids);
+        let taxonomy = dataset.failure_taxonomy();
+        CubeSnapshot {
+            epoch,
+            world,
+            dataset,
+            cube,
+            taxonomy,
+            resident: true,
+        }
+    }
+
+    /// Builds a snapshot by streaming a chunked store: every chunk is
+    /// folded into a [`CubeBuilder`] and the taxonomy via the error
+    /// columns, and the dataset stays hollow — peak memory is one decoded
+    /// chunk plus the cube, never the observation vector.
+    ///
+    /// The store must describe the same world (`label` and site count
+    /// guarded, mirroring `ChunkStore::load_dataset`).
+    pub fn from_store(epoch: u64, world: Arc<World>, dir: &Path) -> io::Result<Self> {
+        let store = ChunkStore::open(dir)?;
+        if store.label != world.label || store.sites != world.sites.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "store ({} sites, label {:?}) does not match world ({} sites, label {:?})",
+                    store.sites,
+                    store.label,
+                    world.sites.len(),
+                    world.label
+                ),
+            ));
+        }
+        let ids = tld_ids(&world);
+        let mut builder = CubeBuilder::new(store.sites);
+        let mut taxonomy = FailureTaxonomy {
+            total: store.sites as u64,
+            ..FailureTaxonomy::default()
+        };
+        for c in 0..store.num_chunks() {
+            let chunk = store.read_chunk(c)?;
+            builder.fold_chunk(&chunk, &ids);
+            for r in 0..chunk.rows {
+                let causes = chunk.failure_causes(r);
+                let mut any = false;
+                for (layer, cause) in ["hosting", "dns", "ca"].into_iter().zip(causes) {
+                    if let Some(cause) = cause {
+                        taxonomy.record(layer, cause);
+                        any = true;
+                    }
+                }
+                if !any {
+                    taxonomy.clean += 1;
+                }
+            }
+        }
+        let cube = builder.finish(&world, &world.toplists, &world.global_top);
+        let dataset = MeasuredDataset {
+            observations: Vec::new(),
+            toplists: world.toplists.clone(),
+            global_top: world.global_top.clone(),
+            label: store.label.clone(),
+        };
+        Ok(CubeSnapshot {
+            epoch,
+            world,
+            dataset,
+            cube,
+            taxonomy,
+            resident: false,
+        })
+    }
+
+    /// A throwaway analysis context borrowing this snapshot's cube — what
+    /// every request handler builds.
+    pub fn ctx(&self) -> AnalysisCtx<'_> {
+        AnalysisCtx::with_cube_ref(&self.world, &self.dataset, &self.cube)
+    }
+}
+
+/// RwLock-free publication point for the current snapshot.
+pub struct SnapshotCell {
+    current: Mutex<Arc<CubeSnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Creates the cell with its first snapshot.
+    pub fn new(initial: Arc<CubeSnapshot>) -> Self {
+        let epoch = AtomicU64::new(initial.epoch);
+        SnapshotCell {
+            current: Mutex::new(initial),
+            epoch,
+        }
+    }
+
+    /// The currently-published epoch (one atomic load).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the current snapshot `Arc` (brief mutex hold, no blocking on
+    /// snapshot construction).
+    pub fn load(&self) -> Arc<CubeSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot cell poisoned"))
+    }
+
+    /// The worker fast path: revalidates a per-thread cached `Arc` with a
+    /// single atomic load, touching the mutex only when the epoch moved.
+    pub fn load_cached(&self, cached: &mut Option<Arc<CubeSnapshot>>) -> Arc<CubeSnapshot> {
+        let epoch = self.epoch();
+        if let Some(snap) = cached {
+            if snap.epoch == epoch {
+                return Arc::clone(snap);
+            }
+        }
+        let fresh = self.load();
+        *cached = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Publishes a new snapshot. Its epoch must be strictly greater than
+    /// the current one; after this returns, every subsequently-started
+    /// request observes the new epoch. Returns the published epoch.
+    pub fn publish(&self, next: Arc<CubeSnapshot>) -> u64 {
+        let mut guard = self.current.lock().expect("snapshot cell poisoned");
+        let prev = guard.epoch;
+        assert!(
+            next.epoch > prev,
+            "publish must advance the epoch ({} -> {})",
+            prev,
+            next.epoch
+        );
+        let epoch = next.epoch;
+        *guard = next;
+        // Publish the epoch while still holding the lock so a reader that
+        // sees the new epoch can never load the old snapshot.
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+}

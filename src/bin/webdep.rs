@@ -7,6 +7,8 @@
 //! webdep experiments [tiny|small]  # the paper-vs-measured suite
 //! webdep measure [tiny|small] --journal run.jsonl   # checkpointed run
 //! webdep measure [tiny|small] --resume run.jsonl    # continue after a crash
+//! webdep serve [tiny|small] --addr 127.0.0.1:8439   # resident query service
+//! webdep serve small --store chunks/               # serve a chunked store
 //! ```
 //!
 //! The heavier subcommands generate, deploy, and measure a synthetic world
@@ -33,7 +35,7 @@ use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]"
+        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]\n  webdep serve [tiny|small] [--addr <ip:port>] [--threads <n>] [--store <dir> | --world-seed <seed>]"
     );
     std::process::exit(2);
 }
@@ -210,6 +212,123 @@ fn cmd_measure(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    use std::sync::Arc;
+    use webdep::serve::server::sig;
+    use webdep::serve::snapshot::CubeSnapshot;
+    use webdep::serve::{start, ServeConfig};
+
+    let mut scale: Option<&str> = None;
+    let mut addr = "127.0.0.1:8439".to_string();
+    let mut threads: usize = 8;
+    let mut store: Option<&str> = None;
+    let mut world_seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "--threads" | "--store" | "--world-seed" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{} needs a value", args[i]);
+                    std::process::exit(2);
+                };
+                match args[i].as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--store" => store = Some(value.as_str()),
+                    "--threads" => {
+                        threads = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--threads needs a positive integer, got {value:?}");
+                            std::process::exit(2);
+                        });
+                    }
+                    _ => {
+                        world_seed = Some(value.parse().unwrap_or_else(|_| {
+                            eprintln!("--world-seed needs an integer, got {value:?}");
+                            std::process::exit(2);
+                        }));
+                    }
+                }
+                i += 2;
+            }
+            s if !s.starts_with("--") && scale.is_none() => {
+                scale = Some(s);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown serve argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if store.is_some() && world_seed.is_some() {
+        eprintln!("--store serves an existing chunked dataset, --world-seed measures a fresh synthetic world; pick one");
+        std::process::exit(2);
+    }
+
+    let mut config = scale_config(scale);
+    if let Some(seed) = world_seed {
+        config.seed = seed;
+    }
+    let world = Arc::new(World::generate(config));
+    let snapshot = match store {
+        Some(dir) => {
+            eprintln!(
+                "loading chunked store {dir:?} against world {} ({} sites)...",
+                world.label,
+                world.sites.len()
+            );
+            CubeSnapshot::from_store(1, Arc::clone(&world), Path::new(dir)).unwrap_or_else(|e| {
+                eprintln!("store error: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            eprintln!("measuring {} sites ({})...", world.sites.len(), world.label);
+            let dep = DeployedWorld::deploy(&world, DeployConfig::default());
+            let ds = measure(&world, &dep, &PipelineConfig::default());
+            CubeSnapshot::from_dataset(1, Arc::clone(&world), ds)
+        }
+    };
+
+    let handle = start(
+        ServeConfig {
+            addr,
+            workers: threads.max(1),
+            ..ServeConfig::default()
+        },
+        Arc::new(snapshot),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind error: {e}");
+        std::process::exit(1);
+    });
+    let bound = handle.addr();
+    println!(
+        "webdep serve: listening on http://{bound} (epoch {})",
+        handle.epoch()
+    );
+    println!("  try: curl http://{bound}/v1/badge/DE");
+    println!("       curl 'http://{bound}/v1/score/US?layer=dns&replicates=500'");
+    println!("       curl http://{bound}/v1/coverage");
+
+    if !sig::install_sigint() {
+        eprintln!("warning: could not install SIGINT handler; stop with SIGKILL");
+    }
+    while !sig::interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let stats = handle.stats();
+    let cache = handle.cache_stats();
+    eprintln!(
+        "\nSIGINT: draining ({} connections served, {} ok / {} errors, cache hit rate {:.3})...",
+        stats.connections,
+        stats.ok,
+        stats.errors,
+        cache.hit_rate().unwrap_or(0.0)
+    );
+    handle.shutdown();
+    std::process::exit(0);
+}
+
 fn cmd_experiments(scale: Option<&str>) {
     let (world, ds) = measured(scale_config(scale));
     let ctx = AnalysisCtx::new(&world, &ds);
@@ -231,6 +350,7 @@ fn main() {
         Some("tables") => cmd_tables(args.get(1).map(String::as_str)),
         Some("experiments") => cmd_experiments(args.get(1).map(String::as_str)),
         Some("measure") => cmd_measure(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }

@@ -15,6 +15,7 @@ pub use webdep_dns as dns;
 pub use webdep_geodb as geodb;
 pub use webdep_netsim as netsim;
 pub use webdep_pipeline as pipeline;
+pub use webdep_serve as serve;
 pub use webdep_stats as stats;
 pub use webdep_tls as tls;
 pub use webdep_webgen as webgen;
