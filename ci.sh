@@ -36,4 +36,11 @@ cargo run --release -q -p webdep-bench --bin bench-snapshot -- scale --smoke
 echo "==> bench-snapshot serve --smoke"
 cargo run --release -q -p webdep-bench --bin bench-snapshot -- serve --smoke
 
+# Incremental-epoch smoke: evolve a small world two epochs, measure each
+# both ways, and certify the delta store byte-identical to from-scratch,
+# the delta-applied cube identical to a full refold, and the delta-built
+# snapshot's taxonomy identical to a rebuild.
+echo "==> bench-snapshot evolve --smoke"
+cargo run --release -q -p webdep-bench --bin bench-snapshot -- evolve --smoke
+
 echo "ci: all gates green"

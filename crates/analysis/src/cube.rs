@@ -162,6 +162,15 @@ impl DependenceCube {
 /// arrays and assembles exactly what [`DependenceCube::build`] produces;
 /// `build` itself is implemented on top of this builder, so equivalence is
 /// structural, not merely tested.
+///
+/// The builder is also the unit of *epoch deltas*: it is `Clone` (16 bytes
+/// per site), `finish` borrows rather than consumes, and
+/// [`CubeBuilder::grow`] / [`CubeBuilder::retract`] let a continuous
+/// measurement loop carry epoch N's builder forward — clone, grow to the
+/// evolved site table, refold only the dirty sites, finish. Because folds
+/// are idempotent per-site overwrites, the applied builder is identical to
+/// one built from scratch over the evolved dataset.
+#[derive(Clone)]
 pub struct CubeBuilder {
     /// Per layer (in [`Layer::ALL`] order), the owner world-id of each
     /// site, [`UNOBSERVED`] where the layer failed or the site is unfolded.
@@ -196,6 +205,27 @@ impl CubeBuilder {
         }
     }
 
+    /// Extends the builder to a grown site table (epoch evolution only
+    /// appends sites); new slots start unobserved. Shrinking is refused —
+    /// site indices are stable across epochs by construction.
+    pub fn grow(&mut self, sites: usize) {
+        for col in &mut self.owner_of {
+            assert!(sites >= col.len(), "site tables never shrink across epochs");
+            col.resize(sites, UNOBSERVED);
+        }
+    }
+
+    /// Retracts a site's observation batch: all four layers back to
+    /// unobserved, as if the site were never folded. For sites that drop
+    /// out of every toplist this is cosmetic (finish only walks toplists),
+    /// but it keeps `cube(N+1) = cube(N) − retracted + refolded` exact at
+    /// the label level too.
+    pub fn retract(&mut self, site: usize) {
+        for col in &mut self.owner_of {
+            col[site] = UNOBSERVED;
+        }
+    }
+
     /// Folds a decoded chunk straight from the columnar store — no
     /// [`SiteObservation`] materialization. Each distinct chunk-local TLD
     /// string resolves through `tld_ids` once.
@@ -220,8 +250,11 @@ impl CubeBuilder {
     /// Assembles the cube: walks each toplist (and the global top) through
     /// the per-site label arrays — restoring toplist order regardless of
     /// fold order — then builds the dense matrices and sorted views.
+    ///
+    /// Borrows the builder (it does not consume it) so an epoch loop can
+    /// finish a snapshot and keep folding deltas into the same state.
     pub fn finish(
-        self,
+        &self,
         world: &World,
         toplists: &[Vec<u32>],
         global_top: &[u32],
@@ -498,6 +531,150 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The incremental-epoch claim: cloning epoch N's builder, growing it
+    /// to the evolved site table, and refolding *only* the dirty sites
+    /// must yield exactly the cube a from-scratch rebuild over the evolved
+    /// dataset produces. Clean sites keep their serving infrastructure via
+    /// the pinned pool census, so their observations are unchanged and
+    /// never need refolding.
+    #[test]
+    fn delta_apply_equals_full_rebuild() {
+        use super::{CubeBuilder, DependenceCube};
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        use webdep_pipeline::{measure, PipelineConfig};
+        use webdep_webgen::{provider_site_counts, DeployConfig, DeployedWorld, EvolutionPlan};
+
+        let (world, ds) = crate::ctx::testutil::fixture();
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+
+        // Epoch N state.
+        let mut b = CubeBuilder::new(ds.observations.len());
+        for (i, obs) in ds.observations.iter().enumerate() {
+            b.fold_observation(i, obs, &tld_ids);
+        }
+
+        let census = Arc::new(provider_site_counts(world));
+        let (new_world, delta) = EvolutionPlan::continuous(1, 0.12, 11).evolve_epoch(world, 0);
+        delta.certify_unchanged(world, &new_world).unwrap();
+        assert!(!delta.migrated.is_empty() && delta.to_sites > delta.from_sites);
+        let dep = DeployedWorld::deploy(
+            &new_world,
+            DeployConfig {
+                pool_sites: Some(census),
+                ..DeployConfig::default()
+            },
+        );
+        let ds2 = measure(&new_world, &dep, &PipelineConfig::default());
+
+        // Delta apply: clone + grow + refold exactly the dirty sites.
+        let mut inc = b.clone();
+        inc.grow(new_world.sites.len());
+        let dirty = delta.dirty();
+        for (i, obs) in ds2.observations.iter().enumerate() {
+            if dirty[i] {
+                inc.fold_observation(i, obs, &tld_ids);
+            }
+        }
+        let applied = inc.finish(&new_world, &ds2.toplists, &ds2.global_top);
+        let rebuilt = DependenceCube::build(&new_world, &ds2, &tld_ids);
+
+        for layer in Layer::ALL {
+            let (a, b) = (applied.layer(layer), rebuilt.layer(layer));
+            assert_eq!(a.owners(), b.owners(), "{layer:?}");
+            assert_eq!(a.global_sorted(), b.global_sorted(), "{layer:?}");
+            for ci in 0..COUNTRIES.len() {
+                assert_eq!(a.row(ci), b.row(ci), "{layer:?} {ci}");
+                assert_eq!(a.total(ci), b.total(ci), "{layer:?} {ci}");
+                assert_eq!(a.sorted_counts(ci), b.sorted_counts(ci), "{layer:?} {ci}");
+                assert_eq!(a.site_labels(ci), b.site_labels(ci), "{layer:?} {ci}");
+            }
+        }
+
+        // The original builder is intact (finish borrows): it still
+        // reproduces epoch N exactly.
+        let again = b.finish(world, &ds.toplists, &ds.global_top);
+        let base = DependenceCube::build(world, ds, &tld_ids);
+        for layer in Layer::ALL {
+            assert_eq!(
+                again.layer(layer).global_sorted(),
+                base.layer(layer).global_sorted(),
+                "{layer:?}"
+            );
+        }
+    }
+
+    /// Retracting a site is exactly "never folded it": the finished cube
+    /// matches one built with the site skipped.
+    #[test]
+    fn retract_equals_never_folded() {
+        use super::CubeBuilder;
+        use std::collections::HashMap;
+
+        let (world, ds) = crate::ctx::testutil::fixture();
+        let tld_ids: HashMap<String, u32> = world
+            .universe
+            .tlds
+            .iter()
+            .map(|t| (t.label.clone(), t.id))
+            .collect();
+        // A site that actually measured at hosting, so the retraction is
+        // visible in country 0's total.
+        let victim = ds.toplists[0]
+            .iter()
+            .map(|&i| i as usize)
+            .find(|&i| ds.observations[i].hosting_org.is_some())
+            .unwrap();
+
+        let mut folded = CubeBuilder::new(ds.observations.len());
+        let mut skipped = CubeBuilder::new(ds.observations.len());
+        for (i, obs) in ds.observations.iter().enumerate() {
+            folded.fold_observation(i, obs, &tld_ids);
+            if i != victim {
+                skipped.fold_observation(i, obs, &tld_ids);
+            }
+        }
+        folded.retract(victim);
+
+        let a = folded.finish(world, &ds.toplists, &ds.global_top);
+        let b = skipped.finish(world, &ds.toplists, &ds.global_top);
+        for layer in Layer::ALL {
+            assert_eq!(
+                a.layer(layer).owners(),
+                b.layer(layer).owners(),
+                "{layer:?}"
+            );
+            for ci in 0..COUNTRIES.len() {
+                assert_eq!(
+                    a.layer(layer).row(ci),
+                    b.layer(layer).row(ci),
+                    "{layer:?} {ci}"
+                );
+            }
+            assert_eq!(
+                a.layer(layer).global_sorted(),
+                b.layer(layer).global_sorted(),
+                "{layer:?}"
+            );
+        }
+        // And the retracted site really left the tallies.
+        assert_eq!(a.layer(Layer::Hosting).total(0) + 1, {
+            let full = CubeBuilder::new(ds.observations.len());
+            let mut full = full;
+            for (i, obs) in ds.observations.iter().enumerate() {
+                full.fold_observation(i, obs, &tld_ids);
+            }
+            full.finish(world, &ds.toplists, &ds.global_top)
+                .layer(Layer::Hosting)
+                .total(0)
+        });
     }
 
     /// The dense site labels must re-tally to the count rows — they are

@@ -59,3 +59,4 @@ pub use coverage::{coverage_model, CoverageModel, LayerCoverage};
 pub use ctx::AnalysisCtx;
 pub use cube::{CubeBuilder, DependenceCube};
 pub use experiments::{ExperimentResult, ExperimentSuite};
+pub use longitudinal::{compare, EpochPoint, LongitudinalReport, Trajectory};

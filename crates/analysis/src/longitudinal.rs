@@ -39,6 +39,25 @@ pub struct LongitudinalReport {
     pub us_reliance_decreased: usize,
 }
 
+/// A country's toplist domain set. Cube-backed contexts over *hollow*
+/// datasets (streaming / delta-published epochs carry no resident
+/// observations) fall back to the world's toplist — the generator and the
+/// measurement record the same registered domain, so the sets are equal
+/// whenever both exist.
+fn country_domains<'c>(ctx: &'c AnalysisCtx<'_>, ci: usize) -> HashSet<&'c str> {
+    if ctx.ds.observations.is_empty() {
+        ctx.world.toplists[ci]
+            .iter()
+            .map(|&oi| ctx.world.sites[oi as usize].domain.as_str())
+            .collect()
+    } else {
+        ctx.ds
+            .country_observations(ci)
+            .map(|o| o.domain.as_str())
+            .collect()
+    }
+}
+
 fn cloudflare_share(ctx: &AnalysisCtx<'_>, ci: usize) -> f64 {
     ctx.world
         .universe
@@ -71,16 +90,8 @@ pub fn compare(old: &AnalysisCtx<'_>, new: &AnalysisCtx<'_>) -> LongitudinalRepo
         ) else {
             continue;
         };
-        let domains_old: HashSet<&str> = old
-            .ds
-            .country_observations(ci)
-            .map(|o| o.domain.as_str())
-            .collect();
-        let domains_new: HashSet<&str> = new
-            .ds
-            .country_observations(ci)
-            .map(|o| o.domain.as_str())
-            .collect();
+        let domains_old = country_domains(old, ci);
+        let domains_new = country_domains(new, ci);
         deltas.push(CountryDelta {
             code: country.code,
             s_old: centralization_score(&d_old),
@@ -120,6 +131,94 @@ impl LongitudinalReport {
                 .partial_cmp(&(b.s_new - b.s_old))
                 .expect("finite")
         })
+    }
+}
+
+/// One epoch's summary point on a centralization trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EpochPoint {
+    /// Epoch number (position in the trajectory).
+    pub epoch: usize,
+    /// Snapshot label of the epoch's world.
+    pub label: String,
+    /// Mean hosting centralization score across measured countries.
+    pub mean_score: f64,
+    /// Mean Cloudflare hosting share across measured countries, percent.
+    pub mean_cloudflare_pct: f64,
+    /// `mean_score` change versus the previous epoch (0 for the first).
+    pub drift: f64,
+    /// True when the drift breaks the trajectory's own trend — see
+    /// [`Trajectory::push`] for the exact rule.
+    pub changepoint: bool,
+}
+
+/// A per-epoch centralization trajectory for the continuous measurement
+/// loop: push one point per published epoch, read drift and changepoint
+/// flags off the points.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Trajectory {
+    /// Points in epoch order.
+    pub points: Vec<EpochPoint>,
+}
+
+impl Trajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends an epoch summarized from an analysis context (cube-backed
+    /// contexts over hollow datasets work — only cube accessors are read).
+    ///
+    /// Drift is the mean-score change against the previous point. The
+    /// changepoint rule is deterministic: with fewer than two prior
+    /// drifts, a point is flagged when `|drift| > 0.05`; afterwards, when
+    /// `|drift|` exceeds three times the trailing mean absolute drift
+    /// (floored at 0.01, so a flat trajectory doesn't flag noise).
+    pub fn push(&mut self, ctx: &AnalysisCtx<'_>) -> &EpochPoint {
+        let mut scores = Vec::new();
+        let mut cf = Vec::new();
+        for ci in 0..COUNTRIES.len() {
+            if let Some(d) = ctx.country_dist(ci, Layer::Hosting) {
+                scores.push(centralization_score(&d));
+                cf.push(100.0 * cloudflare_share(ctx, ci));
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        self.push_point(&ctx.world.label, mean(&scores), mean(&cf))
+    }
+
+    /// Low-level append from precomputed means — the drift/changepoint
+    /// arithmetic without an analysis context (also what tests exercise).
+    pub fn push_point(
+        &mut self,
+        label: &str,
+        mean_score: f64,
+        mean_cloudflare_pct: f64,
+    ) -> &EpochPoint {
+        let drift = match self.points.last() {
+            Some(prev) => mean_score - prev.mean_score,
+            None => 0.0,
+        };
+        // Prior drifts, excluding the first point's structural zero.
+        let prior: Vec<f64> = self.points.iter().skip(1).map(|p| p.drift.abs()).collect();
+        let changepoint = if self.points.is_empty() {
+            false
+        } else if prior.len() < 2 {
+            drift.abs() > 0.05
+        } else {
+            let trailing = prior.iter().sum::<f64>() / prior.len() as f64;
+            drift.abs() > (3.0 * trailing).max(0.01)
+        };
+        self.points.push(EpochPoint {
+            epoch: self.points.len(),
+            label: label.to_string(),
+            mean_score,
+            mean_cloudflare_pct,
+            drift,
+            changepoint,
+        });
+        self.points.last().expect("just pushed")
     }
 }
 
@@ -202,5 +301,116 @@ mod tests {
             r.us_reliance_decreased
         );
         assert!(r.largest_increase().is_some());
+    }
+
+    /// `compare` over cube-backed contexts (the serving path) must
+    /// reproduce the direct-context comparison row for row.
+    #[test]
+    fn compare_matches_on_cube_backed_contexts() {
+        use crate::cube::DependenceCube;
+        use std::collections::HashMap;
+
+        let (old_world, old_ds) = fixture();
+        let (new_world, new_ds) = evolved();
+        let direct = report();
+
+        let tld_ids = |w: &World| -> HashMap<String, u32> {
+            w.universe
+                .tlds
+                .iter()
+                .map(|t| (t.label.clone(), t.id))
+                .collect()
+        };
+        let cube_old = DependenceCube::build(old_world, old_ds, &tld_ids(old_world));
+        let cube_new = DependenceCube::build(new_world, new_ds, &tld_ids(new_world));
+        let r = compare(
+            &AnalysisCtx::with_cube(old_world, old_ds, cube_old),
+            &AnalysisCtx::with_cube(new_world, new_ds, cube_new),
+        );
+        assert_eq!(r.deltas, direct.deltas);
+    }
+
+    /// Hollow datasets (no resident observations — the delta-published
+    /// epoch shape) still compare: domains come from the world toplists,
+    /// which name the same registered domains the measurement recorded.
+    #[test]
+    fn compare_matches_on_hollow_datasets() {
+        use crate::cube::DependenceCube;
+        use std::collections::HashMap;
+
+        let (old_world, old_ds) = fixture();
+        let (new_world, new_ds) = evolved();
+        let direct = report();
+
+        let tld_ids = |w: &World| -> HashMap<String, u32> {
+            w.universe
+                .tlds
+                .iter()
+                .map(|t| (t.label.clone(), t.id))
+                .collect()
+        };
+        let hollow = |ds: &MeasuredDataset| MeasuredDataset {
+            observations: Vec::new(),
+            toplists: ds.toplists.clone(),
+            global_top: ds.global_top.clone(),
+            label: ds.label.clone(),
+        };
+        let cube_old = DependenceCube::build(old_world, old_ds, &tld_ids(old_world));
+        let cube_new = DependenceCube::build(new_world, new_ds, &tld_ids(new_world));
+        let (h_old, h_new) = (hollow(old_ds), hollow(new_ds));
+        let r = compare(
+            &AnalysisCtx::with_cube(old_world, &h_old, cube_old),
+            &AnalysisCtx::with_cube(new_world, &h_new, cube_new),
+        );
+        assert_eq!(r.deltas, direct.deltas);
+    }
+
+    /// The changepoint rule on synthetic points: a drift in line with the
+    /// trailing trend stays quiet; one that breaks it flags.
+    #[test]
+    fn trajectory_drift_and_changepoint_flags() {
+        let mut t = Trajectory::new();
+        t.push_point("e0", 0.500, 10.0);
+        assert!(!t.points[0].changepoint, "first point never flags");
+        assert_eq!(t.points[0].drift, 0.0);
+        t.push_point("e1", 0.504, 10.2);
+        assert!(!t.points[1].changepoint, "small early drift stays quiet");
+        t.push_point("e2", 0.508, 10.4);
+        t.push_point("e3", 0.511, 10.5);
+        assert!(!t.points[3].changepoint, "in-trend drift stays quiet");
+        let p = t.push_point("e4", 0.60, 14.0).clone();
+        assert!(p.changepoint, "an out-of-trend jump flags");
+        assert!((p.drift - 0.089).abs() < 1e-9);
+        assert_eq!(p.epoch, 4);
+        // A flat trajectory never flags noise below the floor.
+        let mut flat = Trajectory::new();
+        for (i, s) in [0.5, 0.5001, 0.5002, 0.4999, 0.5005].iter().enumerate() {
+            let p = flat.push_point(&format!("f{i}"), *s, 0.0).clone();
+            assert!(!p.changepoint, "f{i} flagged");
+        }
+    }
+
+    /// Trajectory plumbing over real epochs: the paper evolution raises
+    /// the mean Cloudflare share, and drift is the score difference.
+    #[test]
+    fn trajectory_tracks_real_epochs() {
+        let (old_world, old_ds) = fixture();
+        let (new_world, new_ds) = evolved();
+        let mut t = Trajectory::new();
+        t.push(&AnalysisCtx::new(old_world, old_ds));
+        t.push(&AnalysisCtx::new(new_world, new_ds));
+        assert_eq!(t.points.len(), 2);
+        assert_eq!(t.points[0].label, old_world.label);
+        assert_eq!(t.points[1].label, new_world.label);
+        assert!(
+            t.points[1].mean_cloudflare_pct > t.points[0].mean_cloudflare_pct,
+            "paper evolution raises Cloudflare share: {} -> {}",
+            t.points[0].mean_cloudflare_pct,
+            t.points[1].mean_cloudflare_pct
+        );
+        assert_eq!(
+            t.points[1].drift,
+            t.points[1].mean_score - t.points[0].mean_score
+        );
     }
 }

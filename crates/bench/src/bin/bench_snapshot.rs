@@ -34,10 +34,18 @@
 //! swap published under load with zero failed and zero mixed-epoch
 //! responses.
 //!
+//! `BENCH_evolve.json`: continuous measurement — per-epoch incremental
+//! re-measurement (`measure_delta`) and snapshot publish
+//! (`CubeSnapshot::from_delta`) vs their from-scratch comparators across
+//! a churn sweep, every epoch certified byte-identical.
+//!
+//! Every full (non-smoke) snapshot run also appends a one-line summary to
+//! `BENCH_history.csv`, so the overwritten JSON files leave a trend line.
+//!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
 //! (optionally `-- pipeline`, `-- analysis`, `-- faults`,
-//! `-- resilience`, `-- scale [--smoke]`, or `-- serve [--smoke]` for
-//! just one snapshot).
+//! `-- resilience`, `-- scale [--smoke]`, `-- serve [--smoke]`, or
+//! `-- evolve [--smoke]` for just one snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -123,6 +131,33 @@ fn repo_root_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
+/// Appends one `unix_ts,bench,summary` line to `BENCH_history.csv` so
+/// successive snapshot runs leave a greppable trend line next to the
+/// JSON files they overwrite. The summary must not contain commas.
+fn append_history(name: &str, summary: &str) {
+    use std::io::Write;
+    debug_assert!(!summary.contains(','), "history summaries are comma-free");
+    let path = repo_root_path("BENCH_history.csv");
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let header = if path.exists() {
+        ""
+    } else {
+        "unix_ts,bench,summary\n"
+    };
+    let line = format!("{header}{ts},{name},{summary}\n");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("warning: could not append {}: {e}", path.display());
+    }
+}
+
 /// Points clustered in the affinity timing — above the parallel
 /// threshold, so the sweep actually fans out.
 const AFFINITY_POINTS: usize = 512;
@@ -146,6 +181,13 @@ fn analysis_snapshot() {
         snapshot.suite_speedup,
         snapshot.affinity.speedup,
         snapshot.affinity.points,
+    );
+    append_history(
+        "analysis",
+        &format!(
+            "suite x{:.2} cube build {:.1}ms affinity x{:.2}",
+            snapshot.suite_speedup, snapshot.cube_build_ms, snapshot.affinity.speedup
+        ),
     );
 }
 
@@ -195,6 +237,14 @@ fn pipeline_snapshot() {
         snapshot.speedup,
         snapshot.wire_query_reduction * 100.0
     );
+    append_history(
+        "pipeline",
+        &format!(
+            "speedup x{:.2} wire queries -{:.0}%",
+            snapshot.speedup,
+            snapshot.wire_query_reduction * 100.0
+        ),
+    );
 }
 
 fn faults_snapshot() {
@@ -213,6 +263,15 @@ fn faults_snapshot() {
         snapshot.runs.len(),
         snapshot.sites,
         snapshot.zero_fault_identical
+    );
+    append_history(
+        "faults",
+        &format!(
+            "{} runs over {} sites zero-fault identical {}",
+            snapshot.runs.len(),
+            snapshot.sites,
+            snapshot.zero_fault_identical
+        ),
     );
 }
 
@@ -244,6 +303,14 @@ fn resilience_snapshot() {
             .map(|r| r.slowdown)
             .fold(0.0f64, f64::max),
         snapshot.resume.overhead_vs_clean * 100.0
+    );
+    append_history(
+        "resilience",
+        &format!(
+            "journal overhead {:+.1}% resume {:.0}% of clean",
+            snapshot.baseline.journal_overhead * 100.0,
+            snapshot.resume.overhead_vs_clean * 100.0
+        ),
     );
 }
 
@@ -280,6 +347,13 @@ fn scale_snapshot(smoke: bool) {
         big.peak_rss_bytes >> 20,
         snapshot.rss_ratio_streaming_vs_scaled_resident
     );
+    append_history(
+        "scale",
+        &format!(
+            "{} sites at {:.0} sites/s rss ratio {:.3}",
+            big.sites, big.sites_per_sec, snapshot.rss_ratio_streaming_vs_scaled_resident
+        ),
+    );
 }
 
 fn serve_snapshot(smoke: bool) {
@@ -313,6 +387,74 @@ fn serve_snapshot(smoke: bool) {
         top.rps,
         snapshot.cold_vs_cached.speedup
     );
+    append_history(
+        "serve",
+        &format!(
+            "c={} p99 {}us {} rps cached x{:.1}",
+            top.concurrency, top.p99_us, top.rps, snapshot.cold_vs_cached.speedup
+        ),
+    );
+}
+
+fn evolve_snapshot(smoke: bool) {
+    eprintln!(
+        "evolve: incremental epochs vs from-scratch re-measurement ({})...",
+        if smoke {
+            "smoke sizes"
+        } else {
+            "full churn sweep"
+        }
+    );
+    let snapshot = webdep_bench::evolve::evolve_snapshot(smoke, |line| eprintln!("  {line}"));
+    if smoke {
+        // Same convention as the scale/serve gates: the smoke run
+        // certifies byte-identity, taxonomy equality, and clean-chunk
+        // adoption at every epoch, but its timings are meaningless —
+        // leave the full-run snapshot file alone.
+        let sweep = &snapshot.sweeps[0];
+        eprintln!(
+            "evolve smoke OK ({} sites, {} epochs at {:.0}% churn, all certified identical)",
+            snapshot.sites_base,
+            sweep.epochs.len(),
+            sweep.churn * 100.0
+        );
+        return;
+    }
+    // The headline claim: at ~10% churn, both the re-measurement and the
+    // cube publish must be at least 5x cheaper than from scratch.
+    let gated = snapshot
+        .sweeps
+        .iter()
+        .find(|s| (s.churn - 0.10).abs() < 1e-9)
+        .expect("full sweep includes 10% churn");
+    assert!(
+        gated.mean_measure_speedup >= 5.0,
+        "10% churn delta re-measure only x{:.2} vs full",
+        gated.mean_measure_speedup
+    );
+    assert!(
+        gated.mean_cube_speedup >= 5.0,
+        "10% churn cube delta-apply only x{:.2} vs rebuild",
+        gated.mean_cube_speedup
+    );
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_evolve.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_evolve.json");
+    eprintln!(
+        "wrote {} ({} base sites, 10% churn: measure x{:.1}, cube apply x{:.1}, peak RSS {} MB)",
+        out.display(),
+        snapshot.sites_base,
+        gated.mean_measure_speedup,
+        gated.mean_cube_speedup,
+        snapshot.peak_rss_bytes >> 20
+    );
+    append_history(
+        "evolve",
+        &format!(
+            "10% churn measure x{:.1} cube x{:.1} over {} base sites",
+            gated.mean_measure_speedup, gated.mean_cube_speedup, snapshot.sites_base
+        ),
+    );
 }
 
 fn main() {
@@ -325,6 +467,7 @@ fn main() {
         "resilience" => resilience_snapshot(),
         "scale" => scale_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         "serve" => serve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
+        "evolve" => evolve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         // Hidden: one scale phase in a child process, so each phase's
         // VmHWM is its own (see webdep_bench::scale).
         "scale-phase" => {
@@ -342,10 +485,11 @@ fn main() {
             resilience_snapshot();
             scale_snapshot(false);
             serve_snapshot(false);
+            evolve_snapshot(false);
         }
         other => {
             eprintln!(
-                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | all)"
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | evolve [--smoke] | all)"
             );
             std::process::exit(2);
         }

@@ -10,6 +10,7 @@ use webdep_pipeline::{measure, MeasuredDataset, PipelineConfig};
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
 pub mod analysis;
+pub mod evolve;
 pub mod faults;
 pub mod resilience;
 pub mod scale;

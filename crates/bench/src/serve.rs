@@ -28,7 +28,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use webdep_analysis::{AnalysisCtx, CubeBuilder};
+use webdep_analysis::AnalysisCtx;
 use webdep_core::centralization_score;
 use webdep_pipeline::MeasuredDataset;
 use webdep_serve::snapshot::CubeSnapshot;
@@ -238,30 +238,12 @@ fn catalog(replicates: usize) -> Vec<String> {
 /// observation vector resident, and the bench should not pay three
 /// resident copies just to have three epochs to publish.
 fn hollow_snapshot(epoch: u64, world: &Arc<World>, ds: &MeasuredDataset) -> Arc<CubeSnapshot> {
-    let tld_ids: std::collections::HashMap<String, u32> = world
-        .universe
-        .tlds
-        .iter()
-        .map(|t| (t.label.clone(), t.id))
-        .collect();
-    let mut builder = CubeBuilder::new(world.sites.len());
-    for (i, obs) in ds.observations.iter().enumerate() {
-        builder.fold_observation(i, obs, &tld_ids);
-    }
-    let cube = builder.finish(world, &world.toplists, &world.global_top);
-    Arc::new(CubeSnapshot {
+    Arc::new(CubeSnapshot::from_observations(
         epoch,
-        world: Arc::clone(world),
-        dataset: MeasuredDataset {
-            observations: Vec::new(),
-            toplists: world.toplists.clone(),
-            global_top: world.global_top.clone(),
-            label: world.label.clone(),
-        },
-        cube,
-        taxonomy: ds.failure_taxonomy(),
-        resident: false,
-    })
+        Arc::clone(world),
+        &ds.label,
+        &ds.observations,
+    ))
 }
 
 /// Runs one closed-loop level: `concurrency` keep-alive clients splitting

@@ -272,6 +272,30 @@ impl FailureTaxonomy {
             .or_insert(0) += 1;
     }
 
+    /// Reverses one [`FailureTaxonomy::record`]. Zeroed cells (and then
+    /// empty layers) are removed, so a taxonomy adjusted incrementally
+    /// across epochs stays structurally identical to a fresh tally —
+    /// `PartialEq` and the serialized form cannot tell them apart.
+    ///
+    /// Panics if the cell was never recorded: an unrecord/record mismatch
+    /// means the caller's per-site cause bookkeeping is corrupt.
+    pub fn unrecord(&mut self, layer: &str, cause: FailureCause) {
+        let causes = self
+            .counts
+            .get_mut(layer)
+            .unwrap_or_else(|| panic!("unrecord: no counts for layer {layer:?}"));
+        let n = causes
+            .get_mut(cause.name())
+            .unwrap_or_else(|| panic!("unrecord: {layer}/{} never recorded", cause.name()));
+        *n -= 1;
+        if *n == 0 {
+            causes.remove(cause.name());
+            if self.counts.get(layer).is_some_and(|m| m.is_empty()) {
+                self.counts.remove(layer);
+            }
+        }
+    }
+
     /// Total failures recorded for a layer.
     pub fn layer_total(&self, layer: &str) -> u64 {
         self.counts

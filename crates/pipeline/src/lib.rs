@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod delta;
 pub mod journal;
 pub mod run;
 pub mod store;
@@ -24,11 +25,12 @@ pub mod supervisor;
 pub mod vantage;
 
 pub use dataset::{FailureCause, FailureTaxonomy, LayerError, MeasuredDataset, SiteObservation};
+pub use delta::{measure_delta, DeltaStats};
 pub use journal::JournalWriter;
 pub use run::{
     measure, measure_journaled, measure_streamed, measure_with_stats, resume_from_journal,
     resume_streamed, MeasureStats, PipelineConfig, Scheduling,
 };
-pub use store::{ChunkStore, ChunkStoreWriter, DecodedChunk, DEFAULT_CHUNK_SITES};
+pub use store::{ChunkStore, ChunkStoreWriter, CompactStats, DecodedChunk, DEFAULT_CHUNK_SITES};
 pub use supervisor::{ChaosPlan, SupervisionStats, SupervisorConfig};
 pub use vantage::resolve_hosting_orgs;

@@ -155,7 +155,7 @@ struct WorkerReport {
 /// ([`crate::store`]) and *drops it* — peak memory is bounded by the
 /// scheduler's batch spread, not the world size, which is what lets
 /// million-site runs fit in a laptop's RAM.
-enum Sink {
+pub(crate) enum Sink {
     /// One in-memory slot per site.
     Resident(Vec<Option<SiteObservation>>),
     /// Observations flow into the chunk store; only a done-bitmap stays
@@ -385,7 +385,7 @@ pub fn resume_streamed(
 /// Shared tail of the streaming entry points: surface errors, fill any
 /// never-measured site with the same deterministic internal failure the
 /// resident assembly uses, and finalize the store.
-fn finish_streaming(
+pub(crate) fn finish_streaming(
     world: &World,
     sink: Sink,
     journal_err: Option<io::Error>,
@@ -427,7 +427,7 @@ fn finish_streaming(
 /// in-flight batch of a lost worker, respawns replacements up to the
 /// budget, and fails leftover sites deterministically if the run would
 /// otherwise deadlock with no workers left.
-fn run_supervised(
+pub(crate) fn run_supervised(
     world: &World,
     dep: &DeployedWorld,
     config: &PipelineConfig,

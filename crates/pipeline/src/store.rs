@@ -681,6 +681,52 @@ impl ChunkStoreWriter {
         Ok(true)
     }
 
+    /// Adopts chunk `c` wholesale from a previous epoch's store: the file
+    /// is hard-linked (copy fallback) into this store and verified through
+    /// the normal decode path — header and checksum — before the chunk is
+    /// marked durable. Valid only when the source chunk covers the same
+    /// site range with the same row count; this is the delta path's
+    /// clean-chunk fast lane, and the reason unchanged chunks cost zero
+    /// re-encoding. Adopted files share their inode with the source store,
+    /// which every in-place rewrite below (see [`ChunkStore::compact`])
+    /// must respect by going through temp file + rename.
+    pub fn adopt_chunk(&mut self, src: &ChunkStore, c: usize) -> io::Result<()> {
+        assert!(c < self.written.len(), "chunk {c} out of range");
+        if self.written[c] {
+            return Err(bad(format!("chunk {c} already written")));
+        }
+        if self.pending.contains_key(&c) {
+            return Err(bad(format!("chunk {c} already has committed sites")));
+        }
+        if src.chunk_sites != self.chunk_sites || src.chunk_rows(c) != self.chunk_rows(c) {
+            return Err(bad(format!(
+                "chunk {c} geometry mismatch: source {}-site chunks ({} rows) vs \
+                 target {}-site chunks ({} rows)",
+                src.chunk_sites,
+                src.chunk_rows(c),
+                self.chunk_sites,
+                self.chunk_rows(c)
+            )));
+        }
+        let from = chunk_path(&src.dir, c);
+        let to = chunk_path(&self.dir, c);
+        // `create` wiped the directory, but an interrupted earlier adoption
+        // retried on the same writer may have left the file behind.
+        if to.exists() {
+            std::fs::remove_file(&to)?;
+        }
+        if std::fs::hard_link(&from, &to).is_err() {
+            std::fs::copy(&from, &to)?;
+        }
+        let mut bytes = Vec::new();
+        File::open(&to)?.read_to_end(&mut bytes)?;
+        decode_chunk(&bytes, c, self.chunk_lo(c), self.chunk_rows(c))
+            .map_err(|e| bad(format!("adopted chunk {c}: {e}")))?;
+        self.bytes_written += bytes.len() as u64;
+        self.written[c] = true;
+        Ok(())
+    }
+
     /// Finalizes the store: every chunk must be on disk (an incomplete
     /// chunk means sites went unmeasured — an error, not a shrug), then the
     /// directory entry list is fsynced.
@@ -712,6 +758,19 @@ pub enum ChunkState {
     Missing,
     /// Present but unreadable/torn; the message says why.
     Corrupt(String),
+}
+
+/// Outcome of [`ChunkStore::compact`].
+#[derive(Debug)]
+pub struct CompactStats {
+    /// Chunk-shaped files removed because the manifest does not claim them.
+    pub orphans_removed: usize,
+    /// Chunk count before compaction.
+    pub chunks_before: usize,
+    /// Chunk count after compaction.
+    pub chunks_after: usize,
+    /// Whether the rows were rewritten into a new chunk geometry.
+    pub rechunked: bool,
 }
 
 /// Read side of a chunk store.
@@ -782,6 +841,97 @@ impl ChunkStore {
         File::open(chunk_path(&self.dir, c))?.read_to_end(&mut bytes)?;
         decode_chunk(&bytes, c, c * self.chunk_sites, self.chunk_rows(c))
             .map_err(|e| bad(format!("chunk {c}: {e}")))
+    }
+
+    /// Compacts the store: removes orphaned chunk files — indices past the
+    /// manifest's chunk count, unparseable `chunk-*.col` names, and
+    /// `.col.tmp` leftovers from an aborted run — and, when `chunk_sites`
+    /// differs from the current geometry, merges the rows into chunks of
+    /// the new size. Delta runs hard-link chunk files into *other* epoch
+    /// stores, so every rewrite goes through a temp file + rename and never
+    /// truncates a shared inode. `load_dataset` output is byte-identical
+    /// before and after; the rewrite is not crash-atomic, but a crash
+    /// mid-compact leaves header/manifest mismatches that
+    /// [`ChunkStore::chunk_state`] reports as corrupt rather than silently
+    /// serving stale rows.
+    pub fn compact(&mut self, chunk_sites: usize) -> io::Result<CompactStats> {
+        assert!(chunk_sites > 0, "chunk_sites must be positive");
+        let chunks_before = self.num_chunks();
+        let rechunked = chunk_sites != self.chunk_sites;
+        if rechunked {
+            // Stream rows old-geometry → new-geometry through temp files.
+            let new_chunks = self.sites.div_ceil(chunk_sites);
+            let mut tmp_paths = Vec::with_capacity(new_chunks);
+            let mut rows: Vec<SiteObservation> = Vec::new();
+            let mut next_new = 0usize;
+            for c in 0..chunks_before {
+                let chunk = self.read_chunk(c)?;
+                for r in 0..chunk.rows {
+                    rows.push(chunk.observation(r));
+                }
+                while rows.len() >= chunk_sites || (c + 1 == chunks_before && !rows.is_empty()) {
+                    let take = rows.len().min(chunk_sites);
+                    let batch: Vec<SiteObservation> = rows.drain(..take).collect();
+                    let bytes = encode_chunk(next_new, next_new * chunk_sites, &batch);
+                    let tmp = self.dir.join(format!("chunk-{next_new:06}.col.tmp"));
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(&bytes)?;
+                    f.sync_data()?;
+                    tmp_paths.push(tmp);
+                    next_new += 1;
+                }
+            }
+            // New manifest first (temp + rename), then the chunk renames:
+            // a crash in between leaves old-geometry files whose headers
+            // no longer match the manifest — detectably corrupt.
+            let manifest = Value::Object(vec![
+                ("magic".into(), Value::String(STORE_MAGIC.into())),
+                ("version".into(), Value::U64(STORE_VERSION)),
+                ("label".into(), Value::String(self.label.clone())),
+                ("sites".into(), Value::U64(self.sites as u64)),
+                ("chunk_sites".into(), Value::U64(chunk_sites as u64)),
+            ]);
+            let mtmp = self.dir.join("manifest.json.tmp");
+            let mut f = File::create(&mtmp)?;
+            writeln!(f, "{manifest}")?;
+            f.sync_data()?;
+            std::fs::rename(&mtmp, manifest_path(&self.dir))?;
+            for (i, tmp) in tmp_paths.iter().enumerate() {
+                std::fs::rename(tmp, chunk_path(&self.dir, i))?;
+            }
+            self.chunk_sites = chunk_sites;
+        }
+        // Orphan sweep: anything chunk-shaped the manifest does not claim.
+        let keep = self.num_chunks();
+        let mut orphans_removed = 0usize;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let orphan = if let Some(stem) = name.strip_prefix("chunk-") {
+                if let Some(digits) = stem.strip_suffix(".col") {
+                    match digits.parse::<usize>() {
+                        Ok(idx) => idx >= keep,
+                        Err(_) => true,
+                    }
+                } else {
+                    stem.ends_with(".col.tmp")
+                }
+            } else {
+                false
+            };
+            if orphan {
+                std::fs::remove_file(entry.path())?;
+                orphans_removed += 1;
+            }
+        }
+        File::open(&self.dir)?.sync_all()?;
+        Ok(CompactStats {
+            orphans_removed,
+            chunks_before,
+            chunks_after: keep,
+            rechunked,
+        })
     }
 
     /// Materializes the full [`MeasuredDataset`] — the dual-feasible-size
@@ -951,6 +1101,151 @@ mod tests {
         assert!(ChunkStoreWriter::resume(&dir, "other", n, 16).is_err());
         assert!(ChunkStoreWriter::resume(&dir, "t-v1", n + 1, 16).is_err());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn read_all(store: &ChunkStore) -> Vec<SiteObservation> {
+        let mut out = Vec::new();
+        for c in 0..store.num_chunks() {
+            let chunk = store.read_chunk(c).unwrap();
+            for r in 0..chunk.rows {
+                out.push(chunk.observation(r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn adopt_chunk_links_verified_bytes() {
+        let dir = tmp("adopt-src");
+        let dir2 = tmp("adopt-dst");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+        let n = 100;
+        write_store(&dir, n, 16);
+        let src = ChunkStore::open(&dir).unwrap();
+
+        let mut w = ChunkStoreWriter::create(&dir2, "t-v1", n, 16).unwrap();
+        for c in 0..src.num_chunks() {
+            w.adopt_chunk(&src, c).unwrap();
+            assert!(w.chunk_written(c));
+            // Double adoption is an error, not silent corruption.
+            assert!(w.adopt_chunk(&src, c).is_err());
+        }
+        w.finish().unwrap();
+        for c in 0..src.num_chunks() {
+            assert_eq!(
+                fs::read(dir.join(format!("chunk-{c:06}.col"))).unwrap(),
+                fs::read(dir2.join(format!("chunk-{c:06}.col"))).unwrap(),
+                "adopted chunk {c} differs"
+            );
+        }
+
+        // A geometry mismatch is refused before any bytes move.
+        let dir3 = tmp("adopt-badgeo");
+        let _ = fs::remove_dir_all(&dir3);
+        let mut w = ChunkStoreWriter::create(&dir3, "t-v1", n, 32).unwrap();
+        assert!(w.adopt_chunk(&src, 0).is_err());
+        // A corrupt source chunk is caught by the read-back verification.
+        let victim = dir.join("chunk-000001.col");
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 3]).unwrap();
+        let mut w = ChunkStoreWriter::create(&dir3, "t-v1", n, 16).unwrap();
+        assert!(w.adopt_chunk(&src, 1).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+        fs::remove_dir_all(&dir3).unwrap();
+    }
+
+    #[test]
+    fn compact_rechunks_and_removes_orphans() {
+        let dir = tmp("compact");
+        let _ = fs::remove_dir_all(&dir);
+        let n = 100;
+        let all = write_store(&dir, n, 16);
+        // Orphans an aborted delta run could leave behind.
+        fs::write(dir.join("chunk-000042.col"), b"stale").unwrap();
+        fs::write(dir.join("chunk-000003.col.tmp"), b"half").unwrap();
+
+        let mut store = ChunkStore::open(&dir).unwrap();
+        let stats = store.compact(64).unwrap();
+        assert_eq!(stats.chunks_before, 7);
+        assert_eq!(stats.chunks_after, 2);
+        // 5 superseded old-geometry chunks + the 2 stray files.
+        assert_eq!(stats.orphans_removed, 7);
+        assert!(stats.rechunked);
+
+        // Reopen from disk: same rows, new geometry, no strays.
+        let reopened = ChunkStore::open(&dir).unwrap();
+        assert_eq!(reopened.chunk_sites, 64);
+        assert_eq!(reopened.num_chunks(), 2);
+        assert_eq!(read_all(&reopened), all);
+        let mut files: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        files.sort();
+        assert_eq!(
+            files,
+            ["chunk-000000.col", "chunk-000001.col", "manifest.json"]
+        );
+
+        // Compacted bytes equal a from-scratch store at the same geometry:
+        // chunk bytes stay a pure function of the rows.
+        let dir2 = tmp("compact-fresh");
+        let _ = fs::remove_dir_all(&dir2);
+        let mut w = ChunkStoreWriter::create(&dir2, "t-v1", n, 64).unwrap();
+        for (i, obs) in all.iter().enumerate() {
+            w.commit(i, obs).unwrap();
+        }
+        w.finish().unwrap();
+        for c in 0..2 {
+            assert_eq!(
+                fs::read(dir.join(format!("chunk-{c:06}.col"))).unwrap(),
+                fs::read(dir2.join(format!("chunk-{c:06}.col"))).unwrap(),
+            );
+        }
+
+        // Idempotent at the same geometry: nothing to do, nothing removed.
+        let stats = store.compact(64).unwrap();
+        assert!(!stats.rechunked);
+        assert_eq!(stats.orphans_removed, 0);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn compact_never_truncates_hard_linked_sources() {
+        let src_dir = tmp("compact-hl-src");
+        let dst_dir = tmp("compact-hl-dst");
+        let _ = fs::remove_dir_all(&src_dir);
+        let _ = fs::remove_dir_all(&dst_dir);
+        let n = 48;
+        let all = write_store(&src_dir, n, 16);
+        // A delta-built sibling store sharing inodes with the source.
+        let src = ChunkStore::open(&src_dir).unwrap();
+        let mut w = ChunkStoreWriter::create(&dst_dir, "t-v1", n, 16).unwrap();
+        for c in 0..src.num_chunks() {
+            w.adopt_chunk(&src, c).unwrap();
+        }
+        w.finish().unwrap();
+        let src_bytes: Vec<Vec<u8>> = (0..3)
+            .map(|c| fs::read(src_dir.join(format!("chunk-{c:06}.col"))).unwrap())
+            .collect();
+
+        let mut dst = ChunkStore::open(&dst_dir).unwrap();
+        dst.compact(32).unwrap();
+        assert_eq!(read_all(&dst), all);
+        // The shared inodes were never rewritten in place.
+        for (c, bytes) in src_bytes.iter().enumerate() {
+            assert_eq!(
+                &fs::read(src_dir.join(format!("chunk-{c:06}.col"))).unwrap(),
+                bytes,
+                "source chunk {c} was clobbered through a shared inode"
+            );
+        }
+        assert_eq!(read_all(&ChunkStore::open(&src_dir).unwrap()), all);
+        fs::remove_dir_all(&src_dir).unwrap();
+        fs::remove_dir_all(&dst_dir).unwrap();
     }
 
     #[test]

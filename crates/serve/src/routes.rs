@@ -223,6 +223,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
         )),
         ["coverage"] => Ok(("coverage".to_string(), Box::new(coverage_body))),
         ["taxonomy"] => Ok(("taxonomy".to_string(), Box::new(taxonomy_body))),
+        ["trajectory"] => Ok(("trajectory".to_string(), Box::new(trajectory_body))),
         _ => return routed_err(404, "no such route"),
     };
     let (key, responder) = match build {
@@ -485,6 +486,32 @@ fn coverage_body(snap: &CubeSnapshot) -> Value {
         })
         .collect();
     obj(vec![("layers", Value::Array(layers))])
+}
+
+/// The per-epoch centralization trajectory carried on the snapshot: one
+/// point per published epoch up to this one, with drift and changepoint
+/// flags. Epoch-consistent by construction — the points ride the same
+/// snapshot every other route reads.
+fn trajectory_body(snap: &CubeSnapshot) -> Value {
+    let points: Vec<Value> = snap
+        .trajectory
+        .points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("epoch", Value::U64(p.epoch as u64)),
+                ("label", vs(&p.label)),
+                ("mean_score", Value::F64(p.mean_score)),
+                ("mean_cloudflare_pct", Value::F64(p.mean_cloudflare_pct)),
+                ("drift", Value::F64(p.drift)),
+                ("changepoint", Value::Bool(p.changepoint)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("epochs", Value::U64(points.len() as u64)),
+        ("points", Value::Array(points)),
+    ])
 }
 
 fn taxonomy_body(snap: &CubeSnapshot) -> Value {

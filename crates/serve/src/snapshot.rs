@@ -20,9 +20,25 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use webdep_analysis::{AnalysisCtx, CubeBuilder, DependenceCube};
-use webdep_pipeline::{ChunkStore, FailureTaxonomy, MeasuredDataset};
-use webdep_webgen::World;
+use webdep_analysis::{AnalysisCtx, CubeBuilder, DependenceCube, Trajectory};
+use webdep_pipeline::{
+    ChunkStore, FailureCause, FailureTaxonomy, MeasuredDataset, SiteObservation,
+};
+use webdep_webgen::{World, WorldDelta};
+
+/// Taxonomy layer names, in the chunk `failure_causes` order.
+const TAXONOMY_LAYERS: [&str; 3] = ["hosting", "dns", "ca"];
+
+/// The carry-forward state that lets epoch N+1 build from epoch N without
+/// re-reading clean chunks: the cube builder's per-site owner labels (16
+/// bytes per site) plus each site's failure causes at the three measured
+/// layers (for incremental taxonomy adjustment). Both are pure per-site
+/// records, so cloning + patching dirty sites reproduces a from-scratch
+/// fold exactly.
+struct DeltaState {
+    builder: CubeBuilder,
+    causes: Vec<[Option<FailureCause>; 3]>,
+}
 
 /// One immutable epoch of serving state.
 pub struct CubeSnapshot {
@@ -41,6 +57,12 @@ pub struct CubeSnapshot {
     pub taxonomy: FailureTaxonomy,
     /// Whether raw observations are resident in `dataset`.
     pub resident: bool,
+    /// Per-epoch centralization trajectory up to and including this epoch;
+    /// [`CubeSnapshot::from_delta`] extends the previous snapshot's, so
+    /// `/v1/trajectory` is epoch-consistent with every other route.
+    pub trajectory: Trajectory,
+    /// Carry-forward for the next delta build.
+    delta_state: DeltaState,
 }
 
 fn tld_ids(world: &World) -> HashMap<String, u32> {
@@ -52,13 +74,36 @@ fn tld_ids(world: &World) -> HashMap<String, u32> {
         .collect()
 }
 
+/// A hollow dataset (toplists only) mirroring `ChunkStore::load_dataset`'s
+/// shape minus the observation vector.
+fn hollow_dataset(world: &World, label: &str) -> MeasuredDataset {
+    MeasuredDataset {
+        observations: Vec::new(),
+        toplists: world.toplists.clone(),
+        global_top: world.global_top.clone(),
+        label: label.to_string(),
+    }
+}
+
 impl CubeSnapshot {
     /// Builds a snapshot from a resident dataset (a fresh measurement or a
     /// journal resume).
     pub fn from_dataset(epoch: u64, world: Arc<World>, dataset: MeasuredDataset) -> Self {
         let ids = tld_ids(&world);
-        let cube = DependenceCube::build(&world, &dataset, &ids);
+        let mut builder = CubeBuilder::new(dataset.observations.len());
+        let mut causes = Vec::with_capacity(dataset.observations.len());
+        for (i, obs) in dataset.observations.iter().enumerate() {
+            builder.fold_observation(i, obs, &ids);
+            causes.push([
+                obs.hosting_error.as_ref().map(|e| e.cause),
+                obs.dns_error.as_ref().map(|e| e.cause),
+                obs.ca_error.as_ref().map(|e| e.cause),
+            ]);
+        }
+        let cube = builder.finish(&world, &dataset.toplists, &dataset.global_top);
         let taxonomy = dataset.failure_taxonomy();
+        let mut trajectory = Trajectory::new();
+        trajectory.push(&AnalysisCtx::with_cube_ref(&world, &dataset, &cube));
         CubeSnapshot {
             epoch,
             world,
@@ -66,6 +111,62 @@ impl CubeSnapshot {
             cube,
             taxonomy,
             resident: true,
+            trajectory,
+            delta_state: DeltaState { builder, causes },
+        }
+    }
+
+    /// Builds a **hollow** snapshot from a borrowed observation slice: the
+    /// cube, taxonomy, and delta carry-forward fold exactly as in
+    /// [`CubeSnapshot::from_dataset`], but the observations stay with the
+    /// caller and the snapshot's dataset is hollow. For callers that
+    /// already hold a resident dataset and want to publish several epochs
+    /// of it without paying a resident copy per snapshot.
+    pub fn from_observations(
+        epoch: u64,
+        world: Arc<World>,
+        label: &str,
+        observations: &[SiteObservation],
+    ) -> Self {
+        let ids = tld_ids(&world);
+        let mut builder = CubeBuilder::new(observations.len());
+        let mut causes = Vec::with_capacity(observations.len());
+        let mut taxonomy = FailureTaxonomy {
+            total: observations.len() as u64,
+            ..FailureTaxonomy::default()
+        };
+        for (i, obs) in observations.iter().enumerate() {
+            builder.fold_observation(i, obs, &ids);
+            let site_causes = [
+                obs.hosting_error.as_ref().map(|e| e.cause),
+                obs.dns_error.as_ref().map(|e| e.cause),
+                obs.ca_error.as_ref().map(|e| e.cause),
+            ];
+            causes.push(site_causes);
+            let mut any = false;
+            for (layer, cause) in TAXONOMY_LAYERS.into_iter().zip(site_causes) {
+                if let Some(cause) = cause {
+                    taxonomy.record(layer, cause);
+                    any = true;
+                }
+            }
+            if !any {
+                taxonomy.clean += 1;
+            }
+        }
+        let cube = builder.finish(&world, &world.toplists, &world.global_top);
+        let dataset = hollow_dataset(&world, label);
+        let mut trajectory = Trajectory::new();
+        trajectory.push(&AnalysisCtx::with_cube_ref(&world, &dataset, &cube));
+        CubeSnapshot {
+            epoch,
+            world,
+            dataset,
+            cube,
+            taxonomy,
+            resident: false,
+            trajectory,
+            delta_state: DeltaState { builder, causes },
         }
     }
 
@@ -92,6 +193,7 @@ impl CubeSnapshot {
         }
         let ids = tld_ids(&world);
         let mut builder = CubeBuilder::new(store.sites);
+        let mut site_causes = vec![[None; 3]; store.sites];
         let mut taxonomy = FailureTaxonomy {
             total: store.sites as u64,
             ..FailureTaxonomy::default()
@@ -101,8 +203,9 @@ impl CubeSnapshot {
             builder.fold_chunk(&chunk, &ids);
             for r in 0..chunk.rows {
                 let causes = chunk.failure_causes(r);
+                site_causes[chunk.lo + r] = causes;
                 let mut any = false;
-                for (layer, cause) in ["hosting", "dns", "ca"].into_iter().zip(causes) {
+                for (layer, cause) in TAXONOMY_LAYERS.into_iter().zip(causes) {
                     if let Some(cause) = cause {
                         taxonomy.record(layer, cause);
                         any = true;
@@ -114,12 +217,9 @@ impl CubeSnapshot {
             }
         }
         let cube = builder.finish(&world, &world.toplists, &world.global_top);
-        let dataset = MeasuredDataset {
-            observations: Vec::new(),
-            toplists: world.toplists.clone(),
-            global_top: world.global_top.clone(),
-            label: store.label.clone(),
-        };
+        let dataset = hollow_dataset(&world, &store.label);
+        let mut trajectory = Trajectory::new();
+        trajectory.push(&AnalysisCtx::with_cube_ref(&world, &dataset, &cube));
         Ok(CubeSnapshot {
             epoch,
             world,
@@ -127,6 +227,130 @@ impl CubeSnapshot {
             cube,
             taxonomy,
             resident: false,
+            trajectory,
+            delta_state: DeltaState {
+                builder,
+                causes: site_causes,
+            },
+        })
+    }
+
+    /// Builds the next epoch's snapshot from the previous snapshot plus a
+    /// [`WorldDelta`], reading **only the dirty chunks** of the new store
+    /// at `dir` (the one `measure_delta` materialized). Clean chunks are
+    /// never opened: the previous snapshot's carried cube-builder labels
+    /// and per-site failure causes already hold their contribution, so the
+    /// new cube is the old builder cloned, grown to the evolved site
+    /// table, and refolded over dirty chunks, and the taxonomy is the old
+    /// taxonomy with each dirty site's causes retracted and re-recorded.
+    /// The result is indistinguishable from [`CubeSnapshot::from_store`]
+    /// over the full store (`tests/service.rs` asserts equality).
+    ///
+    /// The trajectory extends the previous snapshot's with this epoch's
+    /// point, so a delta-published server serves its full history.
+    pub fn from_delta(
+        epoch: u64,
+        world: Arc<World>,
+        prev: &CubeSnapshot,
+        delta: &WorldDelta,
+        dir: &Path,
+    ) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if prev.world.label != delta.from_label || prev.world.sites.len() != delta.from_sites {
+            return Err(invalid(format!(
+                "previous snapshot '{}' ({} sites) is not the delta's source '{}' ({} sites)",
+                prev.world.label,
+                prev.world.sites.len(),
+                delta.from_label,
+                delta.from_sites
+            )));
+        }
+        if world.label != delta.to_label || world.sites.len() != delta.to_sites {
+            return Err(invalid(format!(
+                "world '{}' ({} sites) is not the delta's target '{}' ({} sites)",
+                world.label,
+                world.sites.len(),
+                delta.to_label,
+                delta.to_sites
+            )));
+        }
+        let store = ChunkStore::open(dir)?;
+        if store.label != world.label || store.sites != world.sites.len() {
+            return Err(invalid(format!(
+                "store ({} sites, label {:?}) does not match world ({} sites, label {:?})",
+                store.sites,
+                store.label,
+                world.sites.len(),
+                world.label
+            )));
+        }
+
+        let ids = tld_ids(&world);
+        let mut builder = prev.delta_state.builder.clone();
+        builder.grow(store.sites);
+        let mut causes = prev.delta_state.causes.clone();
+        causes.resize(store.sites, [None; 3]);
+        let mut taxonomy = prev.taxonomy.clone();
+        taxonomy.total = store.sites as u64;
+        let dirty = delta.dirty();
+
+        let k = store.chunk_sites;
+        for c in 0..store.num_chunks() {
+            let lo = c * k;
+            let rows = store.chunk_rows(c);
+            if !dirty[lo..lo + rows].iter().any(|&d| d) {
+                continue;
+            }
+            let chunk = store.read_chunk(c)?;
+            // Refolds the whole chunk; clean rows overwrite their own
+            // labels (folds are idempotent), dirty rows take new ones.
+            builder.fold_chunk(&chunk, &ids);
+            for r in 0..rows {
+                let i = lo + r;
+                if !dirty[i] {
+                    continue;
+                }
+                if i < delta.from_sites {
+                    // Retract the superseded observation's contribution.
+                    let mut any_old = false;
+                    for (layer, cause) in TAXONOMY_LAYERS.into_iter().zip(causes[i]) {
+                        if let Some(cause) = cause {
+                            taxonomy.unrecord(layer, cause);
+                            any_old = true;
+                        }
+                    }
+                    if !any_old {
+                        taxonomy.clean -= 1;
+                    }
+                }
+                let fresh = chunk.failure_causes(r);
+                let mut any_new = false;
+                for (layer, cause) in TAXONOMY_LAYERS.into_iter().zip(fresh) {
+                    if let Some(cause) = cause {
+                        taxonomy.record(layer, cause);
+                        any_new = true;
+                    }
+                }
+                if !any_new {
+                    taxonomy.clean += 1;
+                }
+                causes[i] = fresh;
+            }
+        }
+
+        let cube = builder.finish(&world, &world.toplists, &world.global_top);
+        let dataset = hollow_dataset(&world, &store.label);
+        let mut trajectory = prev.trajectory.clone();
+        trajectory.push(&AnalysisCtx::with_cube_ref(&world, &dataset, &cube));
+        Ok(CubeSnapshot {
+            epoch,
+            world,
+            dataset,
+            cube,
+            taxonomy,
+            resident: false,
+            trajectory,
+            delta_state: DeltaState { builder, causes },
         })
     }
 

@@ -16,7 +16,7 @@ use webdep_pipeline::{
 };
 use webdep_serve::snapshot::CubeSnapshot;
 use webdep_serve::{start, Limits, ServeConfig};
-use webdep_webgen::{Layer, World, WorldConfig};
+use webdep_webgen::{EvolutionPlan, Layer, World, WorldConfig};
 
 // ---------------------------------------------------------------- fixture
 
@@ -677,6 +677,259 @@ fn snapshot_swap_under_load_is_atomic() {
         .ok()
         .expect("sole handle ref")
         .shutdown();
+}
+
+// ------------------------------------------------------- delta publishing
+
+/// Writes a full synthetic store for a world (the comparator for delta
+/// paths; synthetic observations are a pure function of the site record,
+/// so unchanged sites produce identical rows across epochs).
+fn write_synth_store(world: &World, dir: &std::path::Path, chunk_sites: usize) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut writer = ChunkStoreWriter::create(dir, &world.label, world.sites.len(), chunk_sites)
+        .expect("create");
+    for i in 0..world.sites.len() {
+        writer
+            .commit(i, &synth_observation(world, i))
+            .expect("commit");
+    }
+    writer.finish().expect("finish");
+}
+
+/// `from_delta` must be indistinguishable from `from_store` over the full
+/// evolved store: identical taxonomy, identical served bodies — while
+/// extending the trajectory instead of restarting it.
+#[test]
+fn delta_snapshot_equals_from_store() {
+    let (world, _) = fixture();
+    let tmp = std::env::temp_dir().join(format!("webdep-serve-delta-{}", std::process::id()));
+    let store1 = tmp.join("e1");
+    write_synth_store(world, &store1, 256);
+    let snap1 =
+        Arc::new(CubeSnapshot::from_store(1, Arc::clone(world), &store1).expect("from_store e1"));
+    assert_eq!(snap1.trajectory.points.len(), 1);
+
+    let (evolved, delta) = EvolutionPlan::continuous(1, 0.10, 5).evolve_epoch(world, 0);
+    delta.certify_unchanged(world, &evolved).unwrap();
+    let evolved = Arc::new(evolved);
+    let store2 = tmp.join("e2");
+    write_synth_store(&evolved, &store2, 256);
+
+    let via_delta = Arc::new(
+        CubeSnapshot::from_delta(2, Arc::clone(&evolved), &snap1, &delta, &store2)
+            .expect("from_delta"),
+    );
+    let via_store = Arc::new(
+        CubeSnapshot::from_store(2, Arc::clone(&evolved), &store2).expect("from_store e2"),
+    );
+
+    // The incrementally adjusted taxonomy is structurally identical to the
+    // fresh fold (zeroed cells removed, same clean count).
+    assert_eq!(via_delta.taxonomy, via_store.taxonomy);
+
+    // The trajectory extends epoch 1's rather than restarting.
+    assert_eq!(via_delta.trajectory.points.len(), 2);
+    assert_eq!(via_delta.trajectory.points[0], snap1.trajectory.points[0]);
+    assert_eq!(via_delta.trajectory.points[1].label, evolved.label);
+    assert_eq!(via_store.trajectory.points.len(), 1);
+
+    // Every served body is byte-identical (trajectory excluded: carrying
+    // history is exactly the delta path's difference).
+    let a = start(ServeConfig::default(), via_delta).expect("start delta");
+    let b = start(ServeConfig::default(), via_store).expect("start store");
+    for target in [
+        "/v1/meta",
+        "/v1/score/US?replicates=50&seed=3",
+        "/v1/score/TH?layer=tld&replicates=0",
+        "/v1/shares/DE?layer=dns",
+        "/v1/insularity/FR?layer=hosting",
+        "/v1/top?layer=ca&n=8",
+        "/v1/coverage",
+        "/v1/taxonomy",
+        "/v1/badge/JP",
+    ] {
+        let ra = get(a.addr(), target);
+        let rb = get(b.addr(), target);
+        assert_eq!(ra.status, 200, "{target}");
+        assert_eq!(ra.body, rb.body, "{target}");
+    }
+
+    // The trajectory route serves the carried history, epoch-stamped.
+    let body = get_json(a.addr(), "/v1/trajectory");
+    assert_eq!(body["epoch"].as_u64(), Some(2));
+    assert_eq!(body["epochs"].as_u64(), Some(2));
+    let points = body["points"].as_array().unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0]["epoch"].as_u64(), Some(0));
+    assert_eq!(points[1]["label"].as_str(), Some(evolved.label.as_str()));
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// `from_delta` refuses a mismatched previous snapshot or world.
+#[test]
+fn delta_snapshot_guards_lineage() {
+    let (world, _) = fixture();
+    let tmp = std::env::temp_dir().join(format!("webdep-serve-deltaguard-{}", std::process::id()));
+    let store1 = tmp.join("e1");
+    write_synth_store(world, &store1, 256);
+    let snap1 =
+        Arc::new(CubeSnapshot::from_store(1, Arc::clone(world), &store1).expect("from_store"));
+    let (evolved, delta) = EvolutionPlan::continuous(1, 0.05, 9).evolve_epoch(world, 0);
+    let evolved = Arc::new(evolved);
+    // The target world must be the evolved one, not the base.
+    assert!(
+        CubeSnapshot::from_delta(2, Arc::clone(world), &snap1, &delta, &store1).is_err(),
+        "wrong target world accepted"
+    );
+    // The previous snapshot must be the delta's source epoch.
+    let store2 = tmp.join("e2");
+    write_synth_store(&evolved, &store2, 256);
+    let snap2 = Arc::new(
+        CubeSnapshot::from_store(2, Arc::clone(&evolved), &store2).expect("from_store e2"),
+    );
+    assert!(
+        CubeSnapshot::from_delta(3, Arc::clone(&evolved), &snap2, &delta, &store2).is_err(),
+        "wrong source snapshot accepted"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// The swap-under-load storm, with the mid-traffic epochs built by
+/// `from_delta` off the live chain: zero failed requests, zero mixed-epoch
+/// responses, no torn bodies — delta-published snapshots behave exactly
+/// like full rebuilds under concurrency.
+#[test]
+fn delta_published_epochs_swap_atomically_under_load() {
+    let (world, _) = fixture();
+    let tmp = std::env::temp_dir().join(format!("webdep-serve-deltastorm-{}", std::process::id()));
+    write_synth_store(world, &tmp.join("e1"), 512);
+    let snap1 =
+        Arc::new(CubeSnapshot::from_store(1, Arc::clone(world), &tmp.join("e1")).expect("e1"));
+
+    // Two delta epochs chained off one base world.
+    let plan = EvolutionPlan::continuous(2, 0.10, 5);
+    let (w2, d1) = plan.evolve_epoch(world, 0);
+    let (w3, d2) = plan.evolve_epoch(&w2, 1);
+    let (w2, w3) = (Arc::new(w2), Arc::new(w3));
+    write_synth_store(&w2, &tmp.join("e2"), 512);
+    write_synth_store(&w3, &tmp.join("e3"), 512);
+    let snap2 = Arc::new(
+        CubeSnapshot::from_delta(2, Arc::clone(&w2), &snap1, &d1, &tmp.join("e2")).expect("e2"),
+    );
+    let snap3 = Arc::new(
+        CubeSnapshot::from_delta(3, Arc::clone(&w3), &snap2, &d2, &tmp.join("e3")).expect("e3"),
+    );
+    assert_eq!(snap3.trajectory.points.len(), 3);
+
+    let handle = Arc::new(
+        start(
+            ServeConfig {
+                workers: 8,
+                ..ServeConfig::default()
+            },
+            snap1,
+        )
+        .expect("start"),
+    );
+    let addr = handle.addr();
+    let targets = [
+        "/v1/score/US?replicates=0",
+        "/v1/insularity/TH",
+        "/v1/trajectory",
+        "/v1/meta",
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let failure: Arc<std::sync::Mutex<Option<String>>> = Arc::new(std::sync::Mutex::new(None));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let failure = Arc::clone(&failure);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut bodies: Vec<(u64, usize, Vec<u8>)> = Vec::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let ti = i % targets.len();
+                    i += 1;
+                    let resp = get(addr, targets[ti]);
+                    if resp.status != 200 {
+                        *failure.lock().unwrap() =
+                            Some(format!("{}: status {}", targets[ti], resp.status));
+                        break;
+                    }
+                    let header_epoch = resp.epoch.expect("epoch header");
+                    let body_epoch = json(&resp.body)["epoch"].as_u64();
+                    if body_epoch != Some(header_epoch) {
+                        *failure.lock().unwrap() = Some(format!(
+                            "{}: mixed epochs (header {header_epoch}, body {body_epoch:?})",
+                            targets[ti]
+                        ));
+                        break;
+                    }
+                    if header_epoch < last_epoch {
+                        *failure.lock().unwrap() = Some(format!(
+                            "{}: epoch regressed {last_epoch} -> {header_epoch}",
+                            targets[ti]
+                        ));
+                        break;
+                    }
+                    last_epoch = header_epoch;
+                    bodies.push((header_epoch, ti, resp.body));
+                }
+                bodies
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(handle.publish(snap2), 2);
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(handle.publish(snap3), 3);
+    std::thread::sleep(Duration::from_millis(120));
+    stop.store(true, Ordering::Relaxed);
+    let all: Vec<(u64, usize, Vec<u8>)> = clients
+        .into_iter()
+        .flat_map(|c| c.join().expect("client thread"))
+        .collect();
+    assert_eq!(*failure.lock().unwrap(), None);
+    assert!(all.len() > 50, "storm too small: {}", all.len());
+
+    // No torn variants: one body per (epoch, target); and the trajectory
+    // length matches the epoch it was served under.
+    use std::collections::HashMap;
+    let mut variants: HashMap<(u64, usize), &Vec<u8>> = HashMap::new();
+    for (epoch, ti, body) in &all {
+        match variants.get(&(*epoch, *ti)) {
+            Some(first) => assert_eq!(*first, body, "torn response: epoch {epoch} target {ti}"),
+            None => {
+                variants.insert((*epoch, *ti), body);
+            }
+        }
+        if *ti == 2 {
+            assert_eq!(
+                json(body)["epochs"].as_u64(),
+                Some(*epoch),
+                "trajectory length must match its serving epoch"
+            );
+        }
+    }
+    let mut seen: Vec<u64> = all.iter().map(|(e, _, _)| *e).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert!(
+        seen.contains(&1) && seen.contains(&3),
+        "epochs seen: {seen:?}"
+    );
+
+    Arc::try_unwrap(handle)
+        .ok()
+        .expect("sole handle ref")
+        .shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
 }
 
 // --------------------------------------------------------------- shutdown

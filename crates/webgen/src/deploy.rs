@@ -76,6 +76,14 @@ pub struct DeployConfig {
     /// `(server ip, qname or sni)` so retries meet the same fate on every
     /// worker schedule. The root server is always protected.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Per-provider site counts used to size serving pools. `None` counts
+    /// `world.sites` at deploy time. An evolution loop pins the *base*
+    /// epoch's counts ([`provider_site_counts`]) across every epoch's
+    /// deployment so pool lengths — and therefore the serving IPs of
+    /// unchanged sites — stay fixed while customers churn (real provider
+    /// address plans do not reshuffle with customer counts). Required for
+    /// `measure_delta`'s byte-identity contract.
+    pub pool_sites: Option<Arc<Vec<u64>>>,
 }
 
 impl Default for DeployConfig {
@@ -87,8 +95,20 @@ impl Default for DeployConfig {
             loss_rate: 0.0,
             inline_racks: true,
             faults: None,
+            pool_sites: None,
         }
     }
+}
+
+/// Sites hosted per provider id — the pool-sizing census a continuous
+/// evolution loop captures once from its base world and pins via
+/// [`DeployConfig::pool_sites`] for every subsequent epoch.
+pub fn provider_site_counts(world: &World) -> Vec<u64> {
+    let mut counts = vec![0u64; world.universe.providers.len()];
+    for s in &world.sites {
+        counts[s.hosting as usize] += 1;
+    }
+    counts
 }
 
 /// Continent of a provider's HQ country (with fallbacks for HQ countries
@@ -480,11 +500,19 @@ impl DeployedWorld {
         // Provider prefixes: /20s carved sequentially from 60.0.0.0.
         let mut next_p20: u32 = u32::from(Ipv4Addr::new(60, 0, 0, 0)) >> 12;
 
-        // Sites per provider per continent decide pool sizes.
-        let mut sites_per_provider = vec![0u64; n_providers];
-        for s in &world.sites {
-            sites_per_provider[s.hosting as usize] += 1;
-        }
+        // Sites per provider per continent decide pool sizes; a pinned
+        // census overrides the live count so pool lengths survive churn.
+        let sites_per_provider: Vec<u64> = match &config.pool_sites {
+            Some(pinned) => {
+                assert_eq!(
+                    pinned.len(),
+                    n_providers,
+                    "pinned pool census must cover every provider"
+                );
+                pinned.to_vec()
+            }
+            None => provider_site_counts(world),
+        };
 
         let mut pools: Vec<ProviderPools> = Vec::with_capacity(n_providers);
         for p in &universe.providers {

@@ -31,7 +31,8 @@ pub mod universe;
 pub mod world;
 
 pub use country::{Continent, CountryRecord, Layer};
-pub use deploy::{DeployConfig, DeployedWorld};
+pub use deploy::{provider_site_counts, DeployConfig, DeployedWorld};
+pub use evolve::{evolve, EpochKnobs, EvolutionPlan, WorldDelta};
 pub use paper_data::{COUNTRIES, NUM_COUNTRIES};
 pub use provider::{CaRecord, Provider, ProviderTier, TldRecord};
 pub use universe::Universe;

@@ -9,6 +9,8 @@
 //! webdep measure [tiny|small] --resume run.jsonl    # continue after a crash
 //! webdep serve [tiny|small] --addr 127.0.0.1:8439   # resident query service
 //! webdep serve small --store chunks/               # serve a chunked store
+//! webdep evolve 4 tiny --churn 0.1                 # continuous epochs, delta re-measure
+//! webdep evolve 4 tiny --serve-addr 127.0.0.1:8439 # …published live per epoch
 //! ```
 //!
 //! The heavier subcommands generate, deploy, and measure a synthetic world
@@ -35,7 +37,7 @@ use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]\n  webdep serve [tiny|small] [--addr <ip:port>] [--threads <n>] [--store <dir> | --world-seed <seed>]"
+        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]\n  webdep serve [tiny|small] [--addr <ip:port>] [--threads <n>] [--store <dir> | --world-seed <seed>]\n  webdep evolve <n-epochs> [tiny|small] [--churn <frac>] [--store <dir>] [--serve-addr <ip:port>] [--workers <n>]"
     );
     std::process::exit(2);
 }
@@ -329,6 +331,236 @@ fn cmd_serve(args: &[String]) {
     std::process::exit(0);
 }
 
+/// The closed continuous-measurement loop: generate + measure a base
+/// epoch into a chunked store, then per epoch evolve the world, re-measure
+/// only the dirty sites (`measure_delta`), build the next snapshot from
+/// the previous one plus the delta (`CubeSnapshot::from_delta`), and —
+/// when `--serve-addr` is given — publish it live through the running
+/// server's snapshot cell.
+fn cmd_evolve(args: &[String]) {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use webdep::pipeline::{measure_delta, measure_streamed};
+    use webdep::serve::server::sig;
+    use webdep::serve::snapshot::CubeSnapshot;
+    use webdep::serve::{start, ServeConfig};
+    use webdep::webgen::{provider_site_counts, EvolutionPlan};
+
+    let mut n_epochs: Option<usize> = None;
+    let mut scale: Option<&str> = None;
+    let mut churn = 0.10f64;
+    let mut store_root: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--churn" | "--store" | "--serve-addr" | "--workers" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{} needs a value", args[i]);
+                    std::process::exit(2);
+                };
+                match args[i].as_str() {
+                    "--churn" => {
+                        churn = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--churn needs a fraction in (0, 1), got {value:?}");
+                            std::process::exit(2);
+                        });
+                        if !(0.0..=1.0).contains(&churn) {
+                            eprintln!("--churn {churn} outside [0, 1]");
+                            std::process::exit(2);
+                        }
+                    }
+                    "--store" => store_root = Some(value.clone()),
+                    "--serve-addr" => serve_addr = Some(value.clone()),
+                    _ => {
+                        workers = Some(value.parse().unwrap_or_else(|_| {
+                            eprintln!("--workers needs a positive integer, got {value:?}");
+                            std::process::exit(2);
+                        }));
+                    }
+                }
+                i += 2;
+            }
+            s if !s.starts_with("--") => {
+                if n_epochs.is_none() && s.chars().all(|c| c.is_ascii_digit()) {
+                    n_epochs = s.parse().ok();
+                } else if scale.is_none() {
+                    scale = Some(s);
+                } else {
+                    eprintln!("unknown evolve argument {s:?}");
+                    usage();
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown evolve argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let n_epochs = n_epochs.unwrap_or_else(|| {
+        eprintln!("evolve needs the number of epochs, e.g. `webdep evolve 4 tiny`");
+        std::process::exit(2);
+    });
+    let config = scale_config(scale);
+    let store_root = store_root.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("webdep-evolve-{}", std::process::id()))
+    });
+
+    let mut pipeline = PipelineConfig::default();
+    if let Some(w) = workers {
+        pipeline.workers = w.max(1);
+    }
+
+    // The base epoch: one generated world, measured in full, streamed to
+    // a chunked store. The provider pool census is pinned here so every
+    // later epoch's unchanged sites keep their serving IPs — the delta
+    // byte-identity contract.
+    let seed = config.seed;
+    let base = World::generate(config);
+    let census = Arc::new(provider_site_counts(&base));
+    let pinned = DeployConfig {
+        pool_sites: Some(Arc::clone(&census)),
+        ..DeployConfig::default()
+    };
+    let epoch_dir = |e: usize| store_root.join(format!("epoch-{e:04}"));
+    eprintln!(
+        "epoch 0: measuring {} sites ({}) into {:?}...",
+        base.sites.len(),
+        base.label,
+        epoch_dir(0)
+    );
+    let t0 = Instant::now();
+    let dep = DeployedWorld::deploy(&base, pinned.clone());
+    let stats = measure_streamed(&base, &dep, &pipeline, &epoch_dir(0), None).unwrap_or_else(|e| {
+        eprintln!("store error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "epoch 0  sites={}  measured={}  wall={}ms  (full)",
+        base.sites.len(),
+        base.sites.len(),
+        t0.elapsed().as_millis()
+    );
+    drop(stats);
+
+    let mut world = Arc::new(base);
+    let mut snapshot = Arc::new(
+        CubeSnapshot::from_store(1, Arc::clone(&world), &epoch_dir(0)).unwrap_or_else(|e| {
+            eprintln!("snapshot error: {e}");
+            std::process::exit(1);
+        }),
+    );
+    let handle = serve_addr.map(|addr| {
+        let h = start(
+            ServeConfig {
+                addr,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&snapshot),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("bind error: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "serving on http://{} (epoch {}); trajectory at /v1/trajectory",
+            h.addr(),
+            h.epoch()
+        );
+        h
+    });
+
+    let plan = EvolutionPlan::continuous(n_epochs, churn, seed);
+    for e in 0..n_epochs {
+        let t = Instant::now();
+        let (next, delta) = plan.evolve_epoch(&world, e);
+        if let Err(err) = delta.certify_unchanged(&world, &next) {
+            eprintln!("epoch {}: unchanged-site certificate failed: {err}", e + 1);
+            std::process::exit(1);
+        }
+        for w in &delta.warnings {
+            eprintln!("epoch {}: warning: {w}", e + 1);
+        }
+        let next = Arc::new(next);
+        let dep = DeployedWorld::deploy(&next, pinned.clone());
+        let stats = measure_delta(
+            &next,
+            &dep,
+            &pipeline,
+            &delta,
+            &epoch_dir(e),
+            &epoch_dir(e + 1),
+            None,
+        )
+        .unwrap_or_else(|err| {
+            eprintln!("epoch {}: delta measurement failed: {err}", e + 1);
+            std::process::exit(1);
+        });
+        let next_snapshot = Arc::new(
+            CubeSnapshot::from_delta(
+                snapshot.epoch + 1,
+                Arc::clone(&next),
+                &snapshot,
+                &delta,
+                &epoch_dir(e + 1),
+            )
+            .unwrap_or_else(|err| {
+                eprintln!("epoch {}: snapshot delta failed: {err}", e + 1);
+                std::process::exit(1);
+            }),
+        );
+        if let Some(h) = &handle {
+            h.publish(Arc::clone(&next_snapshot));
+        }
+        let point = next_snapshot
+            .trajectory
+            .points
+            .last()
+            .expect("trajectory point");
+        println!(
+            "epoch {}  sites={}  remeasured={}  chunks adopted={}/{}  rows recommitted={}  wall={}ms  S={:.4}  drift={:+.4}{}{}",
+            e + 1,
+            stats.sites_total,
+            stats.sites_remeasured,
+            stats.chunks_adopted,
+            stats.chunks_total,
+            stats.rows_recommitted,
+            t.elapsed().as_millis(),
+            point.mean_score,
+            point.drift,
+            if point.changepoint { "  CHANGEPOINT" } else { "" },
+            if handle.is_some() { "  (published)" } else { "" },
+        );
+        world = next;
+        snapshot = next_snapshot;
+    }
+
+    match handle {
+        Some(h) => {
+            println!(
+                "evolution done ({} epochs); serving until SIGINT on http://{}",
+                n_epochs,
+                h.addr()
+            );
+            if !sig::install_sigint() {
+                eprintln!("warning: could not install SIGINT handler; stop with SIGKILL");
+            }
+            while !sig::interrupted() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            h.shutdown();
+        }
+        None => {
+            println!(
+                "evolution done: {} epochs in {:?} (stores retained for inspection)",
+                n_epochs, store_root
+            );
+        }
+    }
+}
+
 fn cmd_experiments(scale: Option<&str>) {
     let (world, ds) = measured(scale_config(scale));
     let ctx = AnalysisCtx::new(&world, &ds);
@@ -351,6 +583,7 @@ fn main() {
         Some("experiments") => cmd_experiments(args.get(1).map(String::as_str)),
         Some("measure") => cmd_measure(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("evolve") => cmd_evolve(&args[1..]),
         _ => usage(),
     }
 }
