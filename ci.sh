@@ -43,4 +43,13 @@ cargo run --release -q -p webdep-bench --bin bench-snapshot -- serve --smoke
 echo "==> bench-snapshot evolve --smoke"
 cargo run --release -q -p webdep-bench --bin bench-snapshot -- evolve --smoke
 
+# Perf-regression gate: deterministic smoke workloads (seeded 1-worker
+# pipeline measurement, sequential serve sweep) compared against
+# BENCH_baselines.json — exact integer counts, so it cannot flake on a
+# loaded box. Exits nonzero (and appends to BENCH_alerts.log) on breach;
+# after an accepted behavior change, re-record with
+# `bench-snapshot gate --smoke --update`.
+echo "==> bench-snapshot gate --smoke"
+cargo run --release -q -p webdep-bench --bin bench-snapshot -- gate --smoke
+
 echo "ci: all gates green"

@@ -152,8 +152,8 @@ pub struct AnalysisSnapshot {
     /// Affinity-propagation sweep, serial vs parallel.
     pub affinity: AffinityTiming,
     /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
-    /// assembled (bytes; 0 off-Linux).
-    pub peak_rss_bytes: u64,
+    /// assembled (bytes; `None`/JSON `null` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Generates, deploys, and measures a world at `config` scale, then times

@@ -49,6 +49,7 @@
 
 use serde::Serialize;
 use std::path::Path;
+use webdep_bench::gate;
 use webdep_dns::resolver::ResolverConfig;
 use webdep_pipeline::{measure_with_stats, MeasureStats, PipelineConfig, Scheduling};
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
@@ -77,7 +78,7 @@ struct Snapshot {
     after: ModeSnapshot,
     speedup: f64,
     wire_query_reduction: f64,
-    peak_rss_bytes: u64,
+    peak_rss_bytes: Option<u64>,
 }
 
 fn mode_snapshot(
@@ -103,6 +104,14 @@ fn mode_snapshot(
 
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
+}
+
+/// Renders an optional ratio as `1.234` or `n/a`.
+fn fmt_ratio(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.3}"),
+        None => "n/a".to_string(),
+    }
 }
 
 fn run(
@@ -131,29 +140,44 @@ fn repo_root_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
+/// Full runs anchor their headline numbers in `BENCH_baselines.json`;
+/// a regression past the stored threshold alerts without failing the run
+/// (the deterministic `gate` subcommand is what fails CI).
+fn record_headline(bench: &str, metrics: &[gate::Metric]) {
+    gate::record_headline(&repo_root_path(""), bench, metrics);
+}
+
+fn permille(x: f64) -> u64 {
+    (x * 1000.0).round().max(0.0) as u64
+}
+
+/// A headline ratio (speedup, reduction): lower is a regression.
+fn down_bad(name: &'static str, value: u64, tol_pct: u64) -> gate::Metric {
+    gate::Metric {
+        name,
+        value,
+        tol_pct,
+        direction: gate::Direction::DownBad,
+    }
+}
+
+/// A headline cost (latency, RSS ratio): higher is a regression.
+fn up_bad(name: &'static str, value: u64, tol_pct: u64) -> gate::Metric {
+    gate::Metric {
+        name,
+        value,
+        tol_pct,
+        direction: gate::Direction::UpBad,
+    }
+}
+
 /// Appends one `unix_ts,bench,summary` line to `BENCH_history.csv` so
 /// successive snapshot runs leave a greppable trend line next to the
-/// JSON files they overwrite. The summary must not contain commas.
+/// JSON files they overwrite. Commas in the summary are sanitized to
+/// `;` (see [`webdep_bench::append_history_line`]).
 fn append_history(name: &str, summary: &str) {
-    use std::io::Write;
-    debug_assert!(!summary.contains(','), "history summaries are comma-free");
     let path = repo_root_path("BENCH_history.csv");
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let header = if path.exists() {
-        ""
-    } else {
-        "unix_ts,bench,summary\n"
-    };
-    let line = format!("{header}{ts},{name},{summary}\n");
-    let res = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .and_then(|mut f| f.write_all(line.as_bytes()));
-    if let Err(e) = res {
+    if let Err(e) = webdep_bench::append_history_line(&path, name, summary) {
         eprintln!("warning: could not append {}: {e}", path.display());
     }
 }
@@ -188,6 +212,21 @@ fn analysis_snapshot() {
             "suite x{:.2} cube build {:.1}ms affinity x{:.2}",
             snapshot.suite_speedup, snapshot.cube_build_ms, snapshot.affinity.speedup
         ),
+    );
+    record_headline(
+        "analysis",
+        &[
+            down_bad(
+                "suite_speedup_permille",
+                permille(snapshot.suite_speedup),
+                30,
+            ),
+            down_bad(
+                "affinity_speedup_permille",
+                permille(snapshot.affinity.speedup),
+                30,
+            ),
+        ],
     );
 }
 
@@ -244,6 +283,17 @@ fn pipeline_snapshot() {
             snapshot.speedup,
             snapshot.wire_query_reduction * 100.0
         ),
+    );
+    record_headline(
+        "pipeline",
+        &[
+            down_bad("speedup_permille", permille(snapshot.speedup), 30),
+            down_bad(
+                "wire_query_reduction_permille",
+                permille(snapshot.wire_query_reduction),
+                30,
+            ),
+        ],
     );
 }
 
@@ -330,8 +380,9 @@ fn scale_snapshot(smoke: bool) {
         // but its timings are meaningless — leave the full-run snapshot
         // file alone.
         eprintln!(
-            "scale smoke OK (identical over {} sites, rss ratio {:.3})",
-            snapshot.equivalence.sites, snapshot.rss_ratio_streaming_vs_scaled_resident
+            "scale smoke OK (identical over {} sites, rss ratio {})",
+            snapshot.equivalence.sites,
+            fmt_ratio(snapshot.rss_ratio_streaming_vs_scaled_resident)
         );
         return;
     }
@@ -340,20 +391,31 @@ fn scale_snapshot(smoke: bool) {
     std::fs::write(&out, json + "\n").expect("write BENCH_scale.json");
     let big = snapshot.rows.last().expect("rows");
     eprintln!(
-        "wrote {} ({} sites streamed at {:.0} sites/s, peak RSS {} MB, rss ratio {:.3})",
+        "wrote {} ({} sites streamed at {:.0} sites/s, peak RSS {} MB, rss ratio {})",
         out.display(),
         big.sites,
         big.sites_per_sec,
-        big.peak_rss_bytes >> 20,
-        snapshot.rss_ratio_streaming_vs_scaled_resident
+        webdep_bench::fmt_rss_mb(big.peak_rss_bytes),
+        fmt_ratio(snapshot.rss_ratio_streaming_vs_scaled_resident)
     );
     append_history(
         "scale",
         &format!(
-            "{} sites at {:.0} sites/s rss ratio {:.3}",
-            big.sites, big.sites_per_sec, snapshot.rss_ratio_streaming_vs_scaled_resident
+            "{} sites at {:.0} sites/s rss ratio {}",
+            big.sites,
+            big.sites_per_sec,
+            fmt_ratio(snapshot.rss_ratio_streaming_vs_scaled_resident)
         ),
     );
+    let mut headline = vec![down_bad(
+        "stream_sites_per_sec",
+        big.sites_per_sec.round().max(0.0) as u64,
+        40,
+    )];
+    if let Some(ratio) = snapshot.rss_ratio_streaming_vs_scaled_resident {
+        headline.push(up_bad("rss_ratio_permille", permille(ratio), 50));
+    }
+    record_headline("scale", &headline);
 }
 
 fn serve_snapshot(smoke: bool) {
@@ -393,6 +455,18 @@ fn serve_snapshot(smoke: bool) {
             "c={} p99 {}us {} rps cached x{:.1}",
             top.concurrency, top.p99_us, top.rps, snapshot.cold_vs_cached.speedup
         ),
+    );
+    record_headline(
+        "serve",
+        &[
+            up_bad("top_p99_us", top.p99_us, 50),
+            down_bad("warm_rps", top.rps.round().max(0.0) as u64, 40),
+            down_bad(
+                "cached_speedup_permille",
+                permille(snapshot.cold_vs_cached.speedup),
+                40,
+            ),
+        ],
     );
 }
 
@@ -446,7 +520,7 @@ fn evolve_snapshot(smoke: bool) {
         snapshot.sites_base,
         gated.mean_measure_speedup,
         gated.mean_cube_speedup,
-        snapshot.peak_rss_bytes >> 20
+        webdep_bench::fmt_rss_mb(snapshot.peak_rss_bytes)
     );
     append_history(
         "evolve",
@@ -454,6 +528,21 @@ fn evolve_snapshot(smoke: bool) {
             "10% churn measure x{:.1} cube x{:.1} over {} base sites",
             gated.mean_measure_speedup, gated.mean_cube_speedup, snapshot.sites_base
         ),
+    );
+    record_headline(
+        "evolve",
+        &[
+            down_bad(
+                "measure_speedup_permille",
+                permille(gated.mean_measure_speedup),
+                30,
+            ),
+            down_bad(
+                "cube_speedup_permille",
+                permille(gated.mean_cube_speedup),
+                30,
+            ),
+        ],
     );
 }
 
@@ -468,6 +557,17 @@ fn main() {
         "scale" => scale_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         "serve" => serve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         "evolve" => evolve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
+        // The CI perf-regression gate: deterministic workloads vs
+        // BENCH_baselines.json. `--update` re-records after an accepted
+        // change; exits 1 (and appends to BENCH_alerts.log) on breach.
+        "gate" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let update = args.iter().any(|a| a == "--update");
+            let ok = gate::run_gate(&repo_root_path(""), smoke, update, |l| eprintln!("{l}"));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
         // Hidden: one scale phase in a child process, so each phase's
         // VmHWM is its own (see webdep_bench::scale).
         "scale-phase" => {
@@ -489,7 +589,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | evolve [--smoke] | all)"
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | evolve [--smoke] | gate [--smoke] [--update] | all)"
             );
             std::process::exit(2);
         }

@@ -116,7 +116,7 @@ pub struct EvolveSnapshot {
     pub sweeps: Vec<ChurnSweep>,
     /// `VmHWM` of the bench process (all sweeps share it; the streaming
     /// paths hold one chunk at a time, so the resident worlds dominate).
-    pub peak_rss_bytes: u64,
+    pub peak_rss_bytes: Option<u64>,
 }
 
 fn scratch(tag: &str) -> PathBuf {

@@ -158,8 +158,8 @@ pub struct FaultsSnapshot {
     /// The sweep, in `kind`-major order.
     pub runs: Vec<FaultRunSnapshot>,
     /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
-    /// assembled (bytes; 0 off-Linux).
-    pub peak_rss_bytes: u64,
+    /// assembled (bytes; `None`/JSON `null` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// World for the sweep: smaller than the pipeline bench's `tiny` so nine

@@ -92,8 +92,8 @@ pub struct ResilienceSnapshot {
     /// The crash-resume cycle.
     pub resume: ResumeRun,
     /// Peak RSS (`VmHWM`) of the bench process when the snapshot was
-    /// assembled (bytes; 0 off-Linux).
-    pub peak_rss_bytes: u64,
+    /// assembled (bytes; `None`/JSON `null` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// World for the resilience runs: same reduced scale as the fault sweep,

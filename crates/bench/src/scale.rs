@@ -247,8 +247,9 @@ pub struct PhaseOut {
     pub gen_ms: u64,
     /// Dataset-path wall: synthesize + commit + cube + report.
     pub wall_ms: u64,
-    /// `VmHWM` of this phase's process at exit.
-    pub peak_rss_bytes: u64,
+    /// `VmHWM` of this phase's process at exit (`None` off-Linux,
+    /// serialized as `null`).
+    pub peak_rss_bytes: Option<u64>,
     /// Chunk-store footprint on disk (0 for the resident path).
     pub store_bytes: u64,
 }
@@ -322,8 +323,9 @@ pub struct ScaleRow {
     pub wall_ms: u64,
     /// Sites through the dataset path per second of `wall_ms`.
     pub sites_per_sec: f64,
-    /// Peak RSS (`VmHWM`) of the phase's dedicated process.
-    pub peak_rss_bytes: u64,
+    /// Peak RSS (`VmHWM`) of the phase's dedicated process (`None`
+    /// off-Linux, serialized as `null`).
+    pub peak_rss_bytes: Option<u64>,
     /// Chunk-store footprint on disk (0 for the resident path).
     pub store_bytes: u64,
 }
@@ -341,7 +343,8 @@ pub struct ScaleSnapshot {
     /// Streaming beyond-paper peak RSS over the resident baseline's peak
     /// RSS scaled linearly to the same site count — < 1.0 means the
     /// streaming path grows sub-linearly where the resident path cannot.
-    pub rss_ratio_streaming_vs_scaled_resident: f64,
+    /// `None` (JSON `null`) where peak RSS is unavailable.
+    pub rss_ratio_streaming_vs_scaled_resident: Option<f64>,
 }
 
 /// Toplist sizes for the three phases.
@@ -401,7 +404,7 @@ fn parse_row(v: &Value) -> ScaleRow {
         gen_ms: u(v, "gen_ms"),
         wall_ms,
         sites_per_sec: ((sites as f64 / (wall_ms.max(1) as f64 / 1000.0)) * 10.0).round() / 10.0,
-        peak_rss_bytes: u(v, "peak_rss_bytes"),
+        peak_rss_bytes: v["peak_rss_bytes"].as_u64(),
         store_bytes: u(v, "store_bytes"),
     }
 }
@@ -441,7 +444,7 @@ pub fn scale_snapshot(exe: &Path, smoke: bool, log: impl Fn(&str)) -> ScaleSnaps
         "  {} sites, {} ms, peak RSS {} MB",
         resident.sites,
         resident.wall_ms,
-        resident.peak_rss_bytes >> 20
+        crate::fmt_rss_mb(resident.peak_rss_bytes)
     ));
 
     log(&format!("streaming at spc={}...", s.base));
@@ -450,7 +453,7 @@ pub fn scale_snapshot(exe: &Path, smoke: bool, log: impl Fn(&str)) -> ScaleSnaps
         "  {} sites, {} ms, peak RSS {} MB, store {} MB",
         streaming_base.sites,
         streaming_base.wall_ms,
-        streaming_base.peak_rss_bytes >> 20,
+        crate::fmt_rss_mb(streaming_base.peak_rss_bytes),
         streaming_base.store_bytes >> 20
     ));
 
@@ -460,18 +463,24 @@ pub fn scale_snapshot(exe: &Path, smoke: bool, log: impl Fn(&str)) -> ScaleSnaps
         "  {} sites, {} ms, peak RSS {} MB, store {} MB",
         streaming_big.sites,
         streaming_big.wall_ms,
-        streaming_big.peak_rss_bytes >> 20,
+        crate::fmt_rss_mb(streaming_big.peak_rss_bytes),
         streaming_big.store_bytes >> 20
     ));
 
-    let scaled_resident = resident.peak_rss_bytes as f64
-        * (streaming_big.sites as f64 / resident.sites.max(1) as f64);
-    let ratio = streaming_big.peak_rss_bytes as f64 / scaled_resident.max(1.0);
+    let ratio = match (resident.peak_rss_bytes, streaming_big.peak_rss_bytes) {
+        (Some(resident_rss), Some(big_rss)) => {
+            let scaled_resident =
+                resident_rss as f64 * (streaming_big.sites as f64 / resident.sites.max(1) as f64);
+            let ratio = big_rss as f64 / scaled_resident.max(1.0);
+            Some((ratio * 1000.0).round() / 1000.0)
+        }
+        _ => None,
+    };
     ScaleSnapshot {
         chunk_sites: DEFAULT_CHUNK_SITES as u64,
         equivalence,
         rows: vec![resident, streaming_base, streaming_big],
-        rss_ratio_streaming_vs_scaled_resident: (ratio * 1000.0).round() / 1000.0,
+        rss_ratio_streaming_vs_scaled_resident: ratio,
     }
 }
 
@@ -493,6 +502,7 @@ mod tests {
     fn peak_rss_is_reported_on_linux() {
         let rss = crate::peak_rss_bytes();
         if cfg!(target_os = "linux") {
+            let rss = rss.expect("VmHWM available on Linux");
             assert!(rss > 1 << 20, "VmHWM under 1 MB: {rss}");
         }
     }

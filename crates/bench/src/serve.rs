@@ -110,7 +110,7 @@ pub struct ServeSnapshot {
     /// p99 at the top level over p50 at concurrency 1 (acceptance: ≤ 10).
     pub p99_top_over_p50_c1: f64,
     /// `VmHWM` at the end of the run.
-    pub peak_rss_bytes: u64,
+    pub peak_rss_bytes: Option<u64>,
 }
 
 // ------------------------------------------------------------ http client

@@ -34,6 +34,13 @@
 //! upon, and [`fdiv`] the f-divergence family the paper evaluates and
 //! rejects for this task (they saturate on disjoint supports).
 //!
+//! ## Observability
+//!
+//! [`metrics`] is not a paper measure: it is the repo's first-party
+//! telemetry toolkit — atomic counters, gauges, and fixed-bucket latency
+//! histograms behind a registry that renders the Prometheus text format —
+//! shared by the measurement pipeline and the query service.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -55,6 +62,7 @@ pub mod error;
 pub mod fdiv;
 pub mod insularity;
 pub mod intern;
+pub mod metrics;
 pub mod regionalization;
 pub mod topn;
 pub mod transport;

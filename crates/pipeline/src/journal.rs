@@ -125,6 +125,11 @@ impl JournalWriter {
     pub fn sync(&mut self) -> io::Result<()> {
         self.out.flush()?;
         self.out.get_ref().sync_data()?;
+        // Telemetry at batch granularity: one fsync event plus however
+        // many records it made durable (never per-record atomics).
+        let m = crate::metrics::metrics();
+        m.journal_fsyncs.inc();
+        m.journal_records.add(self.pending as u64);
         self.pending = 0;
         Ok(())
     }

@@ -19,6 +19,7 @@
 pub mod dataset;
 pub mod delta;
 pub mod journal;
+pub mod metrics;
 pub mod run;
 pub mod store;
 pub mod supervisor;

@@ -658,6 +658,9 @@ pub(crate) fn run_supervised(
         malformed_flights,
         supervision: sup_stats,
     };
+    // One fold into the process-wide telemetry per run — the hot loop
+    // itself stays free of shared counters.
+    crate::metrics::record_run(n, &stats);
     (coll.sink, stats, journal_error)
 }
 

@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use webdep_core::metrics::Counter;
 
 const SHARDS: usize = 16;
 
@@ -52,21 +52,51 @@ struct Shard {
     fifo: VecDeque<(u64, String)>,
 }
 
+/// Counter handles for the cache's four event streams. Pass handles
+/// registered in a metrics registry (see `ServeMetrics::cache_counters`)
+/// to expose them at `GET /metrics`; [`CacheCounters::default`] makes
+/// unregistered, process-private ones.
+///
+/// Exactness contract (audited for the `/metrics` exporter): every update
+/// is an atomic read-modify-write (`fetch_add`), so concurrent shard
+/// access never loses increments — `hits + misses` equals the number of
+/// `get` calls exactly, and `evictions`/`stale_purged` are incremented
+/// under the owning shard's lock in the same critical section that
+/// removes the entry. The one deliberate softness: `get` counts *after*
+/// releasing the shard lock, so a scrape racing a lookup may see the
+/// lookup's map effect before its counter tick (never the reverse of
+/// exactness — totals converge the instant in-flight calls return).
+#[derive(Clone, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: Counter,
+    /// Lookups that had to render the response.
+    pub misses: Counter,
+    /// Entries dropped to stay within capacity.
+    pub evictions: Counter,
+    /// Entries dropped because their epoch was superseded.
+    pub stale_purged: Counter,
+}
+
 /// Sharded `(epoch, canonical key) → rendered body` cache with FIFO
 /// eviction and a global capacity bound.
 pub struct ResponseCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    stale_purged: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl ResponseCache {
     /// Creates a cache holding at most `capacity` entries (rounded up to a
-    /// multiple of the shard count; minimum one entry per shard).
+    /// multiple of the shard count; minimum one entry per shard), with
+    /// process-private counters.
     pub fn new(capacity: usize) -> Self {
+        Self::with_counters(capacity, CacheCounters::default())
+    }
+
+    /// Like [`ResponseCache::new`], but counting into the given handles
+    /// (typically registered in a metrics registry).
+    pub fn with_counters(capacity: usize, counters: CacheCounters) -> Self {
         let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
         ResponseCache {
             shards: (0..SHARDS)
@@ -78,10 +108,7 @@ impl ResponseCache {
                 })
                 .collect(),
             capacity_per_shard,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            stale_purged: AtomicU64::new(0),
+            counters,
         }
     }
 
@@ -99,9 +126,9 @@ impl ResponseCache {
         let found = guard.map.get(&(epoch, key.to_string())).map(Arc::clone);
         drop(guard);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.misses.inc();
         }
         found
     }
@@ -119,7 +146,7 @@ impl ResponseCache {
             match guard.fifo.pop_front() {
                 Some(oldest) => {
                     if guard.map.remove(&oldest).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.counters.evictions.inc();
                     }
                 }
                 None => break,
@@ -139,7 +166,7 @@ impl ResponseCache {
             guard.fifo.retain(|(e, _)| *e >= epoch);
             let dropped = (before - guard.map.len()) as u64;
             if dropped > 0 {
-                self.stale_purged.fetch_add(dropped, Ordering::Relaxed);
+                self.counters.stale_purged.add(dropped);
             }
         }
     }
@@ -161,10 +188,10 @@ impl ResponseCache {
             .map(|s| s.lock().expect("cache shard poisoned").map.len())
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            stale_purged: self.stale_purged.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            evictions: self.counters.evictions.get(),
+            stale_purged: self.counters.stale_purged.get(),
             len,
         }
     }
@@ -219,6 +246,49 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.len <= 16, "len {} exceeds capacity", stats.len);
         assert!(stats.evictions >= 200 - 16);
+    }
+
+    /// The exactness audit behind the `/metrics` exporter: hammer every
+    /// operation from many threads and check the counters balance to the
+    /// exact operation totals — a single lost increment (a non-atomic
+    /// read-modify-write anywhere) fails the accounting identities.
+    #[test]
+    fn counters_are_exact_under_concurrent_shard_access() {
+        const THREADS: u64 = 8;
+        const OPS: u64 = 2_000;
+        let cache = ResponseCache::new(32); // 2 entries/shard: constant eviction pressure
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        // Overlapping key ranges force cross-thread contention
+                        // on the same shards.
+                        let key = format!("k{}", (t * OPS / 2 + i) % 64);
+                        if cache.get(1, &key).is_none() {
+                            cache.insert(1, &key, body("v"));
+                        }
+                        if i % 128 == 0 {
+                            cache.purge_older(1); // no-op epoch-wise, must not distort counts
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            THREADS * OPS,
+            "lookup accounting lost increments: {stats:?}"
+        );
+        assert_eq!(stats.stale_purged, 0, "purge_older(1) dropped live entries");
+        // Every insert either remains resident, was evicted, or was a
+        // same-key no-op; evictions can never exceed misses (each miss is
+        // the only path to an insert attempt).
+        assert!(
+            stats.evictions + (stats.len as u64) <= stats.misses,
+            "eviction accounting inconsistent: {stats:?}"
+        );
     }
 
     #[test]

@@ -280,9 +280,24 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// Renders a full response (status line, headers, body) into one buffer,
-/// ready for a single `write_all`.
+/// Renders a full JSON response (status line, headers, body) into one
+/// buffer, ready for a single `write_all`.
 pub fn render_response(status: u16, body: &[u8], epoch: Option<u64>, keep_alive: bool) -> Vec<u8> {
+    render_response_typed(status, body, epoch, keep_alive, "application/json")
+}
+
+/// Content type of the Prometheus text exposition format.
+pub const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders a full response with an explicit `Content-Type` (the
+/// `/metrics` exporter serves [`PROMETHEUS_TEXT`], everything else JSON).
+pub fn render_response_typed(
+    status: u16,
+    body: &[u8],
+    epoch: Option<u64>,
+    keep_alive: bool,
+    content_type: &str,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -297,7 +312,7 @@ pub fn render_response(status: u16, body: &[u8], epoch: Option<u64>, keep_alive:
     };
     let mut out = Vec::with_capacity(body.len() + 160);
     out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
-    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
     out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
     if let Some(e) = epoch {
         out.extend_from_slice(format!("X-Webdep-Epoch: {e}\r\n").as_bytes());

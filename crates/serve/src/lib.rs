@@ -16,6 +16,9 @@
 //!   epoch-versioned publication point.
 //! - [`cache`] — the bounded `(epoch, canonical query) → body` response
 //!   cache with hit/miss/eviction counters.
+//! - [`metrics`] — per-route request counters and latency histograms,
+//!   snapshot-epoch gauges, and the `GET /metrics` Prometheus-text body
+//!   (built on [`webdep_core::metrics`], no prometheus crate).
 //! - [`routes`] — the route table; every responder calls the same
 //!   `webdep-analysis` entry points as the one-shot report.
 //! - [`server`] — listener, worker pool, connection loop, graceful
@@ -29,11 +32,13 @@
 
 pub mod cache;
 pub mod http;
+pub mod metrics;
 pub mod routes;
 pub mod server;
 pub mod snapshot;
 
-pub use cache::{CacheStats, ResponseCache};
+pub use cache::{CacheCounters, CacheStats, ResponseCache};
 pub use http::{Limits, Request};
+pub use metrics::ServeMetrics;
 pub use server::{start, ServeConfig, ServerHandle};
 pub use snapshot::{CubeSnapshot, SnapshotCell};

@@ -30,8 +30,8 @@ pub const DEFAULT_SEED: u64 = 42;
 /// Default confidence level.
 pub const DEFAULT_LEVEL: f64 = 0.95;
 
-/// A routed response: status, rendered JSON body, and whether the response
-/// cache supplied it.
+/// A routed response: status, rendered JSON body, whether the response
+/// cache supplied it, and the route label for telemetry.
 pub struct Routed {
     /// HTTP status code.
     pub status: u16,
@@ -39,6 +39,9 @@ pub struct Routed {
     pub body: Arc<Vec<u8>>,
     /// Whether this body came from the response cache.
     pub cache_hit: bool,
+    /// Metrics label: the matched route name, or `"other"` for unmatched
+    /// paths (bounded so hostile traffic cannot mint unbounded series).
+    pub route: &'static str,
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -54,11 +57,12 @@ fn vs(s: &str) -> Value {
     Value::String(s.to_string())
 }
 
-fn routed_err(status: u16, reason: &str) -> Routed {
+fn routed_err(route: &'static str, status: u16, reason: &str) -> Routed {
     Routed {
         status,
         body: Arc::new(error_body(status, reason)),
         cache_hit: false,
+        route,
     }
 }
 
@@ -151,9 +155,29 @@ pub fn handle(req: &Request, snap: &CubeSnapshot, cache: &ResponseCache) -> Rout
                 .into_bytes(),
             ),
             cache_hit: false,
+            route: "healthz",
         },
         (Some("v1"), tail) => route_v1(req, tail, snap, cache),
-        _ => routed_err(404, "no such route"),
+        _ => routed_err("other", 404, "no such route"),
+    }
+}
+
+/// The telemetry label for a `/v1` tail: the route's own name when the
+/// shape matches a known route, `"other"` otherwise.
+fn v1_label(tail: &[&str]) -> &'static str {
+    match tail {
+        ["meta"] => "meta",
+        ["countries"] => "countries",
+        ["score", _] => "score",
+        ["ci", _] => "ci",
+        ["shares", _] => "shares",
+        ["insularity", _] => "insularity",
+        ["badge", _] => "badge",
+        ["top"] => "top",
+        ["coverage"] => "coverage",
+        ["taxonomy"] => "taxonomy",
+        ["trajectory"] => "trajectory",
+        _ => "other",
     }
 }
 
@@ -162,9 +186,10 @@ pub fn handle(req: &Request, snap: &CubeSnapshot, cache: &ResponseCache) -> Rout
 type Resolved = (String, Box<dyn FnOnce(&CubeSnapshot) -> Value>);
 
 fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseCache) -> Routed {
+    let route = v1_label(tail);
     let q = match parse_query(req) {
         Ok(q) => q,
-        Err(reason) => return routed_err(400, &reason),
+        Err(reason) => return routed_err(route, 400, &reason),
     };
     // (canonical cache key, responder) per route; unknown → 404.
     let build: Result<Resolved, Routed> = match tail {
@@ -181,7 +206,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
                 ),
                 Box::new(move |s| score_body(s, ci, &code, &q)),
             )),
-            Err(reason) => return routed_err(404, &reason),
+            Err(reason) => return routed_err(route, 404, &reason),
         },
         ["ci", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
@@ -194,28 +219,28 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
                 ),
                 Box::new(move |s| ci_body(s, ci, &code, &q)),
             )),
-            Err(reason) => return routed_err(404, &reason),
+            Err(reason) => return routed_err(route, 404, &reason),
         },
         ["shares", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("shares/{code}/{}/t{}", q.layer.name(), q.top),
                 Box::new(move |s| shares_body(s, ci, &code, &q)),
             )),
-            Err(reason) => return routed_err(404, &reason),
+            Err(reason) => return routed_err(route, 404, &reason),
         },
         ["insularity", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("insularity/{code}/{}", q.layer.name()),
                 Box::new(move |s| insularity_body(s, ci, &code, &q)),
             )),
-            Err(reason) => return routed_err(404, &reason),
+            Err(reason) => return routed_err(route, 404, &reason),
         },
         ["badge", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("badge/{code}/r{}/s{}/l{}", q.replicates, q.seed, q.level),
                 Box::new(move |s| badge_body(s, ci, &code, &q)),
             )),
-            Err(reason) => return routed_err(404, &reason),
+            Err(reason) => return routed_err(route, 404, &reason),
         },
         ["top"] => Ok((
             format!("top/{}/t{}", q.layer.name(), q.top),
@@ -224,7 +249,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
         ["coverage"] => Ok(("coverage".to_string(), Box::new(coverage_body))),
         ["taxonomy"] => Ok(("taxonomy".to_string(), Box::new(taxonomy_body))),
         ["trajectory"] => Ok(("trajectory".to_string(), Box::new(trajectory_body))),
-        _ => return routed_err(404, "no such route"),
+        _ => return routed_err(route, 404, "no such route"),
     };
     let (key, responder) = match build {
         Ok(pair) => pair,
@@ -235,6 +260,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
             status: 200,
             body,
             cache_hit: true,
+            route,
         };
     }
     let mut value = responder(snap);
@@ -245,6 +271,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
         status: 200,
         body,
         cache_hit: false,
+        route,
     }
 }
 

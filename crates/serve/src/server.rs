@@ -15,13 +15,17 @@
 //! Nothing in flight is dropped.
 
 use crate::cache::{CacheStats, ResponseCache};
-use crate::http::{error_body, parse_head, render_response, Limits, ParseOutcome};
+use crate::http::{
+    error_body, parse_head, render_response, render_response_typed, Limits, ParseOutcome,
+    PROMETHEUS_TEXT,
+};
+use crate::metrics::ServeMetrics;
 use crate::routes;
 use crate::snapshot::{CubeSnapshot, SnapshotCell};
 use crossbeam::channel::{self, RecvTimeoutError};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -50,20 +54,8 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic request counters.
-#[derive(Debug, Default)]
-pub struct ServerStats {
-    /// Connections accepted.
-    pub connections: AtomicU64,
-    /// Requests answered with 2xx.
-    pub ok: AtomicU64,
-    /// Requests answered with 4xx/5xx (parse errors included).
-    pub errors: AtomicU64,
-    /// Requests answered with 408 after the read deadline.
-    pub timeouts: AtomicU64,
-}
-
-/// A point-in-time copy of [`ServerStats`].
+/// A point-in-time copy of the server's request counters (which live in
+/// [`ServeMetrics`] and are also exported at `GET /metrics`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Connections accepted.
@@ -80,7 +72,7 @@ struct Shared {
     cell: SnapshotCell,
     cache: ResponseCache,
     limits: Limits,
-    stats: ServerStats,
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
 }
 
@@ -104,13 +96,21 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let metrics = ServeMetrics::new();
+    let cache = ResponseCache::with_counters(config.cache_capacity, metrics.cache_counters());
     let shared = Arc::new(Shared {
+        metrics,
+        cache,
         cell: SnapshotCell::new(initial),
-        cache: ResponseCache::new(config.cache_capacity),
         limits: config.limits,
-        stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
+    // The initial snapshot counts as the first publication.
+    shared
+        .metrics
+        .snapshot_epoch
+        .set(shared.cell.epoch() as f64);
+    shared.metrics.snapshot_publishes.inc();
 
     let (tx, rx) = channel::unbounded::<TcpStream>();
     let workers = (0..config.workers.max(1))
@@ -137,7 +137,7 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
                     }
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.connections.inc();
                             if tx.send(stream).is_err() {
                                 break;
                             }
@@ -176,6 +176,8 @@ impl ServerHandle {
     pub fn publish(&self, next: Arc<CubeSnapshot>) -> u64 {
         let epoch = self.shared.cell.publish(next);
         self.shared.cache.purge_older(epoch);
+        self.shared.metrics.snapshot_epoch.set(epoch as f64);
+        self.shared.metrics.snapshot_publishes.inc();
         epoch
     }
 
@@ -184,15 +186,28 @@ impl ServerHandle {
         self.shared.cache.stats()
     }
 
-    /// Request counters.
+    /// Request counters (the same values `GET /metrics` exports).
     pub fn stats(&self) -> StatsSnapshot {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         StatsSnapshot {
-            connections: s.connections.load(Ordering::Relaxed),
-            ok: s.ok.load(Ordering::Relaxed),
-            errors: s.errors.load(Ordering::Relaxed),
-            timeouts: s.timeouts.load(Ordering::Relaxed),
+            connections: m.connections.get(),
+            ok: m.ok.get(),
+            errors: m.errors.get(),
+            timeouts: m.timeouts.get(),
         }
+    }
+
+    /// The server's metrics (per-route counters, latency histograms,
+    /// snapshot gauges); also rendered at `GET /metrics`.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// The `GET /metrics` body as this server would render it now.
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .metrics
+            .render(self.shared.cell.epoch(), &self.shared.cache)
     }
 
     /// Requests shutdown without blocking (idempotent); pair with
@@ -273,22 +288,42 @@ fn serve_connection(
                     Some(Instant::now())
                 };
                 idle_since = Instant::now();
+                let t0 = Instant::now();
                 let snap = shared.cell.load_cached(snap_cache);
-                let routed = routes::handle(&request, &snap, &shared.cache);
-                if routed.status < 400 {
-                    shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+                // `/metrics` is answered here rather than in the route
+                // table because the exporter needs the server's registry
+                // and cache, which routes never see.
+                let (routed, content_type) = if request.path == "/metrics" {
+                    let text = shared.metrics.render(snap.epoch, &shared.cache);
+                    let routed = routes::Routed {
+                        status: 200,
+                        body: Arc::new(text.into_bytes()),
+                        cache_hit: false,
+                        route: "metrics",
+                    };
+                    (routed, PROMETHEUS_TEXT)
                 } else {
-                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                    let routed = routes::handle(&request, &snap, &shared.cache);
+                    (routed, "application/json")
+                };
+                shared
+                    .metrics
+                    .observe_request(routed.route, routed.status, t0.elapsed());
                 // On shutdown, answer what we have and close.
                 let keep = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                let resp = render_response(routed.status, &routed.body, Some(snap.epoch), keep);
+                let resp = render_response_typed(
+                    routed.status,
+                    &routed.body,
+                    Some(snap.epoch),
+                    keep,
+                    content_type,
+                );
                 if stream.write_all(&resp).is_err() || !keep {
                     return;
                 }
             }
             ParseOutcome::Error(e) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors.inc();
                 let resp =
                     render_response(e.status(), &error_body(e.status(), e.reason()), None, false);
                 let _ = stream.write_all(&resp);
@@ -309,7 +344,7 @@ fn serve_connection(
                     match head_started {
                         Some(t0) if t0.elapsed() >= limits.read_deadline => {
                             // A peer trickling a head: answer 408, close.
-                            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.timeouts.inc();
                             let resp = render_response(
                                 408,
                                 &error_body(408, "request head not received in time"),

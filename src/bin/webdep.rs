@@ -311,6 +311,7 @@ fn cmd_serve(args: &[String]) {
     println!("  try: curl http://{bound}/v1/badge/DE");
     println!("       curl 'http://{bound}/v1/score/US?layer=dns&replicates=500'");
     println!("       curl http://{bound}/v1/coverage");
+    println!("       curl http://{bound}/metrics   # Prometheus text exposition");
 
     if !sig::install_sigint() {
         eprintln!("warning: could not install SIGINT handler; stop with SIGKILL");
