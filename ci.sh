@@ -43,8 +43,16 @@ cargo run --release -q -p webdep-bench --bin bench-snapshot -- serve --smoke
 echo "==> bench-snapshot evolve --smoke"
 cargo run --release -q -p webdep-bench --bin bench-snapshot -- evolve --smoke
 
+# Self-healing smoke: the seeded chaos harness at toy sizes — slow-loris
+# flood with fast queries flowing, a burst storm with no wedged workers,
+# mid-serve chunk corruption healed byte-identically by fsck --repair,
+# and poisoned publishes rejected with the prior epoch still serving.
+echo "==> bench-snapshot overload --smoke"
+cargo run --release -q -p webdep-bench --bin bench-snapshot -- overload --smoke
+
 # Perf-regression gate: deterministic smoke workloads (seeded 1-worker
-# pipeline measurement, sequential serve sweep) compared against
+# pipeline measurement, sequential serve sweep, always-on overload
+# machinery with exact shed/abort/reject counts) compared against
 # BENCH_baselines.json — exact integer counts, so it cannot flake on a
 # loaded box. Exits nonzero (and appends to BENCH_alerts.log) on breach;
 # after an accepted behavior change, re-record with

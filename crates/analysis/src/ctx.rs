@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use webdep_core::CountDist;
 use webdep_pipeline::{MeasuredDataset, SiteObservation};
 use webdep_stats::{
-    bootstrap_ci_indexed, bootstrap_ci_indexed_scratch, BootstrapCi, BootstrapScratch, Resample,
+    bootstrap_ci_indexed, bootstrap_ci_indexed_abortable, bootstrap_ci_indexed_scratch,
+    BootstrapAborted, BootstrapCi, BootstrapScratch, Resample,
 };
 use webdep_webgen::{Layer, World, COUNTRIES};
 
@@ -394,6 +395,38 @@ impl<'a> AnalysisCtx<'a> {
             level,
             seed,
             scratch,
+        )
+    }
+
+    /// [`AnalysisCtx::score_ci`] that polls `should_abort` between
+    /// replicate chunks so a server under deadline pressure can abandon an
+    /// expensive CI instead of wedging a worker. When it completes, the
+    /// interval is bit-identical to [`AnalysisCtx::score_ci`]'s (same
+    /// per-replicate seeding). Cube-backed contexts only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_ci_abortable(
+        &self,
+        country_idx: usize,
+        layer: Layer,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+        scratch: &mut BootstrapScratch,
+        should_abort: &mut dyn FnMut() -> bool,
+    ) -> Result<Option<BootstrapCi>, BootstrapAborted> {
+        let Some(cube) = self.cube() else {
+            return Ok(None);
+        };
+        let lc = cube.layer(layer);
+        let labels = lc.site_labels(country_idx);
+        bootstrap_ci_indexed_abortable(
+            labels,
+            label_score_statistic(lc.owners().len()),
+            replicates,
+            level,
+            seed,
+            scratch,
+            should_abort,
         )
     }
 

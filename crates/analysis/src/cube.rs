@@ -205,6 +205,22 @@ impl CubeBuilder {
         }
     }
 
+    /// The folded owner world-id of `site` at `layer`, or `None` while
+    /// unobserved. A read-only view for integrity checks: publish
+    /// validation reconciles each cube column total against a toplist walk
+    /// over these labels.
+    pub fn owner(&self, layer: Layer, site: usize) -> Option<u32> {
+        match self.owner_of[layer.index()][site] {
+            UNOBSERVED => None,
+            o => Some(o),
+        }
+    }
+
+    /// Number of site slots currently folded or foldable.
+    pub fn sites(&self) -> usize {
+        self.owner_of[0].len()
+    }
+
     /// Extends the builder to a grown site table (epoch evolution only
     /// appends sites); new slots start unobserved. Shrinking is refused —
     /// site indices are stable across epochs by construction.

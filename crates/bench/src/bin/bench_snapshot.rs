@@ -39,13 +39,19 @@
 //! (`CubeSnapshot::from_delta`) vs their from-scratch comparators across
 //! a churn sweep, every epoch certified byte-identical.
 //!
+//! `BENCH_overload.json`: the self-healing machinery under seeded chaos —
+//! slow-loris floods, burst storms at 2–10× capacity, mid-serve chunk
+//! corruption healed by `fsck --repair`, and poisoned publishes rejected
+//! by pre-swap validation with the prior epoch still serving.
+//!
 //! Every full (non-smoke) snapshot run also appends a one-line summary to
 //! `BENCH_history.csv`, so the overwritten JSON files leave a trend line.
 //!
 //! Run with `cargo run --release -p webdep-bench --bin bench-snapshot`
 //! (optionally `-- pipeline`, `-- analysis`, `-- faults`,
-//! `-- resilience`, `-- scale [--smoke]`, `-- serve [--smoke]`, or
-//! `-- evolve [--smoke]` for just one snapshot).
+//! `-- resilience`, `-- scale [--smoke]`, `-- serve [--smoke]`,
+//! `-- evolve [--smoke]`, or `-- overload [--smoke]` for just one
+//! snapshot).
 
 use serde::Serialize;
 use std::path::Path;
@@ -546,6 +552,71 @@ fn evolve_snapshot(smoke: bool) {
     );
 }
 
+fn overload_snapshot(smoke: bool) {
+    eprintln!(
+        "overload: seeded chaos against the self-healing service ({})...",
+        if smoke {
+            "smoke sizes"
+        } else {
+            "full storm durations"
+        }
+    );
+    let snapshot = webdep_bench::overload::overload_snapshot(smoke, |line| eprintln!("  {line}"));
+    if smoke {
+        // Same convention as the scale/serve/evolve gates: the smoke run
+        // certifies every invariant (zero mixed-epoch, Retry-After on
+        // sheds, byte-identical fsck heal, all poisoned publishes
+        // rejected) but its throughput numbers are meaningless — leave
+        // the full-run snapshot file alone.
+        eprintln!(
+            "overload smoke OK (sheds {}+{}, fsck healed {}, {} poisoned publishes rejected)",
+            snapshot.counters.shed_queue,
+            snapshot.counters.shed_load,
+            snapshot.corruption.healed,
+            snapshot.counters.publish_rejected
+        );
+        return;
+    }
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    let out = repo_root_path("BENCH_overload.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_overload.json");
+    let four_x = snapshot
+        .bursts
+        .iter()
+        .find(|b| b.multiplier == 4)
+        .expect("4x burst");
+    let top = snapshot.bursts.last().expect("bursts");
+    eprintln!(
+        "wrote {} (4x burst goodput {}x unloaded, {}x shed rate {}, fsck byte-identical {}, {} poisons rejected)",
+        out.display(),
+        four_x.goodput_ratio,
+        top.multiplier,
+        top.shed_rate,
+        snapshot.corruption.byte_identical,
+        snapshot.poison.rejected
+    );
+    append_history(
+        "overload",
+        &format!(
+            "4x goodput {}x {}x shed rate {} fsck identical {} poisons {}/{}",
+            four_x.goodput_ratio,
+            top.multiplier,
+            top.shed_rate,
+            snapshot.corruption.byte_identical,
+            snapshot.poison.rejected,
+            snapshot.poison.attempts
+        ),
+    );
+    record_headline(
+        "overload",
+        &[down_bad(
+            "burst4_goodput_permille",
+            permille(four_x.goodput_ratio),
+            40,
+        )],
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -557,6 +628,7 @@ fn main() {
         "scale" => scale_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         "serve" => serve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         "evolve" => evolve_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
+        "overload" => overload_snapshot(args.get(2).map(String::as_str) == Some("--smoke")),
         // The CI perf-regression gate: deterministic workloads vs
         // BENCH_baselines.json. `--update` re-records after an accepted
         // change; exits 1 (and appends to BENCH_alerts.log) on breach.
@@ -586,10 +658,11 @@ fn main() {
             scale_snapshot(false);
             serve_snapshot(false);
             evolve_snapshot(false);
+            overload_snapshot(false);
         }
         other => {
             eprintln!(
-                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | evolve [--smoke] | gate [--smoke] [--update] | all)"
+                "unknown snapshot {other:?} (pipeline | analysis | faults | resilience | scale [--smoke] | serve [--smoke] | evolve [--smoke] | overload [--smoke] | gate [--smoke] [--update] | all)"
             );
             std::process::exit(2);
         }

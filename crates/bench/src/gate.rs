@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use webdep_pipeline::{measure_with_stats, MeasuredDataset, PipelineConfig};
 use webdep_serve::snapshot::CubeSnapshot;
-use webdep_serve::{start, ServeConfig};
+use webdep_serve::{start, OverloadConfig, ServeConfig};
 use webdep_webgen::{DeployConfig, DeployedWorld, World, WorldConfig};
 
 /// File the gate reads and bootstraps, next to the `BENCH_*.json`
@@ -401,6 +401,119 @@ fn serve_phase(world: &Arc<World>, ds: &MeasuredDataset) -> Vec<Metric> {
     ]
 }
 
+/// The deterministic overload phase: three tiny servers driven by a
+/// sequential client, each configured so the self-healing machinery
+/// fires on *every* request — shed, deadline-abort, and publish-rejection
+/// counts are exact integers, not load-dependent rates.
+fn overload_phase(world: &Arc<World>, ds: &MeasuredDataset) -> Vec<Metric> {
+    let snap = || {
+        Arc::new(CubeSnapshot::from_observations(
+            1,
+            Arc::clone(world),
+            &ds.label,
+            &ds.observations,
+        ))
+    };
+
+    // Always-shed: a zero latency budget makes the EWMA comparison
+    // (`>=`) true from the first request, so every /v1 dispatch sheds
+    // while the exempt routes keep answering.
+    let handle = start(
+        ServeConfig {
+            workers: 1,
+            overload: OverloadConfig {
+                p99_budget: Duration::ZERO,
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        snap(),
+    )
+    .expect("start always-shed server");
+    let addr = handle.addr();
+    let shed_targets = [
+        "/v1/meta",
+        "/v1/coverage",
+        "/v1/score/US?replicates=0",
+        "/v1/insularity/DE",
+        "/v1/taxonomy",
+        "/v1/countries",
+    ];
+    for target in shed_targets {
+        assert_eq!(get(addr, target), 503, "{target} must shed");
+    }
+    let mut exempt_ok = 0u64;
+    for target in ["/healthz", "/metrics"] {
+        if get(addr, target) == 200 {
+            exempt_ok += 1;
+        }
+    }
+    let shed_load = handle.metrics().shed_load.get();
+    let shed_queue = handle.metrics().shed_queue.get();
+    handle.shutdown();
+
+    // Deadline-abort: a zero route deadline expires at the first poll of
+    // any bootstrap-bearing request, so every CI query aborts exactly
+    // once and the worker survives to serve the next.
+    let handle = start(
+        ServeConfig {
+            workers: 1,
+            overload: OverloadConfig {
+                route_deadline: Duration::ZERO,
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        snap(),
+    )
+    .expect("start deadline server");
+    let addr = handle.addr();
+    for code in ["US", "DE", "FR", "TH"] {
+        assert_eq!(
+            get(addr, &format!("/v1/ci/{code}?replicates=200")),
+            503,
+            "ci/{code} must abort at the deadline"
+        );
+    }
+    assert_eq!(get(addr, "/healthz"), 200, "worker wedged after aborts");
+    let deadline_aborts = handle.metrics().deadline_aborts.get();
+    handle.shutdown();
+
+    // Publish validation: three distinct poisons, all rejected pre-swap
+    // with the serving epoch unchanged.
+    let handle = start(ServeConfig::default(), snap()).expect("start publish server");
+    let mut cand =
+        CubeSnapshot::from_observations(2, Arc::clone(world), &ds.label, &ds.observations);
+    cand.taxonomy.clean += 1;
+    assert!(
+        handle.publish_validated(Arc::new(cand), None).is_err(),
+        "tampered taxonomy published"
+    );
+    let mut cand =
+        CubeSnapshot::from_observations(2, Arc::clone(world), &ds.label, &ds.observations);
+    cand.trajectory.points.last_mut().expect("point").label = "poisoned".into();
+    assert!(
+        handle.publish_validated(Arc::new(cand), None).is_err(),
+        "tampered trajectory published"
+    );
+    let stale = CubeSnapshot::from_observations(1, Arc::clone(world), &ds.label, &ds.observations);
+    assert!(
+        handle.publish_validated(Arc::new(stale), None).is_err(),
+        "non-advancing epoch published"
+    );
+    assert_eq!(handle.epoch(), 1, "serving epoch moved on a rejection");
+    let publish_rejected = handle.metrics().publish_rejected.get();
+    handle.shutdown();
+
+    vec![
+        Metric::exact("shed_load", shed_load),
+        Metric::exact("shed_queue", shed_queue),
+        Metric::exact("exempt_ok", exempt_ok),
+        Metric::exact("deadline_aborts", deadline_aborts),
+        Metric::exact("publish_rejected", publish_rejected),
+    ]
+}
+
 // ----------------------------------------------------------- entry points
 
 fn baselines_path(root: &Path) -> PathBuf {
@@ -429,6 +542,12 @@ pub fn run_gate(root: &Path, smoke: bool, update: bool, log: impl Fn(&str)) -> b
         serve_metrics[3].value,
         serve_metrics[4].value
     ));
+    log("gate: deterministic overload machinery (shed / deadline / publish-reject)...");
+    let overload_metrics = overload_phase(&world, &ds);
+    log(&format!(
+        "  {} sheds, {} deadline aborts, {} publishes rejected",
+        overload_metrics[0].value, overload_metrics[3].value, overload_metrics[4].value
+    ));
 
     let path = baselines_path(root);
     let mut benches = load_baselines(&path);
@@ -436,6 +555,7 @@ pub fn run_gate(root: &Path, smoke: bool, update: bool, log: impl Fn(&str)) -> b
     for (bench, metrics) in [
         (format!("gate_pipeline_{mode}"), pipeline_metrics),
         (format!("gate_serve_{mode}"), serve_metrics),
+        (format!("gate_overload_{mode}"), overload_metrics),
     ] {
         breaches.extend(merge_bench(&mut benches, &bench, &metrics, update));
     }

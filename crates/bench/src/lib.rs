@@ -13,6 +13,7 @@ pub mod analysis;
 pub mod evolve;
 pub mod faults;
 pub mod gate;
+pub mod overload;
 pub mod resilience;
 pub mod scale;
 pub mod serve;

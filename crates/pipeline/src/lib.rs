@@ -32,6 +32,8 @@ pub use run::{
     measure, measure_journaled, measure_streamed, measure_with_stats, resume_from_journal,
     resume_streamed, MeasureStats, PipelineConfig, Scheduling,
 };
-pub use store::{ChunkStore, ChunkStoreWriter, CompactStats, DecodedChunk, DEFAULT_CHUNK_SITES};
+pub use store::{
+    ChunkStore, ChunkStoreWriter, CompactStats, DecodedChunk, FsckReport, DEFAULT_CHUNK_SITES,
+};
 pub use supervisor::{ChaosPlan, SupervisionStats, SupervisorConfig};
 pub use vantage::resolve_hosting_orgs;

@@ -69,6 +69,35 @@ fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("manifest.json")
 }
 
+/// Writes the manifest atomically: temp file, data fsync, rename over the
+/// live name, directory fsync. A crash at any point leaves either the old
+/// complete manifest or the new one — never a torn file that takes the
+/// whole store down with it.
+fn write_manifest(dir: &Path, label: &str, sites: usize, chunk_sites: usize) -> io::Result<()> {
+    let manifest = Value::Object(vec![
+        ("magic".into(), Value::String(STORE_MAGIC.into())),
+        ("version".into(), Value::U64(STORE_VERSION)),
+        ("label".into(), Value::String(label.into())),
+        ("sites".into(), Value::U64(sites as u64)),
+        ("chunk_sites".into(), Value::U64(chunk_sites as u64)),
+    ]);
+    let tmp = dir.join("manifest.json.tmp");
+    let mut f = File::create(&tmp)?;
+    writeln!(f, "{manifest}")?;
+    f.sync_data()?;
+    std::fs::rename(&tmp, manifest_path(dir))?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Whether the on-disk manifest is unparseable (torn write or external
+/// damage) as opposed to merely describing a different store.
+fn manifest_is_torn(dir: &Path) -> io::Result<bool> {
+    let bytes = std::fs::read(manifest_path(dir))?;
+    let text = String::from_utf8_lossy(&bytes);
+    Ok(serde_json::from_str::<Value>(text.trim()).is_err())
+}
+
 fn chunk_path(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("chunk-{index:06}.col"))
 }
@@ -559,16 +588,7 @@ impl ChunkStoreWriter {
                 std::fs::remove_file(entry.path())?;
             }
         }
-        let manifest = Value::Object(vec![
-            ("magic".into(), Value::String(STORE_MAGIC.into())),
-            ("version".into(), Value::U64(STORE_VERSION)),
-            ("label".into(), Value::String(label.into())),
-            ("sites".into(), Value::U64(sites as u64)),
-            ("chunk_sites".into(), Value::U64(chunk_sites as u64)),
-        ]);
-        let mut f = File::create(manifest_path(dir))?;
-        writeln!(f, "{manifest}")?;
-        f.sync_data()?;
+        write_manifest(dir, label, sites, chunk_sites)?;
         Ok(ChunkStoreWriter {
             dir: dir.to_path_buf(),
             sites,
@@ -583,12 +603,25 @@ impl ChunkStoreWriter {
     /// chunk files are kept (their sites need no re-measurement), and
     /// corrupt ones — the torn-write crash artifact — are deleted so they
     /// can be healed from the journal. Falls back to [`Self::create`] when
-    /// no manifest exists (a crash before the store was set up).
+    /// no manifest exists (a crash before the store was set up), and
+    /// rewrites an unparseable manifest in place from the caller's run
+    /// metadata — crucially *not* via [`Self::create`], which would wipe
+    /// the surviving chunk files the resume is here to keep.
     pub fn resume(dir: &Path, label: &str, sites: usize, chunk_sites: usize) -> io::Result<Self> {
         if !manifest_path(dir).exists() {
             return Self::create(dir, label, sites, chunk_sites);
         }
-        let store = ChunkStore::open(dir)?;
+        let store = match ChunkStore::open(dir) {
+            Ok(store) => store,
+            Err(e) => {
+                if manifest_is_torn(dir)? {
+                    write_manifest(dir, label, sites, chunk_sites)?;
+                    ChunkStore::open(dir)?
+                } else {
+                    return Err(e);
+                }
+            }
+        };
         if store.label != label || store.sites != sites || store.chunk_sites != chunk_sites {
             return Err(bad(format!(
                 "store is for '{}' ({} sites, chunk {}), not '{}' ({} sites, chunk {})",
@@ -773,6 +806,74 @@ pub struct CompactStats {
     pub rechunked: bool,
 }
 
+/// Machine-readable outcome of [`ChunkStore::fsck`]: what was found, and
+/// (under `repair`) what was done about it.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// World label from the manifest.
+    pub label: String,
+    /// Site count from the manifest.
+    pub sites: usize,
+    /// Chunks the manifest implies.
+    pub chunks: usize,
+    /// Chunks present and checksum-clean.
+    pub valid: usize,
+    /// Chunk indices whose files were absent.
+    pub missing: Vec<usize>,
+    /// Corrupt chunk indices with the decode failure for each.
+    pub corrupt: Vec<(usize, String)>,
+    /// Corrupt chunk files moved aside to `quarantine/` (repair only).
+    pub quarantined: usize,
+    /// Chunks re-encoded byte-identically from journal records (repair
+    /// only).
+    pub healed: usize,
+    /// Chunks that needed healing but the journal could not cover.
+    pub unhealed: Vec<usize>,
+}
+
+impl FsckReport {
+    /// Whether the store needed nothing: every chunk present and clean.
+    pub fn clean(&self) -> bool {
+        self.valid == self.chunks
+    }
+
+    /// Whether the store is fully intact *after* this pass (either it was
+    /// clean, or repair healed every damaged chunk).
+    pub fn intact(&self) -> bool {
+        self.valid + self.healed == self.chunks
+    }
+
+    /// JSON rendering for the CLI and the chaos harness.
+    pub fn to_value(&self) -> Value {
+        let idxs = |v: &[usize]| Value::Array(v.iter().map(|&i| Value::U64(i as u64)).collect());
+        Value::Object(vec![
+            ("label".into(), Value::String(self.label.clone())),
+            ("sites".into(), Value::U64(self.sites as u64)),
+            ("chunks".into(), Value::U64(self.chunks as u64)),
+            ("valid".into(), Value::U64(self.valid as u64)),
+            ("missing".into(), idxs(&self.missing)),
+            (
+                "corrupt".into(),
+                Value::Array(
+                    self.corrupt
+                        .iter()
+                        .map(|(i, why)| {
+                            Value::Object(vec![
+                                ("chunk".into(), Value::U64(*i as u64)),
+                                ("error".into(), Value::String(why.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("quarantined".into(), Value::U64(self.quarantined as u64)),
+            ("healed".into(), Value::U64(self.healed as u64)),
+            ("unhealed".into(), idxs(&self.unhealed)),
+            ("intact".into(), Value::Bool(self.intact())),
+        ])
+    }
+}
+
 /// Read side of a chunk store.
 pub struct ChunkStore {
     dir: PathBuf,
@@ -881,21 +982,10 @@ impl ChunkStore {
                     next_new += 1;
                 }
             }
-            // New manifest first (temp + rename), then the chunk renames:
+            // New manifest first (atomic replace), then the chunk renames:
             // a crash in between leaves old-geometry files whose headers
             // no longer match the manifest — detectably corrupt.
-            let manifest = Value::Object(vec![
-                ("magic".into(), Value::String(STORE_MAGIC.into())),
-                ("version".into(), Value::U64(STORE_VERSION)),
-                ("label".into(), Value::String(self.label.clone())),
-                ("sites".into(), Value::U64(self.sites as u64)),
-                ("chunk_sites".into(), Value::U64(chunk_sites as u64)),
-            ]);
-            let mtmp = self.dir.join("manifest.json.tmp");
-            let mut f = File::create(&mtmp)?;
-            writeln!(f, "{manifest}")?;
-            f.sync_data()?;
-            std::fs::rename(&mtmp, manifest_path(&self.dir))?;
+            write_manifest(&self.dir, &self.label, self.sites, chunk_sites)?;
             for (i, tmp) in tmp_paths.iter().enumerate() {
                 std::fs::rename(tmp, chunk_path(&self.dir, i))?;
             }
@@ -960,6 +1050,96 @@ impl ChunkStore {
             global_top: world.global_top.clone(),
             label: world.label.clone(),
         })
+    }
+
+    /// Verifies every chunk of the store at `dir` — checksum, header, and
+    /// full column decode — and reports what it finds. With `repair`,
+    /// corrupt chunk files are moved aside to `quarantine/` (never
+    /// deleted: the damaged bytes stay available for post-mortem) and
+    /// missing or quarantined chunks are re-encoded from `journal`
+    /// records where the journal covers all their rows. Chunk bytes are a
+    /// pure function of the rows, so a healed chunk is byte-identical to
+    /// the one the original run wrote; each is decode-verified before the
+    /// atomic rename into place.
+    pub fn fsck(dir: &Path, journal: Option<&Path>, repair: bool) -> io::Result<FsckReport> {
+        let store = ChunkStore::open(dir)?;
+        let mut report = FsckReport {
+            label: store.label.clone(),
+            sites: store.sites,
+            chunks: store.num_chunks(),
+            valid: 0,
+            missing: Vec::new(),
+            corrupt: Vec::new(),
+            quarantined: 0,
+            healed: 0,
+            unhealed: Vec::new(),
+        };
+        let mut need_heal = Vec::new();
+        for c in 0..store.num_chunks() {
+            match store.chunk_state(c) {
+                ChunkState::Valid => report.valid += 1,
+                ChunkState::Missing => {
+                    report.missing.push(c);
+                    if repair {
+                        need_heal.push(c);
+                    }
+                }
+                ChunkState::Corrupt(why) => {
+                    report.corrupt.push((c, why));
+                    if repair {
+                        let qdir = dir.join("quarantine");
+                        std::fs::create_dir_all(&qdir)?;
+                        let dst = qdir.join(format!("chunk-{c:06}.col"));
+                        if dst.exists() {
+                            std::fs::remove_file(&dst)?;
+                        }
+                        std::fs::rename(chunk_path(dir, c), dst)?;
+                        report.quarantined += 1;
+                        need_heal.push(c);
+                    }
+                }
+            }
+        }
+        if !need_heal.is_empty() {
+            let loaded = match journal {
+                Some(path) => {
+                    let j = crate::journal::load(path)?;
+                    if j.label != store.label || j.sites != store.sites {
+                        return Err(bad(format!(
+                            "journal is for '{}' ({} sites), not '{}' ({} sites)",
+                            j.label, j.sites, store.label, store.sites
+                        )));
+                    }
+                    Some(j)
+                }
+                None => None,
+            };
+            let mut slots: Vec<Option<SiteObservation>> = vec![None; store.sites];
+            if let Some(j) = &loaded {
+                j.fill_slots(&mut slots);
+            }
+            for c in need_heal {
+                let lo = c * store.chunk_sites;
+                let rows = store.chunk_rows(c);
+                let covered: Option<Vec<SiteObservation>> =
+                    slots[lo..lo + rows].iter().cloned().collect();
+                let Some(batch) = covered else {
+                    report.unhealed.push(c);
+                    continue;
+                };
+                let bytes = encode_chunk(c, lo, &batch);
+                decode_chunk(&bytes, c, lo, rows)
+                    .map_err(|e| bad(format!("healed chunk {c} failed verification: {e}")))?;
+                let tmp = dir.join(format!("chunk-{c:06}.col.tmp"));
+                let mut f = File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.sync_data()?;
+                std::fs::rename(&tmp, chunk_path(dir, c))?;
+                report.healed += 1;
+            }
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(report)
     }
 }
 
@@ -1255,6 +1435,101 @@ mod tests {
         let mut w = ChunkStoreWriter::create(&dir, "t-v1", 10, 4).unwrap();
         w.commit(0, &sample_obs(0)).unwrap();
         assert!(w.finish().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_recovers_on_resume() {
+        let dir = tmp("torn-manifest");
+        let _ = fs::remove_dir_all(&dir);
+        let n = 40;
+        let all = write_store(&dir, n, 16);
+        let mpath = dir.join("manifest.json");
+        let mbytes = fs::read(&mpath).unwrap();
+
+        // Truncate the manifest mid-byte — the torn-write artifact the
+        // atomic replacement protects against, planted by hand.
+        fs::write(&mpath, &mbytes[..mbytes.len() / 2]).unwrap();
+        assert!(ChunkStore::open(&dir).is_err());
+
+        // Resume rewrites the manifest in place from the run metadata and
+        // keeps every surviving chunk — no re-measurement needed.
+        let w = ChunkStoreWriter::resume(&dir, "t-v1", n, 16).unwrap();
+        assert!((0..3).all(|c| w.chunk_written(c)), "valid chunks kept");
+        w.finish().unwrap();
+        assert_eq!(
+            fs::read(&mpath).unwrap(),
+            mbytes,
+            "healed manifest is byte-identical"
+        );
+        assert_eq!(read_all(&ChunkStore::open(&dir).unwrap()), all);
+
+        // With the manifest torn there is nothing trustworthy to compare
+        // against, so the caller's run metadata is authoritative — the
+        // same trust `create` extends. A *valid* manifest for a different
+        // run still refuses (covered in torn_chunk_detected_and_resume_heals).
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_quarantines_and_heals_byte_identically() {
+        let dir = tmp("fsck");
+        let _ = fs::remove_dir_all(&dir);
+        let n = 72;
+        let all = write_store(&dir, n, 16);
+        let jpath = dir.join("journal.ndjson");
+        let mut jw = crate::journal::JournalWriter::create(&jpath, "t-v1", n).unwrap();
+        for (i, obs) in all.iter().enumerate() {
+            jw.append(i, obs).unwrap();
+        }
+        jw.sync().unwrap();
+        let orig2 = fs::read(dir.join("chunk-000002.col")).unwrap();
+        let orig4 = fs::read(dir.join("chunk-000004.col")).unwrap();
+
+        // Garble one chunk mid-file, delete another outright.
+        let mut garbled = orig2.clone();
+        garbled[40] ^= 0xFF;
+        fs::write(dir.join("chunk-000002.col"), &garbled).unwrap();
+        fs::remove_file(dir.join("chunk-000004.col")).unwrap();
+
+        // Report-only pass: finds both, changes nothing.
+        let report = ChunkStore::fsck(&dir, None, false).unwrap();
+        assert!(!report.clean() && !report.intact());
+        assert_eq!(report.valid, 3);
+        assert_eq!(report.missing, vec![4]);
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].0, 2);
+        assert_eq!((report.quarantined, report.healed), (0, 0));
+        assert_eq!(
+            fs::read(dir.join("chunk-000002.col")).unwrap(),
+            garbled,
+            "report-only fsck must not touch the store"
+        );
+
+        // Repair: the corrupt file moves to quarantine for post-mortem and
+        // both chunks are re-encoded from the journal, byte-identically.
+        let report = ChunkStore::fsck(&dir, Some(&jpath), true).unwrap();
+        assert!(report.intact() && !report.clean());
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.healed, 2);
+        assert!(report.unhealed.is_empty());
+        assert_eq!(fs::read(dir.join("chunk-000002.col")).unwrap(), orig2);
+        assert_eq!(fs::read(dir.join("chunk-000004.col")).unwrap(), orig4);
+        assert_eq!(
+            fs::read(dir.join("quarantine/chunk-000002.col")).unwrap(),
+            garbled
+        );
+        assert_eq!(read_all(&ChunkStore::open(&dir).unwrap()), all);
+        let clean = ChunkStore::fsck(&dir, None, false).unwrap();
+        assert!(clean.clean());
+        assert!(clean.to_value()["intact"] == Value::Bool(true));
+
+        // Without a journal a missing chunk is reported unhealed — fsck
+        // never invents data.
+        fs::remove_file(dir.join("chunk-000000.col")).unwrap();
+        let report = ChunkStore::fsck(&dir, None, true).unwrap();
+        assert!(!report.intact());
+        assert_eq!(report.unhealed, vec![0]);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -298,6 +298,21 @@ pub fn render_response_typed(
     keep_alive: bool,
     content_type: &str,
 ) -> Vec<u8> {
+    render_response_retry(status, body, epoch, keep_alive, content_type, None)
+}
+
+/// [`render_response_typed`] plus an optional `Retry-After` header.
+///
+/// Every shed or deadline-exceeded `503` carries one so a well-behaved
+/// client backs off instead of re-joining the storm immediately.
+pub fn render_response_retry(
+    status: u16,
+    body: &[u8],
+    epoch: Option<u64>,
+    keep_alive: bool,
+    content_type: &str,
+    retry_after_secs: Option<u64>,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -316,6 +331,9 @@ pub fn render_response_typed(
     out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
     if let Some(e) = epoch {
         out.extend_from_slice(format!("X-Webdep-Epoch: {e}\r\n").as_bytes());
+    }
+    if let Some(secs) = retry_after_secs {
+        out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
     }
     out.extend_from_slice(if keep_alive {
         b"Connection: keep-alive\r\n"
@@ -455,6 +473,17 @@ mod tests {
                 other => panic!("{raw:?} -> {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn retry_after_header_renders_only_when_asked() {
+        let with = render_response_retry(503, b"{}", Some(4), false, "application/json", Some(2));
+        let text = String::from_utf8(with).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("X-Webdep-Epoch: 4\r\n"));
+        let without = render_response(503, b"{}", Some(4), false);
+        assert!(!String::from_utf8(without).unwrap().contains("Retry-After"));
     }
 
     #[test]

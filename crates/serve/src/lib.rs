@@ -40,5 +40,5 @@ pub mod snapshot;
 pub use cache::{CacheCounters, CacheStats, ResponseCache};
 pub use http::{Limits, Request};
 pub use metrics::ServeMetrics;
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, OverloadConfig, ServeConfig, ServerHandle};
 pub use snapshot::{CubeSnapshot, SnapshotCell};

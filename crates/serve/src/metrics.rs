@@ -49,6 +49,25 @@ pub struct ServeMetrics {
     pub errors: Counter,
     /// Requests answered with 408 after the read deadline.
     pub timeouts: Counter,
+    /// Connections shed at accept time because the admission queue was at
+    /// capacity (answered with a blind `503 + Retry-After`).
+    pub shed_queue: Counter,
+    /// Requests shed before route dispatch because the server was over its
+    /// inflight or latency thresholds (`503 + Retry-After`).
+    pub shed_load: Counter,
+    /// Requests whose cube work was aborted at the per-route soft deadline
+    /// (answered with `503 + Retry-After` instead of wedging a worker).
+    pub deadline_aborts: Counter,
+    /// Snapshot publications rejected by pre-publish validation (the
+    /// previous epoch kept serving).
+    pub publish_rejected: Counter,
+    /// Connections currently queued for (or parked between) workers.
+    pub queue_depth: Gauge,
+    /// Requests currently inside route dispatch.
+    pub inflight: Gauge,
+    /// Quantile-biased request-latency EWMA (seconds) — the overload
+    /// signal compared against the p99 budget.
+    pub latency_ewma: Gauge,
     /// Currently published snapshot epoch.
     pub snapshot_epoch: Gauge,
     /// Snapshots published (the initial snapshot counts as the first).
@@ -95,6 +114,34 @@ impl ServeMetrics {
             timeouts: registry.counter(
                 "webdep_serve_response_timeouts_total",
                 "Requests answered with 408 after the read deadline",
+            ),
+            shed_queue: registry.counter(
+                "webdep_serve_shed_queue_total",
+                "Connections shed at accept time with the admission queue at capacity",
+            ),
+            shed_load: registry.counter(
+                "webdep_serve_shed_load_total",
+                "Requests shed before route dispatch under inflight or latency pressure",
+            ),
+            deadline_aborts: registry.counter(
+                "webdep_serve_deadline_aborts_total",
+                "Requests whose cube work was aborted at the per-route soft deadline",
+            ),
+            publish_rejected: registry.counter(
+                "webdep_serve_publish_rejected_total",
+                "Snapshot publications rejected by pre-publish validation",
+            ),
+            queue_depth: registry.gauge(
+                "webdep_serve_queue_depth",
+                "Connections queued for (or parked between) workers",
+            ),
+            inflight: registry.gauge(
+                "webdep_serve_inflight_requests",
+                "Requests currently inside route dispatch",
+            ),
+            latency_ewma: registry.gauge(
+                "webdep_serve_latency_ewma_seconds",
+                "Quantile-biased request-latency EWMA compared against the p99 budget",
             ),
             snapshot_epoch: registry.gauge(
                 "webdep_serve_snapshot_epoch",

@@ -21,7 +21,39 @@ use std::sync::Arc;
 use webdep_analysis::insularity::{country_insularity, dependence_shares};
 use webdep_analysis::{coverage_model, AnalysisCtx};
 use webdep_core::{centralization_score, ConcentrationBand};
+use webdep_stats::BootstrapScratch;
 use webdep_webgen::{Layer, World, COUNTRIES};
+
+/// A per-request soft budget. Expensive responders (bootstrap CIs) poll
+/// the deadline between replicate chunks and abort with `503` instead of
+/// wedging a worker; cheap responders ignore it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Absolute deadline; `None` means unlimited.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Budget {
+    /// A budget with no deadline (tests, CLI one-shots).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget expiring `after` from now.
+    pub fn expiring(after: std::time::Duration) -> Self {
+        Budget {
+            deadline: std::time::Instant::now().checked_add(after),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+}
+
+/// A responder ran past its [`Budget`] deadline and was aborted.
+struct DeadlineExceeded;
 
 /// Default bootstrap replicates for CI-bearing routes.
 pub const DEFAULT_REPLICATES: usize = 200;
@@ -42,6 +74,9 @@ pub struct Routed {
     /// Metrics label: the matched route name, or `"other"` for unmatched
     /// paths (bounded so hostile traffic cannot mint unbounded series).
     pub route: &'static str,
+    /// Whether this response is a `503` from a deadline-aborted responder
+    /// (the server counts these separately from load sheds).
+    pub deadline_abort: bool,
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -63,6 +98,7 @@ fn routed_err(route: &'static str, status: u16, reason: &str) -> Routed {
         body: Arc::new(error_body(status, reason)),
         cache_hit: false,
         route,
+        deadline_abort: false,
     }
 }
 
@@ -136,8 +172,10 @@ fn country_of(segment: &str) -> Result<(usize, String), String> {
 }
 
 /// Routes a parsed request against a snapshot, consulting (and filling)
-/// the response cache for cacheable routes.
-pub fn handle(req: &Request, snap: &CubeSnapshot, cache: &ResponseCache) -> Routed {
+/// the response cache for cacheable routes. The `budget`'s deadline bounds
+/// expensive cube work; pass [`Budget::unlimited`] where no deadline
+/// applies.
+pub fn handle(req: &Request, snap: &CubeSnapshot, cache: &ResponseCache, budget: Budget) -> Routed {
     let mut segs = req.path.split('/').filter(|s| !s.is_empty());
     let (head, rest): (Option<&str>, Vec<&str>) = {
         let h = segs.next();
@@ -156,9 +194,23 @@ pub fn handle(req: &Request, snap: &CubeSnapshot, cache: &ResponseCache) -> Rout
             ),
             cache_hit: false,
             route: "healthz",
+            deadline_abort: false,
         },
-        (Some("v1"), tail) => route_v1(req, tail, snap, cache),
+        (Some("v1"), tail) => route_v1(req, tail, snap, cache, budget),
         _ => routed_err("other", 404, "no such route"),
+    }
+}
+
+/// The telemetry label a path would be answered under, without dispatching
+/// it — what the shed path stamps on its `503` so per-route counters stay
+/// truthful even for requests that never reach a responder.
+pub fn route_label(path: &str) -> &'static str {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segs.as_slice() {
+        ["healthz"] => "healthz",
+        ["metrics"] => "metrics",
+        ["v1", tail @ ..] => v1_label(tail),
+        _ => "other",
     }
 }
 
@@ -182,10 +234,20 @@ fn v1_label(tail: &[&str]) -> &'static str {
 }
 
 /// A route resolution: the canonical cache key plus the deferred
-/// responder that renders the body on a cache miss.
-type Resolved = (String, Box<dyn FnOnce(&CubeSnapshot) -> Value>);
+/// responder that renders the body on a cache miss (or reports that it ran
+/// past the request [`Budget`]).
+type Resolved = (
+    String,
+    Box<dyn FnOnce(&CubeSnapshot) -> Result<Value, DeadlineExceeded>>,
+);
 
-fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseCache) -> Routed {
+fn route_v1(
+    req: &Request,
+    tail: &[&str],
+    snap: &CubeSnapshot,
+    cache: &ResponseCache,
+    budget: Budget,
+) -> Routed {
     let route = v1_label(tail);
     let q = match parse_query(req) {
         Ok(q) => q,
@@ -193,8 +255,14 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
     };
     // (canonical cache key, responder) per route; unknown → 404.
     let build: Result<Resolved, Routed> = match tail {
-        ["meta"] => Ok(("meta".to_string(), Box::new(meta_body))),
-        ["countries"] => Ok(("countries".to_string(), Box::new(countries_body))),
+        ["meta"] => Ok((
+            "meta".to_string(),
+            Box::new(|s: &CubeSnapshot| Ok(meta_body(s))),
+        )),
+        ["countries"] => Ok((
+            "countries".to_string(),
+            Box::new(|s: &CubeSnapshot| Ok(countries_body(s))),
+        )),
         ["score", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!(
@@ -204,7 +272,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
                     q.seed,
                     q.level
                 ),
-                Box::new(move |s| score_body(s, ci, &code, &q)),
+                Box::new(move |s| score_body(s, ci, &code, &q, budget)),
             )),
             Err(reason) => return routed_err(route, 404, &reason),
         },
@@ -217,38 +285,47 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
                     q.seed,
                     q.level
                 ),
-                Box::new(move |s| ci_body(s, ci, &code, &q)),
+                Box::new(move |s| ci_body(s, ci, &code, &q, budget)),
             )),
             Err(reason) => return routed_err(route, 404, &reason),
         },
         ["shares", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("shares/{code}/{}/t{}", q.layer.name(), q.top),
-                Box::new(move |s| shares_body(s, ci, &code, &q)),
+                Box::new(move |s| Ok(shares_body(s, ci, &code, &q))),
             )),
             Err(reason) => return routed_err(route, 404, &reason),
         },
         ["insularity", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("insularity/{code}/{}", q.layer.name()),
-                Box::new(move |s| insularity_body(s, ci, &code, &q)),
+                Box::new(move |s| Ok(insularity_body(s, ci, &code, &q))),
             )),
             Err(reason) => return routed_err(route, 404, &reason),
         },
         ["badge", cc] => match country_of(cc) {
             Ok((ci, code)) => Ok((
                 format!("badge/{code}/r{}/s{}/l{}", q.replicates, q.seed, q.level),
-                Box::new(move |s| badge_body(s, ci, &code, &q)),
+                Box::new(move |s| badge_body(s, ci, &code, &q, budget)),
             )),
             Err(reason) => return routed_err(route, 404, &reason),
         },
         ["top"] => Ok((
             format!("top/{}/t{}", q.layer.name(), q.top),
-            Box::new(move |s| top_body(s, &q)),
+            Box::new(move |s| Ok(top_body(s, &q))),
         )),
-        ["coverage"] => Ok(("coverage".to_string(), Box::new(coverage_body))),
-        ["taxonomy"] => Ok(("taxonomy".to_string(), Box::new(taxonomy_body))),
-        ["trajectory"] => Ok(("trajectory".to_string(), Box::new(trajectory_body))),
+        ["coverage"] => Ok((
+            "coverage".to_string(),
+            Box::new(|s: &CubeSnapshot| Ok(coverage_body(s))),
+        )),
+        ["taxonomy"] => Ok((
+            "taxonomy".to_string(),
+            Box::new(|s: &CubeSnapshot| Ok(taxonomy_body(s))),
+        )),
+        ["trajectory"] => Ok((
+            "trajectory".to_string(),
+            Box::new(|s: &CubeSnapshot| Ok(trajectory_body(s))),
+        )),
         _ => return routed_err(route, 404, "no such route"),
     };
     let (key, responder) = match build {
@@ -261,9 +338,17 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
             body,
             cache_hit: true,
             route,
+            deadline_abort: false,
         };
     }
-    let mut value = responder(snap);
+    let mut value = match responder(snap) {
+        Ok(v) => v,
+        Err(DeadlineExceeded) => {
+            let mut routed = routed_err(route, 503, "deadline exceeded");
+            routed.deadline_abort = true;
+            return routed;
+        }
+    };
     stamp(&mut value, snap);
     let body = Arc::new(value.to_string().into_bytes());
     cache.insert(snap.epoch, &key, Arc::clone(&body));
@@ -272,6 +357,7 @@ fn route_v1(req: &Request, tail: &[&str], snap: &CubeSnapshot, cache: &ResponseC
         body,
         cache_hit: false,
         route,
+        deadline_abort: false,
     }
 }
 
@@ -318,7 +404,13 @@ fn countries_body(_snap: &CubeSnapshot) -> Value {
 /// The per-country score panel: 𝒮, DoJ band, provider-count facts, and
 /// (for `replicates > 0`) a bootstrap CI — the same math as the report's
 /// layer table row.
-fn score_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Value {
+fn score_body(
+    snap: &CubeSnapshot,
+    ci: usize,
+    code: &str,
+    q: &Query,
+    budget: Budget,
+) -> Result<Value, DeadlineExceeded> {
     let ctx = snap.ctx();
     let mut entries = vec![("country", vs(code)), ("layer", vs(q.layer.name()))];
     match ctx.country_dist(ci, q.layer) {
@@ -339,34 +431,59 @@ fn score_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Value {
         }
     }
     entries.push(("coverage", Value::F64(ctx.country_coverage(ci, q.layer))));
-    entries.push(("ci", ci_value(&ctx, ci, q)));
-    obj(entries)
+    entries.push(("ci", ci_value(&ctx, ci, q, budget)?));
+    Ok(obj(entries))
 }
 
-fn ci_value(ctx: &AnalysisCtx<'_>, ci: usize, q: &Query) -> Value {
+/// The bootstrap-CI fragment shared by `score`, `ci`, and `badge` bodies.
+/// Runs through the abortable bootstrap so a request past its budget sheds
+/// instead of finishing the replicates; a completed interval is
+/// bit-identical to the unbudgeted one (same per-replicate seeding).
+fn ci_value(
+    ctx: &AnalysisCtx<'_>,
+    ci: usize,
+    q: &Query,
+    budget: Budget,
+) -> Result<Value, DeadlineExceeded> {
     if q.replicates == 0 {
-        return Value::Null;
+        return Ok(Value::Null);
     }
-    match ctx.score_ci(ci, q.layer, q.replicates, q.level, q.seed) {
-        Some(b) => obj(vec![
+    let mut scratch = BootstrapScratch::new();
+    match ctx.score_ci_abortable(
+        ci,
+        q.layer,
+        q.replicates,
+        q.level,
+        q.seed,
+        &mut scratch,
+        &mut || budget.expired(),
+    ) {
+        Ok(Some(b)) => Ok(obj(vec![
             ("point", Value::F64(b.point)),
             ("lo", Value::F64(b.lo)),
             ("hi", Value::F64(b.hi)),
             ("replicates", Value::U64(b.replicates as u64)),
             ("level", Value::F64(q.level)),
             ("seed", Value::U64(q.seed)),
-        ]),
-        None => Value::Null,
+        ])),
+        Ok(None) => Ok(Value::Null),
+        Err(_) => Err(DeadlineExceeded),
     }
 }
 
-fn ci_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Value {
+fn ci_body(
+    snap: &CubeSnapshot,
+    ci: usize,
+    code: &str,
+    q: &Query,
+    budget: Budget,
+) -> Result<Value, DeadlineExceeded> {
     let ctx = snap.ctx();
-    obj(vec![
+    Ok(obj(vec![
         ("country", vs(code)),
         ("layer", vs(q.layer.name())),
-        ("ci", ci_value(&ctx, ci, q)),
-    ])
+        ("ci", ci_value(&ctx, ci, q, budget)?),
+    ]))
 }
 
 /// Per-country dependence shares (provider-country → share), truncated to
@@ -407,7 +524,13 @@ fn insularity_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Val
 
 /// The badge: one call summarizing a country across all four layers, with
 /// a bootstrap CI on the hosting score (the paper's headline layer).
-fn badge_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Value {
+fn badge_body(
+    snap: &CubeSnapshot,
+    ci: usize,
+    code: &str,
+    q: &Query,
+    budget: Budget,
+) -> Result<Value, DeadlineExceeded> {
     let ctx = snap.ctx();
     let mut layers = Vec::new();
     for layer in Layer::ALL {
@@ -436,12 +559,12 @@ fn badge_body(snap: &CubeSnapshot, ci: usize, code: &str, q: &Query) -> Value {
         layer: Layer::Hosting,
         ..*q
     };
-    obj(vec![
+    Ok(obj(vec![
         ("country", vs(code)),
         ("name", vs(COUNTRIES[ci].name)),
         ("layers", Value::Array(layers)),
-        ("hosting_ci", ci_value(&ctx, ci, &hosting_q)),
-    ])
+        ("hosting_ci", ci_value(&ctx, ci, &hosting_q, budget)?),
+    ]))
 }
 
 /// The global-top panel: leading owners on the worldwide toplist at a

@@ -1,46 +1,101 @@
-//! The listener, worker pool, and connection loop.
+//! The listener, worker pool, connection loop, and overload control.
 //!
 //! Thread model: one acceptor thread polls a non-blocking
 //! `TcpListener` (sleeping ~1 ms between empty polls so the shutdown flag
 //! is observed promptly) and hands accepted connections to a fixed pool of
-//! worker threads over an MPMC channel. A worker owns a connection for its
-//! whole keep-alive lifetime — so the pool size bounds concurrent
-//! *connections*, not just concurrent requests; size the pool at or above
-//! the expected client concurrency.
+//! worker threads over an MPMC channel. A worker owns a connection while
+//! it is actively serving it, but under queue pressure it *parks* the
+//! connection — re-enqueues it behind the waiting ones — whenever a read
+//! tick comes back empty, so a slow-loris peer or an idle keep-alive
+//! client costs at most one short tick before the worker moves on. With an
+//! empty queue the worker keeps the connection warm exactly as before.
+//!
+//! Admission control is two-level. At accept time the queue has a hard
+//! cap ([`OverloadConfig::queue_depth`]): a connection arriving beyond it
+//! is answered with a blind `503 + Retry-After` and closed, before any
+//! parsing. After a head parses, a second path-aware check sheds the
+//! request (again `503 + Retry-After`) when the queue is deeper than
+//! [`OverloadConfig::shed_depth`] or the latency EWMA has crossed
+//! [`OverloadConfig::p99_budget`] — except `/healthz` and `/metrics`,
+//! which are always admitted so orchestrators and scrapers see a live
+//! server even mid-storm. Finally, every dispatched request carries a soft
+//! deadline ([`OverloadConfig::route_deadline`]): cube work past budget is
+//! aborted between bootstrap chunks and answered `503` instead of wedging
+//! the worker.
 //!
 //! Graceful shutdown: [`ServerHandle::shutdown`] sets a flag and joins.
 //! The acceptor stops accepting and drops its channel sender; workers
 //! finish the request in flight, answer it, close their connections
 //! (`Connection: close`), drain any connections still queued, and exit.
-//! Nothing in flight is dropped.
+//! Parking is disabled once the flag is up so the drain terminates.
 
 use crate::cache::{CacheStats, ResponseCache};
 use crate::http::{
-    error_body, parse_head, render_response, render_response_typed, Limits, ParseOutcome,
+    error_body, parse_head, render_response, render_response_retry, Limits, ParseOutcome,
     PROMETHEUS_TEXT,
 };
 use crate::metrics::ServeMetrics;
-use crate::routes;
+use crate::routes::{self, Budget};
 use crate::snapshot::{CubeSnapshot, SnapshotCell};
 use crossbeam::channel::{self, RecvTimeoutError};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use webdep_webgen::WorldDelta;
+
+/// Overload-control thresholds. All are per-server; the defaults keep the
+/// machinery invisible until the server is genuinely saturated.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Hard cap on connections queued for (or parked between) workers.
+    /// Beyond it, accepts are answered with a blind `503 + Retry-After`
+    /// and closed before any parsing.
+    pub queue_depth: usize,
+    /// Dispatch-time shed threshold: a parsed non-exempt request is shed
+    /// while more than this many connections are waiting in the queue.
+    pub shed_depth: usize,
+    /// Dispatch-time latency threshold: a parsed non-exempt request is
+    /// shed while the quantile-biased latency EWMA is at or above this.
+    /// `Duration::ZERO` therefore sheds every non-exempt request — the
+    /// deterministic setting the overload gate uses.
+    pub p99_budget: Duration,
+    /// Soft per-request deadline: cube work (bootstrap replicates) past it
+    /// is aborted between chunks and answered `503`.
+    pub route_deadline: Duration,
+    /// `Retry-After` seconds advertised on every shed or deadline `503`.
+    pub retry_after_secs: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_depth: 256,
+            shed_depth: 64,
+            p99_budget: Duration::from_secs(2),
+            route_deadline: Duration::from_secs(10),
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Worker threads (= maximum concurrent connections).
+    /// Worker threads. Connection parking multiplexes more connections
+    /// than workers under pressure, but the pool still bounds concurrent
+    /// *dispatches*.
     pub workers: usize,
     /// Parser and connection limits.
     pub limits: Limits,
     /// Response-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Overload-control thresholds.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +105,7 @@ impl Default for ServeConfig {
             workers: 8,
             limits: Limits::default(),
             cache_capacity: 4096,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -72,8 +128,42 @@ struct Shared {
     cell: SnapshotCell,
     cache: ResponseCache,
     limits: Limits,
+    overload: OverloadConfig,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
+    /// Connections currently in the channel (enqueued or parked). The
+    /// vendored channel is unbounded; this counter is the bound.
+    depth: AtomicUsize,
+    /// Requests currently inside route dispatch.
+    inflight: AtomicUsize,
+    /// Quantile-biased request-latency EWMA, microseconds.
+    ewma_us: AtomicU64,
+}
+
+/// One connection's parkable state: the stream plus everything the
+/// read-loop needs to resume where it left off after a park.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// When the current head's first byte arrived (read deadline);
+    /// `None` while idle between keep-alive requests (idle timeout).
+    head_started: Option<Instant>,
+    idle_since: Instant,
+    /// The read timeout currently set on the stream, so the loop only
+    /// pays the syscall when the pressure-scaled tick actually changes.
+    read_tick: Option<Duration>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            head_started: None,
+            idle_since: Instant::now(),
+            read_tick: None,
+        }
+    }
 }
 
 /// A running server: the bound address plus control-plane methods.
@@ -103,7 +193,11 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
         cache,
         cell: SnapshotCell::new(initial),
         limits: config.limits,
+        overload: config.overload,
         shutdown: AtomicBool::new(false),
+        depth: AtomicUsize::new(0),
+        inflight: AtomicUsize::new(0),
+        ewma_us: AtomicU64::new(0),
     });
     // The initial snapshot counts as the first publication.
     shared
@@ -112,14 +206,15 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
         .set(shared.cell.epoch() as f64);
     shared.metrics.snapshot_publishes.inc();
 
-    let (tx, rx) = channel::unbounded::<TcpStream>();
+    let (tx, rx) = channel::unbounded::<Conn>();
     let workers = (0..config.workers.max(1))
         .map(|i| {
             let rx = rx.clone();
+            let tx = tx.clone();
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("webdep-serve-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &shared))
+                .spawn(move || worker_loop(&rx, &tx, &shared))
                 .expect("spawn worker")
         })
         .collect();
@@ -129,8 +224,8 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
         std::thread::Builder::new()
             .name("webdep-serve-acceptor".to_string())
             .spawn(move || {
-                // `tx` moves in here; dropping it on exit disconnects the
-                // workers once the queue drains.
+                // `tx` moves in here; workers hold their own clones for
+                // parking and exit via the shutdown flag.
                 loop {
                     if shared.shutdown.load(Ordering::Acquire) {
                         break;
@@ -138,8 +233,9 @@ pub fn start(config: ServeConfig, initial: Arc<CubeSnapshot>) -> std::io::Result
                     match listener.accept() {
                         Ok((stream, _)) => {
                             shared.metrics.connections.inc();
-                            if tx.send(stream).is_err() {
-                                break;
+                            let _ = stream.set_nodelay(true);
+                            if let Err(conn) = try_enqueue(&shared, &tx, Conn::new(stream)) {
+                                shed_connection(&shared, conn.stream);
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -179,6 +275,25 @@ impl ServerHandle {
         self.shared.metrics.snapshot_epoch.set(epoch as f64);
         self.shared.metrics.snapshot_publishes.inc();
         epoch
+    }
+
+    /// [`ServerHandle::publish`] gated by [`CubeSnapshot::validate`]: the
+    /// candidate is checked against the currently-published snapshot (and
+    /// the delta that produced it, when there is one) *before* the swap.
+    /// A failing candidate is rejected — the previous epoch keeps serving,
+    /// the `publish_rejected` counter increments, and the first violated
+    /// invariant comes back as the error.
+    pub fn publish_validated(
+        &self,
+        next: Arc<CubeSnapshot>,
+        delta: Option<&WorldDelta>,
+    ) -> Result<u64, String> {
+        let prev = self.shared.cell.load();
+        if let Err(why) = next.validate(Some(&prev), delta) {
+            self.shared.metrics.publish_rejected.inc();
+            return Err(why);
+        }
+        Ok(self.publish(next))
     }
 
     /// Response-cache counters.
@@ -229,14 +344,90 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &Shared) {
+/// Enqueues a connection, respecting the hard queue cap. On overflow (or a
+/// dead channel) the connection comes back to the caller.
+fn try_enqueue(shared: &Shared, tx: &channel::Sender<Conn>, conn: Conn) -> Result<(), Conn> {
+    let cap = shared.overload.queue_depth.max(1);
+    let d = shared.depth.fetch_add(1, Ordering::AcqRel) + 1;
+    if d > cap {
+        shared.depth.fetch_sub(1, Ordering::AcqRel);
+        return Err(conn);
+    }
+    shared.metrics.queue_depth.set(d as f64);
+    match tx.send(conn) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            shared.depth.fetch_sub(1, Ordering::AcqRel);
+            Err(e.0)
+        }
+    }
+}
+
+/// Answers an over-capacity connection with a blind `503 + Retry-After`
+/// (best-effort: the response goes out before the peer's request is read)
+/// and closes it.
+fn shed_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.shed_queue.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let resp = render_response_retry(
+        503,
+        &error_body(503, "admission queue full"),
+        None,
+        false,
+        "application/json",
+        Some(shared.overload.retry_after_secs),
+    );
+    let _ = stream.write_all(&resp);
+}
+
+/// Folds one observed request latency into the overload EWMA. The update
+/// is asymmetric — rises at α=1/4, decays at α=1/32 — so the value tracks
+/// the latency *tail* rather than the mean: a cheap p99 proxy in one
+/// atomic word.
+fn update_ewma(shared: &Shared, elapsed: Duration) {
+    let sample = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    let _ = shared
+        .ewma_us
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(if sample > cur {
+                cur + ((sample - cur) / 4).max(1)
+            } else if sample < cur {
+                cur - ((cur - sample) / 32).max(1)
+            } else {
+                cur
+            })
+        });
+    shared
+        .metrics
+        .latency_ewma
+        .set(shared.ewma_us.load(Ordering::Relaxed) as f64 / 1e6);
+}
+
+/// Whether a parsed non-exempt request should be shed before dispatch.
+fn overloaded(shared: &Shared) -> bool {
+    let o = &shared.overload;
+    if shared.depth.load(Ordering::Acquire) > o.shed_depth {
+        return true;
+    }
+    let budget_us = u64::try_from(o.p99_budget.as_micros()).unwrap_or(u64::MAX);
+    shared.ewma_us.load(Ordering::Relaxed) >= budget_us
+}
+
+fn worker_loop(rx: &channel::Receiver<Conn>, tx: &channel::Sender<Conn>, shared: &Shared) {
     // Per-worker snapshot cache: revalidated by one atomic epoch load per
     // request, dropped on idle ticks once the epoch moves so a drained
     // old snapshot is actually freed (the swap test watches a Weak).
     let mut snap_cache: Option<Arc<CubeSnapshot>> = None;
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(stream) => serve_connection(stream, shared, &mut snap_cache),
+            Ok(conn) => {
+                let d = shared
+                    .depth
+                    .fetch_sub(1, Ordering::AcqRel)
+                    .saturating_sub(1);
+                shared.metrics.queue_depth.set(d as f64);
+                drive_connection(conn, shared, tx, &mut snap_cache);
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(snap) = &snap_cache {
                     if snap.epoch != shared.cell.epoch() {
@@ -244,9 +435,15 @@ fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &Shared) {
                     }
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
-                    // Drain anything still queued, then exit.
-                    while let Ok(stream) = rx.try_recv() {
-                        serve_connection(stream, shared, &mut snap_cache);
+                    // Drain anything still queued (parking is off once the
+                    // flag is up, so this terminates), then exit.
+                    while let Ok(conn) = rx.try_recv() {
+                        let d = shared
+                            .depth
+                            .fetch_sub(1, Ordering::AcqRel)
+                            .saturating_sub(1);
+                        shared.metrics.queue_depth.set(d as f64);
+                        drive_connection(conn, shared, tx, &mut snap_cache);
                     }
                     break;
                 }
@@ -256,40 +453,54 @@ fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &Shared) {
     }
 }
 
-/// Owns one connection until it closes: reads heads in 250 ms ticks (so
-/// deadlines and shutdown are checked even while a peer stalls), answers
-/// each complete head, and drains pipelined bytes via the consumed offset.
-fn serve_connection(
-    mut stream: TcpStream,
+/// Drives one connection until it closes or parks: reads heads in
+/// pressure-scaled ticks (250 ms warm, 5 ms while other connections wait,
+/// so deadlines and shutdown are checked even while a peer stalls),
+/// answers each complete head, and drains pipelined bytes via the consumed
+/// offset. An empty read tick with a non-empty queue parks the connection
+/// — re-enqueues it and returns the worker to the pool — which is what
+/// keeps fast requests flowing through a pool saturated by slow peers.
+fn drive_connection(
+    mut conn: Conn,
     shared: &Shared,
+    tx: &channel::Sender<Conn>,
     snap_cache: &mut Option<Arc<CubeSnapshot>>,
 ) {
     let limits = &shared.limits;
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .is_err()
-    {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    // Set when the current head's first byte arrived (read deadline);
-    // None while idle between keep-alive requests (idle timeout).
-    let mut head_started: Option<Instant> = None;
-    let mut idle_since = Instant::now();
     loop {
-        match parse_head(&buf, limits) {
+        match parse_head(&conn.buf, limits) {
             ParseOutcome::Complete { request, consumed } => {
-                buf.drain(..consumed);
-                head_started = if buf.is_empty() {
+                conn.buf.drain(..consumed);
+                conn.head_started = if conn.buf.is_empty() {
                     None
                 } else {
                     Some(Instant::now())
                 };
-                idle_since = Instant::now();
+                conn.idle_since = Instant::now();
                 let t0 = Instant::now();
                 let snap = shared.cell.load_cached(snap_cache);
+                // `/healthz` and `/metrics` are always admitted: an
+                // orchestrator probing liveness or a scraper reading the
+                // shed counters must see the server, not the storm.
+                let exempt = request.path == "/healthz" || request.path == "/metrics";
+                if !exempt && overloaded(shared) {
+                    let route = routes::route_label(&request.path);
+                    shared.metrics.shed_load.inc();
+                    shared.metrics.observe_request(route, 503, t0.elapsed());
+                    let resp = render_response_retry(
+                        503,
+                        &error_body(503, "server overloaded"),
+                        Some(snap.epoch),
+                        false,
+                        "application/json",
+                        Some(shared.overload.retry_after_secs),
+                    );
+                    let _ = conn.stream.write_all(&resp);
+                    return;
+                }
+                let inflight = shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                shared.metrics.inflight.set(inflight as f64);
                 // `/metrics` is answered here rather than in the route
                 // table because the exporter needs the server's registry
                 // and cache, which routes never see.
@@ -300,25 +511,54 @@ fn serve_connection(
                         body: Arc::new(text.into_bytes()),
                         cache_hit: false,
                         route: "metrics",
+                        deadline_abort: false,
                     };
                     (routed, PROMETHEUS_TEXT)
                 } else {
-                    let routed = routes::handle(&request, &snap, &shared.cache);
+                    let budget = Budget::expiring(shared.overload.route_deadline);
+                    let routed = routes::handle(&request, &snap, &shared.cache, budget);
                     (routed, "application/json")
                 };
+                let inflight = shared
+                    .inflight
+                    .fetch_sub(1, Ordering::AcqRel)
+                    .saturating_sub(1);
+                shared.metrics.inflight.set(inflight as f64);
+                let elapsed = t0.elapsed();
+                if routed.deadline_abort {
+                    shared.metrics.deadline_aborts.inc();
+                }
                 shared
                     .metrics
-                    .observe_request(routed.route, routed.status, t0.elapsed());
-                // On shutdown, answer what we have and close.
-                let keep = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
-                let resp = render_response_typed(
+                    .observe_request(routed.route, routed.status, elapsed);
+                update_ewma(shared, elapsed);
+                // Shed and deadline 503s close the connection (freeing it
+                // is the point) and advertise a retry delay.
+                let shed_close = routed.status == 503;
+                let keep =
+                    request.keep_alive && !shed_close && !shared.shutdown.load(Ordering::Acquire);
+                let retry_after = shed_close.then_some(shared.overload.retry_after_secs);
+                let resp = render_response_retry(
                     routed.status,
                     &routed.body,
                     Some(snap.epoch),
                     keep,
                     content_type,
+                    retry_after,
                 );
-                if stream.write_all(&resp).is_err() || !keep {
+                if conn.stream.write_all(&resp).is_err() || !keep {
+                    return;
+                }
+                // Answered and idle: with other connections waiting, park
+                // so the worker serves them instead of sitting on a warm
+                // keep-alive socket.
+                if conn.buf.is_empty()
+                    && !shared.shutdown.load(Ordering::Acquire)
+                    && shared.depth.load(Ordering::Acquire) > 0
+                {
+                    // On overflow the connection is idle and answered —
+                    // closing it quietly is the cheapest outcome.
+                    let _ = try_enqueue(shared, tx, conn);
                     return;
                 }
             }
@@ -326,52 +566,81 @@ fn serve_connection(
                 shared.metrics.errors.inc();
                 let resp =
                     render_response(e.status(), &error_body(e.status(), e.reason()), None, false);
-                let _ = stream.write_all(&resp);
+                let _ = conn.stream.write_all(&resp);
                 return;
             }
-            ParseOutcome::Partial => match stream.read(&mut chunk) {
-                Ok(0) => return,
-                Ok(n) => {
-                    if buf.is_empty() {
-                        head_started = Some(Instant::now());
+            ParseOutcome::Partial => {
+                // Pressure-scaled read tick: a parked-and-resumed stalling
+                // peer must not hold a worker for a full 250 ms while
+                // others wait.
+                let tick = if shared.depth.load(Ordering::Acquire) > 0 {
+                    Duration::from_millis(5)
+                } else {
+                    Duration::from_millis(250)
+                };
+                if conn.read_tick != Some(tick) {
+                    if conn.stream.set_read_timeout(Some(tick)).is_err() {
+                        return;
                     }
-                    buf.extend_from_slice(&chunk[..n]);
+                    conn.read_tick = Some(tick);
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    match head_started {
-                        Some(t0) if t0.elapsed() >= limits.read_deadline => {
-                            // A peer trickling a head: answer 408, close.
-                            shared.metrics.timeouts.inc();
-                            let resp = render_response(
-                                408,
-                                &error_body(408, "request head not received in time"),
-                                None,
-                                false,
-                            );
-                            let _ = stream.write_all(&resp);
-                            return;
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => return,
+                    Ok(n) => {
+                        if conn.buf.is_empty() {
+                            conn.head_started = Some(Instant::now());
                         }
-                        None if idle_since.elapsed() >= limits.idle_timeout
-                            || shared.shutdown.load(Ordering::Acquire) =>
-                        {
-                            // Idle keep-alive connection: close silently.
-                            return;
-                        }
-                        _ => {}
+                        conn.buf.extend_from_slice(&chunk[..n]);
                     }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        match conn.head_started {
+                            Some(t0) if t0.elapsed() >= limits.read_deadline => {
+                                // A peer trickling a head: answer 408, close.
+                                shared.metrics.timeouts.inc();
+                                let resp = render_response(
+                                    408,
+                                    &error_body(408, "request head not received in time"),
+                                    None,
+                                    false,
+                                );
+                                let _ = conn.stream.write_all(&resp);
+                                return;
+                            }
+                            None if conn.idle_since.elapsed() >= limits.idle_timeout
+                                || shared.shutdown.load(Ordering::Acquire) =>
+                            {
+                                // Idle keep-alive connection: close silently.
+                                return;
+                            }
+                            _ => {
+                                // An empty tick with a non-empty queue:
+                                // park so a waiting connection gets this
+                                // worker. Overflow means the queue refilled
+                                // past the cap behind us — shed.
+                                if !shared.shutdown.load(Ordering::Acquire)
+                                    && shared.depth.load(Ordering::Acquire) > 0
+                                {
+                                    if let Err(conn) = try_enqueue(shared, tx, conn) {
+                                        shed_connection(shared, conn.stream);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => return,
                 }
-                Err(_) => return,
-            },
+            }
         }
     }
 }
 
-/// SIGINT support for the CLI, kept libc-free: a direct `signal(2)`
-/// binding storing into a process-global flag. Only the `webdep serve`
-/// subcommand installs it; library users and tests never touch process
+/// SIGINT/SIGTERM support for the CLI, kept libc-free: a direct
+/// `signal(2)` binding storing into a process-global flag. Only the
+/// `webdep` CLI installs it; library users and tests never touch process
 /// signal state.
 pub mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -379,24 +648,33 @@ pub mod sig {
     static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
-    extern "C" fn on_sigint(_sig: i32) {
+    extern "C" fn on_signal(_sig: i32) {
         // Only async-signal-safe work here: one atomic store.
         INTERRUPTED.store(true, Ordering::Release);
     }
 
-    /// Installs the SIGINT handler. Returns `false` if the kernel refused.
-    pub fn install_sigint() -> bool {
+    fn install(signum: i32) -> bool {
         #[allow(unsafe_code)]
         unsafe {
             extern "C" {
                 fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
             }
-            signal(SIGINT, on_sigint) != -1
+            signal(signum, on_signal) != -1
         }
     }
 
-    /// Whether SIGINT has been received since install.
+    /// Installs the shared handler for SIGINT *and* SIGTERM (container
+    /// orchestrators send SIGTERM first; both request the same graceful
+    /// drain). Returns `false` if the kernel refused either.
+    pub fn install_handlers() -> bool {
+        let int_ok = install(SIGINT);
+        let term_ok = install(SIGTERM);
+        int_ok && term_ok
+    }
+
+    /// Whether SIGINT or SIGTERM has been received since install.
     pub fn interrupted() -> bool {
         INTERRUPTED.load(Ordering::Acquire)
     }

@@ -24,7 +24,7 @@ use webdep_analysis::{AnalysisCtx, CubeBuilder, DependenceCube, Trajectory};
 use webdep_pipeline::{
     ChunkStore, FailureCause, FailureTaxonomy, MeasuredDataset, SiteObservation,
 };
-use webdep_webgen::{World, WorldDelta};
+use webdep_webgen::{Layer, World, WorldDelta};
 
 /// Taxonomy layer names, in the chunk `failure_causes` order.
 const TAXONOMY_LAYERS: [&str; 3] = ["hosting", "dns", "ca"];
@@ -178,6 +178,30 @@ impl CubeSnapshot {
     /// The store must describe the same world (`label` and site count
     /// guarded, mirroring `ChunkStore::load_dataset`).
     pub fn from_store(epoch: u64, world: Arc<World>, dir: &Path) -> io::Result<Self> {
+        Self::from_store_inner(epoch, world, dir, None)
+    }
+
+    /// [`CubeSnapshot::from_store`], but extending a previous snapshot's
+    /// trajectory instead of starting a fresh one — the full-rebuild
+    /// fallback for when a delta build fails validation mid-evolution:
+    /// the cube and taxonomy are folded from scratch off the store, yet
+    /// `/v1/trajectory` keeps its history and the result still satisfies
+    /// [`CubeSnapshot::validate`] against the snapshot it succeeds.
+    pub fn from_store_extending(
+        epoch: u64,
+        world: Arc<World>,
+        dir: &Path,
+        prev: &CubeSnapshot,
+    ) -> io::Result<Self> {
+        Self::from_store_inner(epoch, world, dir, Some(&prev.trajectory))
+    }
+
+    fn from_store_inner(
+        epoch: u64,
+        world: Arc<World>,
+        dir: &Path,
+        prev_trajectory: Option<&Trajectory>,
+    ) -> io::Result<Self> {
         let store = ChunkStore::open(dir)?;
         if store.label != world.label || store.sites != world.sites.len() {
             return Err(io::Error::new(
@@ -218,7 +242,7 @@ impl CubeSnapshot {
         }
         let cube = builder.finish(&world, &world.toplists, &world.global_top);
         let dataset = hollow_dataset(&world, &store.label);
-        let mut trajectory = Trajectory::new();
+        let mut trajectory = prev_trajectory.cloned().unwrap_or_default();
         trajectory.push(&AnalysisCtx::with_cube_ref(&world, &dataset, &cube));
         Ok(CubeSnapshot {
             epoch,
@@ -358,6 +382,168 @@ impl CubeSnapshot {
     /// every request handler builds.
     pub fn ctx(&self) -> AnalysisCtx<'_> {
         AnalysisCtx::with_cube_ref(&self.world, &self.dataset, &self.cube)
+    }
+
+    /// Pre-publish invariant checks: every constructor upholds these by
+    /// construction, so a candidate failing any of them was corrupted
+    /// between build and publish (bit-flipped store, poisoned delta, a
+    /// bug in an incremental path) and must not reach readers. Returns
+    /// the first violated invariant as a human-readable reason.
+    ///
+    /// Checked against the snapshot alone:
+    /// - the carried per-site state, the taxonomy total, and the world's
+    ///   site table all agree on the site count;
+    /// - the taxonomy equals an exact refold of the carried per-site
+    ///   failure causes (incremental delta bookkeeping reproduces a
+    ///   from-scratch tally or the candidate is rejected);
+    /// - every layer's cube column totals reconcile with a walk of the
+    ///   toplists through the carried owner labels (global-pool sites
+    ///   legitimately appear in many countries' toplists, so totals are
+    ///   compared with multiplicity, not as a site partition);
+    /// - the trajectory is position-consistent (`points[i].epoch == i`)
+    ///   and its last point belongs to this snapshot's world.
+    ///
+    /// Checked against `prev` (the snapshot currently serving):
+    /// - the epoch strictly advances;
+    /// - the trajectory extends the previous one by exactly one point.
+    ///
+    /// Checked against `delta` (when this candidate came from one):
+    /// - the delta's source matches `prev` and its target matches this
+    ///   snapshot's world, by label and site count.
+    pub fn validate(
+        &self,
+        prev: Option<&CubeSnapshot>,
+        delta: Option<&WorldDelta>,
+    ) -> Result<(), String> {
+        let sites = self.world.sites.len();
+        if self.delta_state.causes.len() != sites {
+            return Err(format!(
+                "carried failure causes cover {} sites, world has {}",
+                self.delta_state.causes.len(),
+                sites
+            ));
+        }
+        if self.delta_state.builder.sites() != sites {
+            return Err(format!(
+                "carried cube builder covers {} sites, world has {}",
+                self.delta_state.builder.sites(),
+                sites
+            ));
+        }
+        if self.taxonomy.total != sites as u64 {
+            return Err(format!(
+                "taxonomy total {} does not reconcile with {} sites",
+                self.taxonomy.total, sites
+            ));
+        }
+
+        // Refold the taxonomy from the carried per-site causes and demand
+        // exact equality — `unrecord` drops zeroed cells precisely so an
+        // incremental tally stays bit-identical to a fresh one.
+        let mut refold = FailureTaxonomy {
+            total: sites as u64,
+            ..FailureTaxonomy::default()
+        };
+        for causes in &self.delta_state.causes {
+            let mut any = false;
+            for (layer, cause) in TAXONOMY_LAYERS.into_iter().zip(*causes) {
+                if let Some(cause) = cause {
+                    refold.record(layer, cause);
+                    any = true;
+                }
+            }
+            if !any {
+                refold.clean += 1;
+            }
+        }
+        if refold != self.taxonomy {
+            return Err(
+                "taxonomy does not equal a refold of the carried per-site causes".to_string(),
+            );
+        }
+
+        // Cube column totals vs a toplist walk through the carried owner
+        // labels: `CubeBuilder::finish` counts exactly the observed
+        // toplist entries, so any divergence means the cube and the
+        // carried state disagree about who owns what.
+        for layer in Layer::ALL {
+            let lc = self.cube.layer(layer);
+            for (ci, toplist) in self.dataset.toplists.iter().enumerate() {
+                let expected = toplist
+                    .iter()
+                    .filter(|&&site| {
+                        self.delta_state
+                            .builder
+                            .owner(layer, site as usize)
+                            .is_some()
+                    })
+                    .count() as u64;
+                if lc.total(ci) != expected {
+                    return Err(format!(
+                        "cube {layer:?} total for country {ci} is {}, toplist walk says {expected}",
+                        lc.total(ci)
+                    ));
+                }
+            }
+        }
+
+        let Some(last) = self.trajectory.points.last() else {
+            return Err("trajectory is empty".to_string());
+        };
+        if last.label != self.world.label {
+            return Err(format!(
+                "trajectory ends at label {:?}, world is {:?}",
+                last.label, self.world.label
+            ));
+        }
+        for (i, p) in self.trajectory.points.iter().enumerate() {
+            if p.epoch != i {
+                return Err(format!(
+                    "trajectory point {i} carries epoch {} (not monotone)",
+                    p.epoch
+                ));
+            }
+        }
+
+        if let Some(prev) = prev {
+            if self.epoch <= prev.epoch {
+                return Err(format!(
+                    "epoch must advance ({} -> {})",
+                    prev.epoch, self.epoch
+                ));
+            }
+            if self.trajectory.points.len() != prev.trajectory.points.len() + 1 {
+                return Err(format!(
+                    "trajectory has {} points, must extend the previous {} by one",
+                    self.trajectory.points.len(),
+                    prev.trajectory.points.len()
+                ));
+            }
+        }
+
+        if let Some(delta) = delta {
+            if let Some(prev) = prev {
+                if prev.world.label != delta.from_label
+                    || prev.world.sites.len() != delta.from_sites
+                {
+                    return Err(format!(
+                        "delta source '{}' ({} sites) is not the serving snapshot '{}' ({} sites)",
+                        delta.from_label,
+                        delta.from_sites,
+                        prev.world.label,
+                        prev.world.sites.len()
+                    ));
+                }
+            }
+            if self.world.label != delta.to_label || sites != delta.to_sites {
+                return Err(format!(
+                    "delta target '{}' ({} sites) is not this snapshot '{}' ({} sites)",
+                    delta.to_label, delta.to_sites, self.world.label, sites
+                ));
+            }
+        }
+
+        Ok(())
     }
 }
 

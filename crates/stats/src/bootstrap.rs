@@ -267,6 +267,63 @@ pub fn bootstrap_ci_indexed_scratch<T, F: Fn(&Resample<'_, T>) -> f64>(
     Some(percentile_interval_slice(point, &mut scratch.stats, level))
 }
 
+/// The bootstrap ran out of budget before finishing its replicates.
+///
+/// Carries no partial interval on purpose: a truncated replicate set is a
+/// *different* (narrower-tailed) estimator, so callers either get the
+/// exact seeded interval or nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapAborted;
+
+/// [`bootstrap_ci_indexed_scratch`] that polls `should_abort` every
+/// [`REPLICATE_CHUNK`] replicates and bails with [`BootstrapAborted`]
+/// instead of running to completion.
+///
+/// Replicate `r` is seeded by `mix(seed, r)` regardless of who runs it, so
+/// when this variant *does* complete its interval is bit-identical to
+/// [`bootstrap_ci_indexed`]'s — a request under deadline pressure never
+/// serves different numbers, it either serves the canonical ones or sheds.
+pub fn bootstrap_ci_indexed_abortable<T, F: Fn(&Resample<'_, T>) -> f64>(
+    items: &[T],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+    should_abort: &mut dyn FnMut() -> bool,
+) -> Result<Option<BootstrapCi>, BootstrapAborted> {
+    if !valid(items.len(), replicates, level) {
+        return Ok(None);
+    }
+    if should_abort() {
+        return Err(BootstrapAborted);
+    }
+    let n = items.len();
+    scratch.identity.clear();
+    scratch.identity.extend(0..n as u32);
+    let point = statistic(&Resample {
+        items,
+        idx: &scratch.identity,
+    });
+    scratch.stats.clear();
+    for r in 0..replicates {
+        if r % REPLICATE_CHUNK == 0 && r > 0 && should_abort() {
+            return Err(BootstrapAborted);
+        }
+        let mut stream = IndexStream::new(replicate_seed(seed, r as u64));
+        draw_indices(&mut stream, n, &mut scratch.idx);
+        scratch.stats.push(statistic(&Resample {
+            items,
+            idx: &scratch.idx,
+        }));
+    }
+    Ok(Some(percentile_interval_slice(
+        point,
+        &mut scratch.stats,
+        level,
+    )))
+}
+
 fn percentile_interval_slice(point: f64, stats: &mut [f64], level: f64) -> BootstrapCi {
     let replicates = stats.len();
     stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
@@ -321,6 +378,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cloned, indexed);
+    }
+
+    /// The abortable variant is bit-identical to the parallel path when it
+    /// completes, aborts promptly when the budget is already spent, and
+    /// honors a mid-run abort without returning a truncated interval.
+    #[test]
+    fn abortable_variant_identical_or_aborted() {
+        let data: Vec<f64> = (0..80).map(|i| ((i * 19) % 29) as f64).collect();
+        let stat = |rs: &Resample<'_, f64>| rs.iter().sum::<f64>() / rs.len() as f64;
+        let mut scratch = BootstrapScratch::new();
+        let parallel = bootstrap_ci_indexed(&data, stat, 300, 0.95, 9).unwrap();
+        let completed =
+            bootstrap_ci_indexed_abortable(&data, stat, 300, 0.95, 9, &mut scratch, &mut || false)
+                .unwrap();
+        assert_eq!(completed, Some(parallel));
+
+        assert_eq!(
+            bootstrap_ci_indexed_abortable(&data, stat, 300, 0.95, 9, &mut scratch, &mut || true),
+            Err(BootstrapAborted)
+        );
+
+        // Abort after the first poll window: never a partial interval.
+        let mut polls = 0u32;
+        let aborted =
+            bootstrap_ci_indexed_abortable(&data, stat, 10_000, 0.95, 9, &mut scratch, &mut || {
+                polls += 1;
+                polls > 1
+            });
+        assert_eq!(aborted, Err(BootstrapAborted));
+
+        // Degenerate inputs still report "no interval", not an abort.
+        assert_eq!(
+            bootstrap_ci_indexed_abortable(&data, stat, 0, 0.95, 9, &mut scratch, &mut || true),
+            Ok(None)
+        );
     }
 
     /// The scratch variant must be bit-identical to the parallel indexed

@@ -11,6 +11,7 @@
 //! webdep serve small --store chunks/               # serve a chunked store
 //! webdep evolve 4 tiny --churn 0.1                 # continuous epochs, delta re-measure
 //! webdep evolve 4 tiny --serve-addr 127.0.0.1:8439 # …published live per epoch
+//! webdep fsck chunks/ --repair --journal run.jsonl # verify + heal a store
 //! ```
 //!
 //! The heavier subcommands generate, deploy, and measure a synthetic world
@@ -37,7 +38,7 @@ use webdep::webgen::{DeployConfig, DeployedWorld, Layer, World, WorldConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]\n  webdep serve [tiny|small] [--addr <ip:port>] [--threads <n>] [--store <dir> | --world-seed <seed>]\n  webdep evolve <n-epochs> [tiny|small] [--churn <frac>] [--store <dir>] [--serve-addr <ip:port>] [--workers <n>]"
+        "usage:\n  webdep score <count> [count ...]\n  webdep country <CC> [tiny|small]\n  webdep tables [tiny|small]\n  webdep experiments [tiny|small]\n  webdep measure [tiny|small] [--journal <path> | --resume <path>]\n  webdep serve [tiny|small] [--addr <ip:port>] [--threads <n>] [--store <dir> | --world-seed <seed>]\n  webdep evolve <n-epochs> [tiny|small] [--churn <frac>] [--store <dir>] [--serve-addr <ip:port>] [--workers <n>]\n  webdep fsck <store-dir> [--repair] [--journal <path>]"
     );
     std::process::exit(2);
 }
@@ -313,8 +314,8 @@ fn cmd_serve(args: &[String]) {
     println!("       curl http://{bound}/v1/coverage");
     println!("       curl http://{bound}/metrics   # Prometheus text exposition");
 
-    if !sig::install_sigint() {
-        eprintln!("warning: could not install SIGINT handler; stop with SIGKILL");
+    if !sig::install_handlers() {
+        eprintln!("warning: could not install SIGINT/SIGTERM handlers; stop with SIGKILL");
     }
     while !sig::interrupted() {
         std::thread::sleep(std::time::Duration::from_millis(200));
@@ -322,7 +323,7 @@ fn cmd_serve(args: &[String]) {
     let stats = handle.stats();
     let cache = handle.cache_stats();
     eprintln!(
-        "\nSIGINT: draining ({} connections served, {} ok / {} errors, cache hit rate {:.3})...",
+        "\nsignal: draining ({} connections served, {} ok / {} errors, cache hit rate {:.3})...",
         stats.connections,
         stats.ok,
         stats.errors,
@@ -499,7 +500,7 @@ fn cmd_evolve(args: &[String]) {
             eprintln!("epoch {}: delta measurement failed: {err}", e + 1);
             std::process::exit(1);
         });
-        let next_snapshot = Arc::new(
+        let mut next_snapshot = Arc::new(
             CubeSnapshot::from_delta(
                 snapshot.epoch + 1,
                 Arc::clone(&next),
@@ -512,8 +513,48 @@ fn cmd_evolve(args: &[String]) {
                 std::process::exit(1);
             }),
         );
-        if let Some(h) = &handle {
-            h.publish(Arc::clone(&next_snapshot));
+        // Validated publish with a full-rebuild retry: a delta-built
+        // snapshot failing its pre-publish invariants never reaches
+        // readers — the prior epoch keeps serving while the epoch is
+        // re-measured in full and rebuilt from the store. Only a rebuild
+        // that *also* fails validation aborts the loop.
+        let admit = |cand: &Arc<CubeSnapshot>| match &handle {
+            Some(h) => h
+                .publish_validated(Arc::clone(cand), Some(&delta))
+                .map(|_| ()),
+            None => cand.validate(Some(&snapshot), Some(&delta)),
+        };
+        if let Err(why) = admit(&next_snapshot) {
+            eprintln!(
+                "epoch {}: snapshot rejected ({why}); re-measuring the epoch in full...",
+                e + 1
+            );
+            measure_streamed(&next, &dep, &pipeline, &epoch_dir(e + 1), None).unwrap_or_else(
+                |err| {
+                    eprintln!("epoch {}: full re-measure failed: {err}", e + 1);
+                    std::process::exit(1);
+                },
+            );
+            let rebuilt = Arc::new(
+                CubeSnapshot::from_store_extending(
+                    snapshot.epoch + 1,
+                    Arc::clone(&next),
+                    &epoch_dir(e + 1),
+                    &snapshot,
+                )
+                .unwrap_or_else(|err| {
+                    eprintln!("epoch {}: snapshot rebuild failed: {err}", e + 1);
+                    std::process::exit(1);
+                }),
+            );
+            if let Err(why) = admit(&rebuilt) {
+                eprintln!(
+                    "epoch {}: rebuilt snapshot rejected ({why}); giving up",
+                    e + 1
+                );
+                std::process::exit(1);
+            }
+            next_snapshot = rebuilt;
         }
         let point = next_snapshot
             .trajectory
@@ -541,12 +582,12 @@ fn cmd_evolve(args: &[String]) {
     match handle {
         Some(h) => {
             println!(
-                "evolution done ({} epochs); serving until SIGINT on http://{}",
+                "evolution done ({} epochs); serving until SIGINT/SIGTERM on http://{}",
                 n_epochs,
                 h.addr()
             );
-            if !sig::install_sigint() {
-                eprintln!("warning: could not install SIGINT handler; stop with SIGKILL");
+            if !sig::install_handlers() {
+                eprintln!("warning: could not install SIGINT/SIGTERM handlers; stop with SIGKILL");
             }
             while !sig::interrupted() {
                 std::thread::sleep(std::time::Duration::from_millis(200));
@@ -559,6 +600,58 @@ fn cmd_evolve(args: &[String]) {
                 n_epochs, store_root
             );
         }
+    }
+}
+
+/// `webdep fsck <store-dir> [--repair] [--journal <path>]`: verify every
+/// chunk of a measurement store (checksums, headers, full column decode)
+/// and print a machine-readable report. With `--repair`, corrupt chunk
+/// files are quarantined and — given the run's journal — re-encoded
+/// byte-identically from its records. Exits non-zero unless the store is
+/// intact after the pass.
+fn cmd_fsck(args: &[String]) {
+    use webdep::pipeline::ChunkStore;
+
+    let mut dir: Option<&String> = None;
+    let mut journal: Option<&String> = None;
+    let mut repair = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repair" => {
+                repair = true;
+                i += 1;
+            }
+            "--journal" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--journal needs a value");
+                    std::process::exit(2);
+                };
+                journal = Some(value);
+                i += 2;
+            }
+            s if !s.starts_with("--") && dir.is_none() => {
+                dir = Some(&args[i]);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown fsck argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("fsck needs a store directory, e.g. `webdep fsck chunks/ --repair`");
+        std::process::exit(2);
+    };
+    let report =
+        ChunkStore::fsck(Path::new(dir), journal.map(Path::new), repair).unwrap_or_else(|e| {
+            eprintln!("fsck error: {e}");
+            std::process::exit(1);
+        });
+    println!("{}", report.to_value());
+    if !report.intact() {
+        std::process::exit(1);
     }
 }
 
@@ -585,6 +678,7 @@ fn main() {
         Some("measure") => cmd_measure(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("evolve") => cmd_evolve(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         _ => usage(),
     }
 }
